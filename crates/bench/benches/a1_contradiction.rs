@@ -1,0 +1,51 @@
+//! A1 — Application 1: contradiction detection.
+//!
+//! Series reported: time for SQO to *refute* the query (independent of
+//! database size) vs time to *evaluate* the original query on object
+//! bases of growing size. The paper's claim: a refuted query "need not
+//! be evaluated", so its cost is the (constant) optimization overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqo_bench::contradiction_scenario;
+use std::hint::black_box;
+
+fn bench_detection_vs_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1/contradiction");
+    group.sample_size(10);
+    for students in [100usize, 400, 1600] {
+        let (mut opt, oql, db) = contradiction_scenario(students);
+        // SQO path: detect the contradiction, never touch the database.
+        group.bench_with_input(
+            BenchmarkId::new("sqo_detect", students),
+            &students,
+            |b, _| {
+                b.iter(|| {
+                    let report = opt.optimize(oql).unwrap();
+                    assert!(report.is_contradiction());
+                    black_box(report)
+                })
+            },
+        );
+        // Baseline: translate and evaluate the original query anyway
+        // (it returns zero rows, but only after scanning).
+        let translated = {
+            let plain = sqo_core::SemanticOptimizer::university();
+            plain.translate(&sqo_oql::parse_oql(oql).unwrap()).unwrap()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("evaluate_anyway", students),
+            &students,
+            |b, _| {
+                b.iter(|| {
+                    let (rows, cost) = sqo_objdb::execute(&db, &translated.query).unwrap();
+                    assert!(rows.is_empty(), "IC3 holds on the data");
+                    black_box(cost)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection_vs_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! A2 — Application 2: access scope reduction.
+//!
+//! Series reported: evaluation time of the original query (fetch every
+//! person) vs the scope-reduced query (`x not in Faculty`, an extent
+//! anti-join) as the faculty fraction of the Person extent grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqo_bench::scope_reduction_scenario;
+use sqo_objdb::execute;
+use std::hint::black_box;
+
+fn bench_fraction_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2/scope_reduction");
+    group.sample_size(20);
+    for frac in [0.1f64, 0.3, 0.6, 0.9] {
+        let scenario = scope_reduction_scenario(2000, frac);
+        // Warm the EDB cache so both sides measure pure evaluation.
+        let _ = execute(&scenario.db, &scenario.original).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("original", format!("f={frac}")),
+            &scenario,
+            |b, s| b.iter(|| black_box(execute(&s.db, &s.original).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("scope_reduced", format!("f={frac}")),
+            &scenario,
+            |b, s| b.iter(|| black_box(execute(&s.db, &s.optimized).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2/scope_reduction_size");
+    group.sample_size(15);
+    for total in [500usize, 2000, 8000] {
+        let scenario = scope_reduction_scenario(total, 0.5);
+        let _ = execute(&scenario.db, &scenario.original).unwrap();
+        group.bench_with_input(BenchmarkId::new("original", total), &scenario, |b, s| {
+            b.iter(|| black_box(execute(&s.db, &s.original).unwrap()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("scope_reduced", total),
+            &scenario,
+            |b, s| b.iter(|| black_box(execute(&s.db, &s.optimized).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fraction_sweep, bench_size_sweep);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! A3 — Application 3: key-based join reduction.
+//!
+//! Series reported: evaluation time of the original query (join TAs and
+//! students on the professors' *names*, which requires fetching Faculty
+//! objects) vs the rewritten query (compare OIDs: `z = w`) as the number
+//! of enrolled students grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqo_bench::key_join_scenario;
+use sqo_objdb::execute;
+use std::hint::black_box;
+
+fn bench_key_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a3/key_join");
+    group.sample_size(10);
+    for students in [40usize, 80, 160] {
+        let scenario = key_join_scenario(students);
+        let _ = execute(&scenario.db, &scenario.original).unwrap(); // warm cache
+        group.bench_with_input(
+            BenchmarkId::new("name_join_original", students),
+            &scenario,
+            |b, s| b.iter(|| black_box(execute(&s.db, &s.original).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("oid_compare_rewrite", students),
+            &scenario,
+            |b, s| b.iter(|| black_box(execute(&s.db, &s.optimized).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_key_join);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! A4 — Application 4: access support relations.
+//!
+//! Series reported: evaluation time of the 4-hop path query vs the
+//! folded query probing the materialized ASR, as the object base grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqo_bench::asr_scenario;
+use sqo_objdb::execute;
+use std::hint::black_box;
+
+fn bench_asr_fold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a4/asr_fold");
+    group.sample_size(15);
+    for (students, courses) in [(200usize, 20usize), (800, 60), (3200, 200)] {
+        let scenario = asr_scenario(students, courses);
+        let _ = execute(&scenario.db, &scenario.original).unwrap(); // warm cache
+        let label = format!("s={students}_c={courses}");
+        group.bench_with_input(BenchmarkId::new("path_chain", &label), &scenario, |b, s| {
+            b.iter(|| black_box(execute(&s.db, &s.original).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("asr_folded", &label), &scenario, |b, s| {
+            b.iter(|| black_box(execute(&s.db, &s.optimized).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_asr_fold);
+criterion_main!(benches);

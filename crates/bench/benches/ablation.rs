@@ -1,0 +1,131 @@
+//! Ablations for the design choices DESIGN.md calls out:
+//!
+//! * IC derivation (inclusion saturation + strengthening +
+//!   contrapositives) on/off — scope reduction only exists with it;
+//! * join-introduction policy (Off / ViewRelevant / All) — search cost;
+//! * chase budget — removal-soundness checking cost;
+//! * the equality-propagation evaluation strategy (measured indirectly:
+//!   the A3 original-vs-rewrite gap collapses without it, see git
+//!   history; here we measure the rewrite with the production engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqo_core::{CompileOptions, SearchConfig, SemanticOptimizer};
+use sqo_datalog::search::JoinIntro;
+use std::hint::black_box;
+
+fn bench_derivation_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/ic_derivation");
+    group.sample_size(20);
+    for (label, derive) in [("on", true), ("off", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &derive, |b, &derive| {
+            let mut opt = SemanticOptimizer::university();
+            opt.set_compile_options(CompileOptions {
+                derive_strengthened: derive,
+                derive_contrapositives: derive,
+            });
+            opt.add_constraint_text("ic IC4: Age >= 30 <- faculty(X, N, Age, S, R, Ad).")
+                .unwrap();
+            opt.residue_count(); // compile outside the measured loop
+            b.iter(|| {
+                black_box(
+                    opt.optimize("select x.name from x in Person where x.age < 30")
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_intro_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/join_intro_policy");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("off", JoinIntro::Off),
+        ("view_relevant", JoinIntro::ViewRelevant),
+        ("all", JoinIntro::All),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &policy| {
+            let mut opt = SemanticOptimizer::university();
+            opt.add_view_text(
+                "asr(X, W) <- takes(X, Y), is_section_of(Y, Z), has_sections(Z, V), has_ta(V, W)",
+            )
+            .unwrap();
+            opt.set_search_config(SearchConfig {
+                join_intro: policy,
+                ..Default::default()
+            });
+            opt.residue_count();
+            b.iter(|| {
+                black_box(
+                    opt.optimize(
+                        r#"select w
+                           from x in Student
+                                y in x.takes
+                                z in y.is_section_of
+                                v in z.has_sections
+                                w in v.has_ta"#,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chase_budget(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/chase_budget");
+    group.sample_size(10);
+    for facts in [100usize, 400, 1600] {
+        group.bench_with_input(BenchmarkId::from_parameter(facts), &facts, |b, &_facts| {
+            // The chase budget lives in the TransformContext; route through
+            // the datalog layer directly.
+            use sqo_datalog::chase::ChaseBudget;
+            use sqo_datalog::residue::ResidueSet;
+            use sqo_datalog::search::{optimize, SearchConfig};
+            use sqo_datalog::transform::TransformContext;
+            let opt = SemanticOptimizer::university();
+            let ics = opt.constraints();
+            let mut ctx = TransformContext::new(
+                ResidueSet::compile(ics),
+                vec![sqo_datalog::parser::parse_rule(
+                    "asr(X, W) <- takes(X, Y), is_section_of(Y, Z), \
+                     has_sections(Z, V), has_ta(V, W)",
+                )
+                .unwrap()],
+                opt.catalog().functional.clone(),
+            );
+            ctx.budget = ChaseBudget {
+                max_rounds: 6,
+                max_facts: _facts,
+                max_nulls: 64,
+            };
+            let q = opt
+                .translate(
+                    &sqo_oql::parse_oql(
+                        r#"select w
+                           from x in Student
+                                y in x.takes
+                                z in y.is_section_of
+                                v in z.has_sections
+                                w in v.has_ta"#,
+                    )
+                    .unwrap(),
+                )
+                .unwrap()
+                .query;
+            let cfg = SearchConfig::default();
+            b.iter(|| black_box(optimize(&q, &ctx, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_derivation_ablation,
+    bench_join_intro_policy,
+    bench_chase_budget
+);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! E1 — Example 1 (Section 2): residue compilation and application on
+//! the relational warm-up example.
+//!
+//! Series reported: semantic compilation time vs number of ICs; residue
+//! application (query transformation) time; contradiction detection
+//! time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqo_bench::optimizer_with_n_ics;
+use sqo_datalog::parser::{parse_constraint, parse_query};
+use sqo_datalog::residue::ResidueSet;
+use sqo_datalog::search::{optimize, SearchConfig};
+use sqo_datalog::transform::TransformContext;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn example1_ic() -> sqo_datalog::Constraint {
+    parse_constraint("ic: Age > 30 <- faculty(Sec, Fac, Age).").unwrap()
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1/semantic_compilation");
+    for n in [1usize, 4, 16, 64] {
+        let ics: Vec<_> = (0..n)
+            .map(|i| {
+                parse_constraint(&format!("ic: Age > {} <- faculty{}(S, F, Age).", 30 + i, i))
+                    .unwrap()
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ics, |b, ics| {
+            b.iter(|| black_box(ResidueSet::compile(ics.clone())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let ctx = TransformContext::new(
+        ResidueSet::compile(vec![example1_ic()]),
+        vec![],
+        BTreeMap::new(),
+    );
+    // Non-contradictory query: the residue attaches Age > 30.
+    let attach =
+        parse_query("Q(Name) <- student(St, Name), takes_section(St, Sec), faculty(Sec, F, Age)")
+            .unwrap();
+    // Contradictory query (the paper's Example 1).
+    let refute = parse_query(
+        "Q(Name) <- student(St, Name), takes_section(St, Sec), \
+         faculty(Sec, F, Age), Age < 18",
+    )
+    .unwrap();
+    let cfg = SearchConfig::default();
+    c.bench_function("e1/attach_restriction", |b| {
+        b.iter(|| black_box(optimize(&attach, &ctx, &cfg)))
+    });
+    c.bench_function("e1/detect_contradiction", |b| {
+        b.iter(|| black_box(optimize(&refute, &ctx, &cfg)))
+    });
+}
+
+fn bench_residues_against_schema(c: &mut Criterion) {
+    // Compilation of the whole university schema's ICs (with derivation),
+    // the amortized Step 1+compilation cost the paper says "would be
+    // amortized over a large class of queries".
+    c.bench_function("e1/compile_university_schema", |b| {
+        b.iter(|| {
+            let (mut opt, _q) = optimizer_with_n_ics(0);
+            black_box(opt.residue_count())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compile, bench_apply, bench_residues_against_schema
+);
+criterion_main!(benches);

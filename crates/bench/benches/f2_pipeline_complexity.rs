@@ -1,0 +1,111 @@
+//! F2 — Figure 2 + Section 4.1: the complexity claims of the pipeline.
+//!
+//! * Step 1 (schema translation) is linear in schema size;
+//! * Steps 2 and 4 (query translation / change mapping) are linear in
+//!   query size;
+//! * Step 3 (SQO proper) grows with the number of applicable ICs and
+//!   "will dominate the entire optimization process".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqo_bench::{optimizer_with_n_ics, synthetic_schema};
+use sqo_core::SemanticOptimizer;
+use sqo_translate::translate_schema;
+use std::hint::black_box;
+
+fn bench_step1_linear_in_classes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2/step1_schema_translation");
+    for n in [8usize, 16, 32, 64, 128] {
+        let schema = synthetic_schema(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &schema, |b, s| {
+            b.iter(|| black_box(translate_schema(s)))
+        });
+    }
+    group.finish();
+}
+
+fn query_of_hops(hops: usize) -> String {
+    // A path query of the requested length over the university schema:
+    // alternate section -> course -> section hops.
+    let mut from = String::from("x0 in Student\n x1 in x0.takes");
+    let mut i = 1;
+    while i < hops {
+        from.push_str(&format!("\n x{} in x{}.is_section_of", i + 1, i));
+        i += 1;
+        if i >= hops {
+            break;
+        }
+        from.push_str(&format!("\n x{} in x{}.has_sections", i + 1, i));
+        i += 1;
+    }
+    format!("select x0.name from {from} where x0.age > 20")
+}
+
+fn bench_step2_linear_in_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2/step2_query_translation");
+    let opt = SemanticOptimizer::university();
+    for hops in [1usize, 3, 5, 9, 13] {
+        let src = query_of_hops(hops);
+        let parsed = sqo_oql::parse_oql(&src).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &parsed, |b, q| {
+            b.iter(|| black_box(opt.translate(q).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_step3_growth_in_ics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2/step3_sqo_vs_applicable_ics");
+    group.sample_size(10);
+    for n in [0usize, 2, 4, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // Compilation happens once; the measured loop is Step 3 on a
+            // freshly cloned optimizer state per iteration batch.
+            let (mut opt, q) = optimizer_with_n_ics(n);
+            opt.residue_count(); // force compilation outside the loop
+            b.iter(|| black_box(opt.optimize(q).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_step4_linear_in_delta(c: &mut Criterion) {
+    // Step 4 maps literal deltas back to OQL; measure with growing
+    // restriction deltas.
+    let mut group = c.benchmark_group("f2/step4_change_mapping");
+    for n in [1usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let opt = SemanticOptimizer::university();
+            let q = sqo_oql::parse_oql("select x.name from x in Faculty").unwrap();
+            let t = opt.translate(&q).unwrap();
+            let delta = sqo_core::Delta {
+                added: (0..n)
+                    .map(|i| {
+                        sqo_datalog::Literal::cmp(
+                            sqo_datalog::Term::var("Name"),
+                            sqo_datalog::CmpOp::Ne,
+                            sqo_datalog::Term::str(format!("x{i}")),
+                        )
+                    })
+                    .collect(),
+                removed: vec![],
+            };
+            b.iter(|| {
+                black_box(
+                    sqo_translate::apply_delta(&t.normalized, &t.map, opt.catalog(), &delta)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_step1_linear_in_classes,
+        bench_step2_linear_in_query,
+        bench_step3_growth_in_ics,
+        bench_step4_linear_in_delta
+);
+criterion_main!(benches);

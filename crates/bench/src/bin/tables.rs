@@ -1,0 +1,171 @@
+//! The experiment-table harness: regenerates every table of
+//! EXPERIMENTS.md (one section per paper artifact — Figure 2's
+//! complexity claims and Applications 1–4) with measured numbers.
+//!
+//! ```text
+//! cargo run --release -p sqo-bench --bin tables [--quick]
+//! ```
+
+use sqo_bench::{
+    asr_q1_scenario, asr_scenario, contradiction_scenario, key_join_scenario, optimizer_with_n_ics,
+    scope_reduction_scenario, synthetic_schema,
+};
+use sqo_core::SemanticOptimizer;
+use sqo_objdb::execute;
+use sqo_translate::translate_schema;
+use std::time::Instant;
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let k = if quick { 1 } else { 2 };
+
+    println!("# Experiment tables (measured on this machine)\n");
+
+    // ---------------- F2: pipeline complexity ----------------
+    println!("## F2.1 — Step 1 (schema translation) vs schema size");
+    println!("{:>10} {:>14} {:>16}", "classes", "relations", "time (ms)");
+    for n in [8, 16, 32, 64, 128] {
+        let schema = synthetic_schema(n);
+        let (cat, ms) = time_ms(|| translate_schema(&schema));
+        println!("{:>10} {:>14} {:>16.3}", n, cat.relations.len(), ms);
+    }
+
+    println!("\n## F2.2 — Step 3 (SQO) vs number of applicable ICs");
+    println!(
+        "{:>6} {:>10} {:>14} {:>16}",
+        "ICs", "residues", "equivalents", "time (ms)"
+    );
+    for n in [0usize, 2, 4, 8, 12] {
+        let (mut opt, q) = optimizer_with_n_ics(n);
+        let residues = opt.residue_count();
+        let (report, ms) = time_ms(|| opt.optimize(q).unwrap());
+        println!(
+            "{:>6} {:>10} {:>14} {:>16.2}",
+            n,
+            residues,
+            report.equivalents().len(),
+            ms
+        );
+    }
+
+    // ---------------- A1: contradiction detection ----------------
+    println!("\n## A1 — Contradiction detection (Application 1)");
+    println!(
+        "{:>10} {:>18} {:>20} {:>14}",
+        "students", "SQO detect (ms)", "evaluate-anyway (ms)", "tuples scanned"
+    );
+    for students in [100, 400, 1600 * k] {
+        let (mut opt, oql, db) = contradiction_scenario(students);
+        let (report, detect_ms) = time_ms(|| opt.optimize(oql).unwrap());
+        assert!(report.is_contradiction());
+        let plain = SemanticOptimizer::university();
+        let t = plain.translate(&sqo_oql::parse_oql(oql).unwrap()).unwrap();
+        let _ = execute(&db, &t.query).unwrap(); // warm cache
+        let ((rows, cost), eval_ms) = time_ms(|| execute(&db, &t.query).unwrap());
+        assert!(rows.is_empty());
+        println!(
+            "{:>10} {:>18.2} {:>20.2} {:>14}",
+            students, detect_ms, eval_ms, cost.tuples_examined
+        );
+    }
+
+    // ---------------- A2: scope reduction ----------------
+    println!("\n## A2 — Access scope reduction (Application 2)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14} {:>10}",
+        "f", "orig fetch", "opt fetch", "orig ms", "opt ms", "answers"
+    );
+    for frac in [0.1, 0.3, 0.6, 0.9] {
+        let s = scope_reduction_scenario(2000 * k, frac);
+        let _ = execute(&s.db, &s.original).unwrap();
+        let ((r1, c1), ms1) = time_ms(|| execute(&s.db, &s.original).unwrap());
+        let ((r2, c2), ms2) = time_ms(|| execute(&s.db, &s.optimized).unwrap());
+        assert_eq!(r1.len(), r2.len());
+        println!(
+            "{:>8} {:>14} {:>14} {:>14.2} {:>14.2} {:>10}",
+            frac,
+            c1.object_fetches,
+            c2.object_fetches,
+            ms1,
+            ms2,
+            r1.len()
+        );
+    }
+
+    // ---------------- A3: key join reduction ----------------
+    println!("\n## A3 — Key-based join reduction (Application 3)");
+    println!(
+        "{:>10} {:>14} {:>14} {:>12} {:>12} {:>10}",
+        "students", "orig fetch", "opt fetch", "orig ms", "opt ms", "answers"
+    );
+    for students in [40, 80, 160 * k] {
+        let s = key_join_scenario(students);
+        let _ = execute(&s.db, &s.original).unwrap();
+        let ((r1, c1), ms1) = time_ms(|| execute(&s.db, &s.original).unwrap());
+        let ((r2, c2), ms2) = time_ms(|| execute(&s.db, &s.optimized).unwrap());
+        assert_eq!(r1.len(), r2.len());
+        println!(
+            "{:>10} {:>14} {:>14} {:>12.2} {:>12.2} {:>10}",
+            students,
+            c1.object_fetches,
+            c2.object_fetches,
+            ms1,
+            ms2,
+            r1.len()
+        );
+    }
+
+    // ---------------- A4: access support relations ----------------
+    println!("\n## A4 — ASR join elimination (Application 4, query Q)");
+    println!(
+        "{:>16} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "scale", "chain rel", "asr probes", "orig ms", "opt ms", "answers"
+    );
+    for (students, courses) in [(200, 20), (800, 60), (3200 * k, 200 * k)] {
+        let s = asr_scenario(students, courses);
+        let _ = execute(&s.db, &s.original).unwrap();
+        let ((r1, c1), ms1) = time_ms(|| execute(&s.db, &s.original).unwrap());
+        let ((r2, c2), ms2) = time_ms(|| execute(&s.db, &s.optimized).unwrap());
+        assert_eq!(r1.len(), r2.len());
+        println!(
+            "{:>16} {:>12} {:>12} {:>12.2} {:>12.2} {:>10}",
+            format!("s={students},c={courses}"),
+            c1.rel_traversals,
+            c2.view_probes,
+            ms1,
+            ms2,
+            r1.len()
+        );
+    }
+
+    // ---------------- A4-Q1: join introduction ----------------
+    println!("\n## A4-Q1 — ASR via join introduction (Application 4, query Q1)");
+    println!(
+        "{:>16} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "scale", "chain rel", "asr+ta", "orig ms", "opt ms", "answers"
+    );
+    for (students, courses) in [(200, 20), (800, 60)] {
+        let s = asr_q1_scenario(students, courses);
+        let _ = execute(&s.db, &s.original).unwrap();
+        let ((r1, c1), ms1) = time_ms(|| execute(&s.db, &s.original).unwrap());
+        let ((r2, c2), ms2) = time_ms(|| execute(&s.db, &s.optimized).unwrap());
+        assert_eq!(r1.len(), r2.len());
+        println!(
+            "{:>16} {:>12} {:>12} {:>12.2} {:>12.2} {:>10}",
+            format!("s={students},c={courses}"),
+            c1.rel_traversals,
+            c2.view_probes + c2.rel_traversals,
+            ms1,
+            ms2,
+            r1.len()
+        );
+    }
+
+    println!("\n(done — see EXPERIMENTS.md for the expectations each table is checked against)");
+}

@@ -1,0 +1,61 @@
+//! Unified error type for the optimizer facade.
+
+use std::fmt;
+
+/// Any error from the pipeline's steps.
+#[derive(Debug)]
+pub enum SqoError {
+    /// ODL parsing / schema validation.
+    Odl(sqo_odl::OdlError),
+    /// OQL parsing.
+    Oql(sqo_oql::OqlError),
+    /// Datalog parsing or evaluation.
+    Datalog(sqo_datalog::DatalogError),
+    /// Schema/query translation.
+    Translate(sqo_translate::TranslateError),
+    /// Object database.
+    ObjDb(sqo_objdb::ObjDbError),
+}
+
+impl fmt::Display for SqoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqoError::Odl(e) => e.fmt(f),
+            SqoError::Oql(e) => e.fmt(f),
+            SqoError::Datalog(e) => e.fmt(f),
+            SqoError::Translate(e) => e.fmt(f),
+            SqoError::ObjDb(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for SqoError {}
+
+impl From<sqo_odl::OdlError> for SqoError {
+    fn from(e: sqo_odl::OdlError) -> Self {
+        SqoError::Odl(e)
+    }
+}
+impl From<sqo_oql::OqlError> for SqoError {
+    fn from(e: sqo_oql::OqlError) -> Self {
+        SqoError::Oql(e)
+    }
+}
+impl From<sqo_datalog::DatalogError> for SqoError {
+    fn from(e: sqo_datalog::DatalogError) -> Self {
+        SqoError::Datalog(e)
+    }
+}
+impl From<sqo_translate::TranslateError> for SqoError {
+    fn from(e: sqo_translate::TranslateError) -> Self {
+        SqoError::Translate(e)
+    }
+}
+impl From<sqo_objdb::ObjDbError> for SqoError {
+    fn from(e: sqo_objdb::ObjDbError) -> Self {
+        SqoError::ObjDb(e)
+    }
+}
+
+/// Result alias for the facade.
+pub type Result<T> = std::result::Result<T, SqoError>;

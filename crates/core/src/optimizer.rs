@@ -1,0 +1,545 @@
+//! The semantic optimizer facade: the full pipeline of Figure 2.
+//!
+//! ```text
+//!  ODL schema ──(Step 1)──► Datalog relations + ICs ─┐
+//!                                                    ▼ (semantic
+//!  application ICs ────────────────────────────► residues  compilation)
+//!                                                    │
+//!  OQL query ──(Step 2)──► Datalog query ──(Step 3)──┤ SQO: equivalent
+//!                                                    ▼ queries/contradiction
+//!  optimized OQL ◄──(Step 4: DATALOG_to_OQL)── literal deltas
+//! ```
+//!
+//! Steps 1–2 and 4 are linear; Step 3 is the exponential search, bounded
+//! by [`SearchConfig`] heuristics (Section 4.1).
+
+use crate::error::Result;
+use sqo_datalog::residue::{CompileOptions, ResidueSet};
+use sqo_datalog::search::{self, Delta, Outcome, SearchConfig, Step};
+use sqo_datalog::transform::TransformContext;
+use sqo_datalog::{parser as dl_parser, Constraint, Query, Rule};
+use sqo_odl::Schema;
+use sqo_oql::SelectQuery;
+use sqo_translate::{apply_delta, translate_query, translate_schema, Catalog, QueryTranslation};
+
+/// One semantically equivalent query, in both representations.
+#[derive(Debug, Clone)]
+pub struct EquivalentQuery {
+    /// The Datalog form.
+    pub datalog: Query,
+    /// The literal-level difference from the original Datalog query.
+    pub delta: Delta,
+    /// The transformation steps that produced it.
+    pub steps: Vec<Step>,
+    /// The OQL form (Step 4 output).
+    pub oql: SelectQuery,
+    /// Edits that could not be applied at the OQL level.
+    pub oql_warnings: Vec<String>,
+}
+
+/// The outcome of optimizing one OQL query.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// The query can never return answers; skip evaluation entirely.
+    Contradiction {
+        /// The justifying constraint, if known.
+        ic_name: Option<String>,
+        /// Human-readable explanation.
+        note: String,
+    },
+    /// The semantically equivalent queries (original first).
+    Equivalents(Vec<EquivalentQuery>),
+}
+
+/// The full report of one optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizationReport {
+    /// The query as parsed.
+    pub original: SelectQuery,
+    /// The normalized (one-dot) form actually translated.
+    pub normalized: SelectQuery,
+    /// The Step 2 Datalog translation.
+    pub datalog: Query,
+    /// The Step 3/4 outcome.
+    pub verdict: Verdict,
+}
+
+impl OptimizationReport {
+    /// Whether SQO proved the query unsatisfiable.
+    pub fn is_contradiction(&self) -> bool {
+        matches!(self.verdict, Verdict::Contradiction { .. })
+    }
+
+    /// The equivalent queries (empty on contradiction).
+    pub fn equivalents(&self) -> &[EquivalentQuery] {
+        match &self.verdict {
+            Verdict::Contradiction { .. } => &[],
+            Verdict::Equivalents(v) => v,
+        }
+    }
+
+    /// Equivalents other than the unchanged original.
+    pub fn proper_rewrites(&self) -> impl Iterator<Item = &EquivalentQuery> {
+        self.equivalents().iter().filter(|e| !e.delta.is_empty())
+    }
+}
+
+/// The result of optimizing a `union` query: one report per branch.
+#[derive(Debug, Clone)]
+pub struct UnionReport {
+    /// Per-branch optimization reports, in source order.
+    pub branches: Vec<OptimizationReport>,
+}
+
+impl UnionReport {
+    /// Branches SQO proved empty (they can be dropped from evaluation).
+    pub fn pruned(&self) -> impl Iterator<Item = &OptimizationReport> {
+        self.branches.iter().filter(|b| b.is_contradiction())
+    }
+
+    /// The surviving branches.
+    pub fn surviving(&self) -> impl Iterator<Item = &OptimizationReport> {
+        self.branches.iter().filter(|b| !b.is_contradiction())
+    }
+
+    /// Whether the whole union is provably empty.
+    pub fn is_empty_union(&self) -> bool {
+        self.branches.iter().all(|b| b.is_contradiction())
+    }
+}
+
+/// The semantic query optimizer: owns the schema, its Step 1 translation,
+/// application-specific constraints, views, and the compiled residues.
+pub struct SemanticOptimizer {
+    schema: Schema,
+    catalog: Catalog,
+    user_constraints: Vec<Constraint>,
+    views: Vec<Rule>,
+    search: SearchConfig,
+    compile_options: CompileOptions,
+    /// Compiled transform context (rebuilt lazily after changes).
+    ctx: Option<TransformContext>,
+}
+
+impl SemanticOptimizer {
+    /// Create an optimizer for a schema (runs Step 1).
+    pub fn new(schema: Schema) -> Self {
+        let catalog = translate_schema(&schema);
+        SemanticOptimizer {
+            schema,
+            catalog,
+            user_constraints: Vec::new(),
+            views: Vec::new(),
+            search: SearchConfig::default(),
+            compile_options: CompileOptions::default(),
+            ctx: None,
+        }
+    }
+
+    /// Create an optimizer from ODL source text.
+    pub fn from_odl(src: &str) -> Result<Self> {
+        Ok(SemanticOptimizer::new(Schema::parse(src)?))
+    }
+
+    /// An optimizer over the paper's Figure 1 university schema.
+    pub fn university() -> Self {
+        SemanticOptimizer::new(sqo_odl::fixtures::university_schema())
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The Step 1 catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// All integrity constraints: schema-derived plus user-supplied.
+    pub fn constraints(&self) -> Vec<Constraint> {
+        let mut out = self.catalog.constraints.clone();
+        out.extend(self.user_constraints.iter().cloned());
+        out
+    }
+
+    /// Add an application-specific integrity constraint (the ODMG-93
+    /// extension the paper argues for).
+    pub fn add_constraint(&mut self, ic: Constraint) {
+        self.user_constraints.push(ic);
+        self.ctx = None;
+    }
+
+    /// Parse and add a constraint, e.g.
+    /// `"ic IC1: Salary > 40000 <- faculty(OID, Salary)"`. Attribute
+    /// positions refer to the Step 1 relations (full arity) — use
+    /// [`Self::catalog`] to inspect them.
+    pub fn add_constraint_text(&mut self, src: &str) -> Result<()> {
+        let ic = dl_parser::parse_constraint(src)?;
+        self.add_constraint(ic);
+        Ok(())
+    }
+
+    /// Register an access-support-relation view definition; its head
+    /// predicate becomes available for folding and for Step 4 output.
+    /// If the head name collides with an existing class/relationship
+    /// relation, the view is registered under a qualified name and the
+    /// rule's head is renamed accordingly.
+    pub fn add_view(&mut self, mut rule: Rule) {
+        let pred = self
+            .catalog
+            .register_view(rule.head.pred.name(), rule.head.arity());
+        rule.head.pred = pred;
+        self.views.push(rule);
+        self.ctx = None;
+    }
+
+    /// Parse and register a view, e.g.
+    /// `"asr(X, W) <- takes(X, Y), has_ta(Y, W)"`.
+    pub fn add_view_text(&mut self, src: &str) -> Result<()> {
+        let rule = dl_parser::parse_rule(src)?;
+        self.add_view(rule);
+        Ok(())
+    }
+
+    /// Tune the Step 3 search heuristics.
+    pub fn set_search_config(&mut self, cfg: SearchConfig) {
+        self.search = cfg;
+    }
+
+    /// Tune semantic compilation (IC derivation).
+    pub fn set_compile_options(&mut self, opts: CompileOptions) {
+        self.compile_options = opts;
+        self.ctx = None;
+    }
+
+    /// Run (or reuse) semantic compilation: residues attached to
+    /// relations, chase context assembled.
+    pub fn compile(&mut self) -> &TransformContext {
+        if self.ctx.is_none() {
+            let residues = ResidueSet::compile_with(self.constraints(), &self.compile_options);
+            self.ctx = Some(TransformContext::new(
+                residues,
+                self.views.clone(),
+                self.catalog.functional.clone(),
+            ));
+        }
+        self.ctx.as_ref().expect("just compiled")
+    }
+
+    /// Number of compiled residues (after derivation).
+    pub fn residue_count(&mut self) -> usize {
+        self.compile().residues.len()
+    }
+
+    /// Translate an OQL query (Step 2) without optimizing.
+    pub fn translate(&self, oql: &SelectQuery) -> Result<QueryTranslation> {
+        Ok(translate_query(oql, &self.schema, &self.catalog)?)
+    }
+
+    /// Optimize an OQL query through the full pipeline.
+    pub fn optimize(&mut self, oql_src: &str) -> Result<OptimizationReport> {
+        let original = sqo_oql::parse_oql(oql_src)?;
+        self.optimize_query(&original)
+    }
+
+    /// Optimize a parsed OQL query through the full pipeline.
+    pub fn optimize_query(&mut self, original: &SelectQuery) -> Result<OptimizationReport> {
+        let translation = self.translate(original)?;
+        let datalog = translation.query.clone();
+        let search_cfg = self.search.clone();
+        let ctx = self.compile();
+        let outcome = search::optimize(&datalog, ctx, &search_cfg);
+        let verdict = match outcome {
+            Outcome::Contradiction { ic_name, note, .. } => {
+                Verdict::Contradiction { ic_name, note }
+            }
+            Outcome::Equivalents(variants) => {
+                let mut out = Vec::with_capacity(variants.len());
+                for v in variants {
+                    let delta = search::delta(&datalog, &v.query);
+                    let edit = apply_delta(
+                        &translation.normalized,
+                        &translation.map,
+                        &self.catalog,
+                        &delta,
+                    )?;
+                    out.push(EquivalentQuery {
+                        datalog: v.query,
+                        delta,
+                        steps: v.steps,
+                        oql: edit.query,
+                        oql_warnings: edit.warnings,
+                    });
+                }
+                Verdict::Equivalents(out)
+            }
+        };
+        Ok(OptimizationReport {
+            original: original.clone(),
+            normalized: translation.normalized,
+            datalog,
+            verdict,
+        })
+    }
+
+    /// Optimize a top-level `union` of select-from-where queries.
+    /// Each branch is optimized independently; branches proved
+    /// contradictory are *pruned* (they contribute no answers), which is
+    /// the set-expression payoff Section 4.3 alludes to.
+    pub fn optimize_union(&mut self, src: &str) -> Result<UnionReport> {
+        let branches = sqo_oql::parse_oql_union(src)?;
+        let mut reports = Vec::with_capacity(branches.len());
+        for b in &branches {
+            reports.push(self.optimize_query(b)?);
+        }
+        Ok(UnionReport { branches: reports })
+    }
+
+    /// Optimize a raw Datalog query (skipping Steps 2/4) — useful for
+    /// experiments phrased directly in the Datalog representation, like
+    /// the paper's Example 1.
+    pub fn optimize_datalog(&mut self, q: &Query) -> Outcome {
+        let cfg = self.search.clone();
+        let ctx = self.compile();
+        search::optimize(q, ctx, &cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_datalog::Literal;
+
+    /// Example 1 of the paper, end to end at the Datalog level.
+    #[test]
+    fn example1_relational_contradiction() {
+        let mut opt =
+            SemanticOptimizer::from_odl("interface StudentR { attribute string name; };").unwrap();
+        // Stand-alone relational setting: declare the IC directly.
+        opt.add_constraint_text("ic: Age > 30 <- faculty(Sec, Fac, Age).")
+            .unwrap();
+        let q = dl_parser::parse_query(
+            "Q(Name) <- student(St, Name), takes_section(St, Sec), \
+             faculty(Sec, Fac, Age), Age < 18",
+        )
+        .unwrap();
+        assert!(opt.optimize_datalog(&q).is_contradiction());
+    }
+
+    /// Application 1: the method-monotonicity consequence IC3 makes the
+    /// Example 2 query contradictory.
+    #[test]
+    fn application1_contradiction_via_method_ic() {
+        let mut opt = SemanticOptimizer::university();
+        // IC3: Value > 3000 <- taxes_withheld(OID, 10%, Value), faculty(OID, ...).
+        opt.add_constraint_text(
+            "ic IC3: Value > 3000 <- taxes_withheld(OID, 0.1, Value), \
+             faculty(OID, N, A, S, R, Ad).",
+        )
+        .unwrap();
+        let report = opt
+            .optimize(
+                r#"select z.name, w.city
+                   from x in Student
+                        y in x.takes
+                        z in y.is_taught_by
+                        w in z.address
+                   where x.name = "john" and z.taxes_withheld(10%) < 1000"#,
+            )
+            .unwrap();
+        assert!(report.is_contradiction(), "verdict: {:?}", report.verdict);
+        if let Verdict::Contradiction { ic_name, .. } = &report.verdict {
+            assert_eq!(ic_name.as_deref(), Some("IC3"));
+        }
+    }
+
+    /// Application 2 end to end: OQL in, scope-reduced OQL out.
+    #[test]
+    fn application2_end_to_end() {
+        let mut opt = SemanticOptimizer::university();
+        // IC4: faculty members are 30 or older (ages sit at position 2).
+        opt.add_constraint_text("ic IC4: Age >= 30 <- faculty(X, Name, Age, S, R, Ad).")
+            .unwrap();
+        let report = opt
+            .optimize("select x.name from x in Person where x.age < 30")
+            .unwrap();
+        assert!(!report.is_contradiction());
+        let reduced = report
+            .proper_rewrites()
+            .find(|e| {
+                e.datalog
+                    .body
+                    .iter()
+                    .any(|l| matches!(l, Literal::Neg(a) if a.pred.name() == "faculty"))
+            })
+            .expect("scope-reduced variant");
+        assert_eq!(
+            reduced.oql.to_string(),
+            "select x.name\nfrom x in Person,\n     x not in Faculty\nwhere x.age < 30"
+        );
+        assert!(
+            reduced.oql_warnings.is_empty(),
+            "{:?}",
+            reduced.oql_warnings
+        );
+    }
+
+    /// Application 3 end to end: the key constraint is generated by
+    /// Step 1 (Person.name is a key), so no user IC is needed.
+    #[test]
+    fn application3_end_to_end() {
+        let mut opt = SemanticOptimizer::university();
+        let report = opt
+            .optimize(
+                r#"select list(x.student_id, t.employee_id)
+                   from x in Student
+                        y in x.takes
+                        z in y.is_taught_by
+                        t in TA
+                        v in t.takes
+                        w in v.is_taught_by
+                   where z.name = w.name"#,
+            )
+            .unwrap();
+        assert!(!report.is_contradiction());
+        // A variant replaces the name join with an OID comparison.
+        let rewritten = report
+            .proper_rewrites()
+            .find(|e| {
+                let s = e.oql.to_string();
+                s.contains("z = w") && !s.contains("z.name = w.name")
+            })
+            .unwrap_or_else(|| {
+                panic!(
+                    "no key-join rewrite among {} variants: {:#?}",
+                    report.equivalents().len(),
+                    report
+                        .equivalents()
+                        .iter()
+                        .map(|e| e.oql.to_string())
+                        .collect::<Vec<_>>()
+                )
+            });
+        // Constructor retained.
+        assert!(rewritten
+            .oql
+            .to_string()
+            .contains("list(x.student_id, t.employee_id)"));
+    }
+
+    /// Application 4 end to end (the Q case): the ASR fold.
+    #[test]
+    fn application4_end_to_end() {
+        let mut opt = SemanticOptimizer::university();
+        opt.add_view_text(
+            "asr(X, W) <- takes(X, Y), is_section_of(Y, Z), has_sections(Z, V), has_ta(V, W)",
+        )
+        .unwrap();
+        let report = opt
+            .optimize(
+                r#"select w
+                   from x in Student
+                        y in x.takes
+                        z in y.is_section_of
+                        v in z.has_sections
+                        w in v.has_ta
+                   where x.name = "james""#,
+            )
+            .unwrap();
+        let folded = report
+            .proper_rewrites()
+            .find(|e| {
+                e.datalog.positive_atoms().any(|a| a.pred.name() == "asr")
+                    && e.datalog.body.len() <= 3
+            })
+            .expect("folded variant");
+        let text = folded.oql.to_string();
+        assert!(text.contains("w in x.asr"), "{text}");
+        assert!(!text.contains("takes"), "{text}");
+    }
+
+    #[test]
+    fn no_knowledge_returns_only_original() {
+        let mut opt = SemanticOptimizer::university();
+        let report = opt.optimize("select x.name from x in Course").unwrap_err();
+        // Course has no extent member named name? It has `title`/`number`…
+        let _ = report; // UnknownMember
+        let mut opt = SemanticOptimizer::university();
+        let report = opt.optimize("select x.title from x in Course").unwrap();
+        // Key(Course.number) exists but isn't applicable; subclass ICs
+        // aren't applicable. Only the original should remain, modulo
+        // harmless variants.
+        assert!(!report.equivalents().is_empty());
+        assert!(report.equivalents()[0].delta.is_empty());
+    }
+
+    #[test]
+    fn view_name_collision_is_qualified_not_aliased() {
+        let mut opt = SemanticOptimizer::university();
+        // A view named like the Student class must not alias the class
+        // relation.
+        opt.add_view_text("student(X, W) <- takes(X, Y), has_ta(Y, W)")
+            .unwrap();
+        let view_kind = opt
+            .catalog()
+            .relation_by_pred(&"view_student".into())
+            .map(|d| d.kind.clone());
+        assert!(
+            matches!(view_kind, Some(sqo_translate::RelKind::View { .. })),
+            "view registered under a qualified name"
+        );
+        // The class relation is untouched.
+        assert!(matches!(
+            opt.catalog()
+                .relation_by_pred(&"student".into())
+                .map(|d| d.kind.clone()),
+            Some(sqo_translate::RelKind::Class { .. })
+        ));
+        // And the fold machinery uses the qualified predicate.
+        let report = opt
+            .optimize(
+                "select w from x in Student, y in x.takes, w in y.has_ta",
+            )
+            .unwrap();
+        assert!(report.proper_rewrites().any(|e| e
+            .datalog
+            .positive_atoms()
+            .any(|a| a.pred.name() == "view_student")));
+    }
+
+    #[test]
+    fn union_branch_pruning() {
+        let mut opt = SemanticOptimizer::university();
+        opt.add_constraint_text("ic IC4: Age >= 30 <- faculty(X, N, Age, S, R, Ad).")
+            .unwrap();
+        let report = opt
+            .optimize_union(
+                "select x.name from x in Faculty where x.age < 20 \
+                 union select x.name from x in Student where x.age < 20",
+            )
+            .unwrap();
+        assert_eq!(report.branches.len(), 2);
+        assert_eq!(report.pruned().count(), 1, "faculty branch refuted by IC4");
+        assert_eq!(report.surviving().count(), 1);
+        assert!(!report.is_empty_union());
+        // Both branches contradictory ⇒ the whole union is empty.
+        let empty = opt
+            .optimize_union(
+                "select x.name from x in Faculty where x.age < 20 \
+                 union select x.name from x in Faculty where x.age < 10",
+            )
+            .unwrap();
+        assert!(empty.is_empty_union());
+    }
+
+    #[test]
+    fn residue_count_reflects_compilation() {
+        let mut opt = SemanticOptimizer::university();
+        let base = opt.residue_count();
+        assert!(base > 0, "schema ICs compile to residues");
+        opt.add_constraint_text("ic: Salary > 40000 <- faculty(X, N, A, Salary, R, Ad).")
+            .unwrap();
+        assert!(opt.residue_count() > base);
+    }
+}

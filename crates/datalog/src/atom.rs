@@ -1,0 +1,346 @@
+//! Atoms, comparisons and literals.
+
+use crate::term::{Term, Var};
+use std::fmt;
+
+/// A predicate symbol. By convention predicate symbols start with a
+/// lower-case letter (`faculty`, `takes_section`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredSym(pub String);
+
+impl PredSym {
+    /// Create a predicate symbol.
+    pub fn new(name: impl Into<String>) -> Self {
+        PredSym(name.into())
+    }
+
+    /// The symbol's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for PredSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for PredSym {
+    fn from(s: &str) -> Self {
+        PredSym(s.to_string())
+    }
+}
+
+impl From<String> for PredSym {
+    fn from(s: String) -> Self {
+        PredSym(s)
+    }
+}
+
+/// An atom `p(t1, ..., tn)` over a database (or view) predicate.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    /// The predicate symbol.
+    pub pred: PredSym,
+    /// The argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Create an atom.
+    pub fn new(pred: impl Into<PredSym>, args: Vec<Term>) -> Self {
+        Atom {
+            pred: pred.into(),
+            args,
+        }
+    }
+
+    /// The atom's arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Iterate over the variables occurring in the atom (with duplicates).
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        self.args.iter().filter_map(Term::as_var)
+    }
+
+    /// Whether the atom contains no variables.
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(Term::is_ground)
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            t.fmt(f)?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Comparison operators for evaluable (built-in) atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// The operator's logical negation (`<` ↦ `>=`, `=` ↦ `!=`, …).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// The operator with its operands swapped (`<` ↦ `>`, `=` ↦ `=`, …).
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Evaluate the operator on a concrete ordering result.
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// An evaluable atom `t1 θ t2`, e.g. `Age > 30`, `Name1 = Name2`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Comparison {
+    /// Left operand.
+    pub lhs: Term,
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: Term,
+}
+
+impl Comparison {
+    /// Create a comparison.
+    pub fn new(lhs: Term, op: CmpOp, rhs: Term) -> Self {
+        Comparison { lhs, op, rhs }
+    }
+
+    /// `lhs = rhs`.
+    pub fn eq(lhs: Term, rhs: Term) -> Self {
+        Comparison::new(lhs, CmpOp::Eq, rhs)
+    }
+
+    /// The logically negated comparison.
+    pub fn negate(&self) -> Comparison {
+        Comparison::new(self.lhs.clone(), self.op.negate(), self.rhs.clone())
+    }
+
+    /// The same constraint with operands swapped (`X < Y` ↦ `Y > X`).
+    pub fn flip(&self) -> Comparison {
+        Comparison::new(self.rhs.clone(), self.op.flip(), self.lhs.clone())
+    }
+
+    /// A canonical orientation: variable (or smaller term) on the left, so
+    /// that `X = Y` and `Y = X` normalize identically.
+    pub fn canonical(&self) -> Comparison {
+        let flipped = self.flip();
+        if format!("{flipped}") < format!("{self}") {
+            flipped
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Iterate over the variables in the comparison.
+    pub fn vars(&self) -> impl Iterator<Item = &Var> {
+        self.lhs.as_var().into_iter().chain(self.rhs.as_var())
+    }
+
+    /// Whether both operands are constants.
+    pub fn is_ground(&self) -> bool {
+        self.lhs.is_ground() && self.rhs.is_ground()
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.lhs, self.op, self.rhs)
+    }
+}
+
+/// A body literal: a positive atom, a negative atom, or a comparison.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Literal {
+    /// `p(...)`
+    Pos(Atom),
+    /// `not p(...)`
+    Neg(Atom),
+    /// `t1 θ t2`
+    Cmp(Comparison),
+}
+
+impl Literal {
+    /// Positive literal constructor.
+    pub fn pos(pred: impl Into<PredSym>, args: Vec<Term>) -> Self {
+        Literal::Pos(Atom::new(pred, args))
+    }
+
+    /// Negative literal constructor.
+    pub fn neg(pred: impl Into<PredSym>, args: Vec<Term>) -> Self {
+        Literal::Neg(Atom::new(pred, args))
+    }
+
+    /// Comparison literal constructor.
+    pub fn cmp(lhs: Term, op: CmpOp, rhs: Term) -> Self {
+        Literal::Cmp(Comparison::new(lhs, op, rhs))
+    }
+
+    /// The atom inside, if this is a (positive or negative) database literal.
+    pub fn atom(&self) -> Option<&Atom> {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => Some(a),
+            Literal::Cmp(_) => None,
+        }
+    }
+
+    /// The predicate symbol, if this is a database literal.
+    pub fn pred(&self) -> Option<&PredSym> {
+        self.atom().map(|a| &a.pred)
+    }
+
+    /// All variables occurring in the literal (with duplicates).
+    pub fn vars(&self) -> Vec<&Var> {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => a.vars().collect(),
+            Literal::Cmp(c) => c.vars().collect(),
+        }
+    }
+
+    /// Whether this literal is positive (a plain database atom).
+    pub fn is_positive(&self) -> bool {
+        matches!(self, Literal::Pos(_))
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Pos(a) => a.fmt(f),
+            Literal::Neg(a) => write!(f, "not {a}"),
+            Literal::Cmp(c) => c.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    #[test]
+    fn cmp_op_negate_flip_roundtrip() {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_eq!(op.negate().negate(), op);
+            assert_eq!(op.flip().flip(), op);
+        }
+    }
+
+    #[test]
+    fn cmp_op_test_semantics() {
+        assert!(CmpOp::Lt.test(Ordering::Less));
+        assert!(!CmpOp::Lt.test(Ordering::Equal));
+        assert!(CmpOp::Le.test(Ordering::Equal));
+        assert!(CmpOp::Ge.test(Ordering::Greater));
+        assert!(CmpOp::Ne.test(Ordering::Less));
+        assert!(!CmpOp::Eq.test(Ordering::Greater));
+    }
+
+    #[test]
+    fn atom_display() {
+        let a = Atom::new(
+            "faculty",
+            vec![Term::var("Sec"), Term::var("F"), Term::var("Age")],
+        );
+        assert_eq!(a.to_string(), "faculty(Sec, F, Age)");
+        assert_eq!(a.arity(), 3);
+        assert!(!a.is_ground());
+    }
+
+    #[test]
+    fn literal_display() {
+        let l = Literal::cmp(Term::var("Age"), CmpOp::Gt, Term::int(30));
+        assert_eq!(l.to_string(), "Age > 30");
+        let n = Literal::neg("faculty", vec![Term::var("X")]);
+        assert_eq!(n.to_string(), "not faculty(X)");
+    }
+
+    #[test]
+    fn comparison_canonical_orients_consistently() {
+        let c1 = Comparison::new(Term::var("X"), CmpOp::Eq, Term::var("Y"));
+        let c2 = Comparison::new(Term::var("Y"), CmpOp::Eq, Term::var("X"));
+        assert_eq!(c1.canonical(), c2.canonical());
+        let c3 = Comparison::new(Term::var("X"), CmpOp::Lt, Term::var("Y"));
+        let c4 = Comparison::new(Term::var("Y"), CmpOp::Gt, Term::var("X"));
+        assert_eq!(c3.canonical(), c4.canonical());
+    }
+
+    #[test]
+    fn literal_vars() {
+        let l = Literal::pos("takes", vec![Term::var("X"), Term::var("Y")]);
+        let vs: Vec<_> = l.vars().into_iter().map(|v| v.name().to_string()).collect();
+        assert_eq!(vs, vec!["X", "Y"]);
+    }
+}

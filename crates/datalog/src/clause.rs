@@ -1,0 +1,570 @@
+//! Clauses: rules, integrity constraints and queries.
+
+use crate::atom::{Atom, Comparison, Literal, PredSym};
+use crate::term::{Term, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A Datalog rule (or view definition) `head :- body`.
+///
+/// Access support relations (Section 5, Application 4) are represented as
+/// rules defining a view predicate over a path of relationship predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The body literals (conjunction).
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Create a rule.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Self {
+        Rule { head, body }
+    }
+
+    /// All variables of the rule (head and body), deduplicated and ordered.
+    pub fn vars(&self) -> BTreeSet<&Var> {
+        let mut out: BTreeSet<&Var> = self.head.vars().collect();
+        for l in &self.body {
+            out.extend(l.vars());
+        }
+        out
+    }
+
+    /// Check range-restriction safety: every head variable and every
+    /// comparison variable must occur in some positive body literal; a
+    /// variable of a negative literal must be bound too, unless it occurs
+    /// *only* inside that one literal (it is then existential under the
+    /// negation and evaluated as a partially-bound anti-join).
+    pub fn is_safe(&self) -> bool {
+        let positive: BTreeSet<&Var> = self
+            .body
+            .iter()
+            .filter(|l| l.is_positive())
+            .flat_map(|l| l.vars())
+            .collect();
+        // Occurrence counts across the whole clause, to recognize
+        // negation-local existential variables.
+        let mut occurrences: std::collections::HashMap<&Var, usize> =
+            std::collections::HashMap::new();
+        for v in self.head.vars() {
+            *occurrences.entry(v).or_insert(0) += 1;
+        }
+        for l in &self.body {
+            let mut per_lit: BTreeSet<&Var> = BTreeSet::new();
+            per_lit.extend(l.vars());
+            for v in per_lit {
+                *occurrences.entry(v).or_insert(0) += 1;
+            }
+        }
+        let needs: Vec<&Var> = self
+            .head
+            .vars()
+            .chain(self.body.iter().flat_map(|l| {
+                match l {
+                    Literal::Neg(_) => l
+                        .vars()
+                        .into_iter()
+                        .filter(|v| occurrences.get(v).copied().unwrap_or(0) > 1)
+                        .collect::<Vec<_>>(),
+                    Literal::Cmp(_) => l.vars(),
+                    Literal::Pos(_) => Vec::new(),
+                }
+            }))
+            .collect();
+        // A variable equated to a constant by an `=` comparison counts as
+        // bound.
+        let mut bound = positive.clone();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for l in &self.body {
+                if let Literal::Cmp(c) = l {
+                    if c.op == crate::atom::CmpOp::Eq {
+                        match (&c.lhs, &c.rhs) {
+                            (Term::Var(v), t) | (t, Term::Var(v)) => {
+                                let other_bound = match t {
+                                    Term::Const(_) => true,
+                                    Term::Var(w) => bound.contains(w),
+                                };
+                                if other_bound && bound.insert(v) {
+                                    changed = true;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        needs.iter().all(|v| bound.contains(*v))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <- ", self.head)?;
+        write_body(f, &self.body)
+    }
+}
+
+fn write_body(f: &mut fmt::Formatter<'_>, body: &[Literal]) -> fmt::Result {
+    for (i, l) in body.iter().enumerate() {
+        if i > 0 {
+            f.write_str(", ")?;
+        }
+        write!(f, "{l}")?;
+    }
+    Ok(())
+}
+
+/// The head of an integrity constraint.
+///
+/// The paper's constraints (Section 4.2 and Section 5) take four shapes:
+/// a denial (empty head), a positive database atom (subclass hierarchy,
+/// inverse relationships, OID identification), a negative atom (derived
+/// scope-reduction constraints such as IC6'), or an evaluable comparison
+/// (range constraints like IC1, key/one-to-one equality constraints like
+/// IC7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintHead {
+    /// Empty head: the body is inconsistent (a denial).
+    None,
+    /// A positive database atom implied by the body.
+    Atom(Atom),
+    /// A negated database atom implied by the body.
+    NegAtom(Atom),
+    /// An evaluable comparison implied by the body.
+    Cmp(Comparison),
+}
+
+impl ConstraintHead {
+    /// Variables occurring in the head.
+    pub fn vars(&self) -> Vec<&Var> {
+        match self {
+            ConstraintHead::None => Vec::new(),
+            ConstraintHead::Atom(a) | ConstraintHead::NegAtom(a) => a.vars().collect(),
+            ConstraintHead::Cmp(c) => c.vars().collect(),
+        }
+    }
+}
+
+impl fmt::Display for ConstraintHead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintHead::None => Ok(()),
+            ConstraintHead::Atom(a) => a.fmt(f),
+            ConstraintHead::NegAtom(a) => write!(f, "not {a}"),
+            ConstraintHead::Cmp(c) => c.fmt(f),
+        }
+    }
+}
+
+/// An integrity constraint `Head <- Body`.
+///
+/// Variables appearing only in the head are existentially quantified
+/// (footnote 1 of the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    /// Optional name (e.g. `IC7`), used in provenance reporting.
+    pub name: Option<String>,
+    /// The constraint head.
+    pub head: ConstraintHead,
+    /// The body literals.
+    pub body: Vec<Literal>,
+}
+
+impl Constraint {
+    /// Create an unnamed constraint.
+    pub fn new(head: ConstraintHead, body: Vec<Literal>) -> Self {
+        Constraint {
+            name: None,
+            head,
+            body,
+        }
+    }
+
+    /// Create a named constraint.
+    pub fn named(name: impl Into<String>, head: ConstraintHead, body: Vec<Literal>) -> Self {
+        Constraint {
+            name: Some(name.into()),
+            head,
+            body,
+        }
+    }
+
+    /// All variables of the constraint, deduplicated and ordered.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out: BTreeSet<Var> = self.head.vars().into_iter().cloned().collect();
+        for l in &self.body {
+            out.extend(l.vars().into_iter().cloned());
+        }
+        out
+    }
+
+    /// Database predicates mentioned positively in the body.
+    pub fn body_preds(&self) -> Vec<&PredSym> {
+        self.body.iter().filter_map(Literal::pred).collect()
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(n) = &self.name {
+            write!(f, "{n}: ")?;
+        }
+        match &self.head {
+            ConstraintHead::None => f.write_str("<- ")?,
+            h => write!(f, "{h} <- ")?,
+        }
+        write_body(f, &self.body)
+    }
+}
+
+/// A conjunctive query `q(Projection) <- Body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The name of the query predicate (`Q` in the paper; stored
+    /// lower-cased by the parser).
+    pub name: String,
+    /// The projected terms.
+    pub projection: Vec<Term>,
+    /// The body literals.
+    pub body: Vec<Literal>,
+}
+
+impl Query {
+    /// Create a query.
+    pub fn new(name: impl Into<String>, projection: Vec<Term>, body: Vec<Literal>) -> Self {
+        Query {
+            name: name.into(),
+            projection,
+            body,
+        }
+    }
+
+    /// All variables of the query, deduplicated and ordered.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out: BTreeSet<Var> = self
+            .projection
+            .iter()
+            .filter_map(Term::as_var)
+            .cloned()
+            .collect();
+        for l in &self.body {
+            out.extend(l.vars().into_iter().cloned());
+        }
+        out
+    }
+
+    /// The positive database atoms of the body, in order.
+    pub fn positive_atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Pos(a) => Some(a),
+            _ => None,
+        })
+    }
+
+    /// Whether the query body contains the given literal.
+    pub fn contains(&self, lit: &Literal) -> bool {
+        self.body.iter().any(|l| match (l, lit) {
+            (Literal::Cmp(a), Literal::Cmp(b)) => a.canonical() == b.canonical(),
+            _ => l == lit,
+        })
+    }
+
+    /// Safety check, mirroring [`Rule::is_safe`] with the projection as the
+    /// head.
+    pub fn is_safe(&self) -> bool {
+        let head = Atom::new(self.name.as_str(), self.projection.clone());
+        Rule::new(head, self.body.clone()).is_safe()
+    }
+
+    /// A canonical string for duplicate detection across equivalent
+    /// queries: body literals are first sorted by a rename-independent
+    /// shape, then variables are renamed by first occurrence, then the
+    /// renamed literals are sorted again. Invariant under variable
+    /// renaming and body reordering (up to duplicate shapes).
+    pub fn canonical_key(&self) -> String {
+        use std::collections::HashMap;
+        // Shape: literal text with variables blanked.
+        let shape = |l: &Literal| -> String {
+            let blank = |t: &Term| match t {
+                Term::Var(_) => "_".to_string(),
+                Term::Const(c) => c.to_string(),
+            };
+            match l {
+                Literal::Pos(a) => format!(
+                    "{}({})",
+                    a.pred,
+                    a.args.iter().map(&blank).collect::<Vec<_>>().join(",")
+                ),
+                Literal::Neg(a) => format!(
+                    "!{}({})",
+                    a.pred,
+                    a.args.iter().map(&blank).collect::<Vec<_>>().join(",")
+                ),
+                Literal::Cmp(c) => {
+                    let c = c.canonical();
+                    format!("{}{}{}", blank(&c.lhs), c.op, blank(&c.rhs))
+                }
+            }
+        };
+        let mut ordered: Vec<&Literal> = self.body.iter().collect();
+        ordered.sort_by_key(|l| shape(l));
+        let mut map: HashMap<String, String> = HashMap::new();
+        let mut next = 0usize;
+        let rename = |v: &Var, map: &mut HashMap<String, String>, next: &mut usize| {
+            map.entry(v.name().to_string())
+                .or_insert_with(|| {
+                    let s = format!("V{next}");
+                    *next += 1;
+                    s
+                })
+                .clone()
+        };
+        let rt = |t: &Term, map: &mut HashMap<String, String>, next: &mut usize| match t {
+            Term::Var(v) => rename(v, map, next),
+            Term::Const(c) => c.to_string(),
+        };
+        let mut parts: Vec<String> = Vec::new();
+        for t in &self.projection {
+            parts.push(rt(t, &mut map, &mut next));
+        }
+        let mut body: Vec<String> = Vec::new();
+        for l in ordered {
+            let s = match l {
+                Literal::Pos(a) => {
+                    let args: Vec<String> =
+                        a.args.iter().map(|t| rt(t, &mut map, &mut next)).collect();
+                    format!("{}({})", a.pred, args.join(","))
+                }
+                Literal::Neg(a) => {
+                    let args: Vec<String> =
+                        a.args.iter().map(|t| rt(t, &mut map, &mut next)).collect();
+                    format!("!{}({})", a.pred, args.join(","))
+                }
+                Literal::Cmp(c) => {
+                    let c = c.canonical();
+                    format!(
+                        "{}{}{}",
+                        rt(&c.lhs, &mut map, &mut next),
+                        c.op,
+                        rt(&c.rhs, &mut map, &mut next)
+                    )
+                }
+            };
+            body.push(s);
+        }
+        body.sort();
+        format!("({})<-{}", parts.join(","), body.join("&"))
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, t) in self.projection.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            t.fmt(f)?;
+        }
+        f.write_str(") <- ")?;
+        write_body(f, &self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::CmpOp;
+
+    fn sample_query() -> Query {
+        Query::new(
+            "q",
+            vec![Term::var("Name")],
+            vec![
+                Literal::pos(
+                    "person",
+                    vec![Term::var("X"), Term::var("Name"), Term::var("Age")],
+                ),
+                Literal::cmp(Term::var("Age"), CmpOp::Lt, Term::int(30)),
+            ],
+        )
+    }
+
+    #[test]
+    fn query_display_matches_paper_style() {
+        assert_eq!(
+            sample_query().to_string(),
+            "q(Name) <- person(X, Name, Age), Age < 30"
+        );
+    }
+
+    #[test]
+    fn safety_detects_unbound_head_var() {
+        let q = Query::new(
+            "q",
+            vec![Term::var("Z")],
+            vec![Literal::pos("p", vec![Term::var("X")])],
+        );
+        assert!(!q.is_safe());
+        assert!(sample_query().is_safe());
+    }
+
+    #[test]
+    fn safety_accepts_equality_grounding() {
+        // Z is bound transitively through equalities to a constant.
+        let q = Query::new(
+            "q",
+            vec![Term::var("Z")],
+            vec![
+                Literal::pos("p", vec![Term::var("X")]),
+                Literal::cmp(Term::var("Y"), CmpOp::Eq, Term::int(3)),
+                Literal::cmp(Term::var("Z"), CmpOp::Eq, Term::var("Y")),
+            ],
+        );
+        assert!(q.is_safe());
+    }
+
+    #[test]
+    fn negation_safety_rules() {
+        // A negation-local variable is existential under the negation and
+        // allowed (partially-bound anti-join).
+        let q = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![Term::var("X")]),
+                Literal::neg("r", vec![Term::var("Y")]),
+            ],
+        );
+        assert!(q.is_safe());
+        let q2 = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![Term::var("X")]),
+                Literal::neg("r", vec![Term::var("X")]),
+            ],
+        );
+        assert!(q2.is_safe());
+        // But a variable shared between a negative literal and the
+        // projection (and nowhere positive) is unsafe.
+        let q3 = Query::new(
+            "q",
+            vec![Term::var("Y")],
+            vec![
+                Literal::pos("p", vec![Term::var("X")]),
+                Literal::neg("r", vec![Term::var("Y")]),
+            ],
+        );
+        assert!(!q3.is_safe());
+        // And a variable shared between two negative literals only is
+        // unsafe as well.
+        let q4 = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![Term::var("X")]),
+                Literal::neg("r", vec![Term::var("Y")]),
+                Literal::neg("s", vec![Term::var("Y")]),
+            ],
+        );
+        assert!(!q4.is_safe());
+    }
+
+    #[test]
+    fn canonical_key_is_rename_invariant() {
+        let q1 = sample_query();
+        let q2 = Query::new(
+            "q",
+            vec![Term::var("N")],
+            vec![
+                Literal::pos(
+                    "person",
+                    vec![Term::var("A"), Term::var("N"), Term::var("G")],
+                ),
+                Literal::cmp(Term::var("G"), CmpOp::Lt, Term::int(30)),
+            ],
+        );
+        assert_eq!(q1.canonical_key(), q2.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_is_order_invariant_for_cmp_orientation() {
+        let q1 = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![Term::var("X"), Term::var("Y")]),
+                Literal::cmp(Term::var("X"), CmpOp::Eq, Term::var("Y")),
+            ],
+        );
+        let q2 = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![Term::var("X"), Term::var("Y")]),
+                Literal::cmp(Term::var("Y"), CmpOp::Eq, Term::var("X")),
+            ],
+        );
+        assert_eq!(q1.canonical_key(), q2.canonical_key());
+    }
+
+    #[test]
+    fn constraint_display() {
+        let ic = Constraint::named(
+            "IC1",
+            ConstraintHead::Cmp(Comparison::new(
+                Term::var("Salary"),
+                CmpOp::Gt,
+                Term::int(40000),
+            )),
+            vec![Literal::pos(
+                "faculty",
+                vec![Term::var("OID"), Term::var("Salary")],
+            )],
+        );
+        assert_eq!(
+            ic.to_string(),
+            "IC1: Salary > 40000 <- faculty(OID, Salary)"
+        );
+    }
+
+    #[test]
+    fn denial_display() {
+        let ic = Constraint::new(
+            ConstraintHead::None,
+            vec![Literal::pos("p", vec![Term::var("X")])],
+        );
+        assert_eq!(ic.to_string(), "<- p(X)");
+    }
+
+    #[test]
+    fn rule_safety() {
+        let r = Rule::new(
+            Atom::new("asr", vec![Term::var("X"), Term::var("W")]),
+            vec![
+                Literal::pos("takes", vec![Term::var("X"), Term::var("Y")]),
+                Literal::pos("has_ta", vec![Term::var("Y"), Term::var("W")]),
+            ],
+        );
+        assert!(r.is_safe());
+        let bad = Rule::new(
+            Atom::new("v", vec![Term::var("Z")]),
+            vec![Literal::pos("p", vec![Term::var("X")])],
+        );
+        assert!(!bad.is_safe());
+    }
+
+    #[test]
+    fn query_contains_uses_canonical_cmp() {
+        let q = sample_query();
+        assert!(q.contains(&Literal::cmp(Term::var("Age"), CmpOp::Lt, Term::int(30))));
+        assert!(q.contains(&Literal::cmp(Term::int(30), CmpOp::Gt, Term::var("Age"))));
+        assert!(!q.contains(&Literal::cmp(Term::var("Age"), CmpOp::Gt, Term::int(30))));
+    }
+}

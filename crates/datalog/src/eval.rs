@@ -1,0 +1,663 @@
+//! Bottom-up evaluation: semi-naive materialization and query answering.
+//!
+//! The engine executes conjunctive queries (with stratified negation and
+//! comparison built-ins) against an [`EdbDatabase`], and materializes rule
+//! programs — in particular access-support-relation views (Application 4
+//! of the paper), which are "separate structures that explicitly store
+//! OIDs that relate objects with each other".
+//!
+//! Joins bind variables left to right over a greedily reordered body
+//! (most-bound literal first), probing on-demand hash indexes keyed by
+//! the bound argument positions. [`EvalStats`] counts the work done so
+//! benchmarks can report *logical* cost (tuples examined, bindings
+//! produced) alongside wall-clock time.
+
+use crate::atom::{Atom, Literal};
+use crate::clause::{Query, Rule};
+use crate::error::{DatalogError, Result};
+use crate::program::{EdbDatabase, Program, Relation};
+use crate::term::{Const, Term, Var};
+use std::collections::HashMap;
+
+/// Work counters for one evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Tuples examined while scanning or probing relations.
+    pub tuples_examined: u64,
+    /// Intermediate bindings produced by joins.
+    pub bindings_produced: u64,
+    /// Facts derived during materialization.
+    pub facts_derived: u64,
+    /// Anti-join (negation) probes.
+    pub negation_probes: u64,
+    /// Tuples examined per predicate — the object-database cost model
+    /// distinguishes class-relation access (object fetches) from
+    /// relationship traversal and extent probes.
+    pub per_pred: HashMap<String, u64>,
+}
+
+impl EvalStats {
+    /// Merge another stats record into this one.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.tuples_examined += other.tuples_examined;
+        self.bindings_produced += other.bindings_produced;
+        self.facts_derived += other.facts_derived;
+        self.negation_probes += other.negation_probes;
+        for (k, v) in &other.per_pred {
+            *self.per_pred.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Tuples examined for one predicate.
+    pub fn examined(&self, pred: &str) -> u64 {
+        self.per_pred.get(pred).copied().unwrap_or(0)
+    }
+}
+
+type Binding = HashMap<Var, Const>;
+
+/// A hash index over one relation: key values (at the bound positions) →
+/// indices of matching tuples.
+type TupleIndex = HashMap<Vec<Const>, Vec<usize>>;
+
+/// On-demand hash indexes for one evaluation: (pred, bound positions) →
+/// [`TupleIndex`].
+struct IndexCache<'a> {
+    db: &'a EdbDatabase,
+    cache: HashMap<(String, Vec<usize>), TupleIndex>,
+}
+
+impl<'a> IndexCache<'a> {
+    fn new(db: &'a EdbDatabase) -> Self {
+        IndexCache {
+            db,
+            cache: HashMap::new(),
+        }
+    }
+
+    fn index(&mut self, pred: &crate::atom::PredSym, positions: &[usize]) -> Option<&TupleIndex> {
+        let rel = self.db.relation(pred)?;
+        let key = (pred.name().to_string(), positions.to_vec());
+        Some(self.cache.entry(key).or_insert_with(|| {
+            let mut m: HashMap<Vec<Const>, Vec<usize>> = HashMap::new();
+            for (i, t) in rel.tuples().iter().enumerate() {
+                let k: Vec<Const> = positions.iter().map(|&p| t[p].clone()).collect();
+                m.entry(k).or_default().push(i);
+            }
+            m
+        }))
+    }
+}
+
+/// Evaluate a positive atom against the database, extending each binding.
+fn join_atom(
+    db: &EdbDatabase,
+    idx: &mut IndexCache<'_>,
+    atom: &Atom,
+    bindings: Vec<Binding>,
+    stats: &mut EvalStats,
+) -> Result<Vec<Binding>> {
+    let Some(rel) = db.relation(&atom.pred) else {
+        // Unknown relation: empty (declared use); mirrors an empty extent.
+        return Ok(Vec::new());
+    };
+    if let Some(a) = rel.arity() {
+        if a != atom.arity() {
+            return Err(DatalogError::ArityMismatch {
+                predicate: atom.pred.name().to_string(),
+                expected: a,
+                found: atom.arity(),
+            });
+        }
+    }
+    let mut out = Vec::new();
+    for b in bindings {
+        // Determine bound positions under this binding.
+        let mut bound_pos: Vec<usize> = Vec::new();
+        let mut bound_vals: Vec<Const> = Vec::new();
+        for (i, t) in atom.args.iter().enumerate() {
+            match t {
+                Term::Const(c) => {
+                    bound_pos.push(i);
+                    bound_vals.push(c.clone());
+                }
+                Term::Var(v) => {
+                    if let Some(c) = b.get(v) {
+                        bound_pos.push(i);
+                        bound_vals.push(c.clone());
+                    }
+                }
+            }
+        }
+        let candidates: Vec<usize> = if bound_pos.is_empty() {
+            (0..rel.len()).collect()
+        } else {
+            idx.index(&atom.pred, &bound_pos)
+                .and_then(|m| m.get(&bound_vals).cloned())
+                .unwrap_or_default()
+        };
+        for ti in candidates {
+            let tuple = &rel.tuples()[ti];
+            stats.tuples_examined += 1;
+            *stats
+                .per_pred
+                .entry(atom.pred.name().to_string())
+                .or_insert(0) += 1;
+            let mut b2 = b.clone();
+            let mut ok = true;
+            for (t, c) in atom.args.iter().zip(tuple) {
+                match t {
+                    Term::Const(k) => {
+                        if k != c {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match b2.get(v) {
+                        Some(existing) => {
+                            if existing != c {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            b2.insert(v.clone(), c.clone());
+                        }
+                    },
+                }
+            }
+            if ok {
+                stats.bindings_produced += 1;
+                out.push(b2);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Whether an equality comparison has at least one side resolvable under
+/// some binding (uniform across the binding set: same body position).
+fn half_bound(c: &crate::atom::Comparison, bindings: &[Binding]) -> Option<()> {
+    let b = bindings.first()?;
+    if term_value(&c.lhs, b).is_some() || term_value(&c.rhs, b).is_some() {
+        Some(())
+    } else {
+        None
+    }
+}
+
+fn term_value(t: &Term, b: &Binding) -> Option<Const> {
+    match t {
+        Term::Const(c) => Some(c.clone()),
+        Term::Var(v) => b.get(v).cloned(),
+    }
+}
+
+fn eval_cmp(c: &crate::atom::Comparison, b: &Binding) -> Result<bool> {
+    let (Some(l), Some(r)) = (term_value(&c.lhs, b), term_value(&c.rhs, b)) else {
+        return Err(DatalogError::UnsafeVariable {
+            clause: c.to_string(),
+            variable: c
+                .vars()
+                .find(|v| !b.contains_key(*v))
+                .map(|v| v.name().to_string())
+                .unwrap_or_default(),
+        });
+    };
+    match c.op {
+        crate::atom::CmpOp::Eq => Ok(l.same_value(&r)),
+        crate::atom::CmpOp::Ne => Ok(!l.same_value(&r)),
+        op => match l.order(&r) {
+            Some(ord) => Ok(op.test(ord)),
+            None => Err(DatalogError::Incomparable {
+                lhs: l.to_string(),
+                rhs: r.to_string(),
+            }),
+        },
+    }
+}
+
+/// Evaluate a body against the database, returning all complete bindings.
+fn eval_body(db: &EdbDatabase, body: &[Literal], stats: &mut EvalStats) -> Result<Vec<Binding>> {
+    let mut idx = IndexCache::new(db);
+    // Greedy ordering: repeatedly pick the positive literal sharing the
+    // most variables with those already bound (ties: original order);
+    // negatives and comparisons run as soon as fully bound.
+    let mut remaining: Vec<&Literal> = body.iter().collect();
+    let mut bound_vars: Vec<Var> = Vec::new();
+    let mut ordered: Vec<&Literal> = Vec::new();
+    while !remaining.is_empty() {
+        // First flush any deferred literal that is now fully bound — or
+        // an equality with at least one bound side, which *binds* its
+        // other side (equality propagation).
+        if let Some(pos) = remaining.iter().position(|l| match l {
+            Literal::Pos(_) => false,
+            Literal::Cmp(c) if c.op == crate::atom::CmpOp::Eq => {
+                c.vars().any(|v| bound_vars.contains(v)) || c.lhs.is_ground() || c.rhs.is_ground()
+            }
+            _ => l.vars().iter().all(|v| bound_vars.contains(v)),
+        }) {
+            let l = remaining.remove(pos);
+            for v in l.vars() {
+                if !bound_vars.contains(v) {
+                    bound_vars.push(v.clone());
+                }
+            }
+            ordered.push(l);
+            continue;
+        }
+        // Then the best positive literal.
+        let best = remaining
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_positive())
+            .max_by_key(|(i, l)| {
+                let shared = l.vars().iter().filter(|v| bound_vars.contains(**v)).count();
+                (shared, usize::MAX - i)
+            })
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                let l = remaining.remove(i);
+                for v in l.vars() {
+                    if !bound_vars.contains(v) {
+                        bound_vars.push(v.clone());
+                    }
+                }
+                ordered.push(l);
+            }
+            None => {
+                // Only unbound negatives/comparisons remain: unsafe body.
+                let l = remaining.remove(0);
+                ordered.push(l);
+            }
+        }
+    }
+
+    let mut bindings: Vec<Binding> = vec![Binding::new()];
+    for l in ordered {
+        match l {
+            Literal::Pos(a) => {
+                bindings = join_atom(db, &mut idx, a, bindings, stats)?;
+            }
+            // An equality with exactly one bound side propagates the
+            // binding (the physical analogue of using the equality as a
+            // join condition / index probe — e.g. the `Z = W` OID
+            // comparison of Application 3).
+            Literal::Cmp(c)
+                if c.op == crate::atom::CmpOp::Eq && half_bound(c, &bindings).is_some() =>
+            {
+                let mut out = Vec::new();
+                for b in bindings {
+                    match (term_value(&c.lhs, &b), term_value(&c.rhs, &b)) {
+                        (Some(l), Some(r)) => {
+                            if l.same_value(&r) {
+                                out.push(b);
+                            }
+                        }
+                        (Some(val), None) => {
+                            let Term::Var(v) = &c.rhs else { unreachable!() };
+                            let mut b2 = b;
+                            b2.insert(v.clone(), val);
+                            out.push(b2);
+                        }
+                        (None, Some(val)) => {
+                            let Term::Var(v) = &c.lhs else { unreachable!() };
+                            let mut b2 = b;
+                            b2.insert(v.clone(), val);
+                            out.push(b2);
+                        }
+                        (None, None) => {
+                            return Err(DatalogError::UnsafeVariable {
+                                clause: c.to_string(),
+                                variable: c
+                                    .vars()
+                                    .next()
+                                    .map(|v| v.name().to_string())
+                                    .unwrap_or_default(),
+                            })
+                        }
+                    }
+                }
+                bindings = out;
+            }
+            Literal::Neg(a) => {
+                // Partially-bound anti-join: a binding survives unless some
+                // tuple matches all bound positions; unbound positions are
+                // existential under the negation. Repeated unbound
+                // variables inside the literal must still match each other.
+                let mut out = Vec::new();
+                for b in bindings {
+                    stats.negation_probes += 1;
+                    let mut bound_pos: Vec<usize> = Vec::new();
+                    let mut bound_vals: Vec<Const> = Vec::new();
+                    for (i, t) in a.args.iter().enumerate() {
+                        if let Some(c) = term_value(t, &b) {
+                            bound_pos.push(i);
+                            bound_vals.push(c);
+                        }
+                    }
+                    let present = match db.relation(&a.pred) {
+                        None => false,
+                        Some(rel) => {
+                            let candidates: Vec<usize> = if bound_pos.is_empty() {
+                                (0..rel.len()).collect()
+                            } else {
+                                idx.index(&a.pred, &bound_pos)
+                                    .and_then(|m| m.get(&bound_vals).cloned())
+                                    .unwrap_or_default()
+                            };
+                            candidates.iter().any(|&ti| {
+                                let tuple = &rel.tuples()[ti];
+                                stats.tuples_examined += 1;
+                                *stats.per_pred.entry(a.pred.name().to_string()).or_insert(0) += 1;
+                                let mut local: HashMap<&Var, &Const> = HashMap::new();
+                                a.args.iter().zip(tuple).all(|(t, c)| match t {
+                                    Term::Const(k) => k == c,
+                                    Term::Var(v) => match b.get(v) {
+                                        Some(bc) => bc == c,
+                                        None => match local.get(v) {
+                                            Some(&lc) => lc == c,
+                                            None => {
+                                                local.insert(v, c);
+                                                true
+                                            }
+                                        },
+                                    },
+                                })
+                            })
+                        }
+                    };
+                    if !present {
+                        out.push(b);
+                    }
+                }
+                bindings = out;
+            }
+            Literal::Cmp(c) => {
+                let mut out = Vec::new();
+                for b in bindings {
+                    if eval_cmp(c, &b)? {
+                        out.push(b);
+                    }
+                }
+                bindings = out;
+            }
+        }
+        if bindings.is_empty() {
+            break;
+        }
+    }
+    Ok(bindings)
+}
+
+/// Answer a conjunctive query; returns the projected tuples (deduplicated,
+/// set semantics) and evaluation statistics.
+pub fn answer_query(db: &EdbDatabase, q: &Query) -> Result<(Vec<Vec<Const>>, EvalStats)> {
+    let mut stats = EvalStats::default();
+    let bindings = eval_body(db, &q.body, &mut stats)?;
+    let mut out = Relation::default();
+    for b in bindings {
+        let tuple: Option<Vec<Const>> = q.projection.iter().map(|t| term_value(t, &b)).collect();
+        let Some(tuple) = tuple else {
+            return Err(DatalogError::UnsafeVariable {
+                clause: q.to_string(),
+                variable: q
+                    .projection
+                    .iter()
+                    .filter_map(Term::as_var)
+                    .find(|v| !b.contains_key(*v))
+                    .map(|v| v.name().to_string())
+                    .unwrap_or_default(),
+            });
+        };
+        out.insert(tuple)?;
+    }
+    Ok((out.tuples().to_vec(), stats))
+}
+
+/// Materialize a program over the database: returns a new database
+/// containing the EDB plus all derived IDB facts, with statistics.
+///
+/// Semi-naive evaluation runs stratum by stratum; within a stratum each
+/// recursive rule is re-evaluated against the growing database until
+/// fixpoint, joining new bindings only through the per-iteration deltas.
+pub fn materialize(db: &EdbDatabase, program: &Program) -> Result<(EdbDatabase, EvalStats)> {
+    program.validate()?;
+    let strata = program.stratify()?;
+    let mut total = db.clone();
+    let mut stats = EvalStats::default();
+    for stratum in strata {
+        // Naive-with-delta loop: evaluate every rule in the stratum until
+        // nothing new is derived. Joins run against the full database;
+        // semi-naive filtering happens via the insert dedup plus a delta
+        // short-circuit (skip a rule whose body predicates gained nothing
+        // last round).
+        let mut first_round = true;
+        let mut changed_preds: std::collections::HashSet<String> = std::collections::HashSet::new();
+        loop {
+            let mut any_new = false;
+            let mut new_changed: std::collections::HashSet<String> =
+                std::collections::HashSet::new();
+            for &ri in &stratum {
+                let rule: &Rule = &program.rules[ri];
+                if !first_round {
+                    // Delta check: at least one body predicate changed.
+                    let touches_changed = rule
+                        .body
+                        .iter()
+                        .any(|l| l.pred().is_some_and(|p| changed_preds.contains(p.name())));
+                    if !touches_changed {
+                        continue;
+                    }
+                }
+                let bindings = eval_body(&total, &rule.body, &mut stats)?;
+                for b in bindings {
+                    let tuple: Option<Vec<Const>> =
+                        rule.head.args.iter().map(|t| term_value(t, &b)).collect();
+                    let Some(tuple) = tuple else {
+                        return Err(DatalogError::UnsafeVariable {
+                            clause: rule.to_string(),
+                            variable: String::new(),
+                        });
+                    };
+                    if total.insert(rule.head.pred.clone(), tuple)? {
+                        stats.facts_derived += 1;
+                        any_new = true;
+                        new_changed.insert(rule.head.pred.name().to_string());
+                    }
+                }
+            }
+            if !any_new {
+                break;
+            }
+            changed_preds = new_changed;
+            first_round = false;
+        }
+    }
+    Ok((total, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_program, parse_query, parse_rule, Statement};
+
+    fn db_from(src: &str) -> EdbDatabase {
+        let mut db = EdbDatabase::new();
+        for s in parse_program(src).unwrap() {
+            match s {
+                Statement::Fact(f) => {
+                    db.insert_fact(&f).unwrap();
+                }
+                other => panic!("expected facts only: {other:?}"),
+            }
+        }
+        db
+    }
+
+    #[test]
+    fn simple_selection() {
+        let db = db_from(r#"person(#1, "ann", 25). person(#2, "bob", 40). person(#3, "kim", 28)."#);
+        let q = parse_query("Q(Name) <- person(X, Name, Age), Age < 30").unwrap();
+        let (rows, stats) = answer_query(&db, &q).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&vec![Const::Str("ann".into())]));
+        assert!(rows.contains(&vec![Const::Str("kim".into())]));
+        assert!(stats.tuples_examined >= 3);
+    }
+
+    #[test]
+    fn join_through_shared_variable() {
+        let db = db_from(
+            r#"student(#1, "s1"). student(#2, "s2").
+               takes(#1, #10). takes(#2, #11).
+               taught_by(#10, #20). taught_by(#11, #21).
+               faculty(#20, "prof_a"). faculty(#21, "prof_b")."#,
+        );
+        let q = parse_query(
+            "Q(SN, FN) <- student(S, SN), takes(S, Sec), taught_by(Sec, F), faculty(F, FN)",
+        )
+        .unwrap();
+        let (rows, _) = answer_query(&db, &q).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&vec![Const::Str("s1".into()), Const::Str("prof_a".into())]));
+    }
+
+    #[test]
+    fn negation_as_anti_join() {
+        let db = db_from(r#"person(#1, 25). person(#2, 45). faculty(#2, 45)."#);
+        let q = parse_query("Q(X) <- person(X, A), not faculty(X, A)").unwrap();
+        let (rows, stats) = answer_query(&db, &q).unwrap();
+        assert_eq!(rows, vec![vec![Const::Oid(1)]]);
+        assert_eq!(stats.negation_probes, 2);
+    }
+
+    #[test]
+    fn partially_bound_negation_is_existential() {
+        // not faculty(X, B) with B unbound means "no faculty tuple with
+        // this X at all".
+        let db = db_from("person(#1, 25). person(#2, 45). faculty(#2, 99).");
+        let q = parse_query("Q(X) <- person(X, A), not faculty(X, B)").unwrap();
+        let (rows, _) = answer_query(&db, &q).unwrap();
+        assert_eq!(rows, vec![vec![Const::Oid(1)]]);
+    }
+
+    #[test]
+    fn repeated_unbound_negation_vars_must_agree() {
+        // not r(X, B, B): only tuples whose 2nd and 3rd columns agree
+        // count as matches.
+        let db = db_from("p(#1). p(#2). r(#1, 5, 6). r(#2, 5, 5).");
+        let q = parse_query("Q(X) <- p(X), not r(X, B, B)").unwrap();
+        let (rows, _) = answer_query(&db, &q).unwrap();
+        assert_eq!(rows, vec![vec![Const::Oid(1)]]);
+    }
+
+    #[test]
+    fn constants_in_query_atoms() {
+        let db = db_from(r#"student(#1, "john"). student(#2, "mary")."#);
+        let q = parse_query(r#"Q(X) <- student(X, "john")"#).unwrap();
+        let (rows, _) = answer_query(&db, &q).unwrap();
+        assert_eq!(rows, vec![vec![Const::Oid(1)]]);
+    }
+
+    #[test]
+    fn materialize_non_recursive_view() {
+        let db = db_from(
+            r#"takes(#1, #10). is_section_of(#10, #100). has_sections(#100, #10).
+               has_ta(#10, #50)."#,
+        );
+        let p = Program::new(vec![parse_rule(
+            "asr(X, W) <- takes(X, Y), is_section_of(Y, Z), has_sections(Z, V), has_ta(V, W)",
+        )
+        .unwrap()]);
+        let (mat, stats) = materialize(&db, &p).unwrap();
+        let asr = mat.relation(&"asr".into()).unwrap();
+        assert_eq!(asr.len(), 1);
+        assert_eq!(asr.tuples()[0], vec![Const::Oid(1), Const::Oid(50)]);
+        assert_eq!(stats.facts_derived, 1);
+    }
+
+    #[test]
+    fn materialize_transitive_closure() {
+        let db = db_from("e(1, 2). e(2, 3). e(3, 4).");
+        let p = Program::new(vec![
+            parse_rule("tc(X, Y) <- e(X, Y)").unwrap(),
+            parse_rule("tc(X, Z) <- tc(X, Y), e(Y, Z)").unwrap(),
+        ]);
+        let (mat, _) = materialize(&db, &p).unwrap();
+        assert_eq!(mat.relation(&"tc".into()).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn materialize_stratified_negation() {
+        let db = db_from("node(1). node(2). node(3). marked(2).");
+        let p = Program::new(vec![
+            parse_rule("m(X) <- marked(X)").unwrap(),
+            parse_rule("unmarked(X) <- node(X), not m(X)").unwrap(),
+        ]);
+        let (mat, _) = materialize(&db, &p).unwrap();
+        assert_eq!(mat.relation(&"unmarked".into()).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn empty_relation_yields_no_answers() {
+        let db = EdbDatabase::new();
+        let q = parse_query("Q(X) <- nothing(X)").unwrap();
+        let (rows, _) = answer_query(&db, &q).unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn ground_query_projection() {
+        let db = db_from("p(1).");
+        let q = parse_query("Q(X, 99) <- p(X)").unwrap();
+        let (rows, _) = answer_query(&db, &q).unwrap();
+        assert_eq!(rows, vec![vec![Const::Int(1), Const::Int(99)]]);
+    }
+
+    #[test]
+    fn arity_mismatch_detected_at_eval() {
+        let db = db_from("p(1, 2).");
+        let q = parse_query("Q(X) <- p(X)").unwrap();
+        assert!(matches!(
+            answer_query(&db, &q),
+            Err(DatalogError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn incomparable_comparison_errors() {
+        let db = db_from(r#"p("a")."#);
+        let q = parse_query("Q(X) <- p(X), X < 3").unwrap();
+        assert!(matches!(
+            answer_query(&db, &q),
+            Err(DatalogError::Incomparable { .. })
+        ));
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        let db = db_from("p(1). p(2). p(3).");
+        let q = parse_query("Q(X) <- p(X), X <= 2.5").unwrap();
+        let (rows, _) = answer_query(&db, &q).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn greedy_order_starts_with_selective_constant() {
+        // A large relation joined with a constant-selected small one: the
+        // reorder should probe with bound values, keeping tuples_examined
+        // near the selective path, not |big| * |small|.
+        let mut src = String::new();
+        for i in 0..100 {
+            src.push_str(&format!("big({i}, {}). ", i % 7));
+        }
+        src.push_str("small(3).");
+        let db = db_from(&src);
+        let q = parse_query("Q(X) <- big(X, Y), small(Y)").unwrap();
+        let (rows, stats) = answer_query(&db, &q).unwrap();
+        assert!(!rows.is_empty());
+        assert!(stats.tuples_examined < 100 * 2);
+    }
+}

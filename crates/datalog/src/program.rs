@@ -1,0 +1,348 @@
+//! Extensional databases, programs and stratification.
+
+use crate::atom::{Atom, Literal, PredSym};
+use crate::clause::Rule;
+use crate::error::{DatalogError, Result};
+use crate::term::Const;
+use std::collections::{HashMap, HashSet};
+
+/// A stored relation: a deduplicated bag of constant tuples.
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    arity: Option<usize>,
+    tuples: Vec<Vec<Const>>,
+    set: HashSet<Vec<Const>>,
+}
+
+impl Relation {
+    /// Create an empty relation with known arity.
+    pub fn with_arity(arity: usize) -> Self {
+        Relation {
+            arity: Some(arity),
+            ..Default::default()
+        }
+    }
+
+    /// The relation's arity, if any tuple has been inserted or the arity
+    /// was declared.
+    pub fn arity(&self) -> Option<usize> {
+        self.arity
+    }
+
+    /// Insert a tuple; returns `true` if it was new.
+    pub fn insert(&mut self, tuple: Vec<Const>) -> Result<bool> {
+        match self.arity {
+            Some(a) if a != tuple.len() => {
+                return Err(DatalogError::ArityMismatch {
+                    predicate: "<relation>".into(),
+                    expected: a,
+                    found: tuple.len(),
+                })
+            }
+            None => self.arity = Some(tuple.len()),
+            _ => {}
+        }
+        if self.set.insert(tuple.clone()) {
+            self.tuples.push(tuple);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Whether the tuple is present.
+    pub fn contains(&self, tuple: &[Const]) -> bool {
+        self.set.contains(tuple)
+    }
+
+    /// All tuples, in insertion order.
+    pub fn tuples(&self) -> &[Vec<Const>] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// A database of stored relations (the EDB, or a materialized EDB+IDB).
+#[derive(Debug, Clone, Default)]
+pub struct EdbDatabase {
+    relations: HashMap<PredSym, Relation>,
+}
+
+impl EdbDatabase {
+    /// Create an empty database.
+    pub fn new() -> Self {
+        EdbDatabase::default()
+    }
+
+    /// Insert a ground atom as a fact.
+    pub fn insert_fact(&mut self, atom: &Atom) -> Result<bool> {
+        if !atom.is_ground() {
+            return Err(DatalogError::NonGroundFact {
+                fact: atom.to_string(),
+            });
+        }
+        let tuple: Vec<Const> = atom
+            .args
+            .iter()
+            .map(|t| t.as_const().expect("ground").clone())
+            .collect();
+        self.insert(atom.pred.clone(), tuple)
+    }
+
+    /// Insert a tuple into the named relation.
+    pub fn insert(&mut self, pred: PredSym, tuple: Vec<Const>) -> Result<bool> {
+        let pred_name = pred.name().to_string();
+        let rel = self.relations.entry(pred).or_default();
+        rel.insert(tuple).map_err(|e| match e {
+            DatalogError::ArityMismatch {
+                expected, found, ..
+            } => DatalogError::ArityMismatch {
+                predicate: pred_name,
+                expected,
+                found,
+            },
+            other => other,
+        })
+    }
+
+    /// Declare an (empty) relation with a fixed arity.
+    pub fn declare(&mut self, pred: PredSym, arity: usize) {
+        self.relations
+            .entry(pred)
+            .or_insert_with(|| Relation::with_arity(arity));
+    }
+
+    /// Look up a relation.
+    pub fn relation(&self, pred: &PredSym) -> Option<&Relation> {
+        self.relations.get(pred)
+    }
+
+    /// Iterate over (predicate, relation) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&PredSym, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// Merge all tuples of `other` into `self`.
+    pub fn absorb(&mut self, other: &EdbDatabase) -> Result<()> {
+        for (p, rel) in &other.relations {
+            for t in rel.tuples() {
+                self.insert(p.clone(), t.clone())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A set of rules (views / IDB definitions).
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The rules, in declaration order.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Create a program from rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Program { rules }
+    }
+
+    /// The set of intensional (rule-defined) predicates.
+    pub fn idb_preds(&self) -> HashSet<PredSym> {
+        self.rules.iter().map(|r| r.head.pred.clone()).collect()
+    }
+
+    /// Validate safety of every rule.
+    pub fn validate(&self) -> Result<()> {
+        for r in &self.rules {
+            if !r.is_safe() {
+                let positive: HashSet<_> = r
+                    .body
+                    .iter()
+                    .filter(|l| l.is_positive())
+                    .flat_map(|l| l.vars())
+                    .collect();
+                let bad = r
+                    .vars()
+                    .into_iter()
+                    .find(|v| !positive.contains(v))
+                    .map(|v| v.name().to_string())
+                    .unwrap_or_default();
+                return Err(DatalogError::UnsafeVariable {
+                    clause: r.to_string(),
+                    variable: bad,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Stratify the program: returns rule indices grouped into strata such
+    /// that negation only refers to lower strata. Errors if the program
+    /// has recursion through negation.
+    pub fn stratify(&self) -> Result<Vec<Vec<usize>>> {
+        let idb = self.idb_preds();
+        // Compute per-predicate stratum numbers by fixpoint.
+        let mut stratum: HashMap<PredSym, usize> = idb.iter().map(|p| (p.clone(), 0)).collect();
+        let max_iter = idb.len() * idb.len() + idb.len() + 2;
+        for round in 0..=max_iter {
+            let mut changed = false;
+            for r in &self.rules {
+                let head_s = stratum[&r.head.pred];
+                let mut need = head_s;
+                for l in &r.body {
+                    match l {
+                        Literal::Pos(a) => {
+                            if let Some(&s) = stratum.get(&a.pred) {
+                                need = need.max(s);
+                            }
+                        }
+                        Literal::Neg(a) => {
+                            if let Some(&s) = stratum.get(&a.pred) {
+                                need = need.max(s + 1);
+                            }
+                        }
+                        Literal::Cmp(_) => {}
+                    }
+                }
+                if need > head_s {
+                    stratum.insert(r.head.pred.clone(), need);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            if round == max_iter {
+                // A stratum exceeding the predicate count proves a negative
+                // cycle.
+                let culprit = stratum
+                    .iter()
+                    .max_by_key(|(_, s)| **s)
+                    .map(|(p, _)| p.name().to_string())
+                    .unwrap_or_default();
+                return Err(DatalogError::NotStratified { predicate: culprit });
+            }
+        }
+        if stratum.values().any(|&s| s > idb.len()) {
+            let culprit = stratum
+                .iter()
+                .max_by_key(|(_, s)| **s)
+                .map(|(p, _)| p.name().to_string())
+                .unwrap_or_default();
+            return Err(DatalogError::NotStratified { predicate: culprit });
+        }
+        let max_s = stratum.values().copied().max().unwrap_or(0);
+        let mut out = vec![Vec::new(); max_s + 1];
+        for (i, r) in self.rules.iter().enumerate() {
+            out[stratum[&r.head.pred]].push(i);
+        }
+        out.retain(|v| !v.is_empty());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_fact, parse_rule};
+    use crate::term::Term;
+
+    #[test]
+    fn relation_dedup_and_order() {
+        let mut r = Relation::default();
+        assert!(r.insert(vec![Const::Int(1)]).unwrap());
+        assert!(!r.insert(vec![Const::Int(1)]).unwrap());
+        assert!(r.insert(vec![Const::Int(2)]).unwrap());
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[Const::Int(1)]));
+        assert_eq!(r.arity(), Some(1));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut db = EdbDatabase::new();
+        db.insert(PredSym::new("p"), vec![Const::Int(1)]).unwrap();
+        let err = db
+            .insert(PredSym::new("p"), vec![Const::Int(1), Const::Int(2)])
+            .unwrap_err();
+        assert!(matches!(err, DatalogError::ArityMismatch { predicate, .. } if predicate == "p"));
+    }
+
+    #[test]
+    fn insert_fact_requires_ground() {
+        let mut db = EdbDatabase::new();
+        let ok = parse_fact("p(1, \"a\")").unwrap();
+        assert!(db.insert_fact(&ok).unwrap());
+        let bad = Atom::new("p", vec![Term::var("X")]);
+        assert!(db.insert_fact(&bad).is_err());
+    }
+
+    #[test]
+    fn stratification_simple() {
+        let p = Program::new(vec![
+            parse_rule("a(X) <- e(X)").unwrap(),
+            parse_rule("b(X) <- e(X), not a(X)").unwrap(),
+        ]);
+        let strata = p.stratify().unwrap();
+        assert_eq!(strata.len(), 2);
+        assert_eq!(strata[0], vec![0]);
+        assert_eq!(strata[1], vec![1]);
+    }
+
+    #[test]
+    fn stratification_rejects_negative_cycle() {
+        let p = Program::new(vec![
+            parse_rule("a(X) <- e(X), not b(X)").unwrap(),
+            parse_rule("b(X) <- e(X), not a(X)").unwrap(),
+        ]);
+        assert!(matches!(
+            p.stratify(),
+            Err(DatalogError::NotStratified { .. })
+        ));
+    }
+
+    #[test]
+    fn stratification_allows_positive_recursion() {
+        let p = Program::new(vec![
+            parse_rule("tc(X, Y) <- e(X, Y)").unwrap(),
+            parse_rule("tc(X, Z) <- tc(X, Y), e(Y, Z)").unwrap(),
+        ]);
+        let strata = p.stratify().unwrap();
+        assert_eq!(strata.len(), 1);
+        assert_eq!(strata[0].len(), 2);
+    }
+
+    #[test]
+    fn validate_flags_unsafe_rule() {
+        let p = Program::new(vec![parse_rule("v(Z) <- p(X)").unwrap()]);
+        assert!(matches!(
+            p.validate(),
+            Err(DatalogError::UnsafeVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn absorb_merges_databases() {
+        let mut a = EdbDatabase::new();
+        a.insert(PredSym::new("p"), vec![Const::Int(1)]).unwrap();
+        let mut b = EdbDatabase::new();
+        b.insert(PredSym::new("p"), vec![Const::Int(2)]).unwrap();
+        b.insert(PredSym::new("q"), vec![Const::Int(3)]).unwrap();
+        a.absorb(&b).unwrap();
+        assert_eq!(a.total_tuples(), 3);
+    }
+}

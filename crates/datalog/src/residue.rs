@@ -1,0 +1,623 @@
+//! Semantic compilation: attaching residues to relations.
+//!
+//! Following the residue method (Section 2 of the paper; Chakravarthy,
+//! Grant & Minker 1990), each integrity constraint `H ← B1, …, Bn` is
+//! compiled, *before any query arrives*, into residues by partial
+//! subsumption: for each positive database literal `Bi`, the fragment
+//!
+//! ```text
+//!   anchor:  Bi
+//!   rest:    B1, …, Bi-1, Bi+1, …, Bn
+//!   head:    H
+//! ```
+//!
+//! is attached to `Bi`'s relation. At query time, a residue anchored at a
+//! relation occurring in the query applies if its `rest` also maps into
+//! the query; its (instantiated) head is then a formula true of every
+//! answer, usable to add or remove literals, or to detect a contradiction.
+//!
+//! The compiler also performs the paper's IC-derivation steps
+//! (Application 2, the IC4 + IC5 ⇒ IC6 ⇒ IC6′ chain):
+//!
+//! * **Body strengthening**: given an inclusion constraint
+//!   `c1(…) ← c2(…)` (subclass hierarchy) and any IC with `c2` in its
+//!   body, a derived IC adds the implied `c1` atom to the body
+//!   (IC4 + IC5 ⇒ IC6).
+//! * **Contrapositives**: from `H ← B1,…,Bn` derive
+//!   `¬Bi ← B1,…,Bi-1,Bi+1,…,Bn, ¬H` whenever the remaining body still
+//!   contains a positive database literal to anchor at (IC6 ⇒ IC6′).
+
+use crate::atom::{Atom, Literal, PredSym};
+use crate::clause::{Constraint, ConstraintHead};
+use crate::unify::mgu;
+use std::collections::HashMap;
+
+/// A compiled integrity-constraint fragment attached to a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Residue {
+    /// Index of the originating constraint in [`ResidueSet::constraints`].
+    pub ic_index: usize,
+    /// Name of the originating constraint, if any (e.g. `"IC7"`).
+    pub ic_name: Option<String>,
+    /// The body literal this residue is anchored at (the relation it is
+    /// "attached to" in the paper's terminology).
+    pub anchor: Atom,
+    /// The remaining body literals that must also map into a query for the
+    /// residue to apply.
+    pub rest: Vec<Literal>,
+    /// The residue head: what becomes true of every query answer.
+    pub head: ConstraintHead,
+}
+
+impl std::fmt::Display for Residue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{{}", self.head)?;
+        write!(f, " <-")?;
+        for (i, l) in self.rest.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, " {l}")?;
+        }
+        write!(f, "}} @ {}", self.anchor.pred)
+    }
+}
+
+/// Options controlling semantic compilation.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Derive strengthened ICs through inclusion constraints
+    /// (IC4 + IC5 ⇒ IC6).
+    pub derive_strengthened: bool,
+    /// Derive contrapositive ICs (IC6 ⇒ IC6′), enabling scope reduction.
+    pub derive_contrapositives: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            derive_strengthened: true,
+            derive_contrapositives: true,
+        }
+    }
+}
+
+/// The result of semantic compilation: all (original and derived)
+/// constraints, and their residues indexed by anchor relation.
+#[derive(Debug, Clone, Default)]
+pub struct ResidueSet {
+    /// Original constraints followed by derived ones.
+    pub constraints: Vec<Constraint>,
+    by_pred: HashMap<PredSym, Vec<Residue>>,
+    residue_count: usize,
+}
+
+impl ResidueSet {
+    /// Compile a set of integrity constraints with default options.
+    pub fn compile(constraints: Vec<Constraint>) -> Self {
+        Self::compile_with(constraints, &CompileOptions::default())
+    }
+
+    /// Compile a set of integrity constraints.
+    pub fn compile_with(mut constraints: Vec<Constraint>, opts: &CompileOptions) -> Self {
+        if opts.derive_strengthened {
+            // Saturate inclusion constraints transitively first, so a
+            // two-hop hierarchy (faculty ⊆ employee ⊆ person) still
+            // produces the one-hop inclusion the strengthening step needs.
+            let closed = saturate_inclusions(&constraints);
+            constraints.extend(closed);
+            let derived = derive_strengthened(&constraints);
+            constraints.extend(derived);
+        }
+        if opts.derive_contrapositives {
+            let derived = derive_contrapositives(&constraints);
+            constraints.extend(derived);
+        }
+        let mut by_pred: HashMap<PredSym, Vec<Residue>> = HashMap::new();
+        let mut residue_count = 0;
+        for (idx, ic) in constraints.iter().enumerate() {
+            for (i, lit) in ic.body.iter().enumerate() {
+                let Literal::Pos(anchor) = lit else { continue };
+                let rest: Vec<Literal> = ic
+                    .body
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, l)| l.clone())
+                    .collect();
+                by_pred
+                    .entry(anchor.pred.clone())
+                    .or_default()
+                    .push(Residue {
+                        ic_index: idx,
+                        ic_name: ic.name.clone(),
+                        anchor: anchor.clone(),
+                        rest,
+                        head: ic.head.clone(),
+                    });
+                residue_count += 1;
+            }
+        }
+        ResidueSet {
+            constraints,
+            by_pred,
+            residue_count,
+        }
+    }
+
+    /// Residues attached to the given relation.
+    pub fn residues_for(&self, pred: &PredSym) -> &[Residue] {
+        self.by_pred.get(pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of residues across all relations.
+    pub fn len(&self) -> usize {
+        self.residue_count
+    }
+
+    /// Whether no residues were produced.
+    pub fn is_empty(&self) -> bool {
+        self.residue_count == 0
+    }
+
+    /// Iterate over all residues.
+    pub fn iter(&self) -> impl Iterator<Item = &Residue> {
+        self.by_pred.values().flatten()
+    }
+}
+
+/// An inclusion constraint is `c1(args) ← c2(args')` with a single positive
+/// body literal and an atom head (e.g. the subclass-hierarchy ICs of
+/// Section 4.2).
+fn as_inclusion(ic: &Constraint) -> Option<(&Atom, &Atom)> {
+    let ConstraintHead::Atom(head) = &ic.head else {
+        return None;
+    };
+    let [Literal::Pos(body)] = ic.body.as_slice() else {
+        return None;
+    };
+    Some((head, body))
+}
+
+/// Transitively compose inclusion constraints: from `a(…) ← b(…)` and
+/// `b(…) ← c(…)` derive `a(…) ← c(…)` (bounded fixpoint).
+fn saturate_inclusions(constraints: &[Constraint]) -> Vec<Constraint> {
+    let mut all: Vec<Constraint> = constraints
+        .iter()
+        .filter(|c| as_inclusion(c).is_some())
+        .cloned()
+        .collect();
+    let mut derived: Vec<Constraint> = Vec::new();
+    for _round in 0..constraints.len() {
+        let mut new_ics: Vec<Constraint> = Vec::new();
+        for upper in &all {
+            let Some((u_head, u_body)) = as_inclusion(upper) else {
+                continue;
+            };
+            for lower in &all {
+                let Some((l_head, _)) = as_inclusion(lower) else {
+                    continue;
+                };
+                if l_head.pred != u_body.pred {
+                    continue;
+                }
+                // Standardize the upper IC apart and unify its body with
+                // the lower IC's head.
+                let used = lower.vars();
+                let upper_fresh = crate::subst::standardize_apart(upper, &used);
+                let Some((u_head_f, u_body_f)) = as_inclusion(&upper_fresh) else {
+                    continue;
+                };
+                let Some(theta) = mgu(u_body_f, l_head) else {
+                    continue;
+                };
+                let _ = u_head;
+                let new_head = theta.apply_atom(u_head_f);
+                let new_body = theta.apply_body(&lower.body);
+                // Skip trivial or already-known inclusions.
+                if new_body
+                    .iter()
+                    .any(|l| matches!(l, Literal::Pos(a) if a.pred == new_head.pred))
+                {
+                    continue;
+                }
+                let candidate = Constraint {
+                    name: match (&upper.name, &lower.name) {
+                        (Some(a), Some(b)) => Some(format!("{a}∘{b}")),
+                        _ => None,
+                    },
+                    head: ConstraintHead::Atom(new_head),
+                    body: new_body,
+                };
+                let key = inclusion_key(&candidate);
+                let known = all.iter().chain(&new_ics).any(|c| inclusion_key(c) == key);
+                if !known {
+                    new_ics.push(candidate);
+                }
+            }
+        }
+        if new_ics.is_empty() {
+            break;
+        }
+        all.extend(new_ics.iter().cloned());
+        derived.extend(new_ics);
+    }
+    derived
+}
+
+fn inclusion_key(c: &Constraint) -> String {
+    match (&c.head, c.body.first()) {
+        (ConstraintHead::Atom(h), Some(Literal::Pos(b))) => {
+            format!("{}<-{}", h.pred, b.pred)
+        }
+        _ => c.to_string(),
+    }
+}
+
+/// Derive strengthened constraints: for each IC containing a positive body
+/// atom `b` unifiable with an inclusion IC's body, add the inclusion's
+/// (instantiated) head atom to the body. This reproduces the paper's
+/// IC4 + IC5 ⇒ IC6 step: `Age ≥ 30 ← faculty(..)` becomes
+/// `Age ≥ 30 ← faculty(..), person(..)`.
+fn derive_strengthened(constraints: &[Constraint]) -> Vec<Constraint> {
+    let mut out = Vec::new();
+    for ic in constraints {
+        // Skip inclusion ICs themselves: strengthening them yields noise.
+        if as_inclusion(ic).is_some() {
+            continue;
+        }
+        for inc in constraints {
+            let Some((_inc_head, inc_body)) = as_inclusion(inc) else {
+                continue;
+            };
+            for (i, lit) in ic.body.iter().enumerate() {
+                let Literal::Pos(b) = lit else { continue };
+                if b.pred != inc_body.pred {
+                    continue;
+                }
+                // Standardize the inclusion IC apart from the target IC.
+                let used = ic.vars();
+                let inc_fresh = crate::subst::standardize_apart(inc, &used);
+                let Some((inc_head_f, inc_body_f)) = as_inclusion(&inc_fresh) else {
+                    continue;
+                };
+                let Some(theta) = mgu(inc_body_f, b) else {
+                    continue;
+                };
+                let new_atom = theta.apply_atom(inc_head_f);
+                // Skip if the body already contains the implied atom.
+                if ic
+                    .body
+                    .iter()
+                    .any(|l| matches!(l, Literal::Pos(a) if *a == new_atom))
+                {
+                    continue;
+                }
+                let mut body = ic.body.clone();
+                body.insert(i + 1, Literal::Pos(new_atom));
+                let name = match (&ic.name, &inc.name) {
+                    (Some(a), Some(b)) => Some(format!("{a}+{b}")),
+                    _ => None,
+                };
+                out.push(Constraint {
+                    name,
+                    head: ic.head.clone(),
+                    body,
+                });
+            }
+        }
+    }
+    dedup_constraints(out)
+}
+
+/// Derive contrapositives: `H ← B` yields `¬Bi ← (B \ Bi), ¬H` for each
+/// positive `Bi`, provided the remaining body retains a positive database
+/// literal to anchor the resulting residue (and to keep it safe).
+fn derive_contrapositives(constraints: &[Constraint]) -> Vec<Constraint> {
+    let mut out = Vec::new();
+    for ic in constraints {
+        // The negated head becomes a body literal; denials contribute
+        // nothing extra here (their residues already signal contradiction).
+        let neg_head: Option<Literal> = match &ic.head {
+            ConstraintHead::None => None,
+            ConstraintHead::Atom(a) => Some(Literal::Neg(a.clone())),
+            ConstraintHead::NegAtom(a) => Some(Literal::Pos(a.clone())),
+            // Order-comparison heads only: negating an equality head (key
+            // and functionality ICs) yields disequality-guarded residues
+            // that are never usefully applicable — the equality form is
+            // already exploited directly (join elimination) and as an egd.
+            ConstraintHead::Cmp(c) if c.op != crate::atom::CmpOp::Eq => {
+                Some(Literal::Cmp(c.negate()))
+            }
+            ConstraintHead::Cmp(_) => None,
+        };
+        let Some(neg_head) = neg_head else { continue };
+        for (i, lit) in ic.body.iter().enumerate() {
+            let Literal::Pos(b) = lit else { continue };
+            let rest: Vec<Literal> = ic
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, l)| l.clone())
+                .collect();
+            // Anchorability: the remaining body must still contain a
+            // positive database literal.
+            if !rest.iter().any(Literal::is_positive) {
+                continue;
+            }
+            let mut body = rest;
+            body.push(neg_head.clone());
+            out.push(Constraint {
+                name: ic.name.as_ref().map(|n| format!("{n}'")),
+                head: ConstraintHead::NegAtom(b.clone()),
+                body,
+            });
+        }
+    }
+    dedup_constraints(out)
+}
+
+fn dedup_constraints(ics: Vec<Constraint>) -> Vec<Constraint> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for ic in ics {
+        let key = format!(
+            "{}<-{}",
+            ic.head,
+            ic.body
+                .iter()
+                .map(canonical_lit)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        if seen.insert(key) {
+            out.push(ic);
+        }
+    }
+    out
+}
+
+fn canonical_lit(l: &Literal) -> String {
+    match l {
+        Literal::Cmp(c) => c.canonical().to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Rename a residue's variables apart from a set of used variables,
+/// returning the renamed residue. Used at query-application time.
+pub fn standardize_residue_apart(
+    r: &Residue,
+    used: &std::collections::BTreeSet<crate::term::Var>,
+) -> Residue {
+    // Reuse constraint renaming by packing the residue into a constraint.
+    let mut body = vec![Literal::Pos(r.anchor.clone())];
+    body.extend(r.rest.iter().cloned());
+    let packed = Constraint {
+        name: r.ic_name.clone(),
+        head: r.head.clone(),
+        body,
+    };
+    let renamed = crate::subst::standardize_apart(&packed, used);
+    let mut it = renamed.body.into_iter();
+    let Some(Literal::Pos(anchor)) = it.next() else {
+        unreachable!("anchor literal is positive by construction");
+    };
+    Residue {
+        ic_index: r.ic_index,
+        ic_name: r.ic_name.clone(),
+        anchor,
+        rest: it.collect(),
+        head: renamed.head,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{CmpOp, Comparison};
+    use crate::term::Term;
+
+    fn ic1() -> Constraint {
+        // IC1: Salary > 40000 <- faculty(OID, Salary)
+        Constraint::named(
+            "IC1",
+            ConstraintHead::Cmp(Comparison::new(
+                Term::var("Salary"),
+                CmpOp::Gt,
+                Term::int(40000),
+            )),
+            vec![Literal::pos(
+                "faculty",
+                vec![Term::var("OID"), Term::var("Salary")],
+            )],
+        )
+    }
+
+    fn ic4() -> Constraint {
+        // IC4: Age >= 30 <- faculty(X, Name, Age)
+        Constraint::named(
+            "IC4",
+            ConstraintHead::Cmp(Comparison::new(Term::var("Age"), CmpOp::Ge, Term::int(30))),
+            vec![Literal::pos(
+                "faculty",
+                vec![Term::var("X"), Term::var("Name"), Term::var("Age")],
+            )],
+        )
+    }
+
+    fn ic5() -> Constraint {
+        // IC5: person(X, Name, Age) <- faculty(X, Name, Age)
+        Constraint::named(
+            "IC5",
+            ConstraintHead::Atom(Atom::new(
+                "person",
+                vec![Term::var("X"), Term::var("Name"), Term::var("Age")],
+            )),
+            vec![Literal::pos(
+                "faculty",
+                vec![Term::var("X"), Term::var("Name"), Term::var("Age")],
+            )],
+        )
+    }
+
+    #[test]
+    fn single_body_literal_residue() {
+        let rs = ResidueSet::compile_with(
+            vec![ic1()],
+            &CompileOptions {
+                derive_strengthened: false,
+                derive_contrapositives: false,
+            },
+        );
+        let rs_fac = rs.residues_for(&PredSym::new("faculty"));
+        assert_eq!(rs_fac.len(), 1);
+        assert!(rs_fac[0].rest.is_empty());
+        assert_eq!(
+            rs_fac[0].head,
+            ConstraintHead::Cmp(Comparison::new(
+                Term::var("Salary"),
+                CmpOp::Gt,
+                Term::int(40000)
+            ))
+        );
+        assert_eq!(rs.residues_for(&PredSym::new("student")).len(), 0);
+    }
+
+    #[test]
+    fn residue_per_body_literal() {
+        // IC with two database literals yields a residue at each.
+        let ic = Constraint::new(
+            ConstraintHead::Cmp(Comparison::new(Term::var("A"), CmpOp::Lt, Term::var("B"))),
+            vec![
+                Literal::pos("p", vec![Term::var("X"), Term::var("A")]),
+                Literal::pos("q", vec![Term::var("X"), Term::var("B")]),
+            ],
+        );
+        let rs = ResidueSet::compile_with(
+            vec![ic],
+            &CompileOptions {
+                derive_strengthened: false,
+                derive_contrapositives: false,
+            },
+        );
+        assert_eq!(rs.residues_for(&PredSym::new("p")).len(), 1);
+        assert_eq!(rs.residues_for(&PredSym::new("q")).len(), 1);
+        assert_eq!(rs.residues_for(&PredSym::new("p"))[0].rest.len(), 1);
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn ic4_ic5_derives_ic6_and_ic6_prime() {
+        let rs = ResidueSet::compile(vec![ic4(), ic5()]);
+        // IC6: Age >= 30 <- faculty(..), person(..)
+        let ic6 = rs.constraints.iter().find(|c| {
+            matches!(&c.head, ConstraintHead::Cmp(_))
+                && c.body.len() == 2
+                && c.body
+                    .iter()
+                    .any(|l| l.pred().map(|p| p.name()) == Some("person"))
+        });
+        assert!(
+            ic6.is_some(),
+            "IC6 should be derived: {:#?}",
+            rs.constraints
+        );
+        // IC6': not faculty(..) <- person(..), Age < 30 — i.e. a residue
+        // anchored at person with a NegAtom(faculty) head.
+        let person_residues = rs.residues_for(&PredSym::new("person"));
+        let scope = person_residues
+            .iter()
+            .find(|r| matches!(&r.head, ConstraintHead::NegAtom(a) if a.pred.name() == "faculty"));
+        assert!(
+            scope.is_some(),
+            "IC6' residue at person: {person_residues:#?}"
+        );
+        let scope = scope.unwrap();
+        // Its remaining body must contain the negated range comparison.
+        assert!(scope
+            .rest
+            .iter()
+            .any(|l| matches!(l, Literal::Cmp(c) if c.op == CmpOp::Lt)));
+    }
+
+    #[test]
+    fn contrapositive_requires_anchor() {
+        // Single-literal IC1 has no contrapositive (removing faculty leaves
+        // nothing to anchor at).
+        let rs = ResidueSet::compile(vec![ic1()]);
+        assert!(rs
+            .constraints
+            .iter()
+            .all(|c| !matches!(&c.head, ConstraintHead::NegAtom(_))));
+    }
+
+    #[test]
+    fn denial_residue_has_empty_head() {
+        let ic = Constraint::new(
+            ConstraintHead::None,
+            vec![
+                Literal::pos("p", vec![Term::var("X")]),
+                Literal::pos("q", vec![Term::var("X")]),
+            ],
+        );
+        let rs = ResidueSet::compile(vec![ic]);
+        let rp = rs.residues_for(&PredSym::new("p"));
+        assert_eq!(rp.len(), 1);
+        assert_eq!(rp[0].head, ConstraintHead::None);
+    }
+
+    #[test]
+    fn standardize_residue_apart_avoids_query_vars() {
+        let rs = ResidueSet::compile(vec![ic1()]);
+        let r = &rs.residues_for(&PredSym::new("faculty"))[0];
+        let used: std::collections::BTreeSet<_> = [
+            crate::term::Var::new("Salary"),
+            crate::term::Var::new("OID"),
+        ]
+        .into_iter()
+        .collect();
+        let fresh = standardize_residue_apart(r, &used);
+        for v in fresh.anchor.vars() {
+            assert!(!used.contains(v), "anchor var {v} clashes");
+        }
+    }
+
+    #[test]
+    fn derived_sets_are_deduplicated() {
+        // Compiling the same IC twice should not duplicate derived ICs.
+        let rs = ResidueSet::compile(vec![ic4(), ic4(), ic5()]);
+        let neg_count = rs
+            .constraints
+            .iter()
+            .filter(|c| matches!(&c.head, ConstraintHead::NegAtom(_)))
+            .count();
+        // Only the faculty-anchored contrapositive of derived IC6 family.
+        assert!(neg_count >= 1);
+        let keys: Vec<String> = rs.constraints.iter().map(|c| c.to_string()).collect();
+        let mut dedup = keys.clone();
+        dedup.sort();
+        dedup.dedup();
+        // Duplicates may exist between the two identical originals, but
+        // derived constraints must be unique.
+        let derived: Vec<_> = keys.iter().skip(3).collect();
+        let mut d2 = derived.clone();
+        d2.sort();
+        d2.dedup();
+        assert_eq!(derived.len(), d2.len());
+    }
+
+    #[test]
+    fn residue_display() {
+        let rs = ResidueSet::compile_with(
+            vec![ic1()],
+            &CompileOptions {
+                derive_strengthened: false,
+                derive_contrapositives: false,
+            },
+        );
+        let r = &rs.residues_for(&PredSym::new("faculty"))[0];
+        assert_eq!(r.to_string(), "{Salary > 40000 <-} @ faculty");
+    }
+}

@@ -1,0 +1,519 @@
+//! Step 3 proper: the search for semantically equivalent queries.
+//!
+//! The paper (Section 4.1) notes that Step 3 is exponential in the number
+//! of integrity constraints applicable to a query and that heuristics must
+//! guide the transformation process so "only promising transformations are
+//! generated". This module implements the bounded breadth-first search
+//! over query variants, deduplicated by a canonical form, with the
+//! heuristic knobs exposed in [`SearchConfig`].
+
+use crate::atom::Literal;
+use crate::clause::Query;
+use crate::transform::{analyse, apply, Analysis, Op, TransformContext};
+use std::collections::{HashSet, VecDeque};
+
+/// When join introduction (`AddAtom`) is explored.
+///
+/// Unrestricted join introduction adds every implied atom (inverse
+/// relationships, superclass memberships, …) and blows up the search
+/// space without enabling anything — exactly the explosion Section 4.1
+/// warns about. The default only introduces atoms that can participate
+/// in a registered view (access support relation), which covers the
+/// paper's IC9/ASR scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinIntro {
+    /// Never introduce atoms.
+    Off,
+    /// Introduce only atoms whose predicate occurs in a registered view
+    /// definition (head or body).
+    ViewRelevant,
+    /// Introduce every implied atom (exhaustive; exponential).
+    All,
+}
+
+/// Heuristic configuration for the equivalent-query search.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Maximum number of transformation steps applied along one path.
+    pub max_depth: usize,
+    /// Maximum number of equivalent queries to produce (including the
+    /// original).
+    pub max_variants: usize,
+    /// Maximum number of analysed nodes (applicability checks are the
+    /// expensive part; this bounds total work).
+    pub max_expansions: usize,
+    /// Enable restriction introduction (`AddCmp`).
+    pub enable_add_cmp: bool,
+    /// Join-introduction policy (`AddAtom`).
+    pub join_intro: JoinIntro,
+    /// Enable scope reduction (`AddNegAtom`).
+    pub enable_add_neg: bool,
+    /// Enable comparison removal (`RemoveCmp`).
+    pub enable_remove_cmp: bool,
+    /// Enable atom/group removal (`RemoveAtoms`).
+    pub enable_remove_atoms: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            max_depth: 4,
+            max_variants: 64,
+            max_expansions: 96,
+            enable_add_cmp: true,
+            join_intro: JoinIntro::ViewRelevant,
+            enable_add_neg: true,
+            enable_remove_cmp: true,
+            enable_remove_atoms: true,
+        }
+    }
+}
+
+impl SearchConfig {
+    fn enabled(&self, op: &Op, ctx: &TransformContext) -> bool {
+        match op {
+            Op::AddCmp(_) => self.enable_add_cmp,
+            Op::AddAtom(a) => match self.join_intro {
+                JoinIntro::Off => false,
+                JoinIntro::All => true,
+                JoinIntro::ViewRelevant => ctx.views.iter().any(|v| {
+                    v.head.pred == a.pred
+                        || v.body
+                            .iter()
+                            .any(|l| l.pred().is_some_and(|p| *p == a.pred))
+                }),
+            },
+            Op::AddNegAtom(_) => self.enable_add_neg,
+            Op::RemoveCmp(_) => self.enable_remove_cmp,
+            Op::RemoveAtoms(_) => self.enable_remove_atoms,
+        }
+    }
+
+    /// Exploration priority: cheaper/more-decisive transformations first
+    /// (folds, removals, key equalities), speculative additions last.
+    fn priority(op: &Op) -> u8 {
+        match op {
+            Op::RemoveAtoms(atoms) if atoms.len() > 1 => 0, // view fold
+            Op::RemoveCmp(_) => 1,
+            Op::AddCmp(c) if c.op == crate::atom::CmpOp::Eq => 2,
+            Op::AddNegAtom(_) => 3,
+            Op::RemoveAtoms(_) => 4,
+            Op::AddCmp(_) => 5,
+            Op::AddAtom(_) => 6,
+        }
+    }
+}
+
+/// One applied transformation step, for provenance reporting.
+#[derive(Debug, Clone)]
+pub struct Step {
+    /// The transformation applied.
+    pub op: Op,
+    /// The justifying constraint/view name, if any.
+    pub ic_name: Option<String>,
+    /// Human-readable explanation.
+    pub note: String,
+}
+
+impl std::fmt::Display for Step {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.ic_name {
+            Some(n) => write!(f, "{} [{n}]", self.op),
+            None => write!(f, "{}", self.op),
+        }
+    }
+}
+
+/// A semantically equivalent query variant.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// The variant query.
+    pub query: Query,
+    /// The steps that produced it from the original.
+    pub steps: Vec<Step>,
+}
+
+/// The difference between the original query and a variant, as literal
+/// multiset changes — exactly what algorithm DATALOG_to_OQL consumes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Delta {
+    /// Literals present in the variant but not the original.
+    pub added: Vec<Literal>,
+    /// Literals present in the original but not the variant.
+    pub removed: Vec<Literal>,
+}
+
+impl Delta {
+    /// Whether the variant is identical to the original.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+impl std::fmt::Display for Delta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        for l in &self.added {
+            if !first {
+                f.write_str("; ")?;
+            }
+            write!(f, "+ {l}")?;
+            first = false;
+        }
+        for l in &self.removed {
+            if !first {
+                f.write_str("; ")?;
+            }
+            write!(f, "- {l}")?;
+            first = false;
+        }
+        if first {
+            f.write_str("(unchanged)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compute the literal-level delta between the original and a variant.
+/// Comparisons are matched up to orientation.
+pub fn delta(original: &Query, variant: &Query) -> Delta {
+    let mut removed: Vec<Literal> = Vec::new();
+    let mut remaining: Vec<Literal> = variant.body.clone();
+    for l in &original.body {
+        let found = remaining.iter().position(|m| lit_eq(l, m));
+        match found {
+            Some(i) => {
+                remaining.remove(i);
+            }
+            None => removed.push(l.clone()),
+        }
+    }
+    Delta {
+        added: remaining,
+        removed,
+    }
+}
+
+fn lit_eq(a: &Literal, b: &Literal) -> bool {
+    match (a, b) {
+        (Literal::Cmp(x), Literal::Cmp(y)) => x.canonical() == y.canonical(),
+        _ => a == b,
+    }
+}
+
+/// The outcome of semantic query optimization on one query.
+#[derive(Debug, Clone)]
+pub enum Outcome {
+    /// The query is unsatisfiable under the integrity constraints: it
+    /// need not be evaluated at all.
+    Contradiction {
+        /// The justifying constraint, if known.
+        ic_name: Option<String>,
+        /// Human-readable explanation.
+        note: String,
+        /// Steps applied before the contradiction surfaced (empty when
+        /// the original query is already contradictory).
+        steps: Vec<Step>,
+    },
+    /// The semantically equivalent queries found (the original is always
+    /// first, with an empty step list).
+    Equivalents(Vec<Variant>),
+}
+
+impl Outcome {
+    /// The variants, if the query is satisfiable.
+    pub fn variants(&self) -> &[Variant] {
+        match self {
+            Outcome::Contradiction { .. } => &[],
+            Outcome::Equivalents(v) => v,
+        }
+    }
+
+    /// Whether SQO proved the query unsatisfiable.
+    pub fn is_contradiction(&self) -> bool {
+        matches!(self, Outcome::Contradiction { .. })
+    }
+}
+
+/// Run the bounded equivalent-query search (Step 3).
+pub fn optimize(q: &Query, ctx: &TransformContext, cfg: &SearchConfig) -> Outcome {
+    let mut variants: Vec<Variant> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut queue: VecDeque<Variant> = VecDeque::new();
+    let mut expansions = 0usize;
+
+    let root = Variant {
+        query: q.clone(),
+        steps: Vec::new(),
+    };
+    seen.insert(q.canonical_key());
+    queue.push_back(root);
+
+    while let Some(node) = queue.pop_front() {
+        if expansions >= cfg.max_expansions {
+            variants.push(node);
+            continue;
+        }
+        expansions += 1;
+        match analyse(&node.query, ctx) {
+            Analysis::Contradiction { ic_name, note } => {
+                return Outcome::Contradiction {
+                    ic_name,
+                    note,
+                    steps: node.steps,
+                };
+            }
+            Analysis::Candidates(mut cands) => {
+                let depth = node.steps.len();
+                if depth < cfg.max_depth {
+                    cands.sort_by_key(|c| SearchConfig::priority(&c.op));
+                    for cand in cands {
+                        if !cfg.enabled(&cand.op, ctx) {
+                            continue;
+                        }
+                        let next = apply(&node.query, &cand.op);
+                        if !next.is_safe() {
+                            continue;
+                        }
+                        let key = next.canonical_key();
+                        if !seen.insert(key) {
+                            continue;
+                        }
+                        if seen.len() > cfg.max_variants {
+                            continue;
+                        }
+                        let mut steps = node.steps.clone();
+                        steps.push(Step {
+                            op: cand.op,
+                            ic_name: cand.ic_name,
+                            note: cand.note,
+                        });
+                        queue.push_back(Variant { query: next, steps });
+                    }
+                }
+                variants.push(node);
+            }
+        }
+    }
+
+    Outcome::Equivalents(variants)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::{Atom, CmpOp, Comparison};
+    use crate::clause::{Constraint, ConstraintHead, Rule};
+    use crate::residue::ResidueSet;
+    use crate::term::Term;
+    use std::collections::BTreeMap;
+
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    fn scope_ctx() -> TransformContext {
+        let ic4 = Constraint::named(
+            "IC4",
+            ConstraintHead::Cmp(Comparison::new(v("Age"), CmpOp::Ge, Term::int(30))),
+            vec![Literal::pos("faculty", vec![v("X"), v("N"), v("Age")])],
+        );
+        let ic5 = Constraint::named(
+            "IC5",
+            ConstraintHead::Atom(Atom::new("person", vec![v("X"), v("N"), v("Age")])),
+            vec![Literal::pos("faculty", vec![v("X"), v("N"), v("Age")])],
+        );
+        TransformContext::new(ResidueSet::compile(vec![ic4, ic5]), vec![], BTreeMap::new())
+    }
+
+    #[test]
+    fn search_finds_scope_reduced_variant() {
+        let q = Query::new(
+            "q",
+            vec![v("Name")],
+            vec![
+                Literal::pos("person", vec![v("X"), v("Name"), v("Age")]),
+                Literal::cmp(v("Age"), CmpOp::Lt, Term::int(30)),
+            ],
+        );
+        let out = optimize(&q, &scope_ctx(), &SearchConfig::default());
+        let variants = out.variants();
+        assert!(variants.len() >= 2);
+        // Original is first, unchanged.
+        assert!(variants[0].steps.is_empty());
+        assert_eq!(variants[0].query, q);
+        // Some variant carries the negative literal.
+        let reduced = variants.iter().find(|va| {
+            va.query
+                .body
+                .iter()
+                .any(|l| matches!(l, Literal::Neg(a) if a.pred.name() == "faculty"))
+        });
+        let reduced = reduced.expect("scope-reduced variant");
+        let d = delta(&q, &reduced.query);
+        assert_eq!(d.added.len(), 1);
+        assert!(d.removed.is_empty());
+    }
+
+    #[test]
+    fn contradiction_short_circuits() {
+        let ic = Constraint::named(
+            "IC1",
+            ConstraintHead::Cmp(Comparison::new(v("S"), CmpOp::Gt, Term::int(40000))),
+            vec![Literal::pos("faculty", vec![v("O"), v("S")])],
+        );
+        let ctx = TransformContext::new(ResidueSet::compile(vec![ic]), vec![], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("O")],
+            vec![
+                Literal::pos("faculty", vec![v("O"), v("Sal")]),
+                Literal::cmp(v("Sal"), CmpOp::Lt, Term::int(20000)),
+            ],
+        );
+        let out = optimize(&q, &ctx, &SearchConfig::default());
+        assert!(out.is_contradiction());
+        if let Outcome::Contradiction { ic_name, .. } = out {
+            assert_eq!(ic_name.as_deref(), Some("IC1"));
+        }
+    }
+
+    #[test]
+    fn depth_zero_returns_only_original() {
+        let q = Query::new(
+            "q",
+            vec![v("Name")],
+            vec![
+                Literal::pos("person", vec![v("X"), v("Name"), v("Age")]),
+                Literal::cmp(v("Age"), CmpOp::Lt, Term::int(30)),
+            ],
+        );
+        let cfg = SearchConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
+        let out = optimize(&q, &scope_ctx(), &cfg);
+        assert_eq!(out.variants().len(), 1);
+    }
+
+    #[test]
+    fn disabled_op_classes_are_not_applied() {
+        let q = Query::new(
+            "q",
+            vec![v("Name")],
+            vec![
+                Literal::pos("person", vec![v("X"), v("Name"), v("Age")]),
+                Literal::cmp(v("Age"), CmpOp::Lt, Term::int(30)),
+            ],
+        );
+        let cfg = SearchConfig {
+            enable_add_neg: false,
+            ..Default::default()
+        };
+        let out = optimize(&q, &scope_ctx(), &cfg);
+        assert!(out
+            .variants()
+            .iter()
+            .all(|va| { va.query.body.iter().all(|l| !matches!(l, Literal::Neg(_))) }));
+    }
+
+    #[test]
+    fn max_variants_bounds_output() {
+        // Many applicable restriction residues blow up the variant space;
+        // the bound must hold.
+        let mut ics = Vec::new();
+        for i in 0..6 {
+            ics.push(Constraint::named(
+                format!("R{i}"),
+                ConstraintHead::Cmp(Comparison::new(v("A"), CmpOp::Gt, Term::int(i))),
+                vec![Literal::pos("p", vec![v("X"), v("A")])],
+            ));
+        }
+        let ctx = TransformContext::new(ResidueSet::compile(ics), vec![], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("X")],
+            vec![Literal::pos("p", vec![v("X"), v("A")])],
+        );
+        let cfg = SearchConfig {
+            max_variants: 5,
+            ..Default::default()
+        };
+        let out = optimize(&q, &ctx, &cfg);
+        assert!(out.variants().len() <= 6);
+    }
+
+    #[test]
+    fn full_application4_q_pipeline() {
+        // Original chain query + ASR view: the search should surface the
+        // folded variant within default bounds.
+        let view = Rule::new(
+            Atom::new("asr", vec![v("X"), v("W")]),
+            vec![
+                Literal::pos("takes", vec![v("X"), v("Y")]),
+                Literal::pos("is_section_of", vec![v("Y"), v("Z")]),
+                Literal::pos("has_sections", vec![v("Z"), v("V")]),
+                Literal::pos("has_ta", vec![v("V"), v("W")]),
+            ],
+        );
+        let ctx = TransformContext::new(ResidueSet::compile(vec![]), vec![view], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("W")],
+            vec![
+                Literal::pos("student", vec![v("X"), v("Name")]),
+                Literal::pos("takes", vec![v("X"), v("Y")]),
+                Literal::pos("is_section_of", vec![v("Y"), v("Z")]),
+                Literal::pos("has_sections", vec![v("Z"), v("V")]),
+                Literal::pos("has_ta", vec![v("V"), v("W")]),
+                Literal::cmp(v("Name"), CmpOp::Eq, Term::str("james")),
+            ],
+        );
+        let out = optimize(&q, &ctx, &SearchConfig::default());
+        let folded = out.variants().iter().find(|va| {
+            va.query.body.len() == 3
+                && va
+                    .query
+                    .body
+                    .iter()
+                    .any(|l| matches!(l, Literal::Pos(a) if a.pred.name() == "asr"))
+        });
+        let folded = folded.expect("folded variant");
+        let d = delta(&q, &folded.query);
+        assert_eq!(d.removed.len(), 4);
+        assert_eq!(d.added.len(), 1);
+    }
+
+    #[test]
+    fn delta_detects_replacement() {
+        let q1 = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![v("X")]),
+                Literal::cmp(v("X"), CmpOp::Eq, v("Y")),
+            ],
+        );
+        let q2 = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![v("X")]),
+                Literal::cmp(v("X"), CmpOp::Lt, v("Y")),
+            ],
+        );
+        let d = delta(&q1, &q2);
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.removed.len(), 1);
+        // Orientation-insensitive match keeps flipped comparisons equal.
+        let q3 = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![v("X")]),
+                Literal::cmp(v("Y"), CmpOp::Eq, v("X")),
+            ],
+        );
+        assert!(delta(&q1, &q3).is_empty());
+    }
+}

@@ -1,0 +1,468 @@
+//! A sound decision procedure for conjunctions of comparison literals.
+//!
+//! The residue method needs two judgements about sets of evaluable atoms
+//! (`X = Y`, `Age > 30`, `Name1 = "john"`, …):
+//!
+//! * **Satisfiability** — after a residue adds a comparison to a query, an
+//!   unsatisfiable set means the query is contradictory and need not be
+//!   evaluated (Example 1 and Application 1 of the paper).
+//! * **Implication** — a comparison implied by the rest of the set is
+//!   redundant and can be removed; implication is also how a residue's
+//!   evaluable body literals are matched against the query.
+//!
+//! The solver treats the numeric domain as *dense* (reals): `X > 3 ∧ X < 4`
+//! is satisfiable. This is sound for contradiction detection (it never
+//! reports a false contradiction) and matches the paper's examples, which
+//! never rely on integer gaps. Implication is decided as
+//! `unsat(set ∪ {¬c})`, which is likewise sound.
+//!
+//! Implementation: a union-find over term nodes for equalities, plus a
+//! transitive closure over `≤`/`<` edges where strictness is the path
+//! maximum. Non-strict cycles merge their nodes; a strict cycle, a merged
+//! disequality, two distinct constants in one class, or a derived
+//! constant-to-constant edge that contradicts the real order each yield
+//! *unsatisfiable*.
+
+use crate::atom::{CmpOp, Comparison};
+use crate::term::{Const, Term};
+use std::collections::HashMap;
+
+/// Result of a satisfiability check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sat {
+    /// The constraint set has a model.
+    Satisfiable,
+    /// The constraint set is contradictory.
+    Unsatisfiable,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Strict {
+    NonStrict,
+    Strict,
+}
+
+/// A conjunction of comparison constraints over variables and constants.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSet {
+    nodes: Vec<Term>,
+    index: HashMap<Term, usize>,
+    /// Asserted equalities (pairs of node ids).
+    eqs: Vec<(usize, usize)>,
+    /// Asserted `a ≤ b` / `a < b` edges.
+    edges: Vec<(usize, usize, Strict)>,
+    /// Asserted disequalities.
+    diseqs: Vec<(usize, usize)>,
+    /// Set when an assertion is immediately inconsistent (e.g. `"a" < 3`).
+    poisoned: bool,
+}
+
+impl ConstraintSet {
+    /// An empty (trivially satisfiable) constraint set.
+    pub fn new() -> Self {
+        ConstraintSet::default()
+    }
+
+    /// Build a constraint set from comparisons.
+    pub fn from_comparisons<'a>(cmps: impl IntoIterator<Item = &'a Comparison>) -> Self {
+        let mut s = ConstraintSet::new();
+        for c in cmps {
+            s.assert_cmp(c);
+        }
+        s
+    }
+
+    fn node(&mut self, t: &Term) -> usize {
+        if let Some(&i) = self.index.get(t) {
+            return i;
+        }
+        let i = self.nodes.len();
+        self.nodes.push(t.clone());
+        self.index.insert(t.clone(), i);
+        i
+    }
+
+    /// Assert a comparison. Returns `self` satisfiability *after* the
+    /// assertion (recomputed from scratch; cheap at query sizes).
+    pub fn assert_cmp(&mut self, c: &Comparison) -> Sat {
+        let l = self.node(&c.lhs);
+        let r = self.node(&c.rhs);
+        // Order comparisons between incomparable constant types poison the
+        // set immediately (a query `"a" < 3` can never hold).
+        if let (Term::Const(a), Term::Const(b)) = (&c.lhs, &c.rhs) {
+            let order_op = !matches!(c.op, CmpOp::Eq | CmpOp::Ne);
+            if order_op && a.order(b).is_none() {
+                self.poisoned = true;
+            }
+        }
+        match c.op {
+            CmpOp::Eq => self.eqs.push((l, r)),
+            CmpOp::Ne => self.diseqs.push((l, r)),
+            CmpOp::Lt => self.edges.push((l, r, Strict::Strict)),
+            CmpOp::Le => self.edges.push((l, r, Strict::NonStrict)),
+            CmpOp::Gt => self.edges.push((r, l, Strict::Strict)),
+            CmpOp::Ge => self.edges.push((r, l, Strict::NonStrict)),
+        }
+        self.check()
+    }
+
+    /// Check satisfiability of the currently asserted constraints.
+    pub fn check(&self) -> Sat {
+        if self.poisoned {
+            return Sat::Unsatisfiable;
+        }
+        let n = self.nodes.len();
+        let mut uf = UnionFind::new(n);
+        for &(a, b) in &self.eqs {
+            uf.union(a, b);
+        }
+        loop {
+            // Representative-level closure over order edges.
+            let mut reach: HashMap<(usize, usize), Strict> = HashMap::new();
+            let add = |m: &mut HashMap<(usize, usize), Strict>, a: usize, b: usize, s: Strict| {
+                let e = m.entry((a, b)).or_insert(s);
+                if s > *e {
+                    *e = s;
+                }
+            };
+            for &(a, b, s) in &self.edges {
+                add(&mut reach, uf.find(a), uf.find(b), s);
+            }
+            // Implicit edges between comparable constants reflect the real
+            // order, so that e.g. `30 < X, X < 18` closes through `30 → 18`
+            // and is caught against `18 < 30`.
+            // (We only need the *check* direction: derived const→const
+            // edges are validated below against Const::order.)
+            let reps: Vec<usize> = {
+                let mut r: Vec<usize> = (0..n).map(|i| uf.find(i)).collect();
+                r.sort_unstable();
+                r.dedup();
+                r
+            };
+            // Floyd–Warshall with strictness as path maximum.
+            let mut closed = reach.clone();
+            for &k in &reps {
+                for &i in &reps {
+                    let Some(&s1) = closed.get(&(i, k)) else {
+                        continue;
+                    };
+                    for &j in &reps {
+                        let Some(&s2) = closed.get(&(k, j)) else {
+                            continue;
+                        };
+                        let s = s1.max(s2);
+                        let e = closed.entry((i, j)).or_insert(s);
+                        if s > *e {
+                            *e = s;
+                        }
+                    }
+                }
+            }
+            // Strict self-loop ⇒ unsat.
+            for &i in &reps {
+                if closed.get(&(i, i)) == Some(&Strict::Strict) {
+                    return Sat::Unsatisfiable;
+                }
+            }
+            // Pin each class to its constant (if any); two distinct
+            // constants in one class ⇒ unsat.
+            let mut class_const: HashMap<usize, &Const> = HashMap::new();
+            for (i, t) in self.nodes.iter().enumerate() {
+                if let Term::Const(c) = t {
+                    let rep = uf.find(i);
+                    if let Some(prev) = class_const.get(&rep) {
+                        if !prev.same_value(c) {
+                            return Sat::Unsatisfiable;
+                        }
+                    } else {
+                        class_const.insert(rep, c);
+                    }
+                }
+            }
+            // Validate derived constant-to-constant relations against the
+            // real order.
+            for (&(a, b), &s) in &closed {
+                if a == b {
+                    continue;
+                }
+                if let (Some(&ca), Some(&cb)) = (class_const.get(&a), class_const.get(&b)) {
+                    match ca.order(cb) {
+                        None => return Sat::Unsatisfiable,
+                        Some(ord) => {
+                            let op = if s == Strict::Strict {
+                                CmpOp::Lt
+                            } else {
+                                CmpOp::Le
+                            };
+                            if !op.test(ord) {
+                                return Sat::Unsatisfiable;
+                            }
+                        }
+                    }
+                }
+            }
+            // Non-strict cycles merge their endpoints; iterate to fixpoint.
+            let mut merged = false;
+            for (&(a, b), &s) in &closed {
+                if a != b
+                    && s == Strict::NonStrict
+                    && closed.get(&(b, a)).copied() == Some(Strict::NonStrict)
+                    && uf.find(a) != uf.find(b)
+                {
+                    uf.union(a, b);
+                    merged = true;
+                }
+            }
+            if !merged {
+                // Disequality violated by the final classes ⇒ unsat.
+                for &(a, b) in &self.diseqs {
+                    let (ra, rb) = (uf.find(a), uf.find(b));
+                    if ra == rb {
+                        return Sat::Unsatisfiable;
+                    }
+                    // Classes pinned to the same constant value (covers
+                    // syntactically distinct but equal constants too).
+                    if let (Some(&x), Some(&y)) = (class_const.get(&ra), class_const.get(&rb)) {
+                        if x.same_value(y) {
+                            return Sat::Unsatisfiable;
+                        }
+                    }
+                }
+                return Sat::Satisfiable;
+            }
+        }
+    }
+
+    /// Whether the set entails the given comparison, decided as
+    /// `unsat(self ∧ ¬c)`. Sound; incomplete only for disjunctive
+    /// disequality reasoning.
+    pub fn implies(&self, c: &Comparison) -> bool {
+        // Ground comparisons decide directly where possible.
+        if let (Term::Const(a), Term::Const(b)) = (&c.lhs, &c.rhs) {
+            match c.op {
+                CmpOp::Eq => return a.same_value(b),
+                CmpOp::Ne => return !a.same_value(b),
+                _ => {
+                    if let Some(ord) = a.order(b) {
+                        return c.op.test(ord);
+                    }
+                }
+            }
+        }
+        let mut probe = self.clone();
+        probe.assert_cmp(&c.negate()) == Sat::Unsatisfiable
+    }
+
+    /// Whether the two terms are entailed equal.
+    pub fn entails_equal(&self, a: &Term, b: &Term) -> bool {
+        self.implies(&Comparison::eq(a.clone(), b.clone()))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra.max(rb)] = ra.min(rb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp(l: Term, op: CmpOp, r: Term) -> Comparison {
+        Comparison::new(l, op, r)
+    }
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+    fn i(x: i64) -> Term {
+        Term::int(x)
+    }
+
+    #[test]
+    fn example1_contradiction_age_lt18_gt30() {
+        // The paper's Example 1: Age < 18 together with residue Age > 30.
+        let mut s = ConstraintSet::new();
+        assert_eq!(
+            s.assert_cmp(&cmp(v("Age"), CmpOp::Lt, i(18))),
+            Sat::Satisfiable
+        );
+        assert_eq!(
+            s.assert_cmp(&cmp(v("Age"), CmpOp::Gt, i(30))),
+            Sat::Unsatisfiable
+        );
+    }
+
+    #[test]
+    fn application1_contradiction_v_lt1000_gt3000() {
+        // Application 1: V < 1000 together with residue V > 3000.
+        let s = ConstraintSet::from_comparisons(&[
+            cmp(v("V"), CmpOp::Lt, i(1000)),
+            cmp(v("V"), CmpOp::Gt, i(3000)),
+        ]);
+        assert_eq!(s.check(), Sat::Unsatisfiable);
+    }
+
+    #[test]
+    fn transitive_chains() {
+        let s = ConstraintSet::from_comparisons(&[
+            cmp(v("X"), CmpOp::Lt, v("Y")),
+            cmp(v("Y"), CmpOp::Le, v("Z")),
+            cmp(v("Z"), CmpOp::Lt, v("X")),
+        ]);
+        assert_eq!(s.check(), Sat::Unsatisfiable);
+        let s2 = ConstraintSet::from_comparisons(&[
+            cmp(v("X"), CmpOp::Le, v("Y")),
+            cmp(v("Y"), CmpOp::Le, v("Z")),
+            cmp(v("Z"), CmpOp::Le, v("X")),
+        ]);
+        assert_eq!(s2.check(), Sat::Satisfiable); // all equal is a model
+    }
+
+    #[test]
+    fn nonstrict_cycle_merges_and_violates_diseq() {
+        let s = ConstraintSet::from_comparisons(&[
+            cmp(v("X"), CmpOp::Le, v("Y")),
+            cmp(v("Y"), CmpOp::Le, v("X")),
+            cmp(v("X"), CmpOp::Ne, v("Y")),
+        ]);
+        assert_eq!(s.check(), Sat::Unsatisfiable);
+    }
+
+    #[test]
+    fn equality_pins_constants() {
+        let s = ConstraintSet::from_comparisons(&[
+            cmp(v("X"), CmpOp::Eq, i(3)),
+            cmp(v("X"), CmpOp::Eq, i(4)),
+        ]);
+        assert_eq!(s.check(), Sat::Unsatisfiable);
+        let s2 = ConstraintSet::from_comparisons(&[
+            cmp(v("X"), CmpOp::Eq, i(3)),
+            cmp(v("Y"), CmpOp::Eq, v("X")),
+            cmp(v("Y"), CmpOp::Gt, i(2)),
+        ]);
+        assert_eq!(s2.check(), Sat::Satisfiable);
+        let s3 = ConstraintSet::from_comparisons(&[
+            cmp(v("X"), CmpOp::Eq, i(3)),
+            cmp(v("Y"), CmpOp::Eq, v("X")),
+            cmp(v("Y"), CmpOp::Gt, i(3)),
+        ]);
+        assert_eq!(s3.check(), Sat::Unsatisfiable);
+    }
+
+    #[test]
+    fn string_equality_and_order() {
+        let s = ConstraintSet::from_comparisons(&[
+            cmp(v("N"), CmpOp::Eq, Term::str("john")),
+            cmp(v("N"), CmpOp::Eq, Term::str("james")),
+        ]);
+        assert_eq!(s.check(), Sat::Unsatisfiable);
+        let s2 = ConstraintSet::from_comparisons(&[
+            cmp(v("N"), CmpOp::Gt, Term::str("a")),
+            cmp(v("N"), CmpOp::Lt, Term::str("b")),
+        ]);
+        assert_eq!(s2.check(), Sat::Satisfiable);
+    }
+
+    #[test]
+    fn cross_type_order_is_unsat() {
+        let s = ConstraintSet::from_comparisons(&[cmp(Term::str("a"), CmpOp::Lt, i(3))]);
+        assert_eq!(s.check(), Sat::Unsatisfiable);
+        // But cross-type disequality is fine (always true).
+        let s2 = ConstraintSet::from_comparisons(&[cmp(Term::str("a"), CmpOp::Ne, i(3))]);
+        assert_eq!(s2.check(), Sat::Satisfiable);
+        // Cross-type equality is unsat.
+        let s3 = ConstraintSet::from_comparisons(&[cmp(Term::str("a"), CmpOp::Eq, i(3))]);
+        assert_eq!(s3.check(), Sat::Unsatisfiable);
+    }
+
+    #[test]
+    fn dense_domain_gap_is_satisfiable() {
+        // Over the reals X with 3 < X < 4 has a model; the solver must NOT
+        // report a contradiction (sound w.r.t. the dense interpretation).
+        let s = ConstraintSet::from_comparisons(&[
+            cmp(v("X"), CmpOp::Gt, i(3)),
+            cmp(v("X"), CmpOp::Lt, i(4)),
+        ]);
+        assert_eq!(s.check(), Sat::Satisfiable);
+    }
+
+    #[test]
+    fn implication_basics() {
+        let s = ConstraintSet::from_comparisons(&[cmp(v("X"), CmpOp::Gt, i(30))]);
+        assert!(s.implies(&cmp(v("X"), CmpOp::Gt, i(20))));
+        assert!(s.implies(&cmp(v("X"), CmpOp::Ge, i(30))));
+        assert!(s.implies(&cmp(v("X"), CmpOp::Ne, i(30))));
+        assert!(!s.implies(&cmp(v("X"), CmpOp::Gt, i(40))));
+        assert!(!s.implies(&cmp(v("X"), CmpOp::Lt, i(40))));
+    }
+
+    #[test]
+    fn implication_via_equalities() {
+        let s = ConstraintSet::from_comparisons(&[
+            cmp(v("X"), CmpOp::Eq, v("Y")),
+            cmp(v("Y"), CmpOp::Eq, v("Z")),
+        ]);
+        assert!(s.entails_equal(&v("X"), &v("Z")));
+        assert!(s.implies(&cmp(v("Z"), CmpOp::Eq, v("X"))));
+        assert!(!s.entails_equal(&v("X"), &v("W")));
+    }
+
+    #[test]
+    fn implication_antisymmetry() {
+        let s = ConstraintSet::from_comparisons(&[
+            cmp(v("X"), CmpOp::Le, v("Y")),
+            cmp(v("Y"), CmpOp::Le, v("X")),
+        ]);
+        assert!(s.entails_equal(&v("X"), &v("Y")));
+    }
+
+    #[test]
+    fn ground_implication_fast_path() {
+        let s = ConstraintSet::new();
+        assert!(s.implies(&cmp(i(3), CmpOp::Lt, i(4))));
+        assert!(!s.implies(&cmp(i(4), CmpOp::Lt, i(3))));
+        assert!(s.implies(&cmp(Term::str("a"), CmpOp::Ne, i(3))));
+        assert!(s.implies(&cmp(Term::real(3.0), CmpOp::Eq, i(3))));
+    }
+
+    #[test]
+    fn mixed_int_real_bounds() {
+        let s = ConstraintSet::from_comparisons(&[
+            cmp(v("X"), CmpOp::Gt, Term::real(0.5)),
+            cmp(v("X"), CmpOp::Lt, i(0)),
+        ]);
+        assert_eq!(s.check(), Sat::Unsatisfiable);
+    }
+
+    #[test]
+    fn empty_set_is_satisfiable_and_implies_nothing_contingent() {
+        let s = ConstraintSet::new();
+        assert_eq!(s.check(), Sat::Satisfiable);
+        assert!(!s.implies(&cmp(v("X"), CmpOp::Lt, v("Y"))));
+        assert!(s.implies(&cmp(v("X"), CmpOp::Eq, v("X"))));
+        assert!(s.implies(&cmp(v("X"), CmpOp::Le, v("X"))));
+    }
+}

@@ -1,0 +1,993 @@
+//! Query-time application of residues: Step 3 of the paper's pipeline.
+//!
+//! Given a query and the compiled [`crate::residue::ResidueSet`],
+//! this module enumerates the *atomic semantic transformations* justified
+//! by the integrity constraints:
+//!
+//! * **Contradiction** — a denial residue matches, or a residue head
+//!   conflicts with the query's comparison constraints (Example 1,
+//!   Application 1);
+//! * **AddCmp** — a comparison head is attached (restriction introduction;
+//!   also the key-equality `Z = W` of Application 3);
+//! * **AddAtom** — an atom head is attached (join introduction: IC9 and
+//!   the forward direction of an access-support-relation definition,
+//!   Application 4);
+//! * **AddNegAtom** — a negated-atom head is attached (access scope
+//!   reduction via IC6′, Application 2);
+//! * **RemoveCmp** — a comparison implied by the rest of the query is
+//!   dropped (the `Name1 = Name2` of Application 3);
+//! * **RemoveAtoms** — a group of positive atoms implied by the rest of
+//!   the query (validated by the bounded chase) is dropped (join
+//!   elimination; the ASR fold of Application 4).
+
+use crate::atom::{Atom, Comparison, Literal, PredSym};
+use crate::chase::{group_removal_sound, ChaseBudget, ChaseContext};
+use crate::clause::{ConstraintHead, Query, Rule};
+use crate::residue::{standardize_residue_apart, ResidueSet};
+use crate::solver::{ConstraintSet, Sat};
+use crate::subst::Subst;
+use crate::subsume::{match_body_onto, MatchTarget};
+use crate::term::{Term, Var};
+use crate::unify::match_atoms;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// An atomic semantic transformation of a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Append a comparison literal to the body.
+    AddCmp(Comparison),
+    /// Append a positive atom to the body (join introduction).
+    AddAtom(Atom),
+    /// Append a negated atom to the body (scope reduction).
+    AddNegAtom(Atom),
+    /// Remove a comparison literal implied by the remaining body.
+    RemoveCmp(Comparison),
+    /// Remove a group of positive atoms implied by the remaining body.
+    /// Groups arise from view folds (Application 4); single-atom removal
+    /// is the common case.
+    RemoveAtoms(Vec<Atom>),
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::AddCmp(c) => write!(f, "add {c}"),
+            Op::AddAtom(a) => write!(f, "add {a}"),
+            Op::AddNegAtom(a) => write!(f, "add not {a}"),
+            Op::RemoveCmp(c) => write!(f, "remove {c}"),
+            Op::RemoveAtoms(atoms) => {
+                f.write_str("remove ")?;
+                for (i, a) in atoms.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// A candidate transformation together with its provenance.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// The transformation.
+    pub op: Op,
+    /// Name of the justifying integrity constraint or view, if any.
+    pub ic_name: Option<String>,
+    /// Human-readable explanation for reports.
+    pub note: String,
+}
+
+/// The result of analysing a query against the compiled constraints.
+#[derive(Debug, Clone)]
+pub enum Analysis {
+    /// The query can never produce answers; it need not be evaluated.
+    Contradiction {
+        /// Justifying constraint name, if known.
+        ic_name: Option<String>,
+        /// Human-readable explanation.
+        note: String,
+    },
+    /// The applicable transformations (possibly empty).
+    Candidates(Vec<Candidate>),
+}
+
+/// Everything the transformer needs besides the query itself.
+pub struct TransformContext {
+    /// Compiled residues.
+    pub residues: ResidueSet,
+    /// Chase dependencies (derived from the same constraints + views).
+    pub chase: ChaseContext,
+    /// View definitions usable for folding (access support relations).
+    pub views: Vec<Rule>,
+    /// Functional-dependency map: `pred → k` means the first `k`
+    /// arguments determine the rest.
+    pub functional: BTreeMap<PredSym, usize>,
+    /// Chase budget for removal checks.
+    pub budget: ChaseBudget,
+}
+
+impl TransformContext {
+    /// Build a context from compiled residues, views and OID-functional
+    /// relations. The chase context is derived from the full (original +
+    /// derived) constraint set.
+    pub fn new(
+        residues: ResidueSet,
+        views: Vec<Rule>,
+        functional: BTreeMap<PredSym, usize>,
+    ) -> Self {
+        let chase = ChaseContext::from_constraints(
+            &residues.constraints,
+            views.clone(),
+            functional.clone(),
+        );
+        TransformContext {
+            residues,
+            chase,
+            views,
+            functional,
+            budget: ChaseBudget::default(),
+        }
+    }
+
+    /// A context with no semantic knowledge at all.
+    pub fn empty() -> Self {
+        TransformContext::new(ResidueSet::default(), Vec::new(), BTreeMap::new())
+    }
+}
+
+/// Build the query's comparison context: its own comparison literals plus
+/// equalities derived by OID-functional congruence (two atoms of an
+/// OID-functional relation with entailed-equal OIDs have pairwise equal
+/// attributes — the paper's IC8).
+pub fn query_solver(q: &Query, functional: &BTreeMap<PredSym, usize>) -> ConstraintSet {
+    let mut solver = ConstraintSet::new();
+    for l in &q.body {
+        if let Literal::Cmp(c) = l {
+            solver.assert_cmp(c);
+        }
+    }
+    // Congruence fixpoint.
+    let atoms: Vec<&Atom> = q.positive_atoms().collect();
+    loop {
+        let mut new_eqs: Vec<Comparison> = Vec::new();
+        for (i, a) in atoms.iter().enumerate() {
+            let Some(&k) = functional.get(&a.pred) else {
+                continue;
+            };
+            if a.args.len() < k {
+                continue;
+            }
+            for b in atoms.iter().skip(i + 1) {
+                if a.pred != b.pred || a.args.len() != b.args.len() {
+                    continue;
+                }
+                let prefix_eq = a.args[..k]
+                    .iter()
+                    .zip(&b.args[..k])
+                    .all(|(x, y)| x == y || solver.entails_equal(x, y));
+                if prefix_eq {
+                    for (x, y) in a.args.iter().zip(&b.args).skip(k) {
+                        if x != y {
+                            let eq = Comparison::eq(x.clone(), y.clone());
+                            if !solver.implies(&eq) {
+                                new_eqs.push(eq);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if new_eqs.is_empty() {
+            break;
+        }
+        for eq in new_eqs {
+            solver.assert_cmp(&eq);
+        }
+    }
+    solver
+}
+
+/// Analyse the query: detect contradictions and enumerate candidate
+/// transformations.
+pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
+    let solver = query_solver(q, &ctx.functional);
+    if solver.check() == Sat::Unsatisfiable {
+        return Analysis::Contradiction {
+            ic_name: None,
+            note: "the query's own comparison literals are inconsistent".into(),
+        };
+    }
+    let mut candidates: Vec<Candidate> = Vec::new();
+    let qvars = q.vars();
+    let target = MatchTarget::new(&q.body, &solver);
+
+    // Residue applications.
+    for lit in &q.body {
+        let Literal::Pos(anchor_target) = lit else {
+            continue;
+        };
+        for residue in ctx.residues.residues_for(&anchor_target.pred) {
+            let residue = standardize_residue_apart(residue, &qvars);
+            let mut seed = Subst::new();
+            if !match_atoms(&residue.anchor, anchor_target, &mut seed) {
+                continue;
+            }
+            for theta in match_body_onto(&residue.rest, &target, &seed) {
+                let head = theta.apply_head(&residue.head);
+                let provenance = residue.ic_name.clone();
+                match head {
+                    ConstraintHead::None => {
+                        return Analysis::Contradiction {
+                            ic_name: provenance,
+                            note: format!(
+                                "denial constraint{} fully matches the query",
+                                name_suffix(&residue.ic_name)
+                            ),
+                        };
+                    }
+                    ConstraintHead::Cmp(c) => {
+                        // Heads mentioning unresolved residue variables are
+                        // existential and carry no usable restriction.
+                        if has_foreign_var(&c, &qvars) {
+                            continue;
+                        }
+                        let mut probe = solver.clone();
+                        if probe.assert_cmp(&c) == Sat::Unsatisfiable {
+                            return Analysis::Contradiction {
+                                ic_name: provenance,
+                                note: format!(
+                                    "residue head `{c}`{} contradicts the query",
+                                    name_suffix(&residue.ic_name)
+                                ),
+                            };
+                        }
+                        if solver.implies(&c) || q.contains(&Literal::Cmp(c.clone())) {
+                            continue;
+                        }
+                        push_candidate(
+                            &mut candidates,
+                            Candidate {
+                                note: format!("restriction `{c}` attached by residue"),
+                                op: Op::AddCmp(c),
+                                ic_name: provenance,
+                            },
+                        );
+                    }
+                    ConstraintHead::Atom(a) => {
+                        // Adding is pointless if an existing atom already
+                        // subsumes the candidate: same predicate, and every
+                        // position that is bound to a query term agrees
+                        // (foreign/existential positions match anything).
+                        if atom_subsumed_in_query(&a, q, &qvars, &solver) {
+                            continue;
+                        }
+                        // Rename leftover residue variables to fresh query
+                        // variables (they are existential witnesses).
+                        let a = freshen_foreign_vars(&a, &qvars);
+                        push_candidate(
+                            &mut candidates,
+                            Candidate {
+                                note: format!("join introduction: `{a}` implied by the query"),
+                                op: Op::AddAtom(a),
+                                ic_name: provenance,
+                            },
+                        );
+                    }
+                    ConstraintHead::NegAtom(a) => {
+                        // At least one variable must be anchored to the
+                        // query; the rest are existential under the
+                        // negation (partially-bound anti-join) and get
+                        // fresh negation-local names.
+                        if !a.vars().any(|v| qvars.contains(v)) {
+                            continue;
+                        }
+                        // Dedup against existing negated atoms, treating
+                        // negation-local variables (occurring once in the
+                        // whole query) as wildcards on both sides.
+                        let local_ok = |b: &Atom, cand: &Atom| {
+                            b.pred == cand.pred
+                                && b.args.len() == cand.args.len()
+                                && b.args.iter().zip(&cand.args).all(|(x, y)| {
+                                    x == y || (term_occurs_once(x, q) && !var_in(y, &qvars))
+                                })
+                        };
+                        if q.body
+                            .iter()
+                            .any(|l| matches!(l, Literal::Neg(b) if local_ok(b, &a)))
+                        {
+                            continue;
+                        }
+                        let a = freshen_foreign_vars(&a, &qvars);
+                        // A positively required identical atom would make
+                        // the query contradictory (existential positions
+                        // match anything).
+                        let clash = q.positive_atoms().any(|b| {
+                            b.pred == a.pred
+                                && b.args.len() == a.args.len()
+                                && b.args.iter().zip(&a.args).all(|(x, y)| {
+                                    x == y || !var_in(y, &qvars) || solver.entails_equal(x, y)
+                                })
+                        });
+                        if clash {
+                            return Analysis::Contradiction {
+                                ic_name: provenance,
+                                note: format!(
+                                    "residue head `not {a}`{} contradicts a required atom",
+                                    name_suffix(&residue.ic_name)
+                                ),
+                            };
+                        }
+                        push_candidate(
+                            &mut candidates,
+                            Candidate {
+                                note: format!(
+                                    "scope reduction: answers cannot lie in `{}`",
+                                    a.pred
+                                ),
+                                op: Op::AddNegAtom(a),
+                                ic_name: provenance,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Comparison removal: a comparison implied by the rest of the body.
+    for (i, l) in q.body.iter().enumerate() {
+        let Literal::Cmp(c) = l else { continue };
+        let rest: Vec<Literal> = q
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, l)| l.clone())
+            .collect();
+        let rest_query = Query::new(q.name.clone(), q.projection.clone(), rest);
+        let rest_solver = query_solver(&rest_query, &ctx.functional);
+        if rest_solver.implies(c) {
+            push_candidate(
+                &mut candidates,
+                Candidate {
+                    note: format!("`{c}` is implied by the rest of the query"),
+                    op: Op::RemoveCmp(c.clone()),
+                    ic_name: None,
+                },
+            );
+        }
+    }
+
+    // Single-atom removal validated by the chase.
+    let proj_vars: BTreeSet<Var> = q
+        .projection
+        .iter()
+        .filter_map(Term::as_var)
+        .cloned()
+        .collect();
+    // Prefilter: an atom can only be derivable by the chase if its
+    // predicate is the head of some tgd, occurs in a view body (reverse
+    // view firing), or appears more than once in the query (congruence /
+    // egd merging can expose duplicates).
+    let derivable_pred = |pred: &PredSym| {
+        ctx.chase.tgds.iter().any(|t| match &t.head {
+            crate::clause::ConstraintHead::Atom(h) => h.pred == *pred,
+            _ => false,
+        }) || ctx
+            .views
+            .iter()
+            .any(|v| v.body.iter().any(|l| l.pred() == Some(pred)))
+    };
+    for (i, l) in q.body.iter().enumerate() {
+        let Literal::Pos(a) = l else { continue };
+        let duplicated = q.positive_atoms().filter(|b| b.pred == a.pred).count() > 1;
+        if !duplicated && !derivable_pred(&a.pred) {
+            continue;
+        }
+        let kept: Vec<Literal> = q
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i)
+            .map(|(_, l)| l.clone())
+            .collect();
+        // Removal must keep the query safe.
+        let candidate_query = Query::new(q.name.clone(), q.projection.clone(), kept.clone());
+        if !candidate_query.is_safe() {
+            continue;
+        }
+        if group_removal_sound(
+            &kept,
+            std::slice::from_ref(a),
+            &proj_vars,
+            &ctx.chase,
+            &solver,
+            ctx.budget.clone(),
+        ) {
+            push_candidate(
+                &mut candidates,
+                Candidate {
+                    note: format!("join elimination: `{a}` is implied by the rest of the query"),
+                    op: Op::RemoveAtoms(vec![a.clone()]),
+                    ic_name: None,
+                },
+            );
+        }
+    }
+
+    // View folds (access support relations).
+    for view in &ctx.views {
+        for cand in fold_view_candidates(q, view, &solver, ctx, &proj_vars) {
+            push_candidate(&mut candidates, cand);
+        }
+    }
+
+    Analysis::Candidates(candidates)
+}
+
+/// Enumerate view-related candidates for one view definition.
+///
+/// Two phases: if the view head is not yet in the query but the view body
+/// matches, propose introducing the head atom (sound: the definition acts
+/// as the IC `head ← body`). If the head *is* present, propose removing
+/// the largest chase-validated subset of the matched body literals — the
+/// actual fold.
+fn fold_view_candidates(
+    q: &Query,
+    view: &Rule,
+    solver: &ConstraintSet,
+    ctx: &TransformContext,
+    proj_vars: &BTreeSet<Var>,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let qvars = q.vars();
+    let packed = crate::clause::Constraint {
+        name: None,
+        head: ConstraintHead::Atom(view.head.clone()),
+        body: view.body.clone(),
+    };
+    let fresh = crate::subst::standardize_apart(&packed, &qvars);
+    let ConstraintHead::Atom(head) = &fresh.head else {
+        return out;
+    };
+    let target = MatchTarget::new(&q.body, solver);
+    for theta in match_body_onto(&fresh.body, &target, &Subst::new()) {
+        let head_inst = theta.apply_atom(head);
+        if has_foreign_atom_var(&head_inst, &qvars) {
+            // The view head must be fully determined by the match.
+            continue;
+        }
+        let head_present = q
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Pos(b) if *b == head_inst));
+        let matched: Vec<Atom> = fresh
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Pos(a) => Some(theta.apply_atom(a)),
+                _ => None,
+            })
+            .collect();
+        if !head_present {
+            out.push(Candidate {
+                note: format!(
+                    "introduce access support relation `{}` for the matched path",
+                    view.head.pred
+                ),
+                op: Op::AddAtom(head_inst),
+                ic_name: Some(format!("view {}", view.head.pred)),
+            });
+            continue;
+        }
+        // Fold phase: try removing all matched literals, then all except
+        // those mentioning projected variables (the paper's Q1 case keeps
+        // has_ta(V, W) because V is projected).
+        let attempts: [Vec<Atom>; 2] = [
+            matched.clone(),
+            matched
+                .iter()
+                .filter(|a| !a.vars().any(|v| proj_vars.contains(v)))
+                .cloned()
+                .collect(),
+        ];
+        for removal in attempts {
+            if removal.is_empty() {
+                continue;
+            }
+            let mut kept: Vec<Literal> = Vec::new();
+            let mut to_remove = removal.clone();
+            for l in &q.body {
+                if let Literal::Pos(a) = l {
+                    if let Some(pos) = to_remove.iter().position(|r| r == a) {
+                        to_remove.remove(pos);
+                        continue;
+                    }
+                }
+                kept.push(l.clone());
+            }
+            if !to_remove.is_empty() {
+                continue;
+            }
+            let folded = Query::new(q.name.clone(), q.projection.clone(), kept.clone());
+            if !folded.is_safe() {
+                continue;
+            }
+            if group_removal_sound(
+                &kept,
+                &removal,
+                proj_vars,
+                &ctx.chase,
+                solver,
+                ctx.budget.clone(),
+            ) {
+                out.push(Candidate {
+                    note: format!(
+                        "fold path expression into access support relation `{}`",
+                        view.head.pred
+                    ),
+                    op: Op::RemoveAtoms(removal),
+                    ic_name: Some(format!("view {}", view.head.pred)),
+                });
+                break; // largest sound removal found for this match
+            }
+        }
+    }
+    out
+}
+
+/// Apply a transformation, returning the new query. Additions are
+/// appended at the end of the body, matching the paper's presentation.
+pub fn apply(q: &Query, op: &Op) -> Query {
+    let mut body = q.body.clone();
+    match op {
+        Op::AddCmp(c) => body.push(Literal::Cmp(c.clone())),
+        Op::AddAtom(a) => body.push(Literal::Pos(a.clone())),
+        Op::AddNegAtom(a) => body.push(Literal::Neg(a.clone())),
+        Op::RemoveCmp(c) => {
+            let canon = c.canonical();
+            if let Some(pos) = body
+                .iter()
+                .position(|l| matches!(l, Literal::Cmp(d) if d.canonical() == canon))
+            {
+                body.remove(pos);
+            }
+        }
+        Op::RemoveAtoms(atoms) => {
+            for a in atoms {
+                if let Some(pos) = body
+                    .iter()
+                    .position(|l| matches!(l, Literal::Pos(b) if b == a))
+                {
+                    body.remove(pos);
+                }
+            }
+        }
+    }
+    Query::new(q.name.clone(), q.projection.clone(), body)
+}
+
+fn push_candidate(cands: &mut Vec<Candidate>, c: Candidate) {
+    if !cands.iter().any(|e| e.op == c.op) {
+        cands.push(c);
+    }
+}
+
+fn name_suffix(name: &Option<String>) -> String {
+    match name {
+        Some(n) => format!(" ({n})"),
+        None => String::new(),
+    }
+}
+
+/// Whether a term is a variable belonging to the given set.
+fn var_in(t: &Term, vars: &BTreeSet<Var>) -> bool {
+    matches!(t, Term::Var(v) if vars.contains(v))
+}
+
+/// Whether a variable term occurs exactly once across the whole query
+/// (projection + body) — i.e. it is local to its literal.
+fn term_occurs_once(t: &Term, q: &Query) -> bool {
+    let Term::Var(v) = t else { return false };
+    let mut count = q.projection.iter().filter(|p| *p == t).count();
+    for l in &q.body {
+        count += l.vars().into_iter().filter(|w| *w == v).count();
+    }
+    count == 1
+}
+
+/// An added atom is redundant if an existing query atom matches it on
+/// every position bound to a query term (foreign positions are
+/// existential and match anything).
+fn atom_subsumed_in_query(
+    a: &Atom,
+    q: &Query,
+    qvars: &BTreeSet<Var>,
+    solver: &ConstraintSet,
+) -> bool {
+    q.positive_atoms().any(|b| {
+        b.pred == a.pred
+            && b.args.len() == a.args.len()
+            && b.args.iter().zip(&a.args).all(|(x, y)| {
+                x == y || !var_in(y, qvars) && y.as_var().is_some() || solver.entails_equal(x, y)
+            })
+    })
+}
+
+fn has_foreign_var(c: &Comparison, qvars: &BTreeSet<Var>) -> bool {
+    c.vars().any(|v| !qvars.contains(v))
+}
+
+fn has_foreign_atom_var(a: &Atom, qvars: &BTreeSet<Var>) -> bool {
+    a.vars().any(|v| !qvars.contains(v))
+}
+
+/// Replace residue-local variables in an added atom with fresh query
+/// variables (existential witnesses), numbered to avoid clashes.
+fn freshen_foreign_vars(a: &Atom, qvars: &BTreeSet<Var>) -> Atom {
+    let mut counter = 0usize;
+    let mut s = Subst::new();
+    for v in a.vars() {
+        if !qvars.contains(v) && s.lookup(v).is_none() {
+            loop {
+                counter += 1;
+                let fresh = Var::new(format!("NV{counter}"));
+                if !qvars.contains(&fresh) {
+                    s.bind(v.clone(), Term::Var(fresh));
+                    break;
+                }
+            }
+        }
+    }
+    s.apply_atom(a)
+}
+
+/// Whether two comparisons are the same up to orientation.
+pub fn same_cmp(a: &Comparison, b: &Comparison) -> bool {
+    a.canonical() == b.canonical()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::CmpOp;
+    use crate::clause::Constraint;
+    use crate::residue::ResidueSet;
+
+    fn v(n: &str) -> Term {
+        Term::var(n)
+    }
+
+    /// Example 1 of the paper: residue `Age > 30` at faculty contradicts
+    /// `Age < 18` in the query.
+    #[test]
+    fn example1_contradiction() {
+        let ic = Constraint::named(
+            "IC",
+            ConstraintHead::Cmp(Comparison::new(v("Age"), CmpOp::Gt, Term::int(30))),
+            vec![Literal::pos("faculty", vec![v("Sec"), v("Fac"), v("Age")])],
+        );
+        let ctx = TransformContext::new(ResidueSet::compile(vec![ic]), vec![], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("Name")],
+            vec![
+                Literal::pos("student", vec![v("St"), v("Name")]),
+                Literal::pos("takes_section", vec![v("St"), v("Sec")]),
+                Literal::pos("faculty", vec![v("Sec"), v("Fac"), v("Age")]),
+                Literal::cmp(v("Age"), CmpOp::Lt, Term::int(18)),
+            ],
+        );
+        match analyse(&q, &ctx) {
+            Analysis::Contradiction { ic_name, .. } => {
+                assert_eq!(ic_name.as_deref(), Some("IC"));
+            }
+            other => panic!("expected contradiction, got {other:?}"),
+        }
+    }
+
+    /// Restriction introduction: the same residue *adds* `Age > 30` when
+    /// the query has no conflicting bound.
+    #[test]
+    fn restriction_introduction() {
+        let ic = Constraint::named(
+            "IC",
+            ConstraintHead::Cmp(Comparison::new(v("Age"), CmpOp::Gt, Term::int(30))),
+            vec![Literal::pos("faculty", vec![v("S"), v("F"), v("Age")])],
+        );
+        let ctx = TransformContext::new(ResidueSet::compile(vec![ic]), vec![], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("F")],
+            vec![Literal::pos("faculty", vec![v("Sec"), v("F"), v("A")])],
+        );
+        let Analysis::Candidates(cands) = analyse(&q, &ctx) else {
+            panic!("no contradiction expected");
+        };
+        assert!(cands.iter().any(|c| matches!(
+            &c.op,
+            Op::AddCmp(cmp) if cmp.to_string() == "A > 30"
+        )));
+    }
+
+    /// Application 2: scope reduction adds `not faculty(...)`.
+    #[test]
+    fn application2_scope_reduction() {
+        let ic4 = Constraint::named(
+            "IC4",
+            ConstraintHead::Cmp(Comparison::new(v("Age"), CmpOp::Ge, Term::int(30))),
+            vec![Literal::pos("faculty", vec![v("X"), v("Name"), v("Age")])],
+        );
+        let ic5 = Constraint::named(
+            "IC5",
+            ConstraintHead::Atom(Atom::new("person", vec![v("X"), v("Name"), v("Age")])),
+            vec![Literal::pos("faculty", vec![v("X"), v("Name"), v("Age")])],
+        );
+        let ctx =
+            TransformContext::new(ResidueSet::compile(vec![ic4, ic5]), vec![], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("Name")],
+            vec![
+                Literal::pos("person", vec![v("X"), v("Name"), v("Age")]),
+                Literal::cmp(v("Age"), CmpOp::Lt, Term::int(30)),
+            ],
+        );
+        let Analysis::Candidates(cands) = analyse(&q, &ctx) else {
+            panic!("no contradiction expected");
+        };
+        let scope = cands
+            .iter()
+            .find(|c| matches!(&c.op, Op::AddNegAtom(a) if a.pred.name() == "faculty"));
+        assert!(scope.is_some(), "candidates: {cands:#?}");
+        // Applying it yields the paper's optimized query.
+        let q2 = apply(&q, &scope.unwrap().op);
+        assert_eq!(
+            q2.to_string(),
+            "q(Name) <- person(X, Name, Age), Age < 30, not faculty(X, Name, Age)"
+        );
+    }
+
+    /// Scope reduction also fires with a strictly stronger query bound
+    /// (footnote 4: `Age < 20` in the query, `Age < 30` in the IC).
+    #[test]
+    fn scope_reduction_with_stronger_bound() {
+        let ic4 = Constraint::named(
+            "IC4",
+            ConstraintHead::Cmp(Comparison::new(v("Age"), CmpOp::Ge, Term::int(30))),
+            vec![Literal::pos("faculty", vec![v("X"), v("N"), v("Age")])],
+        );
+        let ic5 = Constraint::named(
+            "IC5",
+            ConstraintHead::Atom(Atom::new("person", vec![v("X"), v("N"), v("Age")])),
+            vec![Literal::pos("faculty", vec![v("X"), v("N"), v("Age")])],
+        );
+        let ctx =
+            TransformContext::new(ResidueSet::compile(vec![ic4, ic5]), vec![], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("Name")],
+            vec![
+                Literal::pos("person", vec![v("X"), v("Name"), v("Age")]),
+                Literal::cmp(v("Age"), CmpOp::Lt, Term::int(20)),
+            ],
+        );
+        let Analysis::Candidates(cands) = analyse(&q, &ctx) else {
+            panic!("no contradiction expected");
+        };
+        assert!(cands
+            .iter()
+            .any(|c| matches!(&c.op, Op::AddNegAtom(a) if a.pred.name() == "faculty")));
+    }
+
+    /// Application 3: the key constraint adds `Z = W`; afterwards
+    /// `Name1 = Name2` becomes removable.
+    #[test]
+    fn application3_key_join_reduction() {
+        let ic7 = Constraint::named(
+            "IC7",
+            ConstraintHead::Cmp(Comparison::eq(v("X1"), v("X2"))),
+            vec![
+                Literal::pos("faculty", vec![v("X1"), v("N1")]),
+                Literal::pos("faculty", vec![v("X2"), v("N2")]),
+                Literal::cmp(v("N1"), CmpOp::Eq, v("N2")),
+            ],
+        );
+        let mut fd = BTreeMap::new();
+        fd.insert(PredSym::new("faculty"), 1);
+        let ctx = TransformContext::new(ResidueSet::compile(vec![ic7]), vec![], fd);
+        let q = Query::new(
+            "q",
+            vec![v("Sid"), v("Id")],
+            vec![
+                Literal::pos("student", vec![v("S"), v("Sid")]),
+                Literal::pos("faculty", vec![v("Z"), v("Name1")]),
+                Literal::pos("ta", vec![v("T"), v("Id")]),
+                Literal::pos("faculty", vec![v("W"), v("Name2")]),
+                Literal::cmp(v("Name1"), CmpOp::Eq, v("Name2")),
+            ],
+        );
+        let Analysis::Candidates(cands) = analyse(&q, &ctx) else {
+            panic!("no contradiction expected");
+        };
+        let add_eq = cands.iter().find(|c| {
+            matches!(&c.op, Op::AddCmp(cmp) if cmp.op == CmpOp::Eq
+                && cmp.canonical() == Comparison::eq(v("Z"), v("W")).canonical())
+        });
+        assert!(add_eq.is_some(), "candidates: {cands:#?}");
+        // After adding Z = W, Name1 = Name2 becomes removable.
+        let q2 = apply(&q, &add_eq.unwrap().op);
+        let Analysis::Candidates(cands2) = analyse(&q2, &ctx) else {
+            panic!("no contradiction expected");
+        };
+        assert!(
+            cands2.iter().any(|c| matches!(
+                &c.op,
+                Op::RemoveCmp(cmp) if same_cmp(cmp, &Comparison::eq(v("Name1"), v("Name2")))
+            )),
+            "candidates after Z = W: {cands2:#?}"
+        );
+    }
+
+    /// Join introduction via IC9 (Application 4, Q1).
+    #[test]
+    fn application4_join_introduction() {
+        let ic9 = Constraint::named(
+            "IC9",
+            ConstraintHead::Atom(Atom::new("has_ta", vec![v("V"), v("W")])),
+            vec![
+                Literal::pos("takes", vec![v("X"), v("Y")]),
+                Literal::pos("is_section_of", vec![v("Y"), v("Z")]),
+                Literal::pos("has_sections", vec![v("Z"), v("V")]),
+            ],
+        );
+        let ctx = TransformContext::new(ResidueSet::compile(vec![ic9]), vec![], BTreeMap::new());
+        let q = Query::new(
+            "q1",
+            vec![v("V")],
+            vec![
+                Literal::pos("student", vec![v("X"), v("Name")]),
+                Literal::pos("takes", vec![v("X"), v("Y")]),
+                Literal::pos("is_section_of", vec![v("Y"), v("Z")]),
+                Literal::pos("has_sections", vec![v("Z"), v("V")]),
+                Literal::cmp(v("Name"), CmpOp::Eq, Term::str("johnson")),
+            ],
+        );
+        let Analysis::Candidates(cands) = analyse(&q, &ctx) else {
+            panic!("no contradiction expected");
+        };
+        let intro = cands
+            .iter()
+            .find(|c| matches!(&c.op, Op::AddAtom(a) if a.pred.name() == "has_ta"));
+        assert!(intro.is_some(), "candidates: {cands:#?}");
+        // The introduced atom binds V and a fresh witness variable.
+        if let Op::AddAtom(a) = &intro.unwrap().op {
+            assert_eq!(a.args[0], v("V"));
+            assert!(matches!(&a.args[1], Term::Var(w) if w.name().starts_with("NV")));
+        }
+    }
+
+    /// View introduction then fold (Application 4, Q).
+    #[test]
+    fn application4_view_fold() {
+        let view = Rule::new(
+            Atom::new("asr", vec![v("X"), v("W")]),
+            vec![
+                Literal::pos("takes", vec![v("X"), v("Y")]),
+                Literal::pos("is_section_of", vec![v("Y"), v("Z")]),
+                Literal::pos("has_sections", vec![v("Z"), v("V")]),
+                Literal::pos("has_ta", vec![v("V"), v("W")]),
+            ],
+        );
+        let ctx = TransformContext::new(ResidueSet::compile(vec![]), vec![view], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("W")],
+            vec![
+                Literal::pos("student", vec![v("X"), v("Name")]),
+                Literal::pos("takes", vec![v("X"), v("Y")]),
+                Literal::pos("is_section_of", vec![v("Y"), v("Z")]),
+                Literal::pos("has_sections", vec![v("Z"), v("V")]),
+                Literal::pos("has_ta", vec![v("V"), v("W")]),
+                Literal::cmp(v("Name"), CmpOp::Eq, Term::str("james")),
+            ],
+        );
+        // Phase 1: the ASR atom is proposed.
+        let Analysis::Candidates(cands) = analyse(&q, &ctx) else {
+            panic!("no contradiction expected");
+        };
+        let intro = cands
+            .iter()
+            .find(|c| matches!(&c.op, Op::AddAtom(a) if a.pred.name() == "asr"))
+            .expect("asr introduction");
+        let q2 = apply(&q, &intro.op);
+        // Phase 2: the whole chain is foldable away.
+        let Analysis::Candidates(cands2) = analyse(&q2, &ctx) else {
+            panic!("no contradiction expected");
+        };
+        let fold = cands2
+            .iter()
+            .find(|c| matches!(&c.op, Op::RemoveAtoms(atoms) if atoms.len() == 4))
+            .expect("4-atom fold");
+        let q3 = apply(&q2, &fold.op);
+        assert_eq!(
+            q3.to_string(),
+            "q(W) <- student(X, Name), Name = \"james\", asr(X, W)"
+        );
+    }
+
+    /// Applying a NegAtom residue against a query that positively
+    /// requires the atom reports a contradiction.
+    #[test]
+    fn neg_head_against_required_atom_contradicts() {
+        let ic4 = Constraint::named(
+            "IC4",
+            ConstraintHead::Cmp(Comparison::new(v("Age"), CmpOp::Ge, Term::int(30))),
+            vec![Literal::pos("faculty", vec![v("X"), v("Age")])],
+        );
+        let ic5 = Constraint::named(
+            "IC5",
+            ConstraintHead::Atom(Atom::new("person", vec![v("X"), v("Age")])),
+            vec![Literal::pos("faculty", vec![v("X"), v("Age")])],
+        );
+        let ctx =
+            TransformContext::new(ResidueSet::compile(vec![ic4, ic5]), vec![], BTreeMap::new());
+        // Query requires BOTH person and faculty on the same OID with
+        // Age < 30 — contradictory.
+        let q = Query::new(
+            "q",
+            vec![v("X")],
+            vec![
+                Literal::pos("person", vec![v("X"), v("Age")]),
+                Literal::pos("faculty", vec![v("X"), v("Age")]),
+                Literal::cmp(v("Age"), CmpOp::Lt, Term::int(30)),
+            ],
+        );
+        match analyse(&q, &ctx) {
+            Analysis::Contradiction { .. } => {}
+            Analysis::Candidates(c) => panic!("expected contradiction, got {c:#?}"),
+        }
+    }
+
+    #[test]
+    fn apply_remove_cmp_matches_either_orientation() {
+        let q = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![v("X"), v("Y")]),
+                Literal::cmp(v("X"), CmpOp::Eq, v("Y")),
+            ],
+        );
+        let q2 = apply(&q, &Op::RemoveCmp(Comparison::eq(v("Y"), v("X"))));
+        assert_eq!(q2.body.len(), 1);
+    }
+
+    #[test]
+    fn inherently_contradictory_query_detected() {
+        let ctx = TransformContext::empty();
+        let q = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![v("X")]),
+                Literal::cmp(v("X"), CmpOp::Lt, Term::int(0)),
+                Literal::cmp(v("X"), CmpOp::Gt, Term::int(1)),
+            ],
+        );
+        assert!(matches!(analyse(&q, &ctx), Analysis::Contradiction { .. }));
+    }
+
+    #[test]
+    fn no_candidates_without_knowledge() {
+        let ctx = TransformContext::empty();
+        let q = Query::new("q", vec![v("X")], vec![Literal::pos("p", vec![v("X")])]);
+        let Analysis::Candidates(cands) = analyse(&q, &ctx) else {
+            panic!("satisfiable");
+        };
+        assert!(cands.is_empty(), "{cands:#?}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Error types for the object-database substrate.
+
+use std::fmt;
+
+/// Errors produced by the object store and executor.
+#[derive(Debug)]
+pub enum ObjDbError {
+    /// The class (or structure) does not exist in the schema.
+    UnknownClass {
+        /// The offending name.
+        name: String,
+    },
+    /// The OID does not identify a live object.
+    UnknownObject {
+        /// The unresolved object identifier.
+        oid: u64,
+    },
+    /// An attribute is missing or has the wrong shape.
+    BadAttribute {
+        /// The class involved.
+        class: String,
+        /// The attribute involved.
+        attribute: String,
+        /// Additional detail.
+        detail: String,
+    },
+    /// The relationship does not exist on the class.
+    UnknownRelationship {
+        /// The class involved.
+        class: String,
+        /// The offending name.
+        name: String,
+    },
+    /// Linking would violate a cardinality constraint.
+    Cardinality {
+        /// The relationship involved.
+        relationship: String,
+        /// Additional detail.
+        detail: String,
+    },
+    /// The object is not an instance of the expected class.
+    TypeMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was found instead.
+        found: String,
+    },
+    /// A method is not registered or failed.
+    Method {
+        /// The offending name.
+        name: String,
+        /// Additional detail.
+        detail: String,
+    },
+    /// An access-support-relation path segment could not be resolved.
+    BadAsrPath {
+        /// Additional detail.
+        detail: String,
+    },
+    /// Wrapped Datalog error (evaluation).
+    Datalog(sqo_datalog::DatalogError),
+    /// The query uses a feature the executor cannot ground (e.g. a
+    /// method call with non-constant arguments).
+    Unsupported {
+        /// The unsupported feature.
+        feature: String,
+    },
+}
+
+impl fmt::Display for ObjDbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjDbError::UnknownClass { name } => write!(f, "unknown class `{name}`"),
+            ObjDbError::UnknownObject { oid } => write!(f, "no object with OID #{oid}"),
+            ObjDbError::BadAttribute {
+                class,
+                attribute,
+                detail,
+            } => write!(f, "bad attribute `{class}.{attribute}`: {detail}"),
+            ObjDbError::UnknownRelationship { class, name } => {
+                write!(f, "unknown relationship `{class}::{name}`")
+            }
+            ObjDbError::Cardinality {
+                relationship,
+                detail,
+            } => write!(f, "cardinality violation on `{relationship}`: {detail}"),
+            ObjDbError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected `{expected}`, found `{found}`")
+            }
+            ObjDbError::Method { name, detail } => write!(f, "method `{name}`: {detail}"),
+            ObjDbError::BadAsrPath { detail } => write!(f, "bad ASR path: {detail}"),
+            ObjDbError::Datalog(e) => e.fmt(f),
+            ObjDbError::Unsupported { feature } => write!(f, "unsupported: {feature}"),
+        }
+    }
+}
+
+impl std::error::Error for ObjDbError {}
+
+impl From<sqo_datalog::DatalogError> for ObjDbError {
+    fn from(e: sqo_datalog::DatalogError) -> Self {
+        ObjDbError::Datalog(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ObjDbError>;

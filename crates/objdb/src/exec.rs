@@ -1,0 +1,441 @@
+//! Query execution with an object-level cost model.
+//!
+//! The paper's optimizations pay off in *object accesses*, not only in
+//! generic join work, so the executor distinguishes:
+//!
+//! * **object fetches** — probes of full class/structure relations
+//!   (reading attributes requires fetching the object);
+//! * **extent probes** — membership tests against a class extent. A
+//!   class atom none of whose attribute variables is used elsewhere is
+//!   rewritten to a unary `{pred}__extent` atom before evaluation; this
+//!   is exactly the plan the paper sketches for Application 2 ("use the
+//!   class extents … and then retrieve only those object instances") and
+//!   Application 3 (compare OIDs without retrieving Faculty objects);
+//! * **relationship traversals**, **view (ASR) probes** and **method
+//!   invocations**.
+
+use crate::error::{ObjDbError, Result};
+use crate::store::ObjectDb;
+use sqo_datalog::eval::answer_query;
+use sqo_datalog::{Atom, Const, Literal, PredSym, Query, Term, Var};
+use sqo_translate::RelKind;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// The cost of one query evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostReport {
+    /// Number of answer tuples.
+    pub answers: usize,
+    /// Probes of full class/structure relations.
+    pub object_fetches: u64,
+    /// Probes of unary extent relations (positive or anti-join).
+    pub extent_probes: u64,
+    /// Probes of relationship relations.
+    pub rel_traversals: u64,
+    /// Probes of access-support-relation (view) relations.
+    pub view_probes: u64,
+    /// Probes of method relations (the physical analogue of invoking the
+    /// method on a candidate object).
+    pub method_invocations: u64,
+    /// Total tuples examined (all relation kinds).
+    pub tuples_examined: u64,
+    /// Intermediate join bindings produced.
+    pub bindings_produced: u64,
+    /// Anti-join probes.
+    pub negation_probes: u64,
+    /// Wall-clock evaluation time.
+    pub elapsed: Duration,
+    /// Tuples examined per relation (predicate name → count), for
+    /// per-class breakdowns in experiment reports.
+    pub per_pred: HashMap<String, u64>,
+}
+
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "answers={} fetches={} extent={} rel={} view={} method={} tuples={} time={:?}",
+            self.answers,
+            self.object_fetches,
+            self.extent_probes,
+            self.rel_traversals,
+            self.view_probes,
+            self.method_invocations,
+            self.tuples_examined,
+            self.elapsed
+        )
+    }
+}
+
+/// Rewrite class/structure atoms whose attributes are never used into
+/// unary extent atoms (cheap membership tests). Public so the planner can
+/// estimate against the same physical shape.
+pub fn rewrite_for_extents(db: &ObjectDb, q: &Query) -> Query {
+    // Count variable occurrences across the whole query.
+    let mut occurrences: HashMap<Var, usize> = HashMap::new();
+    let bump = |v: &Var, occ: &mut HashMap<Var, usize>| {
+        *occ.entry(v.clone()).or_insert(0) += 1;
+    };
+    for t in &q.projection {
+        if let Term::Var(v) = t {
+            bump(v, &mut occurrences);
+        }
+    }
+    for l in &q.body {
+        for v in l.vars() {
+            bump(v, &mut occurrences);
+        }
+    }
+    let is_object_rel = |pred: &PredSym| {
+        matches!(
+            db.catalog().relation_by_pred(pred).map(|d| &d.kind),
+            Some(RelKind::Class { .. }) | Some(RelKind::Struct { .. })
+        )
+    };
+    let rewrite_atom = |a: &Atom| -> Option<Atom> {
+        if !is_object_rel(&a.pred) || a.args.is_empty() {
+            return None;
+        }
+        // An attribute position is "used" if its variable occurs anywhere
+        // else in the query (more often than inside this atom alone) or
+        // is a constant.
+        let mut local: HashMap<&Var, usize> = HashMap::new();
+        for t in &a.args[1..] {
+            if let Term::Var(v) = t {
+                *local.entry(v).or_insert(0) += 1;
+            }
+        }
+        let attr_used = a.args[1..].iter().any(|t| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => occurrences.get(v).copied().unwrap_or(0) > local[v],
+        });
+        if attr_used {
+            None
+        } else {
+            Some(Atom::new(
+                format!("{}__extent", a.pred.name()),
+                vec![a.args[0].clone()],
+            ))
+        }
+    };
+    // A negated class atom reduces to an extent anti-join when every
+    // attribute position either is negation-local or repeats, by attribute
+    // name, the value some positive class/structure atom with the same OID
+    // already pins (OID functionality + hierarchy consistency make the
+    // attribute comparison vacuous) — the faculty case of Application 2.
+    let rewrite_neg = |a: &Atom| -> Option<Atom> {
+        let decl = db.catalog().relation_by_pred(&a.pred)?;
+        if !matches!(decl.kind, RelKind::Class { .. } | RelKind::Struct { .. }) {
+            return None;
+        }
+        let mut local: HashMap<&Var, usize> = HashMap::new();
+        for v in a.vars() {
+            *local.entry(v).or_insert(0) += 1;
+        }
+        let oid = a.args.first()?;
+        let consistent = a.args[1..].iter().enumerate().all(|(i, t)| {
+            let attr = &decl.args[i + 1].name;
+            match t {
+                Term::Const(_) => false,
+                Term::Var(v) => {
+                    // Negation-local?
+                    if occurrences.get(v).copied().unwrap_or(0) <= local[v] {
+                        return true;
+                    }
+                    // Pinned by a positive object atom with the same OID?
+                    q.body.iter().any(|l| match l {
+                        Literal::Pos(b) => {
+                            let Some(bd) = db.catalog().relation_by_pred(&b.pred) else {
+                                return false;
+                            };
+                            if !matches!(bd.kind, RelKind::Class { .. } | RelKind::Struct { .. }) {
+                                return false;
+                            }
+                            b.args.first() == Some(oid)
+                                && bd
+                                    .arg_position(attr)
+                                    .is_some_and(|j| b.args.get(j) == Some(t))
+                        }
+                        _ => false,
+                    })
+                }
+            }
+        });
+        if consistent {
+            Some(Atom::new(
+                format!("{}__extent", a.pred.name()),
+                vec![oid.clone()],
+            ))
+        } else {
+            None
+        }
+    };
+    let mut body: Vec<Literal> = q
+        .body
+        .iter()
+        .map(|l| match l {
+            Literal::Pos(a) => rewrite_atom(a)
+                .map(Literal::Pos)
+                .unwrap_or_else(|| l.clone()),
+            Literal::Neg(a) => rewrite_atom(a)
+                .or_else(|| rewrite_neg(a))
+                .map(Literal::Neg)
+                .unwrap_or_else(|| l.clone()),
+            Literal::Cmp(_) => l.clone(),
+        })
+        .collect();
+    // The paper's Application 2 plan: "first identify those objects that
+    // are in class Person but not in class Faculty, and then retrieve
+    // only those object instances". When an anti-join restricts the OID
+    // of a full class atom, prepend the cheap extent scan so the
+    // anti-join runs *before* the object fetches.
+    let anti_joined: Vec<Term> = body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Neg(a) => a.args.first().cloned(),
+            _ => None,
+        })
+        .collect();
+    let mut prefix: Vec<Literal> = Vec::new();
+    for l in &body {
+        let Literal::Pos(a) = l else { continue };
+        if !is_object_rel(&a.pred) || a.args.len() <= 1 {
+            continue;
+        }
+        if a.args.first().is_some_and(|oid| anti_joined.contains(oid)) {
+            prefix.push(Literal::pos(
+                format!("{}__extent", a.pred.name()),
+                vec![a.args[0].clone()],
+            ));
+        }
+    }
+    if !prefix.is_empty() {
+        prefix.append(&mut body);
+        body = prefix;
+    }
+    Query::new(q.name.clone(), q.projection.clone(), body)
+}
+
+/// Execute a Datalog query against the object store, with cost
+/// accounting.
+pub fn execute(db: &ObjectDb, q: &Query) -> Result<(Vec<Vec<Const>>, CostReport)> {
+    let physical = rewrite_for_extents(db, q);
+
+    // Materialize method facts for every method atom's constant args.
+    for l in &physical.body {
+        let Literal::Pos(a) = l else { continue };
+        let Some(decl) = db.catalog().relation_by_pred(&a.pred) else {
+            continue;
+        };
+        if !matches!(decl.kind, RelKind::Method { .. }) {
+            continue;
+        }
+        if a.args.len() < 2 {
+            return Err(ObjDbError::Unsupported {
+                feature: format!("method atom `{a}` needs a receiver and a result position"),
+            });
+        }
+        let arg_consts: Option<Vec<Const>> = a.args[1..a.args.len() - 1]
+            .iter()
+            .map(|t| t.as_const().cloned())
+            .collect();
+        let Some(arg_consts) = arg_consts else {
+            return Err(ObjDbError::Unsupported {
+                feature: format!("method atom `{a}` with non-constant arguments"),
+            });
+        };
+        db.ensure_method_facts(a.pred.name(), &arg_consts)?;
+    }
+
+    let start = Instant::now();
+    let (rows, stats) = {
+        let edb = db.edb();
+        answer_query(&edb, &physical)?
+    };
+    let elapsed = start.elapsed();
+
+    let mut report = CostReport {
+        answers: rows.len(),
+        tuples_examined: stats.tuples_examined,
+        bindings_produced: stats.bindings_produced,
+        negation_probes: stats.negation_probes,
+        elapsed,
+        ..Default::default()
+    };
+    report.per_pred = stats.per_pred.clone();
+    for (pred, count) in &stats.per_pred {
+        if pred.ends_with("__extent") {
+            report.extent_probes += count;
+            continue;
+        }
+        match db
+            .catalog()
+            .relation_by_pred(&PredSym::new(pred.clone()))
+            .map(|d| &d.kind)
+        {
+            Some(RelKind::Class { .. }) | Some(RelKind::Struct { .. }) => {
+                report.object_fetches += count
+            }
+            Some(RelKind::Relationship { .. }) => report.rel_traversals += count,
+            Some(RelKind::View { .. }) => report.view_probes += count,
+            Some(RelKind::Method { .. }) => report.method_invocations += count,
+            None => {}
+        }
+    }
+    Ok((rows, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use sqo_datalog::parser::parse_query;
+    use sqo_odl::fixtures::university_schema;
+
+    fn sample_db() -> ObjectDb {
+        let mut d = ObjectDb::new(university_schema());
+        for i in 0..10 {
+            d.create(
+                "Person",
+                vec![
+                    ("name", format!("p{i}").into()),
+                    ("age", Value::Int(20 + i)),
+                ],
+            )
+            .unwrap();
+        }
+        for i in 0..5 {
+            d.create(
+                "Faculty",
+                vec![
+                    ("name", format!("f{i}").into()),
+                    ("age", Value::Int(40 + i)),
+                    ("salary", Value::Real(50000.0)),
+                ],
+            )
+            .unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn extent_rewrite_applies_when_attrs_unused() {
+        let d = sample_db();
+        let q = parse_query("Q(X) <- person(X, N, A, Ad)").unwrap();
+        let r = rewrite_for_extents(&d, &q);
+        assert_eq!(r.to_string(), "q(X) <- person__extent(X)");
+        // With an attribute used, the full relation stays.
+        let q2 = parse_query("Q(N) <- person(X, N, A, Ad)").unwrap();
+        let r2 = rewrite_for_extents(&d, &q2);
+        assert_eq!(r2.to_string(), "q(N) <- person(X, N, A, Ad)");
+    }
+
+    #[test]
+    fn extent_rewrite_handles_negation() {
+        let d = sample_db();
+        let q =
+            parse_query("Q(N) <- person(X, N, A, Ad), A < 30, not faculty(X, N2, A2, S, R, Ad2)")
+                .unwrap();
+        let r = rewrite_for_extents(&d, &q);
+        assert!(r.to_string().contains("not faculty__extent(X)"), "{r}");
+        // The anti-joined class atom gets the extent-first decomposition
+        // (the paper's Application 2 plan).
+        assert!(
+            r.to_string().starts_with("q(N) <- person__extent(X)"),
+            "{r}"
+        );
+        // A negated atom whose attribute position is pinned by the SAME
+        // object's positive atom is still an extent test (consistent
+        // storage makes the comparison vacuous).
+        let q2 =
+            parse_query("Q(N) <- person(X, N, A, Ad), A < 30, not faculty(X, N, A2, S, R, Ad2)")
+                .unwrap();
+        let r2 = rewrite_for_extents(&d, &q2);
+        assert!(r2.to_string().contains("not faculty__extent(X)"), "{r2}");
+        // But a constant or a variable pinned by a *different* object
+        // keeps the full anti-join (it genuinely filters on attributes).
+        let q3 = parse_query("Q(N) <- person(X, N, A, Ad), not faculty(X, \"bob\", A2, S, R, Ad2)")
+            .unwrap();
+        let r3 = rewrite_for_extents(&d, &q3);
+        assert!(r3.to_string().contains("not faculty(X, \"bob\","), "{r3}");
+        let q4 = parse_query(
+            "Q(N) <- person(X, N, A, Ad), person(Y, N2, A4, Ad4), \
+             not faculty(X, N2, A2, S, R, Ad2)",
+        )
+        .unwrap();
+        let r4 = rewrite_for_extents(&d, &q4);
+        assert!(r4.to_string().contains("not faculty(X, N2,"), "{r4}");
+    }
+
+    #[test]
+    fn execute_counts_fetches_vs_extent_probes() {
+        let d = sample_db();
+        // Attribute-reading query: person fetches.
+        let q = parse_query("Q(N) <- person(X, N, A, Ad), A < 25").unwrap();
+        let (rows, report) = execute(&d, &q).unwrap();
+        assert_eq!(rows.len(), 5); // ages 20..24
+        assert!(report.object_fetches >= 15); // scans all persons incl faculty
+        assert_eq!(report.extent_probes, 0);
+        // OID-only query: extent probes, no fetches.
+        let q2 = parse_query("Q(X) <- person(X, N, A, Ad)").unwrap();
+        let (rows2, report2) = execute(&d, &q2).unwrap();
+        assert_eq!(rows2.len(), 15);
+        assert_eq!(report2.object_fetches, 0);
+        assert!(report2.extent_probes >= 15);
+    }
+
+    #[test]
+    fn scope_reduction_reduces_fetches() {
+        let d = sample_db();
+        // Original: read every person's age.
+        let q = parse_query("Q(N) <- person(X, N, A, Ad), A < 45").unwrap();
+        let (rows, r1) = execute(&d, &q).unwrap();
+        // Scope-reduced: also anti-join the faculty extent.
+        let q2 =
+            parse_query("Q(N) <- person(X, N, A, Ad), A < 45, not faculty(X, N2, A2, S, R, Ad2)")
+                .unwrap();
+        let (rows2, r2) = execute(&d, &q2).unwrap();
+        // Faculty ages are 40..44, all < 45 — but they are excluded by
+        // the anti-join, so answers differ accordingly.
+        assert_eq!(rows.len(), 15);
+        assert_eq!(rows2.len(), 10);
+        assert!(r2.extent_probes > 0);
+        assert_eq!(r1.extent_probes, 0);
+    }
+
+    #[test]
+    fn method_materialization_and_cost() {
+        let mut d = sample_db();
+        d.register_method(
+            "Employee",
+            "taxes_withheld",
+            Box::new(|db, oid, args| {
+                let salary = db
+                    .attr(oid, "salary")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0);
+                let rate = args.first().and_then(Value::as_f64).unwrap_or(0.0);
+                Ok(Value::Real(salary * rate))
+            }),
+        )
+        .unwrap();
+        let q =
+            parse_query("Q(X) <- faculty__extent(X), taxes_withheld(X, 0.1, V), V > 1000").unwrap();
+        let (rows, report) = execute(&d, &q).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert!(report.method_invocations >= 5);
+    }
+
+    #[test]
+    fn non_constant_method_args_rejected() {
+        let d = sample_db();
+        let q =
+            parse_query("Q(X) <- faculty(X, N, A, S, R, Ad), taxes_withheld(X, S, V), V > 1000")
+                .unwrap();
+        assert!(matches!(
+            execute(&d, &q),
+            Err(ObjDbError::Unsupported { .. })
+        ));
+    }
+}

@@ -1,0 +1,341 @@
+//! Deterministic synthetic data for the Figure 1 university schema.
+//!
+//! The paper evaluates nothing quantitatively (experiments were future
+//! work), so our benchmark harness needs a workload: this generator
+//! populates the university object base at configurable scale with
+//! distributions that make every integrity constraint of the experiments
+//! true (faculty older than 30 and paid more than 40K for IC1/IC4, one
+//! TA per section for the one-to-one constraint, unique names for the
+//! Person key) — see EXPERIMENTS.md.
+
+use crate::error::Result;
+use crate::store::ObjectDb;
+use crate::value::{Oid, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqo_odl::fixtures::university_schema;
+
+/// Scale and distribution knobs for the university workload.
+#[derive(Debug, Clone)]
+pub struct UniversityConfig {
+    /// Plain persons (neither students nor employees).
+    pub persons: usize,
+    /// Students (TAs are created separately).
+    pub students: usize,
+    /// Faculty members.
+    pub faculty: usize,
+    /// Courses.
+    pub courses: usize,
+    /// Sections per course. One TA is created per section (the
+    /// one-to-one `has_ta`).
+    pub sections_per_course: usize,
+    /// Sections each student (and TA) takes.
+    pub takes_per_student: usize,
+    /// Fraction of plain persons and students younger than 30 (faculty
+    /// are always 30+, per IC4).
+    pub young_fraction: f64,
+    /// Minimum faculty salary (IC1 keeps this above 40 000).
+    pub min_faculty_salary: f64,
+    /// Salary spread above the minimum.
+    pub salary_spread: f64,
+    /// RNG seed (the generator is fully deterministic).
+    pub seed: u64,
+}
+
+impl Default for UniversityConfig {
+    fn default() -> Self {
+        UniversityConfig {
+            persons: 200,
+            students: 300,
+            faculty: 50,
+            courses: 40,
+            sections_per_course: 3,
+            takes_per_student: 4,
+            young_fraction: 0.5,
+            min_faculty_salary: 40_001.0,
+            salary_spread: 80_000.0,
+            seed: 42,
+        }
+    }
+}
+
+/// The generated object base plus handles to the created OIDs.
+#[derive(Debug)]
+pub struct UniversityData {
+    /// The populated store (with `taxes_withheld` registered).
+    pub db: ObjectDb,
+    /// Plain persons.
+    pub persons: Vec<Oid>,
+    /// Students (excluding TAs).
+    pub students: Vec<Oid>,
+    /// Faculty.
+    pub faculty: Vec<Oid>,
+    /// TAs (one per section).
+    pub tas: Vec<Oid>,
+    /// Courses.
+    pub courses: Vec<Oid>,
+    /// Sections.
+    pub sections: Vec<Oid>,
+}
+
+impl UniversityConfig {
+    /// Build the object base.
+    pub fn build(&self) -> Result<UniversityData> {
+        let mut db = ObjectDb::new(university_schema());
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let cities = ["college park", "baltimore", "towson", "annapolis"];
+
+        let mut persons = Vec::with_capacity(self.persons);
+        for i in 0..self.persons {
+            let young = rng.gen_bool(self.young_fraction);
+            let age = if young {
+                rng.gen_range(16..30)
+            } else {
+                rng.gen_range(30..80)
+            };
+            let addr = db.create_struct(
+                "Address",
+                vec![
+                    ("street", format!("{i} main st").into()),
+                    ("city", (*cities.get(i % cities.len()).unwrap()).into()),
+                ],
+            )?;
+            persons.push(db.create(
+                "Person",
+                vec![
+                    ("name", format!("person{i}").into()),
+                    ("age", Value::Int(age)),
+                    ("address", addr.into()),
+                ],
+            )?);
+        }
+
+        let mut faculty = Vec::with_capacity(self.faculty);
+        for i in 0..self.faculty {
+            let addr = db.create_struct(
+                "Address",
+                vec![
+                    ("street", format!("{i} faculty row").into()),
+                    ("city", (*cities.get(i % cities.len()).unwrap()).into()),
+                ],
+            )?;
+            faculty.push(db.create(
+                "Faculty",
+                vec![
+                    ("name", format!("faculty{i}").into()),
+                    ("age", Value::Int(rng.gen_range(30..70))),
+                    (
+                        "salary",
+                        Value::Real(if self.salary_spread > 0.0 {
+                            self.min_faculty_salary + rng.gen_range(0.0..self.salary_spread)
+                        } else {
+                            self.min_faculty_salary
+                        }),
+                    ),
+                    (
+                        "rank",
+                        if i % 3 == 0 { "professor" } else { "assistant" }.into(),
+                    ),
+                    ("address", addr.into()),
+                ],
+            )?);
+        }
+
+        let mut students = Vec::with_capacity(self.students);
+        for i in 0..self.students {
+            let young = rng.gen_bool(self.young_fraction);
+            let age = if young {
+                rng.gen_range(17..30)
+            } else {
+                rng.gen_range(30..55)
+            };
+            students.push(db.create(
+                "Student",
+                vec![
+                    ("name", format!("student{i}").into()),
+                    ("age", Value::Int(age)),
+                    ("student_id", format!("s{i}").into()),
+                ],
+            )?);
+        }
+
+        let mut courses = Vec::with_capacity(self.courses);
+        let mut sections = Vec::new();
+        for i in 0..self.courses {
+            let c = db.create(
+                "Course",
+                vec![
+                    ("number", format!("cmsc{i}").into()),
+                    ("title", format!("course {i}").into()),
+                ],
+            )?;
+            courses.push(c);
+            for j in 0..self.sections_per_course {
+                let s = db.create("Section", vec![("number", format!("cmsc{i}.{j}").into())])?;
+                db.link(s, "is_section_of", c)?;
+                if !faculty.is_empty() {
+                    let f = faculty[rng.gen_range(0..faculty.len())];
+                    db.link(s, "is_taught_by", f)?;
+                }
+                sections.push(s);
+            }
+        }
+
+        // One TA per section (the one-to-one has_ta / assists pair).
+        let mut tas = Vec::with_capacity(sections.len());
+        for (i, s) in sections.iter().enumerate() {
+            let ta = db.create(
+                "TA",
+                vec![
+                    ("name", format!("ta{i}").into()),
+                    ("age", Value::Int(rng.gen_range(20..35))),
+                    ("student_id", format!("t{i}").into()),
+                    ("employee_id", format!("e{i}").into()),
+                ],
+            )?;
+            db.link(*s, "has_ta", ta)?;
+            tas.push(ta);
+        }
+
+        // Enrollment: students and TAs take random sections.
+        if !sections.is_empty() {
+            for &st in students.iter().chain(&tas) {
+                let mut chosen = std::collections::HashSet::new();
+                for _ in 0..self.takes_per_student {
+                    let s = sections[rng.gen_range(0..sections.len())];
+                    if chosen.insert(s) {
+                        db.link(st, "takes", s)?;
+                    }
+                }
+            }
+        }
+
+        // The paper's method: taxes_withheld(rate) = salary * rate —
+        // monotone in salary (IC2) and positive.
+        db.register_method(
+            "Employee",
+            "taxes_withheld",
+            Box::new(|db, oid, args| {
+                let salary = db
+                    .attr(oid, "salary")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0);
+                let rate = args.first().and_then(Value::as_f64).unwrap_or(0.0);
+                Ok(Value::Real(salary * rate))
+            }),
+        )?;
+
+        Ok(UniversityData {
+            db,
+            persons,
+            students,
+            faculty,
+            tas,
+            courses,
+            sections,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_build_is_consistent() {
+        let data = UniversityConfig::default().build().unwrap();
+        assert_eq!(data.persons.len(), 200);
+        assert_eq!(data.faculty.len(), 50);
+        assert_eq!(data.sections.len(), 40 * 3);
+        assert_eq!(data.tas.len(), data.sections.len());
+        // Person extent includes everyone.
+        let person_extent = data.db.extent("Person").len();
+        assert_eq!(
+            person_extent,
+            200 + 300 + 50 + data.tas.len(),
+            "persons + students + faculty + tas"
+        );
+        // Faculty invariants: age ≥ 30, salary > 40000 (IC4/IC1).
+        for f in &data.faculty {
+            let age = data.db.attr(*f, "age").unwrap();
+            let salary = data.db.attr(*f, "salary").and_then(Value::as_f64).unwrap();
+            assert!(matches!(age, Value::Int(a) if *a >= 30));
+            assert!(salary > 40_000.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = UniversityConfig {
+            persons: 10,
+            students: 10,
+            faculty: 5,
+            courses: 3,
+            ..Default::default()
+        }
+        .build()
+        .unwrap();
+        let b = UniversityConfig {
+            persons: 10,
+            students: 10,
+            faculty: 5,
+            courses: 3,
+            ..Default::default()
+        }
+        .build()
+        .unwrap();
+        for (x, y) in a.persons.iter().zip(&b.persons) {
+            assert_eq!(
+                a.db.attr(*x, "age"),
+                b.db.attr(*y, "age"),
+                "same seed, same data"
+            );
+        }
+    }
+
+    #[test]
+    fn method_registered_and_monotone() {
+        let data = UniversityConfig {
+            faculty: 10,
+            ..Default::default()
+        }
+        .build()
+        .unwrap();
+        let mut pairs: Vec<(f64, f64)> = data
+            .faculty
+            .iter()
+            .map(|f| {
+                let salary = data.db.attr(*f, "salary").and_then(Value::as_f64).unwrap();
+                let tax = data
+                    .db
+                    .call_method("taxes_withheld", *f, &[Value::Real(0.1)])
+                    .unwrap()
+                    .as_f64()
+                    .unwrap();
+                (salary, tax)
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in pairs.windows(2) {
+            assert!(w[1].1 >= w[0].1, "monotone in salary (IC2)");
+        }
+        // All faculty taxes at 10% exceed 4000 (salary > 40000) — the
+        // basis of IC3 in Application 1.
+        for (_, tax) in pairs {
+            assert!(tax > 4000.0);
+        }
+    }
+
+    #[test]
+    fn tas_enroll_like_students() {
+        let data = UniversityConfig {
+            students: 5,
+            courses: 4,
+            ..Default::default()
+        }
+        .build()
+        .unwrap();
+        let ta = data.tas[0];
+        assert!(!data.db.linked(ta, "takes").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,986 @@
+//! The in-memory object store: objects, extents, relationships, methods
+//! and access support relations.
+//!
+//! This is the execution substrate the paper assumes: an ODMG-style
+//! object base that maintains **class extents** (including subclass
+//! members — the basis for Application 2's scope reduction), binary
+//! **relationships** with inverse maintenance and cardinality
+//! enforcement, registered Rust closures as **methods**, and
+//! materialized **access support relations** over relationship paths
+//! (Kemper–Moerkotte; Application 4).
+//!
+//! [`ObjectDb::edb`] exposes the whole store in the Datalog
+//! representation of Step 1, so translated queries run directly against
+//! it; a per-store cache keeps repeated query evaluation cheap.
+
+use crate::error::{ObjDbError, Result};
+use crate::value::{Oid, Value};
+use sqo_datalog::program::EdbDatabase;
+use sqo_datalog::{Atom, Const, Literal, PredSym, Rule, Term};
+use sqo_odl::{BaseType, Member, Schema, Type};
+use sqo_translate::{translate_schema, ArgType, Catalog, RelKind};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// A stored object (or structure instance).
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// The most specific class (or structure) name.
+    pub class: String,
+    /// Attribute values by attribute name.
+    pub attrs: BTreeMap<String, Value>,
+}
+
+/// A registered method implementation.
+pub type MethodFn = Box<dyn Fn(&ObjectDb, Oid, &[Value]) -> Result<Value>>;
+
+/// A defined access support relation.
+#[derive(Debug, Clone)]
+pub struct AsrDef {
+    /// The view predicate name.
+    pub name: String,
+    /// The relationship predicates along the path, in order.
+    pub path: Vec<String>,
+    /// The view definition rule `asr(X0, Xn) ← r1(X0, X1), …`.
+    pub rule: Rule,
+}
+
+/// The in-memory object database.
+pub struct ObjectDb {
+    schema: Schema,
+    catalog: Catalog,
+    objects: HashMap<Oid, Object>,
+    /// Extents per class/structure name — a class's extent includes its
+    /// subclasses' instances.
+    extents: HashMap<String, Vec<Oid>>,
+    /// Relationship pairs per relation predicate name.
+    links: HashMap<String, Vec<(Oid, Oid)>>,
+    link_sets: HashMap<String, HashSet<(Oid, Oid)>>,
+    methods: HashMap<String, MethodFn>,
+    asrs: Vec<AsrDef>,
+    next_oid: u64,
+    /// Cached Datalog representation (invalidated on mutation).
+    edb_cache: RefCell<Option<EdbDatabase>>,
+    /// Method/argument combinations already materialized into the cache.
+    materialized_methods: RefCell<HashSet<(String, Vec<Const>)>>,
+}
+
+impl std::fmt::Debug for ObjectDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectDb")
+            .field("objects", &self.objects.len())
+            .field("classes", &self.extents.len())
+            .field("asrs", &self.asrs.len())
+            .finish()
+    }
+}
+
+impl ObjectDb {
+    /// Create an empty database over a schema.
+    pub fn new(schema: Schema) -> Self {
+        let catalog = translate_schema(&schema);
+        ObjectDb {
+            schema,
+            catalog,
+            objects: HashMap::new(),
+            extents: HashMap::new(),
+            links: HashMap::new(),
+            link_sets: HashMap::new(),
+            methods: HashMap::new(),
+            asrs: Vec::new(),
+            next_oid: 1,
+            edb_cache: RefCell::new(None),
+            materialized_methods: RefCell::new(HashSet::new()),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The Step 1 catalog (with registered ASR views).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The defined access support relations.
+    pub fn asrs(&self) -> &[AsrDef] {
+        &self.asrs
+    }
+
+    /// View rules for all defined ASRs (for the SQO transform context).
+    pub fn asr_rules(&self) -> Vec<Rule> {
+        self.asrs.iter().map(|a| a.rule.clone()).collect()
+    }
+
+    fn invalidate(&mut self) {
+        self.edb_cache.replace(None);
+        self.materialized_methods.borrow_mut().clear();
+    }
+
+    fn alloc_oid(&mut self) -> Oid {
+        let o = Oid(self.next_oid);
+        self.next_oid += 1;
+        o
+    }
+
+    fn default_value(&mut self, ty: &Type) -> Result<Value> {
+        Ok(match ty {
+            Type::Base(BaseType::Int) => Value::Int(0),
+            Type::Base(BaseType::Real) => Value::Real(0.0),
+            Type::Base(BaseType::Str) => Value::Str(String::new()),
+            Type::Base(BaseType::Bool) => Value::Bool(false),
+            Type::Named(n) => {
+                let n = n.clone();
+                // Auto-create a default structure instance.
+                Value::Obj(self.create_struct(&n, Vec::new())?)
+            }
+            Type::Collection(..) => {
+                return Err(ObjDbError::Unsupported {
+                    feature: "collection-valued attributes".into(),
+                })
+            }
+        })
+    }
+
+    /// Create an object of a class; missing attributes get defaults
+    /// (structure attributes get auto-created structure instances).
+    pub fn create(&mut self, class: &str, attrs: Vec<(&str, Value)>) -> Result<Oid> {
+        if self.schema.class(class).is_none() {
+            return Err(ObjDbError::UnknownClass {
+                name: class.to_string(),
+            });
+        }
+        let declared: Vec<(String, Type)> = self
+            .schema
+            .all_attributes(class)
+            .into_iter()
+            .map(|(_, a)| (a.name.clone(), a.ty.clone()))
+            .collect();
+        let mut provided: BTreeMap<&str, Value> = BTreeMap::new();
+        for (k, v) in attrs {
+            if !declared.iter().any(|(n, _)| n == k) {
+                return Err(ObjDbError::BadAttribute {
+                    class: class.to_string(),
+                    attribute: k.to_string(),
+                    detail: "not declared".into(),
+                });
+            }
+            provided.insert(k, v);
+        }
+        let mut final_attrs = BTreeMap::new();
+        for (name, ty) in &declared {
+            let value = match provided.remove(name.as_str()) {
+                Some(v) => self.check_type(class, name, ty, v)?,
+                None => self.default_value(ty)?,
+            };
+            final_attrs.insert(name.clone(), value);
+        }
+        let oid = self.alloc_oid();
+        self.objects.insert(
+            oid,
+            Object {
+                class: class.to_string(),
+                attrs: final_attrs,
+            },
+        );
+        // Register in its own extent and every superclass extent.
+        for c in self.schema.chain(class) {
+            let name = c.name.clone();
+            self.extents.entry(name).or_default().push(oid);
+        }
+        self.invalidate();
+        Ok(oid)
+    }
+
+    /// Create a structure instance.
+    pub fn create_struct(&mut self, strct: &str, fields: Vec<(&str, Value)>) -> Result<Oid> {
+        let declared: Vec<(String, Type)> = self
+            .schema
+            .structure(strct)
+            .ok_or_else(|| ObjDbError::UnknownClass {
+                name: strct.to_string(),
+            })?
+            .fields
+            .iter()
+            .map(|f| (f.name.clone(), f.ty.clone()))
+            .collect();
+        let mut provided: BTreeMap<&str, Value> = fields.into_iter().collect();
+        let mut final_attrs = BTreeMap::new();
+        for (name, ty) in &declared {
+            let value = match provided.remove(name.as_str()) {
+                Some(v) => self.check_type(strct, name, ty, v)?,
+                None => self.default_value(ty)?,
+            };
+            final_attrs.insert(name.clone(), value);
+        }
+        let oid = self.alloc_oid();
+        self.objects.insert(
+            oid,
+            Object {
+                class: strct.to_string(),
+                attrs: final_attrs,
+            },
+        );
+        self.extents.entry(strct.to_string()).or_default().push(oid);
+        self.invalidate();
+        Ok(oid)
+    }
+
+    fn check_type(&self, owner: &str, attr: &str, ty: &Type, v: Value) -> Result<Value> {
+        let ok = match (ty, &v) {
+            (Type::Base(BaseType::Int), Value::Int(_)) => true,
+            (Type::Base(BaseType::Real), Value::Real(_) | Value::Int(_)) => true,
+            (Type::Base(BaseType::Str), Value::Str(_)) => true,
+            (Type::Base(BaseType::Bool), Value::Bool(_)) => true,
+            (Type::Named(n), Value::Obj(o)) => match self.objects.get(o) {
+                Some(obj) => obj.class == *n || self.schema.is_subclass_of(&obj.class, n),
+                None => false,
+            },
+            _ => false,
+        };
+        if ok {
+            // Coerce ints to reals where declared real.
+            if let (Type::Base(BaseType::Real), Value::Int(i)) = (ty, &v) {
+                return Ok(Value::Real(*i as f64));
+            }
+            Ok(v)
+        } else {
+            Err(ObjDbError::BadAttribute {
+                class: owner.to_string(),
+                attribute: attr.to_string(),
+                detail: format!("value {v} does not match type {ty}"),
+            })
+        }
+    }
+
+    /// Set an attribute on an existing object.
+    pub fn set_attr(&mut self, oid: Oid, attr: &str, v: Value) -> Result<()> {
+        let class = self
+            .objects
+            .get(&oid)
+            .ok_or(ObjDbError::UnknownObject { oid: oid.0 })?
+            .class
+            .clone();
+        let ty = self
+            .schema
+            .all_attributes(&class)
+            .into_iter()
+            .find(|(_, a)| a.name == attr)
+            .map(|(_, a)| a.ty.clone())
+            .or_else(|| {
+                self.schema
+                    .structure(&class)
+                    .and_then(|s| s.fields.iter().find(|f| f.name == attr))
+                    .map(|f| f.ty.clone())
+            })
+            .ok_or_else(|| ObjDbError::BadAttribute {
+                class: class.clone(),
+                attribute: attr.to_string(),
+                detail: "not declared".into(),
+            })?;
+        let v = self.check_type(&class, attr, &ty, v)?;
+        self.objects
+            .get_mut(&oid)
+            .expect("checked above")
+            .attrs
+            .insert(attr.to_string(), v);
+        self.invalidate();
+        Ok(())
+    }
+
+    /// Look up an object.
+    pub fn get(&self, oid: Oid) -> Option<&Object> {
+        self.objects.get(&oid)
+    }
+
+    /// Read an attribute value.
+    pub fn attr(&self, oid: Oid, name: &str) -> Option<&Value> {
+        self.objects.get(&oid).and_then(|o| o.attrs.get(name))
+    }
+
+    /// The extent of a class (including subclass instances), in creation
+    /// order.
+    pub fn extent(&self, class: &str) -> &[Oid] {
+        self.extents.get(class).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of live objects (including structure instances).
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Resolve the relationship declaration reachable from an object's
+    /// class, returning (declaring class, target, many, pred name,
+    /// inverse pred name if any).
+    fn resolve_rel(
+        &self,
+        class: &str,
+        rel: &str,
+    ) -> Result<(String, String, bool, String, Option<String>)> {
+        let Some(Member::Relationship(decl_cls, r)) = self.schema.find_member(class, rel) else {
+            return Err(ObjDbError::UnknownRelationship {
+                class: class.to_string(),
+                name: rel.to_string(),
+            });
+        };
+        let pred = self
+            .catalog
+            .relationship_relation(decl_cls, &r.name)
+            .expect("relationship in catalog")
+            .pred
+            .name()
+            .to_string();
+        let inv_pred = r.inverse.as_ref().and_then(|(icls, irel)| {
+            self.catalog
+                .relationship_relation(icls, irel)
+                .map(|d| d.pred.name().to_string())
+        });
+        Ok((
+            decl_cls.to_string(),
+            r.target.clone(),
+            r.many,
+            pred,
+            inv_pred,
+        ))
+    }
+
+    /// Link two objects through a relationship (maintaining the inverse
+    /// and enforcing cardinality).
+    pub fn link(&mut self, from: Oid, rel: &str, to: Oid) -> Result<()> {
+        let from_class = self
+            .objects
+            .get(&from)
+            .ok_or(ObjDbError::UnknownObject { oid: from.0 })?
+            .class
+            .clone();
+        let to_class = self
+            .objects
+            .get(&to)
+            .ok_or(ObjDbError::UnknownObject { oid: to.0 })?
+            .class
+            .clone();
+        let (_, target, many, pred, inv_pred) = self.resolve_rel(&from_class, rel)?;
+        if !self.schema.is_subclass_of(&to_class, &target) {
+            return Err(ObjDbError::TypeMismatch {
+                expected: target,
+                found: to_class,
+            });
+        }
+        if self
+            .link_sets
+            .get(&pred)
+            .is_some_and(|s| s.contains(&(from, to)))
+        {
+            return Ok(()); // idempotent
+        }
+        if !many {
+            let already = self
+                .links
+                .get(&pred)
+                .is_some_and(|v| v.iter().any(|(f, _)| *f == from));
+            if already {
+                return Err(ObjDbError::Cardinality {
+                    relationship: format!("{from_class}::{rel}"),
+                    detail: format!("{from} is already linked (to-one side)"),
+                });
+            }
+        }
+        // Cardinality on the inverse side.
+        if let Some(inv) = &inv_pred {
+            let inv_many = self
+                .catalog
+                .relation_by_pred(&PredSym::new(inv.clone()))
+                .map(|d| matches!(&d.kind, RelKind::Relationship { many, .. } if *many))
+                .unwrap_or(true);
+            if !inv_many {
+                let already = self
+                    .links
+                    .get(inv)
+                    .is_some_and(|v| v.iter().any(|(f, _)| *f == to));
+                if already {
+                    return Err(ObjDbError::Cardinality {
+                        relationship: format!("inverse of {from_class}::{rel}"),
+                        detail: format!("{to} is already linked (to-one inverse)"),
+                    });
+                }
+            }
+        }
+        self.links.entry(pred.clone()).or_default().push((from, to));
+        self.link_sets.entry(pred).or_default().insert((from, to));
+        if let Some(inv) = inv_pred {
+            self.links.entry(inv.clone()).or_default().push((to, from));
+            self.link_sets.entry(inv).or_default().insert((to, from));
+        }
+        self.invalidate();
+        Ok(())
+    }
+
+    /// The objects linked from `from` through a relationship.
+    pub fn linked(&self, from: Oid, rel: &str) -> Result<Vec<Oid>> {
+        let class = self
+            .objects
+            .get(&from)
+            .ok_or(ObjDbError::UnknownObject { oid: from.0 })?
+            .class
+            .clone();
+        let (_, _, _, pred, _) = self.resolve_rel(&class, rel)?;
+        Ok(self
+            .links
+            .get(&pred)
+            .map(|v| {
+                v.iter()
+                    .filter(|(f, _)| *f == from)
+                    .map(|(_, t)| *t)
+                    .collect()
+            })
+            .unwrap_or_default())
+    }
+
+    /// Remove a relationship link (and its inverse). Returns whether the
+    /// link existed.
+    pub fn unlink(&mut self, from: Oid, rel: &str, to: Oid) -> Result<bool> {
+        let from_class = self
+            .objects
+            .get(&from)
+            .ok_or(ObjDbError::UnknownObject { oid: from.0 })?
+            .class
+            .clone();
+        let (_, _, _, pred, inv_pred) = self.resolve_rel(&from_class, rel)?;
+        let existed = self
+            .link_sets
+            .get_mut(&pred)
+            .is_some_and(|s| s.remove(&(from, to)));
+        if existed {
+            if let Some(v) = self.links.get_mut(&pred) {
+                v.retain(|p| *p != (from, to));
+            }
+            if let Some(inv) = inv_pred {
+                if let Some(s) = self.link_sets.get_mut(&inv) {
+                    s.remove(&(to, from));
+                }
+                if let Some(v) = self.links.get_mut(&inv) {
+                    v.retain(|p| *p != (to, from));
+                }
+            }
+            self.invalidate();
+        }
+        Ok(existed)
+    }
+
+    /// Delete an object: removes it from every extent, severs every
+    /// relationship link it participates in (maintaining inverses), and
+    /// drops it from the store. Structure instances owned through
+    /// attributes are left in place (they may be shared in the Datalog
+    /// representation).
+    pub fn delete(&mut self, oid: Oid) -> Result<()> {
+        if !self.objects.contains_key(&oid) {
+            return Err(ObjDbError::UnknownObject { oid: oid.0 });
+        }
+        for v in self.extents.values_mut() {
+            v.retain(|o| *o != oid);
+        }
+        for (pred, pairs) in self.links.iter_mut() {
+            pairs.retain(|(f, t)| *f != oid && *t != oid);
+            if let Some(set) = self.link_sets.get_mut(pred) {
+                set.retain(|(f, t)| *f != oid && *t != oid);
+            }
+        }
+        self.objects.remove(&oid);
+        self.invalidate();
+        Ok(())
+    }
+
+    /// Register a method implementation for `class::name`.
+    pub fn register_method(&mut self, class: &str, name: &str, f: MethodFn) -> Result<()> {
+        let decl = self
+            .catalog
+            .method_relation(class, name)
+            .ok_or_else(|| ObjDbError::Method {
+                name: format!("{class}::{name}"),
+                detail: "not declared in the schema".into(),
+            })?;
+        self.methods.insert(decl.pred.name().to_string(), f);
+        self.invalidate();
+        Ok(())
+    }
+
+    /// Invoke a registered method.
+    pub fn call_method(&self, pred: &str, receiver: Oid, args: &[Value]) -> Result<Value> {
+        let f = self.methods.get(pred).ok_or_else(|| ObjDbError::Method {
+            name: pred.to_string(),
+            detail: "no implementation registered".into(),
+        })?;
+        f(self, receiver, args)
+    }
+
+    /// Define (and materialize) an access support relation over a path of
+    /// relationship names starting at `class`. Returns the view predicate.
+    pub fn define_asr(&mut self, name: &str, class: &str, path: &[&str]) -> Result<PredSym> {
+        if path.is_empty() {
+            return Err(ObjDbError::BadAsrPath {
+                detail: "empty path".into(),
+            });
+        }
+        let mut preds = Vec::new();
+        let mut cur_class = class.to_string();
+        for rel in path {
+            let (_, target, _, pred, _) = self.resolve_rel_by_class(&cur_class, rel)?;
+            preds.push(pred);
+            cur_class = target;
+        }
+        // Build the view rule asr(X0, Xn) ← r1(X0, X1), …, rn(Xn-1, Xn).
+        let mut body = Vec::new();
+        for (i, p) in preds.iter().enumerate() {
+            body.push(Literal::pos(
+                p.as_str(),
+                vec![Term::var(format!("X{i}")), Term::var(format!("X{}", i + 1))],
+            ));
+        }
+        let head = Atom::new(
+            name.to_lowercase(),
+            vec![Term::var("X0"), Term::var(format!("X{}", preds.len()))],
+        );
+        let rule = Rule::new(head, body);
+        let pred = self.catalog.register_view(name, 2);
+        self.asrs.push(AsrDef {
+            name: pred.name().to_string(),
+            path: preds,
+            rule,
+        });
+        self.invalidate();
+        Ok(pred)
+    }
+
+    /// Like [`resolve_rel`](Self::resolve_rel) but starting from a class
+    /// name rather than an instance.
+    fn resolve_rel_by_class(
+        &self,
+        class: &str,
+        rel: &str,
+    ) -> Result<(String, String, bool, String, Option<String>)> {
+        if self.schema.class(class).is_none() {
+            return Err(ObjDbError::UnknownClass {
+                name: class.to_string(),
+            });
+        }
+        self.resolve_rel(class, rel)
+    }
+
+    /// Materialized pairs of an ASR (walking the stored links).
+    fn asr_pairs(&self, def: &AsrDef) -> Vec<(Oid, Oid)> {
+        let mut frontier: Option<Vec<(Oid, Oid)>> = None;
+        for pred in &def.path {
+            let hop = self.links.get(pred).cloned().unwrap_or_default();
+            frontier = Some(match frontier {
+                None => hop,
+                Some(prev) => {
+                    let mut index: HashMap<Oid, Vec<Oid>> = HashMap::new();
+                    for (f, t) in &hop {
+                        index.entry(*f).or_default().push(*t);
+                    }
+                    let mut next = Vec::new();
+                    let mut seen = HashSet::new();
+                    for (start, mid) in prev {
+                        if let Some(ends) = index.get(&mid) {
+                            for e in ends {
+                                if seen.insert((start, *e)) {
+                                    next.push((start, *e));
+                                }
+                            }
+                        }
+                    }
+                    next
+                }
+            });
+        }
+        frontier.unwrap_or_default()
+    }
+
+    /// The Datalog representation of the whole store (cached).
+    ///
+    /// Produces: full class/structure relations (a class relation contains
+    /// its subclasses' objects, projected onto the class's attributes),
+    /// unary `{pred}__extent` relations for cheap extent membership,
+    /// relationship relations, and materialized ASR relations. Method
+    /// relations are materialized lazily per (method, arguments) combo by
+    /// [`ensure_method_facts`](Self::ensure_method_facts).
+    pub fn edb(&self) -> std::cell::Ref<'_, EdbDatabase> {
+        {
+            let mut cache = self.edb_cache.borrow_mut();
+            if cache.is_none() {
+                *cache = Some(self.build_edb());
+            }
+        }
+        std::cell::Ref::map(self.edb_cache.borrow(), |o| o.as_ref().expect("just built"))
+    }
+
+    fn build_edb(&self) -> EdbDatabase {
+        let mut db = EdbDatabase::new();
+        for decl in &self.catalog.relations {
+            match &decl.kind {
+                RelKind::Class { class } | RelKind::Struct { strct: class } => {
+                    let pred = decl.pred.clone();
+                    let extent_pred = PredSym::new(format!("{}__extent", pred.name()));
+                    db.declare(pred.clone(), decl.arity());
+                    db.declare(extent_pred.clone(), 1);
+                    for oid in self.extent(class) {
+                        let obj = &self.objects[oid];
+                        let mut tuple: Vec<Const> = vec![Const::Oid(oid.0)];
+                        for arg in decl.args.iter().skip(1) {
+                            let v =
+                                obj.attrs
+                                    .get(&arg.name)
+                                    .map(Value::to_const)
+                                    .unwrap_or(match &arg.ty {
+                                        ArgType::Oid(_) => Const::Oid(0),
+                                        ArgType::Base(BaseType::Str) => Const::Str(String::new()),
+                                        ArgType::Base(BaseType::Real) => Const::Real(0.0.into()),
+                                        ArgType::Base(BaseType::Bool) => Const::Bool(false),
+                                        ArgType::Base(BaseType::Int) => Const::Int(0),
+                                    });
+                            tuple.push(v);
+                        }
+                        db.insert(pred.clone(), tuple).expect("consistent arity");
+                        db.insert(extent_pred.clone(), vec![Const::Oid(oid.0)])
+                            .expect("unary");
+                    }
+                }
+                RelKind::Relationship { .. } => {
+                    db.declare(decl.pred.clone(), 2);
+                    if let Some(pairs) = self.links.get(decl.pred.name()) {
+                        for (f, t) in pairs {
+                            db.insert(decl.pred.clone(), vec![Const::Oid(f.0), Const::Oid(t.0)])
+                                .expect("binary");
+                        }
+                    }
+                }
+                RelKind::View { .. } => {
+                    db.declare(decl.pred.clone(), 2);
+                }
+                RelKind::Method { .. } => {
+                    db.declare(decl.pred.clone(), decl.arity());
+                }
+            }
+        }
+        for def in &self.asrs {
+            let pred = PredSym::new(def.name.clone());
+            for (f, t) in self.asr_pairs(def) {
+                db.insert(pred.clone(), vec![Const::Oid(f.0), Const::Oid(t.0)])
+                    .expect("binary");
+            }
+        }
+        db
+    }
+
+    /// Ensure method facts for the given (method predicate, constant
+    /// arguments) combination exist in the cached EDB. Returns the number
+    /// of invocations performed (0 when already materialized).
+    pub fn ensure_method_facts(&self, pred: &str, args: &[Const]) -> Result<u64> {
+        let key = (pred.to_string(), args.to_vec());
+        if self.materialized_methods.borrow().contains(&key) {
+            return Ok(0);
+        }
+        let decl = self
+            .catalog
+            .relation_by_pred(&PredSym::new(pred))
+            .ok_or_else(|| ObjDbError::Method {
+                name: pred.to_string(),
+                detail: "unknown method relation".into(),
+            })?;
+        let RelKind::Method { class, .. } = &decl.kind else {
+            return Err(ObjDbError::Method {
+                name: pred.to_string(),
+                detail: "not a method relation".into(),
+            });
+        };
+        let class = class.clone();
+        let values: Vec<Value> = args.iter().map(Value::from_const).collect();
+        // Materialize before borrowing the cache mutably.
+        self.edb();
+        let receivers: Vec<Oid> = self.extent(&class).to_vec();
+        let mut calls = 0u64;
+        let mut facts: Vec<Vec<Const>> = Vec::with_capacity(receivers.len());
+        for oid in receivers {
+            let out = self.call_method(pred, oid, &values)?;
+            calls += 1;
+            let mut tuple = vec![Const::Oid(oid.0)];
+            tuple.extend(args.iter().cloned());
+            tuple.push(out.to_const());
+            facts.push(tuple);
+        }
+        {
+            let mut cache = self.edb_cache.borrow_mut();
+            let db = cache.as_mut().expect("cache built above");
+            for t in facts {
+                db.insert(PredSym::new(pred), t).map_err(ObjDbError::from)?;
+            }
+        }
+        self.materialized_methods.borrow_mut().insert(key);
+        Ok(calls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_odl::fixtures::university_schema;
+
+    fn db() -> ObjectDb {
+        ObjectDb::new(university_schema())
+    }
+
+    #[test]
+    fn create_with_defaults_and_extents() {
+        let mut d = db();
+        let p = d
+            .create(
+                "Faculty",
+                vec![("name", "smith".into()), ("age", Value::Int(50))],
+            )
+            .unwrap();
+        let obj = d.get(p).unwrap();
+        assert_eq!(obj.class, "Faculty");
+        assert_eq!(obj.attrs["name"], Value::Str("smith".into()));
+        // salary defaulted; address auto-created.
+        assert_eq!(obj.attrs["salary"], Value::Real(0.0));
+        assert!(matches!(obj.attrs["address"], Value::Obj(_)));
+        // Extent membership up the chain.
+        assert_eq!(d.extent("Faculty").len(), 1);
+        assert_eq!(d.extent("Employee").len(), 1);
+        assert_eq!(d.extent("Person").len(), 1);
+        assert_eq!(d.extent("Student").len(), 0);
+    }
+
+    #[test]
+    fn attribute_type_checking() {
+        let mut d = db();
+        assert!(d
+            .create("Person", vec![("age", Value::Str("old".into()))])
+            .is_err());
+        assert!(d.create("Person", vec![("wings", Value::Int(2))]).is_err());
+        // Int coerces to declared float.
+        let e = d
+            .create("Employee", vec![("salary", Value::Int(50000))])
+            .unwrap();
+        assert_eq!(d.attr(e, "salary"), Some(&Value::Real(50000.0)));
+    }
+
+    #[test]
+    fn link_maintains_inverse_and_cardinality() {
+        let mut d = db();
+        let s = d.create("Student", vec![]).unwrap();
+        let sec = d.create("Section", vec![]).unwrap();
+        let course = d.create("Course", vec![]).unwrap();
+        d.link(s, "takes", sec).unwrap();
+        // Inverse maintained.
+        assert_eq!(d.linked(sec, "taken_by").unwrap(), vec![s]);
+        // Many-many allows more links.
+        let sec2 = d.create("Section", vec![]).unwrap();
+        d.link(s, "takes", sec2).unwrap();
+        // To-one: a section has exactly one course.
+        d.link(sec, "is_section_of", course).unwrap();
+        let course2 = d.create("Course", vec![]).unwrap();
+        assert!(matches!(
+            d.link(sec, "is_section_of", course2),
+            Err(ObjDbError::Cardinality { .. })
+        ));
+        // Idempotent re-link is fine.
+        d.link(s, "takes", sec).unwrap();
+    }
+
+    #[test]
+    fn one_to_one_enforced_via_inverse() {
+        let mut d = db();
+        let sec = d.create("Section", vec![]).unwrap();
+        let sec2 = d.create("Section", vec![]).unwrap();
+        let ta = d.create("TA", vec![]).unwrap();
+        d.link(sec, "has_ta", ta).unwrap();
+        // The same TA cannot assist a second section (inverse is to-one).
+        assert!(matches!(
+            d.link(sec2, "has_ta", ta),
+            Err(ObjDbError::Cardinality { .. })
+        ));
+    }
+
+    #[test]
+    fn link_type_mismatch_rejected() {
+        let mut d = db();
+        let s = d.create("Student", vec![]).unwrap();
+        let p = d.create("Person", vec![]).unwrap();
+        assert!(matches!(
+            d.link(s, "takes", p),
+            Err(ObjDbError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn edb_contains_class_extent_and_relationship_facts() {
+        let mut d = db();
+        let s = d
+            .create(
+                "Student",
+                vec![("name", "ann".into()), ("age", Value::Int(20))],
+            )
+            .unwrap();
+        let sec = d.create("Section", vec![]).unwrap();
+        d.link(s, "takes", sec).unwrap();
+        let edb = d.edb();
+        // Person relation includes the student (subclass member).
+        let person = edb.relation(&"person".into()).unwrap();
+        assert_eq!(person.len(), 1);
+        let student = edb.relation(&"student".into()).unwrap();
+        assert_eq!(student.len(), 1);
+        assert!(edb.relation(&"person__extent".into()).unwrap().len() == 1);
+        let takes = edb.relation(&"takes".into()).unwrap();
+        assert_eq!(takes.tuples()[0], vec![Const::Oid(s.0), Const::Oid(sec.0)]);
+        let taken_by = edb.relation(&"taken_by".into()).unwrap();
+        assert_eq!(taken_by.len(), 1);
+        // Structure instances present (auto-created addresses).
+        assert!(!edb.relation(&"address".into()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn methods_materialize_lazily() {
+        let mut d = db();
+        let f = d
+            .create("Faculty", vec![("salary", Value::Real(50000.0))])
+            .unwrap();
+        d.register_method(
+            "Employee",
+            "taxes_withheld",
+            Box::new(|db, oid, args| {
+                let salary = db
+                    .attr(oid, "salary")
+                    .and_then(Value::as_f64)
+                    .unwrap_or(0.0);
+                let rate = args.first().and_then(Value::as_f64).unwrap_or(0.0);
+                Ok(Value::Real(salary * rate))
+            }),
+        )
+        .unwrap();
+        let calls = d
+            .ensure_method_facts("taxes_withheld", &[Const::Real(0.1.into())])
+            .unwrap();
+        assert_eq!(calls, 1);
+        // Second time: cached.
+        let calls2 = d
+            .ensure_method_facts("taxes_withheld", &[Const::Real(0.1.into())])
+            .unwrap();
+        assert_eq!(calls2, 0);
+        let edb = d.edb();
+        let m = edb.relation(&"taxes_withheld".into()).unwrap();
+        assert_eq!(
+            m.tuples()[0],
+            vec![
+                Const::Oid(f.0),
+                Const::Real(0.1.into()),
+                Const::Real(5000.0.into())
+            ]
+        );
+    }
+
+    #[test]
+    fn asr_definition_and_materialization() {
+        let mut d = db();
+        let s = d.create("Student", vec![]).unwrap();
+        let sec = d.create("Section", vec![]).unwrap();
+        let course = d.create("Course", vec![]).unwrap();
+        let sec2 = d.create("Section", vec![]).unwrap();
+        let ta = d.create("TA", vec![]).unwrap();
+        d.link(s, "takes", sec).unwrap();
+        d.link(sec, "is_section_of", course).unwrap();
+        d.link(course, "has_sections", sec2).unwrap();
+        d.link(sec2, "has_ta", ta).unwrap();
+        let pred = d
+            .define_asr(
+                "asr",
+                "Student",
+                &["takes", "is_section_of", "has_sections", "has_ta"],
+            )
+            .unwrap();
+        assert_eq!(pred.name(), "asr");
+        let edb = d.edb();
+        let asr = edb.relation(&pred).unwrap();
+        assert_eq!(asr.tuples(), &[vec![Const::Oid(s.0), Const::Oid(ta.0)]]);
+        // The view rule is available for the optimizer.
+        assert_eq!(d.asr_rules().len(), 1);
+        assert_eq!(
+            d.asr_rules()[0].to_string(),
+            "asr(X0, X4) <- takes(X0, X1), is_section_of(X1, X2), \
+             has_sections(X2, X3), has_ta(X3, X4)"
+        );
+    }
+
+    #[test]
+    fn bad_asr_paths_rejected() {
+        let mut d = db();
+        assert!(d.define_asr("v", "Student", &[]).is_err());
+        assert!(d.define_asr("v", "Student", &["nope"]).is_err());
+        assert!(d.define_asr("v", "Martian", &["takes"]).is_err());
+    }
+
+    #[test]
+    fn unlink_removes_both_directions() {
+        let mut d = db();
+        let s = d.create("Student", vec![]).unwrap();
+        let sec = d.create("Section", vec![]).unwrap();
+        d.link(s, "takes", sec).unwrap();
+        assert!(d.unlink(s, "takes", sec).unwrap());
+        assert!(d.linked(s, "takes").unwrap().is_empty());
+        assert!(d.linked(sec, "taken_by").unwrap().is_empty());
+        // Second unlink is a no-op.
+        assert!(!d.unlink(s, "takes", sec).unwrap());
+        // The EDB no longer carries the pair.
+        let edb = d.edb();
+        assert!(edb.relation(&"takes".into()).is_none_or(|r| r.is_empty()));
+    }
+
+    #[test]
+    fn unlink_frees_to_one_slot() {
+        let mut d = db();
+        let sec = d.create("Section", vec![]).unwrap();
+        let c1 = d.create("Course", vec![]).unwrap();
+        let c2 = d.create("Course", vec![]).unwrap();
+        d.link(sec, "is_section_of", c1).unwrap();
+        assert!(d.link(sec, "is_section_of", c2).is_err());
+        d.unlink(sec, "is_section_of", c1).unwrap();
+        d.link(sec, "is_section_of", c2).unwrap();
+    }
+
+    #[test]
+    fn delete_severs_links_and_extents() {
+        let mut d = db();
+        let s = d.create("Student", vec![]).unwrap();
+        let sec = d.create("Section", vec![]).unwrap();
+        d.link(s, "takes", sec).unwrap();
+        d.delete(s).unwrap();
+        assert!(d.get(s).is_none());
+        assert_eq!(d.extent("Student").len(), 0);
+        assert_eq!(d.extent("Person").len(), 0);
+        assert!(d.linked(sec, "taken_by").unwrap().is_empty());
+        assert!(matches!(d.delete(s), Err(ObjDbError::UnknownObject { .. })));
+    }
+
+    #[test]
+    fn set_attr_checks_types_and_invalidates() {
+        let mut d = db();
+        let p = d.create("Person", vec![]).unwrap();
+        {
+            let edb = d.edb();
+            assert_eq!(edb.relation(&"person".into()).unwrap().len(), 1);
+        }
+        d.set_attr(p, "age", Value::Int(44)).unwrap();
+        assert!(d.set_attr(p, "age", Value::Str("x".into())).is_err());
+        let edb = d.edb();
+        let person = edb.relation(&"person".into()).unwrap();
+        let pos = d
+            .catalog()
+            .class_relation("Person")
+            .unwrap()
+            .arg_position("age")
+            .unwrap();
+        assert_eq!(person.tuples()[0][pos], Const::Int(44));
+    }
+}

@@ -1,0 +1,180 @@
+//! Abstract syntax for the supported ODL subset.
+//!
+//! The subset covers everything the paper's translation (Section 4.2)
+//! consumes: interfaces (classes) with single inheritance, extents, keys,
+//! attributes of base / structure / class types, relationships with
+//! cardinality (via collection types) and inverse declarations, methods
+//! with typed parameters, and named structures.
+//!
+//! ODMG-93 allows multiple inheritance of interfaces; we restrict to
+//! single inheritance so the attribute order of translation rule 1 is
+//! unambiguous (documented substitution in DESIGN.md).
+
+use std::fmt;
+
+/// A base (atomic) type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaseType {
+    /// `string`
+    Str,
+    /// `short`, `long`, `unsigned short`, `unsigned long`, `integer`
+    Int,
+    /// `float`, `double`
+    Real,
+    /// `boolean`
+    Bool,
+}
+
+impl fmt::Display for BaseType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BaseType::Str => "string",
+            BaseType::Int => "long",
+            BaseType::Real => "float",
+            BaseType::Bool => "boolean",
+        })
+    }
+}
+
+/// Collection kinds for relationship/attribute types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectionKind {
+    /// `Set<T>`
+    Set,
+    /// `List<T>`
+    List,
+    /// `Bag<T>`
+    Bag,
+}
+
+impl fmt::Display for CollectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CollectionKind::Set => "Set",
+            CollectionKind::List => "List",
+            CollectionKind::Bag => "Bag",
+        })
+    }
+}
+
+/// A type expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// A base type.
+    Base(BaseType),
+    /// A named type: a class or a structure.
+    Named(String),
+    /// A collection of an element type.
+    Collection(CollectionKind, Box<Type>),
+}
+
+impl Type {
+    /// The named element type, stripping one collection layer if present.
+    pub fn element_name(&self) -> Option<&str> {
+        match self {
+            Type::Named(n) => Some(n),
+            Type::Collection(_, inner) => inner.element_name(),
+            Type::Base(_) => None,
+        }
+    }
+
+    /// Whether the type is a collection.
+    pub fn is_collection(&self) -> bool {
+        matches!(self, Type::Collection(..))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Base(b) => b.fmt(f),
+            Type::Named(n) => f.write_str(n),
+            Type::Collection(k, t) => write!(f, "{k}<{t}>"),
+        }
+    }
+}
+
+/// An attribute declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeDecl {
+    /// The attribute name.
+    pub name: String,
+    /// The attribute type.
+    pub ty: Type,
+}
+
+/// A relationship declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationshipDecl {
+    /// The relationship name.
+    pub name: String,
+    /// The target class name.
+    pub target: String,
+    /// Whether this side is a collection (to-many).
+    pub many: bool,
+    /// The inverse declaration `inverse Target::name`, if present.
+    pub inverse: Option<(String, String)>,
+}
+
+/// A method (operation) declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDecl {
+    /// The method name.
+    pub name: String,
+    /// The user-provided parameters (name, type); all `in` mode.
+    pub params: Vec<(String, Type)>,
+    /// The return type.
+    pub ret: Type,
+}
+
+/// An interface (class) declaration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct InterfaceDecl {
+    /// The class name.
+    pub name: String,
+    /// The (single) superclass, if any.
+    pub super_class: Option<String>,
+    /// The extent name, if declared.
+    pub extent: Option<String>,
+    /// Declared keys; each key is a list of attribute names.
+    pub keys: Vec<Vec<String>>,
+    /// Attribute declarations, in order.
+    pub attributes: Vec<AttributeDecl>,
+    /// Relationship declarations, in order.
+    pub relationships: Vec<RelationshipDecl>,
+    /// Method declarations, in order.
+    pub methods: Vec<MethodDecl>,
+}
+
+/// A structure declaration.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StructDecl {
+    /// The structure name.
+    pub name: String,
+    /// The fields, in order.
+    pub fields: Vec<AttributeDecl>,
+}
+
+/// A top-level ODL declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decl {
+    /// An interface (class).
+    Interface(InterfaceDecl),
+    /// A structure.
+    Struct(StructDecl),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_display() {
+        let t = Type::Collection(CollectionKind::Set, Box::new(Type::Named("Section".into())));
+        assert_eq!(t.to_string(), "Set<Section>");
+        assert_eq!(t.element_name(), Some("Section"));
+        assert!(t.is_collection());
+        assert_eq!(Type::Base(BaseType::Str).to_string(), "string");
+        assert_eq!(Type::Base(BaseType::Str).element_name(), None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for ODL parsing and schema analysis.
+
+use std::fmt;
+
+/// Errors produced while parsing ODL or validating a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OdlError {
+    /// Lexical or syntactic error with position.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        column: usize,
+    },
+    /// A named type (class or structure) was defined twice.
+    DuplicateType {
+        /// The offending name.
+        name: String,
+    },
+    /// A member (attribute/relationship/method) name is repeated within a
+    /// class or clashes with an inherited member.
+    DuplicateMember {
+        /// The class involved.
+        class: String,
+        /// The member name.
+        member: String,
+    },
+    /// A referenced type does not exist.
+    UnknownType {
+        /// The offending name.
+        name: String,
+        /// Where the reference occurred.
+        referenced_in: String,
+    },
+    /// The superclass of a class does not exist.
+    UnknownSuper {
+        /// The class involved.
+        class: String,
+        /// The missing superclass.
+        superclass: String,
+    },
+    /// Inheritance cycle.
+    InheritanceCycle {
+        /// The class involved.
+        class: String,
+    },
+    /// A relationship's inverse declaration is inconsistent.
+    BadInverse {
+        /// The class involved.
+        class: String,
+        /// The relationship involved.
+        relationship: String,
+        /// Additional detail.
+        detail: String,
+    },
+    /// A key refers to an attribute that does not exist on the class.
+    UnknownKeyAttribute {
+        /// The class involved.
+        class: String,
+        /// The attribute involved.
+        attribute: String,
+    },
+}
+
+impl fmt::Display for OdlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OdlError::Parse {
+                message,
+                line,
+                column,
+            } => write!(f, "ODL parse error at {line}:{column}: {message}"),
+            OdlError::DuplicateType { name } => write!(f, "type `{name}` defined twice"),
+            OdlError::DuplicateMember { class, member } => {
+                write!(f, "member `{member}` duplicated in class `{class}`")
+            }
+            OdlError::UnknownType {
+                name,
+                referenced_in,
+            } => write!(f, "unknown type `{name}` referenced in `{referenced_in}`"),
+            OdlError::UnknownSuper { class, superclass } => {
+                write!(f, "class `{class}` extends unknown class `{superclass}`")
+            }
+            OdlError::InheritanceCycle { class } => {
+                write!(f, "inheritance cycle through class `{class}`")
+            }
+            OdlError::BadInverse {
+                class,
+                relationship,
+                detail,
+            } => write!(
+                f,
+                "bad inverse for relationship `{class}::{relationship}`: {detail}"
+            ),
+            OdlError::UnknownKeyAttribute { class, attribute } => {
+                write!(
+                    f,
+                    "key attribute `{attribute}` not found on class `{class}`"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for OdlError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, OdlError>;

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # sqo-odl
+//!
+//! A parser and semantic model for the subset of ODMG-93 **ODL** used by
+//! *"Semantic Query Optimization for Object Databases"* (Grant, Gryz,
+//! Minker, Raschid — ICDE 1997): interfaces with single inheritance,
+//! extents, keys, attributes of base/structure/class types, relationships
+//! with cardinality and inverses, methods, and named structures.
+//!
+//! The bundled [`fixtures::university_schema`] reproduces Figure 1 of the
+//! paper.
+
+pub mod ast;
+pub mod error;
+pub mod fixtures;
+pub mod parser;
+pub mod schema;
+
+pub use ast::{
+    AttributeDecl, BaseType, CollectionKind, Decl, InterfaceDecl, MethodDecl, RelationshipDecl,
+    StructDecl, Type,
+};
+pub use error::{OdlError, Result};
+pub use parser::parse_odl;
+pub use schema::{Member, Schema};

@@ -1,0 +1,511 @@
+//! The analysed schema model: validated classes, structures and lookups.
+//!
+//! [`Schema::from_decls`] checks the well-formedness rules the paper's
+//! translation relies on (single inheritance without cycles, resolvable
+//! types, consistent inverse relationships, keys over existing
+//! attributes) and provides the inheritance-aware lookups used by the
+//! schema and query translators.
+
+use crate::ast::*;
+use crate::error::{OdlError, Result};
+use crate::parser::parse_odl;
+use std::collections::HashMap;
+
+/// A member of a class, found by [`Schema::find_member`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Member<'a> {
+    /// An attribute (possibly inherited), with the class that declares it.
+    Attribute(&'a str, &'a AttributeDecl),
+    /// A relationship (possibly inherited), with the declaring class.
+    Relationship(&'a str, &'a RelationshipDecl),
+    /// A method (possibly inherited), with the declaring class.
+    Method(&'a str, &'a MethodDecl),
+}
+
+/// A validated schema.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    classes: Vec<InterfaceDecl>,
+    structs: Vec<StructDecl>,
+    class_index: HashMap<String, usize>,
+    struct_index: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Parse and validate ODL source.
+    pub fn parse(src: &str) -> Result<Schema> {
+        Schema::from_decls(parse_odl(src)?)
+    }
+
+    /// Build and validate a schema from declarations.
+    pub fn from_decls(decls: Vec<Decl>) -> Result<Schema> {
+        let mut s = Schema::default();
+        for d in decls {
+            match d {
+                Decl::Interface(i) => {
+                    if s.class_index.contains_key(&i.name) || s.struct_index.contains_key(&i.name) {
+                        return Err(OdlError::DuplicateType { name: i.name });
+                    }
+                    s.class_index.insert(i.name.clone(), s.classes.len());
+                    s.classes.push(i);
+                }
+                Decl::Struct(st) => {
+                    if s.class_index.contains_key(&st.name) || s.struct_index.contains_key(&st.name)
+                    {
+                        return Err(OdlError::DuplicateType { name: st.name });
+                    }
+                    s.struct_index.insert(st.name.clone(), s.structs.len());
+                    s.structs.push(st);
+                }
+            }
+        }
+        s.validate()?;
+        Ok(s)
+    }
+
+    fn validate(&self) -> Result<()> {
+        // Superclasses exist, no cycles.
+        for c in &self.classes {
+            if let Some(sup) = &c.super_class {
+                if !self.class_index.contains_key(sup) {
+                    return Err(OdlError::UnknownSuper {
+                        class: c.name.clone(),
+                        superclass: sup.clone(),
+                    });
+                }
+            }
+            // Cycle detection by walking up with a step bound.
+            let mut cur = c.super_class.as_deref();
+            let mut steps = 0;
+            while let Some(name) = cur {
+                if name == c.name {
+                    return Err(OdlError::InheritanceCycle {
+                        class: c.name.clone(),
+                    });
+                }
+                steps += 1;
+                if steps > self.classes.len() {
+                    return Err(OdlError::InheritanceCycle {
+                        class: c.name.clone(),
+                    });
+                }
+                cur = self
+                    .class_index
+                    .get(name)
+                    .and_then(|&i| self.classes[i].super_class.as_deref());
+            }
+        }
+        // Types resolve; member names unique along the chain; inverse
+        // consistency; keys exist.
+        for c in &self.classes {
+            let mut seen: Vec<&str> = Vec::new();
+            for a in self.all_attributes(&c.name) {
+                if seen.contains(&a.1.name.as_str()) {
+                    return Err(OdlError::DuplicateMember {
+                        class: c.name.clone(),
+                        member: a.1.name.clone(),
+                    });
+                }
+                seen.push(&a.1.name);
+                self.check_type(&a.1.ty, &c.name)?;
+            }
+            for (_, r) in self.all_relationships(&c.name) {
+                if seen.contains(&r.name.as_str()) {
+                    return Err(OdlError::DuplicateMember {
+                        class: c.name.clone(),
+                        member: r.name.clone(),
+                    });
+                }
+                seen.push(&r.name);
+                if !self.class_index.contains_key(&r.target) {
+                    return Err(OdlError::UnknownType {
+                        name: r.target.clone(),
+                        referenced_in: format!("{}::{}", c.name, r.name),
+                    });
+                }
+            }
+            for (_, m) in self.all_methods(&c.name) {
+                if seen.contains(&m.name.as_str()) {
+                    return Err(OdlError::DuplicateMember {
+                        class: c.name.clone(),
+                        member: m.name.clone(),
+                    });
+                }
+                seen.push(&m.name);
+                self.check_type(&m.ret, &c.name)?;
+                for (_, t) in &m.params {
+                    self.check_type(t, &c.name)?;
+                }
+            }
+            // Inverse declarations must point back.
+            for r in &c.relationships {
+                if let Some((icls, irel)) = &r.inverse {
+                    if icls != &r.target {
+                        return Err(OdlError::BadInverse {
+                            class: c.name.clone(),
+                            relationship: r.name.clone(),
+                            detail: format!(
+                                "inverse declared on `{icls}` but the target is `{}`",
+                                r.target
+                            ),
+                        });
+                    }
+                    let Some(target) = self.class(&r.target) else {
+                        continue; // reported above
+                    };
+                    let Some(back) = self
+                        .all_relationships(&target.name)
+                        .into_iter()
+                        .find(|(_, tr)| &tr.name == irel)
+                    else {
+                        return Err(OdlError::BadInverse {
+                            class: c.name.clone(),
+                            relationship: r.name.clone(),
+                            detail: format!("`{icls}::{irel}` does not exist"),
+                        });
+                    };
+                    // The inverse's target must be this class or one of its
+                    // superclasses.
+                    if !self.is_subclass_of(&c.name, &back.1.target) {
+                        return Err(OdlError::BadInverse {
+                            class: c.name.clone(),
+                            relationship: r.name.clone(),
+                            detail: format!(
+                                "`{icls}::{irel}` targets `{}`, not `{}`",
+                                back.1.target, c.name
+                            ),
+                        });
+                    }
+                }
+            }
+            // Keys must name existing attributes (possibly inherited).
+            for key in &c.keys {
+                for attr in key {
+                    let found = self
+                        .all_attributes(&c.name)
+                        .iter()
+                        .any(|(_, a)| &a.name == attr);
+                    if !found {
+                        return Err(OdlError::UnknownKeyAttribute {
+                            class: c.name.clone(),
+                            attribute: attr.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        // Structure field types resolve.
+        for st in &self.structs {
+            for f in &st.fields {
+                self.check_type(&f.ty, &st.name)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_type(&self, t: &Type, referenced_in: &str) -> Result<()> {
+        match t {
+            Type::Base(_) => Ok(()),
+            Type::Named(n) => {
+                if self.class_index.contains_key(n) || self.struct_index.contains_key(n) {
+                    Ok(())
+                } else {
+                    Err(OdlError::UnknownType {
+                        name: n.clone(),
+                        referenced_in: referenced_in.to_string(),
+                    })
+                }
+            }
+            Type::Collection(_, inner) => self.check_type(inner, referenced_in),
+        }
+    }
+
+    /// Look up a class by name.
+    pub fn class(&self, name: &str) -> Option<&InterfaceDecl> {
+        self.class_index.get(name).map(|&i| &self.classes[i])
+    }
+
+    /// Look up a structure by name.
+    pub fn structure(&self, name: &str) -> Option<&StructDecl> {
+        self.struct_index.get(name).map(|&i| &self.structs[i])
+    }
+
+    /// All classes, in declaration order.
+    pub fn classes(&self) -> &[InterfaceDecl] {
+        &self.classes
+    }
+
+    /// All structures, in declaration order.
+    pub fn structures(&self) -> &[StructDecl] {
+        &self.structs
+    }
+
+    /// Look up the class whose extent (or name, as a fallback) matches.
+    pub fn class_by_extent(&self, extent: &str) -> Option<&InterfaceDecl> {
+        self.classes
+            .iter()
+            .find(|c| c.extent.as_deref() == Some(extent))
+            .or_else(|| self.class(extent))
+    }
+
+    /// The superclass chain from the root down to (and including) the
+    /// class itself.
+    pub fn chain(&self, name: &str) -> Vec<&InterfaceDecl> {
+        let mut rev = Vec::new();
+        let mut cur = self.class(name);
+        while let Some(c) = cur {
+            rev.push(c);
+            cur = c.super_class.as_deref().and_then(|s| self.class(s));
+            if rev.len() > self.classes.len() {
+                break;
+            }
+        }
+        rev.reverse();
+        rev
+    }
+
+    /// Whether `sub` equals `sup` or inherits from it (reflexive).
+    pub fn is_subclass_of(&self, sub: &str, sup: &str) -> bool {
+        self.chain(sub).iter().any(|c| c.name == sup)
+    }
+
+    /// Whether `sub` strictly inherits from `sup`.
+    pub fn is_strict_subclass_of(&self, sub: &str, sup: &str) -> bool {
+        sub != sup && self.is_subclass_of(sub, sup)
+    }
+
+    /// All attributes of a class, inherited first (translation rule 1),
+    /// each with its declaring class name.
+    pub fn all_attributes(&self, name: &str) -> Vec<(&str, &AttributeDecl)> {
+        self.chain(name)
+            .into_iter()
+            .flat_map(|c| c.attributes.iter().map(move |a| (c.name.as_str(), a)))
+            .collect()
+    }
+
+    /// All relationships of a class, inherited first.
+    pub fn all_relationships(&self, name: &str) -> Vec<(&str, &RelationshipDecl)> {
+        self.chain(name)
+            .into_iter()
+            .flat_map(|c| c.relationships.iter().map(move |r| (c.name.as_str(), r)))
+            .collect()
+    }
+
+    /// All methods of a class, inherited first.
+    pub fn all_methods(&self, name: &str) -> Vec<(&str, &MethodDecl)> {
+        self.chain(name)
+            .into_iter()
+            .flat_map(|c| c.methods.iter().map(move |m| (c.name.as_str(), m)))
+            .collect()
+    }
+
+    /// Find a member (attribute, relationship or method) of a class by
+    /// name, searching the inheritance chain.
+    pub fn find_member<'a>(&'a self, class: &str, member: &str) -> Option<Member<'a>> {
+        for (cls, a) in self.all_attributes(class) {
+            if a.name == member {
+                return Some(Member::Attribute(cls, a));
+            }
+        }
+        for (cls, r) in self.all_relationships(class) {
+            if r.name == member {
+                return Some(Member::Relationship(cls, r));
+            }
+        }
+        for (cls, m) in self.all_methods(class) {
+            if m.name == member {
+                return Some(Member::Method(cls, m));
+            }
+        }
+        None
+    }
+
+    /// Direct subclasses of a class.
+    pub fn subclasses(&self, name: &str) -> Vec<&InterfaceDecl> {
+        self.classes
+            .iter()
+            .filter(|c| c.super_class.as_deref() == Some(name))
+            .collect()
+    }
+
+    /// Whether a relationship is one-to-one: this side is to-one and the
+    /// declared inverse side is to-one as well.
+    pub fn is_one_to_one(&self, class: &str, rel: &RelationshipDecl) -> bool {
+        if rel.many {
+            return false;
+        }
+        let _ = class;
+        match &rel.inverse {
+            Some((icls, irel)) => self
+                .all_relationships(icls)
+                .into_iter()
+                .find(|(_, r)| &r.name == irel)
+                .map(|(_, r)| !r.many)
+                .unwrap_or(false),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Schema {
+        Schema::parse(
+            r#"
+            struct Address { attribute string street; attribute string city; };
+            interface Person {
+                extent Person;
+                attribute string name;
+                attribute short age;
+                attribute Address address;
+            };
+            interface Student : Person {
+                extent Student;
+                attribute string student_id;
+                relationship Set<Section> takes inverse Section::taken_by;
+            };
+            interface Section {
+                extent Section;
+                relationship Set<Student> taken_by inverse Student::takes;
+            };
+            interface Advisor { extent Advisor; };
+            "#,
+        )
+        .unwrap_or_else(|e| panic!("schema should parse: {e}"))
+    }
+
+    #[test]
+    fn inherited_attributes_come_first() {
+        let s = tiny();
+        let attrs = s.all_attributes("Student");
+        let names: Vec<&str> = attrs.iter().map(|(_, a)| a.name.as_str()).collect();
+        assert_eq!(names, vec!["name", "age", "address", "student_id"]);
+        assert_eq!(attrs[0].0, "Person");
+        assert_eq!(attrs[3].0, "Student");
+    }
+
+    #[test]
+    fn subclass_queries() {
+        let s = tiny();
+        assert!(s.is_subclass_of("Student", "Person"));
+        assert!(s.is_subclass_of("Person", "Person"));
+        assert!(!s.is_strict_subclass_of("Person", "Person"));
+        assert!(s.is_strict_subclass_of("Student", "Person"));
+        assert!(!s.is_subclass_of("Person", "Student"));
+        assert_eq!(s.subclasses("Person").len(), 1);
+    }
+
+    #[test]
+    fn find_member_searches_chain() {
+        let s = tiny();
+        assert!(matches!(
+            s.find_member("Student", "name"),
+            Some(Member::Attribute("Person", _))
+        ));
+        assert!(matches!(
+            s.find_member("Student", "takes"),
+            Some(Member::Relationship("Student", _))
+        ));
+        assert!(s.find_member("Student", "nope").is_none());
+    }
+
+    #[test]
+    fn unknown_super_rejected() {
+        let err = Schema::parse("interface A : Nope { };").unwrap_err();
+        assert!(matches!(err, OdlError::UnknownSuper { .. }));
+    }
+
+    #[test]
+    fn inheritance_cycle_rejected() {
+        let err = Schema::parse("interface A : B { }; interface B : A { };").unwrap_err();
+        assert!(matches!(err, OdlError::InheritanceCycle { .. }));
+    }
+
+    #[test]
+    fn duplicate_member_across_chain_rejected() {
+        let err = Schema::parse(
+            "interface A { attribute string x; }; interface B : A { attribute short x; };",
+        )
+        .unwrap_err();
+        assert!(matches!(err, OdlError::DuplicateMember { .. }));
+    }
+
+    #[test]
+    fn unknown_attribute_type_rejected() {
+        let err = Schema::parse("interface A { attribute Missing x; };").unwrap_err();
+        assert!(matches!(err, OdlError::UnknownType { .. }));
+    }
+
+    #[test]
+    fn unknown_relationship_target_rejected() {
+        let err = Schema::parse("interface A { relationship Missing r; };").unwrap_err();
+        assert!(matches!(err, OdlError::UnknownType { .. }));
+    }
+
+    #[test]
+    fn bad_inverse_rejected() {
+        let err =
+            Schema::parse("interface A { relationship B r inverse B::nope; }; interface B { };")
+                .unwrap_err();
+        assert!(matches!(err, OdlError::BadInverse { .. }));
+    }
+
+    #[test]
+    fn inverse_must_point_back() {
+        let err = Schema::parse(
+            "interface A { relationship B r inverse B::s; };
+             interface B { relationship C s inverse A::r; };
+             interface C { };",
+        )
+        .unwrap_err();
+        assert!(matches!(err, OdlError::BadInverse { .. }));
+    }
+
+    #[test]
+    fn key_attribute_must_exist() {
+        let err = Schema::parse("interface A { key nope; attribute string x; };").unwrap_err();
+        assert!(matches!(err, OdlError::UnknownKeyAttribute { .. }));
+    }
+
+    #[test]
+    fn key_may_be_inherited() {
+        let s = Schema::parse("interface A { attribute string x; }; interface B : A { key x; };");
+        assert!(s.is_ok());
+    }
+
+    #[test]
+    fn one_to_one_detection() {
+        let s = Schema::parse(
+            "interface Sec {
+                 relationship Ta has_ta inverse Ta::assists;
+                 relationship Course course_of inverse Course::sections;
+             };
+             interface Ta { relationship Sec assists inverse Sec::has_ta; };
+             interface Course { relationship Set<Sec> sections inverse Sec::course_of; };",
+        )
+        .unwrap();
+        let sec = s.class("Sec").unwrap();
+        assert!(s.is_one_to_one("Sec", &sec.relationships[0]));
+        assert!(!s.is_one_to_one("Sec", &sec.relationships[1]));
+        let course = s.class("Course").unwrap();
+        assert!(!s.is_one_to_one("Course", &course.relationships[0]));
+    }
+
+    #[test]
+    fn class_by_extent_falls_back_to_name() {
+        let s = tiny();
+        assert!(s.class_by_extent("Person").is_some());
+        assert!(s.class_by_extent("Advisor").is_some());
+        assert!(s.class_by_extent("Nothing").is_none());
+    }
+
+    #[test]
+    fn duplicate_type_rejected() {
+        assert!(matches!(
+            Schema::parse("interface A { }; struct A { string x; };"),
+            Err(OdlError::DuplicateType { .. })
+        ));
+    }
+}

@@ -1,0 +1,60 @@
+//! Error types for OQL parsing and normalization.
+
+use std::fmt;
+
+/// Errors produced while parsing or normalizing OQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OqlError {
+    /// Lexical or syntactic error with position.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column number.
+        column: usize,
+    },
+    /// A `from` entry refers to a variable that is not (yet) declared,
+    /// e.g. `y in x.takes` before `x` is introduced.
+    UnknownVariable {
+        /// The offending name.
+        name: String,
+    },
+    /// A variable is declared twice in the `from` clause.
+    DuplicateVariable {
+        /// The offending name.
+        name: String,
+    },
+    /// An unsupported OQL feature was used (the supported subset is
+    /// select-from-where, per Section 4.3 of the paper).
+    Unsupported {
+        /// The unsupported feature.
+        feature: String,
+    },
+}
+
+impl fmt::Display for OqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OqlError::Parse {
+                message,
+                line,
+                column,
+            } => write!(f, "OQL parse error at {line}:{column}: {message}"),
+            OqlError::UnknownVariable { name } => {
+                write!(f, "unknown variable `{name}` in query")
+            }
+            OqlError::DuplicateVariable { name } => {
+                write!(f, "variable `{name}` declared twice in the from clause")
+            }
+            OqlError::Unsupported { feature } => {
+                write!(f, "unsupported OQL feature: {feature}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OqlError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, OqlError>;

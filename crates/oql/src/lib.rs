@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # sqo-oql
+//!
+//! A parser, AST, pretty-printer and path-expression normalizer for the
+//! subset of ODMG-93 **OQL** handled by *"Semantic Query Optimization for
+//! Object Databases"* (Grant, Gryz, Minker, Raschid — ICDE 1997):
+//! unnested select-from-where queries with path expressions, method
+//! application, `struct`/`list`/`set`/`bag` constructors in the select
+//! clause, and the `x not in C` from-entry produced by scope reduction.
+
+pub mod ast;
+pub mod error;
+pub mod normalize;
+pub mod parser;
+
+pub use ast::{
+    CmpOp, ConstructorKind, ExistsClause, Expr, FromEntry, Literal, PathExpr, PathStep, Predicate,
+    SelectField, SelectItem, SelectQuery, Source,
+};
+pub use error::{OqlError, Result};
+pub use normalize::{is_normalized, normalize};
+pub use parser::{parse_oql, parse_oql_union};

@@ -1,0 +1,353 @@
+//! Path-expression normalization to one-dot form.
+//!
+//! Section 4.3: "Path expressions are removed from an OQL query and
+//! substituted with 'one-dot' expressions, i.e., expressions of the form
+//! X.Y, where neither X nor Y are path expressions." Each intermediate
+//! hop becomes a fresh iteration variable in the `from` clause:
+//!
+//! ```text
+//! where x.takes.is_taught_by.name = "a"
+//!   ==>
+//! from ..., aux1 in x.takes, aux2 in aux1.is_taught_by
+//! where aux2.name = "a"
+//! ```
+
+use crate::ast::*;
+
+struct Normalizer {
+    fresh: usize,
+    taken: Vec<String>,
+    new_from: Vec<FromEntry>,
+}
+
+impl Normalizer {
+    fn fresh_var(&mut self) -> String {
+        loop {
+            self.fresh += 1;
+            let name = format!("aux{}", self.fresh);
+            if !self.taken.contains(&name) {
+                self.taken.push(name.clone());
+                return name;
+            }
+        }
+    }
+
+    /// Reduce a path to one-dot form, emitting intermediate from entries.
+    /// Returns the rewritten path (at most one step).
+    fn path(&mut self, p: &PathExpr) -> PathExpr {
+        if p.is_one_dot() {
+            return PathExpr {
+                root: p.root.clone(),
+                steps: p.steps.iter().map(|s| self.step(s)).collect(),
+            };
+        }
+        let mut root = p.root.clone();
+        for step in &p.steps[..p.steps.len() - 1] {
+            let step = self.step(step);
+            let var = self.fresh_var();
+            self.new_from.push(FromEntry::In {
+                var: var.clone(),
+                source: Source::Path(PathExpr {
+                    root,
+                    steps: vec![step],
+                }),
+            });
+            root = var;
+        }
+        PathExpr {
+            root,
+            steps: vec![self.step(&p.steps[p.steps.len() - 1])],
+        }
+    }
+
+    /// Normalize the arguments inside a method-call step.
+    fn step(&mut self, s: &PathStep) -> PathStep {
+        match s {
+            PathStep::Member(m) => PathStep::Member(m.clone()),
+            PathStep::MethodCall { name, args } => PathStep::MethodCall {
+                name: name.clone(),
+                args: args.iter().map(|a| self.expr(a)).collect(),
+            },
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Expr {
+        match e {
+            Expr::Lit(l) => Expr::Lit(l.clone()),
+            Expr::Path(p) => Expr::Path(self.path(p)),
+        }
+    }
+}
+
+/// Normalize a query so every path expression is in one-dot form.
+/// From-clause sources are flattened too; fresh variables are named
+/// `auxN`, skipping any names already in use.
+pub fn normalize(q: &SelectQuery) -> SelectQuery {
+    let mut taken: Vec<String> = q.declared_vars().iter().map(|s| s.to_string()).collect();
+    taken.extend(q.exists.iter().map(|e| e.var.clone()));
+    let mut n = Normalizer {
+        fresh: 0,
+        taken,
+        new_from: Vec::new(),
+    };
+    // From entries first (they bind the variables), preserving order and
+    // inserting auxiliary hops immediately before the entry that uses
+    // them.
+    let mut from: Vec<FromEntry> = Vec::new();
+    for e in &q.from {
+        match e {
+            FromEntry::In { var, source } => {
+                let source = match source {
+                    Source::Extent(c) => Source::Extent(c.clone()),
+                    Source::Path(p) => Source::Path(n.path(p)),
+                };
+                from.append(&mut n.new_from);
+                from.push(FromEntry::In {
+                    var: var.clone(),
+                    source,
+                });
+            }
+            FromEntry::NotIn { var, source } => {
+                let source = match source {
+                    Source::Extent(c) => Source::Extent(c.clone()),
+                    Source::Path(p) => Source::Path(n.path(p)),
+                };
+                from.append(&mut n.new_from);
+                from.push(FromEntry::NotIn {
+                    var: var.clone(),
+                    source,
+                });
+            }
+        }
+    }
+    let select: Vec<SelectItem> = q
+        .select
+        .iter()
+        .map(|item| match item {
+            SelectItem::Expr(e) => SelectItem::Expr(n.expr(e)),
+            SelectItem::Constructor { kind, fields } => SelectItem::Constructor {
+                kind: *kind,
+                fields: fields
+                    .iter()
+                    .map(|f| SelectField {
+                        label: f.label.clone(),
+                        expr: n.expr(&f.expr),
+                    })
+                    .collect(),
+            },
+        })
+        .collect();
+    let mut where_: Vec<Predicate> = q
+        .where_
+        .iter()
+        .map(|p| Predicate {
+            lhs: n.expr(&p.lhs),
+            op: p.op,
+            rhs: n.expr(&p.rhs),
+        })
+        .collect();
+    // Desugar existentials: under set semantics `exists v in src : C`
+    // is an ordinary iteration plus conjoined conditions (Datalog body
+    // variables are implicitly existentially quantified).
+    for e in &q.exists {
+        let source = match &e.source {
+            Source::Extent(c) => Source::Extent(c.clone()),
+            Source::Path(p) => Source::Path(n.path(p)),
+        };
+        from.append(&mut n.new_from);
+        from.push(FromEntry::In {
+            var: e.var.clone(),
+            source,
+        });
+        for p in &e.conds {
+            where_.push(Predicate {
+                lhs: n.expr(&p.lhs),
+                op: p.op,
+                rhs: n.expr(&p.rhs),
+            });
+        }
+    }
+    from.append(&mut n.new_from);
+    SelectQuery {
+        distinct: q.distinct,
+        select,
+        from,
+        where_,
+        exists: Vec::new(),
+    }
+}
+
+/// Whether a query is already in one-dot form.
+pub fn is_normalized(q: &SelectQuery) -> bool {
+    if !q.exists.is_empty() {
+        return false;
+    }
+    let expr_ok = |e: &Expr| match e {
+        Expr::Lit(_) => true,
+        Expr::Path(p) => p.is_one_dot(),
+    };
+    q.from.iter().all(|e| match e {
+        FromEntry::In {
+            source: Source::Path(p),
+            ..
+        }
+        | FromEntry::NotIn {
+            source: Source::Path(p),
+            ..
+        } => p.is_one_dot(),
+        _ => true,
+    }) && q.select.iter().all(|i| match i {
+        SelectItem::Expr(e) => expr_ok(e),
+        SelectItem::Constructor { fields, .. } => fields.iter().all(|f| expr_ok(&f.expr)),
+    }) && q.where_.iter().all(|p| expr_ok(&p.lhs) && expr_ok(&p.rhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_oql;
+
+    #[test]
+    fn one_dot_query_is_unchanged() {
+        let q = parse_oql(
+            "select z.name from x in Student, y in x.takes, z in y.is_taught_by \
+             where x.name = \"john\"",
+        )
+        .unwrap();
+        assert!(is_normalized(&q));
+        assert_eq!(normalize(&q), q);
+    }
+
+    #[test]
+    fn where_path_is_flattened() {
+        let q =
+            parse_oql("select x.name from x in Student where x.takes.is_taught_by.name = \"a\"")
+                .unwrap();
+        assert!(!is_normalized(&q));
+        let n = normalize(&q);
+        assert!(is_normalized(&n));
+        assert_eq!(n.from.len(), 3);
+        assert_eq!(
+            n.to_string(),
+            "select x.name\nfrom x in Student,\n     aux1 in x.takes,\n     \
+             aux2 in aux1.is_taught_by\nwhere aux2.name = \"a\""
+        );
+    }
+
+    #[test]
+    fn from_path_is_flattened() {
+        let q = parse_oql("select z.name from x in Student, z in x.takes.is_taught_by").unwrap();
+        let n = normalize(&q);
+        assert!(is_normalized(&n));
+        // aux hop inserted before the entry that uses it.
+        assert_eq!(n.from.len(), 3);
+        let FromEntry::In { var, .. } = &n.from[1] else {
+            panic!()
+        };
+        assert_eq!(var, "aux1");
+        let FromEntry::In { var, source } = &n.from[2] else {
+            panic!()
+        };
+        assert_eq!(var, "z");
+        assert_eq!(source.to_string(), "aux1.is_taught_by");
+    }
+
+    #[test]
+    fn select_path_is_flattened() {
+        let q = parse_oql("select x.address.city from x in Person").unwrap();
+        let n = normalize(&q);
+        assert!(is_normalized(&n));
+        assert_eq!(n.from.len(), 2);
+        let SelectItem::Expr(Expr::Path(p)) = &n.select[0] else {
+            panic!()
+        };
+        assert_eq!(p.to_string(), "aux1.city");
+    }
+
+    #[test]
+    fn constructor_fields_are_flattened() {
+        let q = parse_oql("select list(x.takes.number, x.name) from x in Student").unwrap();
+        let n = normalize(&q);
+        assert!(is_normalized(&n));
+        let SelectItem::Constructor { fields, .. } = &n.select[0] else {
+            panic!()
+        };
+        let Expr::Path(p) = &fields[0].expr else {
+            panic!()
+        };
+        assert_eq!(p.to_string(), "aux1.number");
+    }
+
+    #[test]
+    fn method_call_args_are_flattened() {
+        let q = parse_oql(
+            "select x.name from x in Employee where x.taxes_withheld(x.address.city) < 10",
+        )
+        .unwrap();
+        let n = normalize(&q);
+        assert!(is_normalized(&n));
+        let Predicate { lhs, .. } = &n.where_[0];
+        let Expr::Path(p) = lhs else { panic!() };
+        let PathStep::MethodCall { args, .. } = &p.steps[0] else {
+            panic!()
+        };
+        let Expr::Path(arg) = &args[0] else { panic!() };
+        assert_eq!(arg.to_string(), "aux1.city");
+    }
+
+    #[test]
+    fn fresh_names_avoid_existing() {
+        let q = parse_oql("select aux1.name from aux1 in Student where aux1.takes.number = \"s1\"")
+            .unwrap();
+        let n = normalize(&q);
+        assert!(is_normalized(&n));
+        let FromEntry::In { var, .. } = &n.from[1] else {
+            panic!()
+        };
+        assert_eq!(var, "aux2");
+    }
+
+    #[test]
+    fn exists_desugars_to_from_and_where() {
+        let q = parse_oql(
+            "select x.name from x in Student \
+             where exists s in x.takes : (s.number = \"a\" and x.age > 20)",
+        )
+        .unwrap();
+        assert!(!is_normalized(&q));
+        let n = normalize(&q);
+        assert!(is_normalized(&n));
+        assert!(n.exists.is_empty());
+        assert_eq!(n.from.len(), 2);
+        assert_eq!(n.where_.len(), 2);
+        assert_eq!(
+            n.to_string(),
+            "select x.name\nfrom x in Student,\n     s in x.takes\nwhere s.number = \"a\" and x.age > 20"
+        );
+    }
+
+    #[test]
+    fn exists_with_long_path_source() {
+        let q = parse_oql(
+            "select x.name from x in Student \
+             where exists c in x.takes.is_section_of : c.number = \"m\"",
+        )
+        .unwrap();
+        let n = normalize(&q);
+        assert!(is_normalized(&n));
+        // aux hop for x.takes, then c in aux.is_section_of.
+        assert_eq!(n.from.len(), 3);
+    }
+
+    #[test]
+    fn mid_path_method_call_becomes_from_source() {
+        let q =
+            parse_oql("select x.name from x in Employee where x.best_friend(1).age < 30").unwrap();
+        let n = normalize(&q);
+        assert!(is_normalized(&n));
+        let FromEntry::In { source, .. } = &n.from[1] else {
+            panic!()
+        };
+        assert_eq!(source.to_string(), "x.best_friend(1)");
+    }
+}

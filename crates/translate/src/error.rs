@@ -1,0 +1,83 @@
+//! Error types for the translation steps.
+
+use std::fmt;
+
+/// Errors produced while translating schemas and queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TranslateError {
+    /// An OQL `from` extent does not name a known class.
+    UnknownExtent {
+        /// The offending name.
+        name: String,
+    },
+    /// A member access does not resolve on the inferred type.
+    UnknownMember {
+        /// The type whose member was sought.
+        ty: String,
+        /// The member name.
+        member: String,
+    },
+    /// A variable's type could not be inferred (e.g. iterating a base
+    /// value).
+    NotAnObject {
+        /// The variable involved.
+        var: String,
+        /// Additional detail.
+        detail: String,
+    },
+    /// An OQL feature outside the supported fragment.
+    Unsupported {
+        /// The unsupported feature.
+        feature: String,
+    },
+    /// The query must be normalized (one-dot form) before translation.
+    NotNormalized {
+        /// The offending expression, pretty-printed.
+        expr: String,
+    },
+    /// Wrapped OQL error.
+    Oql(sqo_oql::OqlError),
+    /// Wrapped ODL error.
+    Odl(sqo_odl::OdlError),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::UnknownExtent { name } => {
+                write!(f, "unknown extent or class `{name}` in from clause")
+            }
+            TranslateError::UnknownMember { ty, member } => {
+                write!(f, "type `{ty}` has no member `{member}`")
+            }
+            TranslateError::NotAnObject { var, detail } => {
+                write!(f, "variable `{var}` does not range over objects: {detail}")
+            }
+            TranslateError::Unsupported { feature } => {
+                write!(f, "unsupported feature: {feature}")
+            }
+            TranslateError::NotNormalized { expr } => {
+                write!(f, "path expression `{expr}` is not in one-dot form")
+            }
+            TranslateError::Oql(e) => e.fmt(f),
+            TranslateError::Odl(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<sqo_oql::OqlError> for TranslateError {
+    fn from(e: sqo_oql::OqlError) -> Self {
+        TranslateError::Oql(e)
+    }
+}
+
+impl From<sqo_odl::OdlError> for TranslateError {
+    fn from(e: sqo_odl::OdlError) -> Self {
+        TranslateError::Odl(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, TranslateError>;

@@ -1,0 +1,26 @@
+#![warn(missing_docs)]
+
+//! # sqo-translate
+//!
+//! The three rewriting steps of the paper's pipeline (Figure 2):
+//!
+//! * **Step 1** ([`catalog`]) — ODL schema → Datalog relations +
+//!   integrity constraints;
+//! * **Step 2** ([`query_to_datalog`]) — OQL select-from-where query →
+//!   conjunctive Datalog query (with a [`TranslationMap`] remembering how
+//!   each Datalog variable arose);
+//! * **Step 4** ([`datalog_to_oql`]) — algorithm DATALOG_to_OQL: map the
+//!   literal-level delta produced by SQO back onto the original OQL
+//!   query, preserving constructors.
+//!
+//! [`TranslationMap`]: query_to_datalog::TranslationMap
+
+pub mod catalog;
+pub mod datalog_to_oql;
+pub mod error;
+pub mod query_to_datalog;
+
+pub use catalog::{translate_schema, ArgDesc, ArgType, Catalog, RelKind, RelationDecl};
+pub use datalog_to_oql::{apply_delta, OqlEdit};
+pub use error::{Result, TranslateError};
+pub use query_to_datalog::{translate_query, QueryTranslation, TranslationMap};

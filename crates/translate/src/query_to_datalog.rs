@@ -1,0 +1,1001 @@
+//! Step 2: query translation — OQL → conjunctive Datalog.
+//!
+//! Follows Section 4.3 and Example 2 of the paper:
+//!
+//! * the query is first normalized to one-dot form
+//!   ([`sqo_oql::normalize()`]);
+//! * each `from` entry contributes atoms: an extent entry yields its
+//!   class atom, a relationship entry `y in x.takes` yields `takes(X, Y)`,
+//!   a structure-attribute entry `w in z.address` forces `z`'s class atom
+//!   (binding `W` at the attribute position — the "domain identification"
+//!   via OID-identification ICs) plus the structure atom `address(W, …)`;
+//! * method applications become atoms over their method relations with a
+//!   fresh result variable (`taxes_withheld(Z, 0.1, V), V < 1000`);
+//! * attributes named identically on *different* variables are
+//!   index-renamed (`Name1`, `Name2`), exactly as in the paper;
+//! * constructors are **not** translated — the projection lists the
+//!   underlying one-dot expressions, and the [`TranslationMap`] lets
+//!   Step 4 re-attach every change to the original OQL query.
+//!
+//! Unlike the paper's elided presentation (`faculty(Z, Name1, W)`), the
+//! generated atoms carry their full argument lists, with filler variables
+//! (`Age_X`) at unaccessed positions; golden tests therefore compare
+//! structure rather than the abbreviated text.
+
+use crate::catalog::{Catalog, RelationDecl};
+use crate::error::{Result, TranslateError};
+use sqo_datalog::{Atom, CmpOp, Comparison, Const, Literal, Query, Term, Var};
+use sqo_odl::{Member, Schema};
+use sqo_oql::{
+    normalize, Expr, FromEntry, Literal as OqlLit, PathExpr, PathStep, SelectItem, SelectQuery,
+    Source,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How each Datalog variable of the translated query arose — the
+/// information Step 4 (DATALOG_to_OQL) needs to map literal changes back
+/// onto the OQL query.
+#[derive(Debug, Clone, Default)]
+pub struct TranslationMap {
+    /// OQL identifier → Datalog OID variable name.
+    pub var_for_oql: BTreeMap<String, String>,
+    /// Datalog OID variable name → OQL identifier.
+    pub oql_for_var: BTreeMap<String, String>,
+    /// Datalog attribute variable → (OQL variable, attribute name).
+    pub attr_vars: BTreeMap<String, (String, String)>,
+    /// Datalog method-result variable → (OQL variable, method name,
+    /// original OQL argument expressions).
+    pub method_results: BTreeMap<String, (String, String, Vec<Expr>)>,
+    /// OQL variable → class or structure name.
+    pub var_types: BTreeMap<String, String>,
+}
+
+impl TranslationMap {
+    /// The OQL identifier behind a Datalog variable, if it is an OID var.
+    pub fn oql_var(&self, v: &Var) -> Option<&str> {
+        self.oql_for_var.get(v.name()).map(String::as_str)
+    }
+
+    /// The `(oql_var, attribute)` behind a Datalog attribute variable.
+    pub fn attr_of(&self, v: &Var) -> Option<(&str, &str)> {
+        self.attr_vars
+            .get(v.name())
+            .map(|(a, b)| (a.as_str(), b.as_str()))
+    }
+}
+
+/// The result of Step 2.
+#[derive(Debug, Clone)]
+pub struct QueryTranslation {
+    /// The Datalog query.
+    pub query: Query,
+    /// The translation map for Step 4.
+    pub map: TranslationMap,
+    /// The normalized OQL query actually translated (one-dot form).
+    pub normalized: SelectQuery,
+}
+
+struct Translator<'a> {
+    schema: &'a Schema,
+    catalog: &'a Catalog,
+    map: TranslationMap,
+    /// Accessed attribute vars: (oql var, attr) → datalog var name.
+    attr_assign: BTreeMap<(String, String), String>,
+    /// Per-variable class/struct atom argument vectors (built lazily).
+    object_atoms: BTreeMap<String, Vec<Term>>,
+    /// Order in which object atoms were created.
+    object_atom_order: Vec<String>,
+    /// Which relation each object atom belongs to.
+    object_atom_pred: BTreeMap<String, RelationDecl>,
+    /// All datalog variable names in use.
+    used_vars: BTreeSet<String>,
+    /// Relationship atoms, in from-clause order.
+    rel_atoms: Vec<Literal>,
+    /// Method atoms / auxiliary literals.
+    where_lits: Vec<Literal>,
+    fresh_counter: usize,
+    value_counter: usize,
+}
+
+fn capitalize(s: &str) -> String {
+    let mut cs = s.chars();
+    match cs.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + cs.as_str(),
+        None => String::new(),
+    }
+}
+
+impl<'a> Translator<'a> {
+    fn fresh_named(&mut self, base: &str) -> String {
+        let mut name = base.to_string();
+        while self.used_vars.contains(&name) {
+            self.fresh_counter += 1;
+            name = format!("{base}{}", self.fresh_counter);
+        }
+        self.used_vars.insert(name.clone());
+        name
+    }
+
+    /// The Datalog OID variable of an OQL identifier (assigning one if
+    /// new).
+    fn oid_var(&mut self, oql: &str) -> Var {
+        if let Some(v) = self.map.var_for_oql.get(oql) {
+            return Var::new(v.clone());
+        }
+        let name = self.fresh_named(&capitalize(oql));
+        self.map.var_for_oql.insert(oql.to_string(), name.clone());
+        self.map.oql_for_var.insert(name.clone(), oql.to_string());
+        Var::new(name)
+    }
+
+    fn type_of(&self, var: &str) -> Result<&str> {
+        self.map
+            .var_types
+            .get(var)
+            .map(String::as_str)
+            .ok_or_else(|| TranslateError::NotAnObject {
+                var: var.to_string(),
+                detail: "no type could be inferred".into(),
+            })
+    }
+
+    /// Case-insensitive member lookup (the paper writes `x.Takes` for the
+    /// relationship declared as `takes`).
+    fn find_member(&self, ty: &str, member: &str) -> Option<Member<'a>> {
+        if self.schema.class(ty).is_some() {
+            if let Some(m) = self.schema.find_member(ty, member) {
+                return Some(m);
+            }
+            let lower = member.to_lowercase();
+            if let Some((cls, a)) = self
+                .schema
+                .all_attributes(ty)
+                .into_iter()
+                .find(|(_, a)| a.name.to_lowercase() == lower)
+            {
+                return Some(Member::Attribute(cls, a));
+            }
+            if let Some((cls, r)) = self
+                .schema
+                .all_relationships(ty)
+                .into_iter()
+                .find(|(_, r)| r.name.to_lowercase() == lower)
+            {
+                return Some(Member::Relationship(cls, r));
+            }
+            if let Some((cls, m)) = self
+                .schema
+                .all_methods(ty)
+                .into_iter()
+                .find(|(_, m)| m.name.to_lowercase() == lower)
+            {
+                return Some(Member::Method(cls, m));
+            }
+            None
+        } else {
+            // Structure: fields only.
+            let s = self.schema.structure(ty)?;
+            let lower = member.to_lowercase();
+            s.fields
+                .iter()
+                .find(|f| f.name == member || f.name.to_lowercase() == lower)
+                .map(|f| Member::Attribute(&s.name, f))
+        }
+    }
+
+    /// The relation declaration for a var's class/structure.
+    fn object_relation(&self, ty: &str) -> Result<&RelationDecl> {
+        self.catalog
+            .class_relation(ty)
+            .or_else(|| self.catalog.struct_relation(ty))
+            .ok_or_else(|| TranslateError::UnknownExtent {
+                name: ty.to_string(),
+            })
+    }
+
+    /// Ensure the var's class/structure atom exists.
+    fn ensure_object_atom(&mut self, oql_var: &str) -> Result<()> {
+        if self.object_atoms.contains_key(oql_var) {
+            return Ok(());
+        }
+        let ty = self.type_of(oql_var)?.to_string();
+        let decl = self.object_relation(&ty)?.clone();
+        let oid = self.oid_var(oql_var);
+        let mut args: Vec<Term> = vec![Term::Var(oid.clone())];
+        for a in decl.args.iter().skip(1) {
+            // Filler variable, replaced on demand when the attribute is
+            // accessed: `Age_X`, `Address_X`, … Recorded in the map so
+            // Step 4 can express optimizer-added comparisons over
+            // unaccessed attributes (`z.age >= 30`).
+            let filler = self.fresh_named(&format!("{}_{}", capitalize(&a.name), oid.name()));
+            self.map
+                .attr_vars
+                .insert(filler.clone(), (oql_var.to_string(), a.name.clone()));
+            args.push(Term::var(filler));
+        }
+        self.object_atoms.insert(oql_var.to_string(), args);
+        self.object_atom_order.push(oql_var.to_string());
+        self.object_atom_pred.insert(oql_var.to_string(), decl);
+        Ok(())
+    }
+
+    /// The Datalog variable holding `oql_var.attr`, creating the class
+    /// atom and naming the variable if needed. `preferred` is the
+    /// pre-assigned name from the ambiguity scan.
+    fn attr_var(&mut self, oql_var: &str, attr: &str, preferred: Option<String>) -> Result<Var> {
+        let ty = self.type_of(oql_var)?.to_string();
+        let decl = self.object_relation(&ty)?.clone();
+        let canon = decl
+            .args
+            .iter()
+            .skip(1)
+            .find(|a| a.name == attr || a.name.to_lowercase() == attr.to_lowercase())
+            .map(|a| a.name.clone())
+            .ok_or_else(|| TranslateError::UnknownMember {
+                ty: ty.clone(),
+                member: attr.to_string(),
+            })?;
+        let key = (oql_var.to_string(), canon.clone());
+        if let Some(v) = self.attr_assign.get(&key) {
+            return Ok(Var::new(v.clone()));
+        }
+        self.ensure_object_atom(oql_var)?;
+        let pos = decl.arg_position(&canon).expect("canonical name resolves");
+        let name = match preferred {
+            Some(p) => self.fresh_named(&p),
+            None => self.fresh_named(&capitalize(&canon)),
+        };
+        let args = self.object_atoms.get_mut(oql_var).expect("atom ensured");
+        args[pos] = Term::var(name.clone());
+        self.attr_assign.insert(key, name.clone());
+        self.map
+            .attr_vars
+            .insert(name.clone(), (oql_var.to_string(), canon));
+        Ok(Var::new(name))
+    }
+
+    /// Translate a one-dot OQL expression into a Datalog term, possibly
+    /// emitting method atoms.
+    fn expr_term(
+        &mut self,
+        e: &Expr,
+        attr_names: &BTreeMap<(String, String), String>,
+    ) -> Result<Term> {
+        match e {
+            Expr::Lit(l) => Ok(Term::Const(lit_const(l))),
+            Expr::Path(p) => self.path_term(p, attr_names),
+        }
+    }
+
+    fn path_term(
+        &mut self,
+        p: &PathExpr,
+        attr_names: &BTreeMap<(String, String), String>,
+    ) -> Result<Term> {
+        if p.steps.is_empty() {
+            return Ok(Term::Var(self.oid_var(&p.root)));
+        }
+        if p.steps.len() > 1 {
+            return Err(TranslateError::NotNormalized {
+                expr: p.to_string(),
+            });
+        }
+        match &p.steps[0] {
+            PathStep::Member(m) => {
+                let ty = self.type_of(&p.root)?.to_string();
+                match self.find_member(&ty, m) {
+                    Some(Member::Attribute(_, a)) => {
+                        let canon = a.name.clone();
+                        let preferred = attr_names
+                            .get(&(p.root.clone(), canon.to_lowercase()))
+                            .cloned();
+                        Ok(Term::Var(self.attr_var(&p.root, &canon, preferred)?))
+                    }
+                    Some(Member::Relationship(cls, r)) => {
+                        if r.many {
+                            return Err(TranslateError::Unsupported {
+                                feature: format!(
+                                    "to-many relationship `{}` used as a value",
+                                    r.name
+                                ),
+                            });
+                        }
+                        let decl = self
+                            .catalog
+                            .relationship_relation(cls, &r.name)
+                            .expect("relationship relation exists")
+                            .clone();
+                        let root = self.oid_var(&p.root);
+                        let fresh = self.fresh_named(&capitalize(&r.name));
+                        self.where_lits.push(Literal::pos(
+                            decl.pred.name(),
+                            vec![Term::Var(root), Term::var(fresh.clone())],
+                        ));
+                        Ok(Term::var(fresh))
+                    }
+                    Some(Member::Method(cls, m)) => {
+                        let mname = m.name.clone();
+                        let cls = cls.to_string();
+                        self.method_term(&p.root, &cls, &mname, &[])
+                    }
+                    None => Err(TranslateError::UnknownMember {
+                        ty,
+                        member: m.clone(),
+                    }),
+                }
+            }
+            PathStep::MethodCall { name, args } => {
+                let ty = self.type_of(&p.root)?.to_string();
+                match self.find_member(&ty, name) {
+                    Some(Member::Method(cls, m)) => {
+                        let mname = m.name.clone();
+                        let cls = cls.to_string();
+                        self.method_term(&p.root, &cls, &mname, args)
+                    }
+                    _ => Err(TranslateError::UnknownMember {
+                        ty,
+                        member: name.clone(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Emit a method atom `m(Root, args…, V)` and return `V`.
+    fn method_term(
+        &mut self,
+        root: &str,
+        declaring_class: &str,
+        method: &str,
+        args: &[Expr],
+    ) -> Result<Term> {
+        let decl = self
+            .catalog
+            .method_relation(declaring_class, method)
+            .ok_or_else(|| TranslateError::UnknownMember {
+                ty: declaring_class.to_string(),
+                member: method.to_string(),
+            })?
+            .clone();
+        let root_var = self.oid_var(root);
+        let mut atom_args: Vec<Term> = vec![Term::Var(root_var)];
+        let empty = BTreeMap::new();
+        for a in args {
+            atom_args.push(self.expr_term(a, &empty)?);
+        }
+        // Pad missing arguments with fresh variables (arity safety).
+        while atom_args.len() < decl.arity() - 1 {
+            let f = self.fresh_named("Arg");
+            atom_args.push(Term::var(f));
+        }
+        self.value_counter += 1;
+        let vname = if self.value_counter == 1 {
+            self.fresh_named("V")
+        } else {
+            self.fresh_named(&format!("V{}", self.value_counter))
+        };
+        atom_args.push(Term::var(vname.clone()));
+        self.where_lits
+            .push(Literal::Pos(Atom::new(decl.pred.clone(), atom_args)));
+        self.map.method_results.insert(
+            vname.clone(),
+            (root.to_string(), method.to_string(), args.to_vec()),
+        );
+        Ok(Term::var(vname))
+    }
+}
+
+fn lit_const(l: &OqlLit) -> Const {
+    match l {
+        OqlLit::Int(v) => Const::Int(*v),
+        OqlLit::Real(v) => Const::Real((*v).into()),
+        OqlLit::Str(s) => Const::Str(s.clone()),
+        OqlLit::Bool(b) => Const::Bool(*b),
+    }
+}
+
+fn cmp_op(op: sqo_oql::CmpOp) -> CmpOp {
+    match op {
+        sqo_oql::CmpOp::Eq => CmpOp::Eq,
+        sqo_oql::CmpOp::Ne => CmpOp::Ne,
+        sqo_oql::CmpOp::Lt => CmpOp::Lt,
+        sqo_oql::CmpOp::Le => CmpOp::Le,
+        sqo_oql::CmpOp::Gt => CmpOp::Gt,
+        sqo_oql::CmpOp::Ge => CmpOp::Ge,
+    }
+}
+
+/// Scan the normalized query for attribute accesses and pre-assign the
+/// paper's index-renamed variable names: an attribute accessed on two or
+/// more distinct variables gets `Name1`, `Name2`, … in order of first
+/// appearance (select clause first, then where).
+fn assign_attr_names(q: &SelectQuery) -> BTreeMap<(String, String), String> {
+    let mut accesses: Vec<(String, String)> = Vec::new();
+    fn scan_expr(e: &Expr, accesses: &mut Vec<(String, String)>) {
+        if let Expr::Path(p) = e {
+            if let [PathStep::Member(m)] = p.steps.as_slice() {
+                let key = (p.root.clone(), m.to_lowercase());
+                if !accesses.contains(&key) {
+                    accesses.push(key);
+                }
+            }
+        }
+    }
+    for item in &q.select {
+        match item {
+            SelectItem::Expr(e) => scan_expr(e, &mut accesses),
+            SelectItem::Constructor { fields, .. } => {
+                for f in fields {
+                    scan_expr(&f.expr, &mut accesses);
+                }
+            }
+        }
+    }
+    for p in &q.where_ {
+        scan_expr(&p.lhs, &mut accesses);
+        scan_expr(&p.rhs, &mut accesses);
+    }
+    // Count distinct variables per attribute name.
+    let mut by_attr: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (var, attr) in &accesses {
+        let vars = by_attr.entry(attr.clone()).or_default();
+        if !vars.contains(var) {
+            vars.push(var.clone());
+        }
+    }
+    let mut out = BTreeMap::new();
+    for (attr, vars) in by_attr {
+        if vars.len() > 1 {
+            for (i, var) in vars.iter().enumerate() {
+                out.insert(
+                    (var.clone(), attr.clone()),
+                    format!("{}{}", capitalize(&attr), i + 1),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Run Step 2: translate an OQL query against a schema and its catalog.
+/// The query is normalized first; the returned [`QueryTranslation`]
+/// carries the normalized OQL and the [`TranslationMap`].
+pub fn translate_query(
+    oql: &SelectQuery,
+    schema: &Schema,
+    catalog: &Catalog,
+) -> Result<QueryTranslation> {
+    let normalized = normalize(oql);
+    let mut tr = Translator {
+        schema,
+        catalog,
+        map: TranslationMap::default(),
+        attr_assign: BTreeMap::new(),
+        object_atoms: BTreeMap::new(),
+        object_atom_order: Vec::new(),
+        object_atom_pred: BTreeMap::new(),
+        used_vars: BTreeSet::new(),
+        rel_atoms: Vec::new(),
+        where_lits: Vec::new(),
+        fresh_counter: 0,
+        value_counter: 0,
+    };
+    let attr_names = assign_attr_names(&normalized);
+
+    let lookup_class = |name: &str| {
+        schema.class_by_extent(name).or_else(|| {
+            schema
+                .classes()
+                .iter()
+                .find(|c| c.name.to_lowercase() == name.to_lowercase())
+        })
+    };
+
+    // ---- from clause -------------------------------------------------
+    let mut neg_entries: Vec<(String, Source)> = Vec::new();
+    for entry in &normalized.from {
+        match entry {
+            FromEntry::In { var, source } => match source {
+                Source::Extent(name) => {
+                    let class = lookup_class(name)
+                        .ok_or_else(|| TranslateError::UnknownExtent { name: name.clone() })?;
+                    tr.map.var_types.insert(var.clone(), class.name.clone());
+                    tr.oid_var(var);
+                    tr.ensure_object_atom(var)?;
+                }
+                Source::Path(p) => {
+                    let root_ty = tr.type_of(&p.root)?.to_string();
+                    let [step] = p.steps.as_slice() else {
+                        return Err(TranslateError::NotNormalized {
+                            expr: p.to_string(),
+                        });
+                    };
+                    match step {
+                        PathStep::Member(m) => match tr.find_member(&root_ty, m) {
+                            Some(Member::Relationship(cls, r)) => {
+                                let target = r.target.clone();
+                                let decl = tr
+                                    .catalog
+                                    .relationship_relation(cls, &r.name)
+                                    .expect("relationship relation")
+                                    .clone();
+                                let root_var = tr.oid_var(&p.root);
+                                tr.map.var_types.insert(var.clone(), target);
+                                let v = tr.oid_var(var);
+                                tr.rel_atoms.push(Literal::pos(
+                                    decl.pred.name(),
+                                    vec![Term::Var(root_var), Term::Var(v)],
+                                ));
+                            }
+                            Some(Member::Attribute(_, a)) => {
+                                if a.ty.is_collection() {
+                                    return Err(TranslateError::Unsupported {
+                                        feature: "collection-valued attributes".into(),
+                                    });
+                                }
+                                let Some(strct) = a.ty.element_name() else {
+                                    return Err(TranslateError::NotAnObject {
+                                        var: var.clone(),
+                                        detail: format!("attribute `{}` has base type", a.name),
+                                    });
+                                };
+                                let strct = strct.to_string();
+                                let attr = a.name.clone();
+                                tr.map.var_types.insert(var.clone(), strct);
+                                // Bind the attribute position of the root's
+                                // class atom to this variable's OID var
+                                // (domain identification).
+                                let v = tr.oid_var(var);
+                                tr.ensure_object_atom(&p.root)?;
+                                let root_decl =
+                                    tr.object_atom_pred.get(&p.root).expect("ensured").clone();
+                                let pos = root_decl
+                                    .arg_position(&attr)
+                                    .expect("attribute exists in relation");
+                                tr.object_atoms.get_mut(&p.root).expect("ensured")[pos] =
+                                    Term::Var(v.clone());
+                                tr.attr_assign
+                                    .insert((p.root.clone(), attr.clone()), v.name().to_string());
+                                // Eagerly add the structure atom, as in the
+                                // paper's from-clause translation.
+                                tr.ensure_object_atom(var)?;
+                            }
+                            Some(Member::Method(cls, m)) => {
+                                let ret =
+                                    m.ret.element_name().map(str::to_string).ok_or_else(|| {
+                                        TranslateError::NotAnObject {
+                                            var: var.clone(),
+                                            detail: format!(
+                                                "method `{}` returns a base value",
+                                                m.name
+                                            ),
+                                        }
+                                    })?;
+                                let mname = m.name.clone();
+                                let cls = cls.to_string();
+                                tr.map.var_types.insert(var.clone(), ret);
+                                let result = tr.method_term(&p.root, &cls, &mname, &[])?;
+                                let v = tr.oid_var(var);
+                                tr.where_lits
+                                    .push(Literal::cmp(Term::Var(v), CmpOp::Eq, result));
+                            }
+                            None => {
+                                return Err(TranslateError::UnknownMember {
+                                    ty: root_ty,
+                                    member: m.clone(),
+                                })
+                            }
+                        },
+                        PathStep::MethodCall { name, args } => {
+                            match tr.find_member(&root_ty, name) {
+                                Some(Member::Method(cls, m)) => {
+                                    let ret = m.ret.element_name().map(str::to_string).ok_or_else(
+                                        || TranslateError::NotAnObject {
+                                            var: var.clone(),
+                                            detail: format!(
+                                                "method `{}` returns a base value",
+                                                m.name
+                                            ),
+                                        },
+                                    )?;
+                                    let mname = m.name.clone();
+                                    let cls = cls.to_string();
+                                    tr.map.var_types.insert(var.clone(), ret);
+                                    let result = tr.method_term(&p.root, &cls, &mname, args)?;
+                                    let v = tr.oid_var(var);
+                                    tr.where_lits.push(Literal::cmp(
+                                        Term::Var(v),
+                                        CmpOp::Eq,
+                                        result,
+                                    ));
+                                }
+                                _ => {
+                                    return Err(TranslateError::UnknownMember {
+                                        ty: root_ty,
+                                        member: name.clone(),
+                                    })
+                                }
+                            }
+                        }
+                    }
+                }
+            },
+            FromEntry::NotIn { var, source } => {
+                neg_entries.push((var.clone(), source.clone()));
+            }
+        }
+    }
+
+    // ---- select clause -----------------------------------------------
+    let mut projection: Vec<Term> = Vec::new();
+    for item in &normalized.select {
+        match item {
+            SelectItem::Expr(e) => projection.push(tr.expr_term(e, &attr_names)?),
+            SelectItem::Constructor { fields, .. } => {
+                for f in fields {
+                    projection.push(tr.expr_term(&f.expr, &attr_names)?);
+                }
+            }
+        }
+    }
+
+    // ---- where clause --------------------------------------------------
+    let mut cmp_lits: Vec<Literal> = Vec::new();
+    for pred in &normalized.where_ {
+        let l = tr.expr_term(&pred.lhs, &attr_names)?;
+        let r = tr.expr_term(&pred.rhs, &attr_names)?;
+        cmp_lits.push(Literal::Cmp(Comparison::new(l, cmp_op(pred.op), r)));
+    }
+
+    // ---- negated from entries --------------------------------------------
+    let mut neg_lits: Vec<Literal> = Vec::new();
+    for (var, source) in neg_entries {
+        match source {
+            Source::Extent(name) => {
+                let class = lookup_class(&name)
+                    .ok_or_else(|| TranslateError::UnknownExtent { name: name.clone() })?;
+                let class_name = class.name.clone();
+                let decl = tr.object_relation(&class_name)?.clone();
+                let oid = tr.oid_var(&var);
+                let mut args: Vec<Term> = vec![Term::Var(oid)];
+                // Reuse the variable's positive atom vars for shared
+                // attributes; negation-local fresh vars elsewhere.
+                let pos_atom = tr.object_atoms.get(&var).cloned();
+                let pos_decl = tr.object_atom_pred.get(&var).cloned();
+                for a in decl.args.iter().skip(1) {
+                    let reused = match (&pos_atom, &pos_decl) {
+                        (Some(atom), Some(pd)) => pd.arg_position(&a.name).map(|i| atom[i].clone()),
+                        _ => None,
+                    };
+                    match reused {
+                        Some(t) => args.push(t),
+                        None => {
+                            let f = tr.fresh_named(&format!("{}_neg", capitalize(&a.name)));
+                            args.push(Term::var(f));
+                        }
+                    }
+                }
+                neg_lits.push(Literal::Neg(Atom::new(decl.pred.clone(), args)));
+            }
+            Source::Path(p) => {
+                let root_ty = tr.type_of(&p.root)?.to_string();
+                let [PathStep::Member(m)] = p.steps.as_slice() else {
+                    return Err(TranslateError::Unsupported {
+                        feature: "negated method-call from entry".into(),
+                    });
+                };
+                match tr.find_member(&root_ty, m) {
+                    Some(Member::Relationship(cls, r)) => {
+                        let decl = tr
+                            .catalog
+                            .relationship_relation(cls, &r.name)
+                            .expect("relationship relation")
+                            .clone();
+                        let root_var = tr.oid_var(&p.root);
+                        let v = tr.oid_var(&var);
+                        neg_lits.push(Literal::neg(
+                            decl.pred.name(),
+                            vec![Term::Var(root_var), Term::Var(v)],
+                        ));
+                    }
+                    _ => {
+                        return Err(TranslateError::UnknownMember {
+                            ty: root_ty,
+                            member: m.clone(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- assemble ---------------------------------------------------------
+    let mut body: Vec<Literal> = Vec::new();
+    for var in &tr.object_atom_order {
+        let decl = &tr.object_atom_pred[var];
+        body.push(Literal::Pos(Atom::new(
+            decl.pred.clone(),
+            tr.object_atoms[var].clone(),
+        )));
+    }
+    body.extend(tr.rel_atoms.clone());
+    body.extend(neg_lits);
+    body.extend(tr.where_lits.clone());
+    body.extend(cmp_lits);
+
+    let query = Query::new("q", projection, body);
+    Ok(QueryTranslation {
+        query,
+        map: tr.map,
+        normalized,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::translate_schema;
+    use sqo_odl::fixtures::university_schema;
+    use sqo_oql::parse_oql;
+
+    fn setup() -> (Schema, Catalog) {
+        let schema = university_schema();
+        let catalog = translate_schema(&schema);
+        (schema, catalog)
+    }
+
+    fn translate(src: &str) -> QueryTranslation {
+        let (schema, catalog) = setup();
+        let q = parse_oql(src).unwrap();
+        translate_query(&q, &schema, &catalog).unwrap()
+    }
+
+    fn body_preds(q: &Query) -> Vec<String> {
+        q.body
+            .iter()
+            .filter_map(|l| l.pred().map(|p| p.name().to_string()))
+            .collect()
+    }
+
+    /// The paper's Example 2, end to end.
+    #[test]
+    fn example2_translation() {
+        let t = translate(
+            r#"select z.name, w.city
+               from x in Student
+                    y in x.takes
+                    z in y.is_taught_by
+                    w in z.address
+               where x.name = "john" and z.taxes_withheld(10%) < 1000"#,
+        );
+        let q = &t.query;
+        let preds = body_preds(q);
+        for expected in [
+            "student",
+            "takes",
+            "is_taught_by",
+            "faculty",
+            "address",
+            "taxes_withheld",
+        ] {
+            assert!(
+                preds.contains(&expected.to_string()),
+                "missing {expected}: {q}"
+            );
+        }
+        // Projection: Name1 (z.name) then City (w.city).
+        assert_eq!(q.projection.len(), 2);
+        assert_eq!(q.projection[0], Term::var("Name1"));
+        assert_eq!(q.projection[1], Term::var("City"));
+        // Attribute indexing: z.name → Name1, x.name → Name2.
+        assert_eq!(
+            t.map.attr_vars.get("Name1"),
+            Some(&("z".to_string(), "name".to_string()))
+        );
+        assert_eq!(
+            t.map.attr_vars.get("Name2"),
+            Some(&("x".to_string(), "name".to_string()))
+        );
+        // Name2 = "john" appears.
+        assert!(q
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Cmp(c) if c.to_string() == "Name2 = \"john\"")));
+        // Method atom with the rate constant and fresh V; V < 1000.
+        let m = q
+            .body
+            .iter()
+            .find_map(|l| match l {
+                Literal::Pos(a) if a.pred.name() == "taxes_withheld" => Some(a),
+                _ => None,
+            })
+            .expect("method atom");
+        assert_eq!(m.args.len(), 3);
+        assert_eq!(m.args[0], Term::var("Z"));
+        assert_eq!(m.args[1], Term::real(0.10));
+        assert_eq!(m.args[2], Term::var("V"));
+        assert!(q
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Cmp(c) if c.to_string() == "V < 1000")));
+        // The faculty atom binds W at the address position.
+        let f = q
+            .body
+            .iter()
+            .find_map(|l| match l {
+                Literal::Pos(a) if a.pred.name() == "faculty" => Some(a),
+                _ => None,
+            })
+            .expect("faculty atom");
+        let (_, catalog) = setup();
+        let pos = catalog
+            .class_relation("Faculty")
+            .unwrap()
+            .arg_position("address")
+            .unwrap();
+        assert_eq!(f.args[pos], Term::var("W"));
+        // Safe and well-formed.
+        assert!(q.is_safe(), "{q}");
+    }
+
+    #[test]
+    fn access_scope_query_translation() {
+        // Application 2's query.
+        let t = translate("select x.name from x in Person where x.age < 30");
+        let q = &t.query;
+        assert_eq!(body_preds(q), vec!["person".to_string()]);
+        assert_eq!(q.projection, vec![Term::var("Name")]);
+        assert!(q
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Cmp(c) if c.to_string() == "Age < 30")));
+        assert!(q.is_safe());
+    }
+
+    #[test]
+    fn not_in_entry_reuses_positive_vars() {
+        let t = translate("select x.name from x in Person x not in Faculty where x.age < 30");
+        let q = &t.query;
+        let neg = q
+            .body
+            .iter()
+            .find_map(|l| match l {
+                Literal::Neg(a) => Some(a),
+                _ => None,
+            })
+            .expect("negated atom");
+        assert_eq!(neg.pred.name(), "faculty");
+        // Shares OID, name, age and address with the person atom.
+        let pos = q
+            .body
+            .iter()
+            .find_map(|l| match l {
+                Literal::Pos(a) if a.pred.name() == "person" => Some(a),
+                _ => None,
+            })
+            .unwrap();
+        let (_, catalog) = setup();
+        let p_decl = catalog.class_relation("Person").unwrap();
+        let f_decl = catalog.class_relation("Faculty").unwrap();
+        for attr in ["OID", "name", "age", "address"] {
+            let pi = p_decl.arg_position(attr).unwrap();
+            let fi = f_decl.arg_position(attr).unwrap();
+            assert_eq!(pos.args[pi], neg.args[fi], "attr {attr}");
+        }
+        assert!(q.is_safe(), "{q}");
+    }
+
+    #[test]
+    fn application3_list_constructor_translation() {
+        let t = translate(
+            r#"select list(x.student_id, t.employee_id)
+               from x in Student
+                    y in x.takes
+                    z in y.is_taught_by
+                    t in TA
+                    v in t.takes
+                    w in v.is_taught_by
+               where z.name = w.name"#,
+        );
+        let q = &t.query;
+        // Constructor flattened into two projected variables.
+        assert_eq!(q.projection.len(), 2);
+        // Two faculty atoms (z and w), with Name1 = Name2.
+        let count = q
+            .body
+            .iter()
+            .filter(|l| matches!(l, Literal::Pos(a) if a.pred.name() == "faculty"))
+            .count();
+        assert_eq!(count, 2, "{q}");
+        assert!(q
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Cmp(c) if c.to_string() == "Name1 = Name2")));
+        assert!(q.is_safe());
+    }
+
+    #[test]
+    fn long_path_is_normalized_then_translated() {
+        let t =
+            translate("select x.name from x in Student where x.takes.is_taught_by.salary > 50000");
+        let q = &t.query;
+        let preds = body_preds(q);
+        assert!(preds.contains(&"takes".to_string()));
+        assert!(preds.contains(&"is_taught_by".to_string()));
+        assert!(preds.contains(&"faculty".to_string()));
+        assert!(q.is_safe());
+    }
+
+    #[test]
+    fn bare_var_select_projects_oid() {
+        let t = translate("select x from x in Person");
+        assert_eq!(t.query.projection, vec![Term::var("X")]);
+    }
+
+    #[test]
+    fn var_equality_predicate() {
+        let t = translate("select x from x in Person, y in Person where x = y");
+        let q = &t.query;
+        assert!(q
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Cmp(c) if c.to_string() == "X = Y")));
+    }
+
+    #[test]
+    fn unknown_extent_and_member_errors() {
+        let (schema, catalog) = setup();
+        let q = parse_oql("select x from x in Martian").unwrap();
+        assert!(matches!(
+            translate_query(&q, &schema, &catalog),
+            Err(TranslateError::UnknownExtent { .. })
+        ));
+        let q = parse_oql("select x.wings from x in Person").unwrap();
+        assert!(matches!(
+            translate_query(&q, &schema, &catalog),
+            Err(TranslateError::UnknownMember { .. })
+        ));
+    }
+
+    #[test]
+    fn iterating_base_attribute_is_rejected() {
+        let (schema, catalog) = setup();
+        let q = parse_oql("select y from x in Person, y in x.name").unwrap();
+        assert!(matches!(
+            translate_query(&q, &schema, &catalog),
+            Err(TranslateError::NotAnObject { .. })
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_member_lookup_matches_paper_spelling() {
+        // The paper writes `x.Takes` and `y.Is_taught_by`-style members.
+        let t = translate("select z from x in Student, y in x.Takes, z in y.Is_taught_by");
+        let preds = body_preds(&t.query);
+        assert!(preds.contains(&"takes".to_string()));
+        assert!(preds.contains(&"is_taught_by".to_string()));
+    }
+
+    #[test]
+    fn relationship_bound_var_gets_no_class_atom_until_needed() {
+        let t = translate("select y from x in Student, y in x.takes");
+        let preds = body_preds(&t.query);
+        assert!(preds.contains(&"student".to_string()));
+        assert!(preds.contains(&"takes".to_string()));
+        assert!(
+            !preds.contains(&"section".to_string()),
+            "section atom should be lazy: {}",
+            t.query
+        );
+    }
+
+    #[test]
+    fn translation_map_roundtrip_info() {
+        let t = translate("select z.name from x in Student, y in x.takes, z in y.is_taught_by");
+        assert_eq!(t.map.oql_var(&Var::new("X")), Some("x"));
+        assert_eq!(t.map.var_for_oql.get("z"), Some(&"Z".to_string()));
+        assert_eq!(t.map.var_types.get("z"), Some(&"Faculty".to_string()));
+        let (v, a) = t.map.attr_of(&Var::new("Name")).unwrap();
+        assert_eq!((v, a), ("z", "name"));
+    }
+}

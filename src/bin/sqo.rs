@@ -1,0 +1,213 @@
+//! `sqo` — a command-line front end for the semantic query optimizer.
+//!
+//! ```text
+//! sqo --schema school.odl [--ic constraints.dl] [--asr views.dl] "select ... from ... where ..."
+//! sqo --university "select x.name from x in Person where x.age < 30"
+//! sqo --university --show-schema
+//! ```
+//!
+//! Constraint / view files use the Datalog concrete syntax, one statement
+//! per line (see `sqo_datalog::parser`):
+//!
+//! ```text
+//! ic IC4: Age >= 30 <- faculty(X, N, Age, S, R, Ad).
+//! asr(X, W) <- takes(X, Y), has_ta(Y, W).
+//! ```
+
+use semantic_sqo::datalog::parser::{parse_program, Statement};
+use semantic_sqo::{SemanticOptimizer, Verdict};
+use std::process::ExitCode;
+
+struct Args {
+    schema: Option<String>,
+    university: bool,
+    ic_files: Vec<String>,
+    show_schema: bool,
+    show_datalog: bool,
+    query: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sqo (--schema FILE.odl | --university) [options] [OQL-QUERY]\n\
+         \n\
+         options:\n\
+           --ic FILE         add integrity constraints / ASR views (Datalog syntax;\n\
+                             may be repeated)\n\
+           --show-schema     print the Step 1 Datalog schema and exit\n\
+           --show-datalog    also print the Datalog form of every rewrite\n\
+         \n\
+         A contradiction verdict exits with status 2."
+    );
+    std::process::exit(64)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        schema: None,
+        university: false,
+        ic_files: Vec::new(),
+        show_schema: false,
+        show_datalog: false,
+        query: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--schema" => args.schema = Some(it.next().unwrap_or_else(|| usage())),
+            "--university" => args.university = true,
+            "--ic" => args.ic_files.push(it.next().unwrap_or_else(|| usage())),
+            "--show-schema" => args.show_schema = true,
+            "--show-datalog" => args.show_datalog = true,
+            "--help" | "-h" => usage(),
+            q if !q.starts_with('-') => args.query = Some(q.to_string()),
+            _ => usage(),
+        }
+    }
+    if args.schema.is_none() && !args.university {
+        usage()
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut opt = if args.university {
+        SemanticOptimizer::university()
+    } else {
+        let path = args.schema.as_deref().expect("checked in parse_args");
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sqo: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match SemanticOptimizer::from_odl(&src) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("sqo: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    for f in &args.ic_files {
+        let src = match std::fs::read_to_string(f) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sqo: cannot read {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let statements = match parse_program(&src) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sqo: {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for st in statements {
+            match st {
+                Statement::Constraint(ic) => opt.add_constraint(ic),
+                Statement::Rule(rule) => opt.add_view(rule),
+                other => {
+                    eprintln!("sqo: {f}: unsupported statement {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+
+    if args.show_schema {
+        println!("% Step 1 — Datalog schema");
+        for rel in &opt.catalog().relations {
+            let cols: Vec<&str> = rel.args.iter().map(|a| a.name.as_str()).collect();
+            println!("{}({}).", rel.pred, cols.join(", "));
+        }
+        println!("\n% Integrity constraints");
+        for ic in opt.constraints() {
+            println!("{ic}.");
+        }
+        if args.query.is_none() {
+            return ExitCode::SUCCESS;
+        }
+    }
+
+    let Some(query) = &args.query else {
+        eprintln!("sqo: no query given (try --show-schema or --help)");
+        return ExitCode::FAILURE;
+    };
+
+    // Top-level unions: optimize each branch; prune refuted ones.
+    if query
+        .split_whitespace()
+        .any(|w| w.eq_ignore_ascii_case("union"))
+    {
+        let report = match opt.optimize_union(query) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("sqo: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for (i, b) in report.branches.iter().enumerate() {
+            match &b.verdict {
+                semantic_sqo::Verdict::Contradiction { ic_name, note } => println!(
+                    "branch {}: PRUNED [{}] {note}",
+                    i + 1,
+                    ic_name.as_deref().unwrap_or("query-local")
+                ),
+                semantic_sqo::Verdict::Equivalents(v) => {
+                    println!("branch {}: {} equivalent forms", i + 1, v.len())
+                }
+            }
+        }
+        if report.is_empty_union() {
+            println!("the whole union is provably empty.");
+            return ExitCode::from(2);
+        }
+        println!("\nsurviving query:");
+        let survivors: Vec<String> = report.surviving().map(|b| b.original.to_string()).collect();
+        println!("{}", survivors.join("\nunion\n"));
+        return ExitCode::SUCCESS;
+    }
+
+    let report = match opt.optimize(query) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sqo: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("-- datalog translation\n{}\n", report.datalog);
+    match &report.verdict {
+        Verdict::Contradiction { ic_name, note } => {
+            println!(
+                "CONTRADICTION [{}]: {note}\nThe query can return no answers and need not be evaluated.",
+                ic_name.as_deref().unwrap_or("query-local")
+            );
+            ExitCode::from(2)
+        }
+        Verdict::Equivalents(_) => {
+            let rewrites: Vec<_> = report.proper_rewrites().collect();
+            if rewrites.is_empty() {
+                println!("no semantic rewrites apply; the query is already minimal.");
+            }
+            for (i, e) in rewrites.iter().enumerate() {
+                println!("-- rewrite {} (delta: {})", i + 1, e.delta);
+                for s in &e.steps {
+                    println!("--   via {s}");
+                }
+                if args.show_datalog {
+                    println!("--   datalog: {}", e.datalog);
+                }
+                println!("{}\n", e.oql);
+                for w in &e.oql_warnings {
+                    println!("--   note: {w}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Golden test for Figure 1 + Step 1: the university schema and its
+//! Datalog translation (Section 4.2).
+
+use semantic_sqo::datalog::{ConstraintHead, Literal};
+use semantic_sqo::odl::fixtures::university_schema;
+use semantic_sqo::translate::{translate_schema, RelKind};
+
+#[test]
+fn figure1_classes_and_hierarchy() {
+    let s = university_schema();
+    // The seven classes of the figure plus the Address structure.
+    let names: Vec<&str> = s.classes().iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["Person", "Employee", "Faculty", "Student", "TA", "Course", "Section"]
+    );
+    assert_eq!(s.structures()[0].name, "Address");
+    // Heavy arrows of the figure: the class hierarchy.
+    for (sub, sup) in [
+        ("Employee", "Person"),
+        ("Faculty", "Employee"),
+        ("Student", "Person"),
+        ("TA", "Student"),
+    ] {
+        assert!(s.is_strict_subclass_of(sub, sup), "{sub} < {sup}");
+    }
+    // Thin arrows: relationships with inverses.
+    for (class, rel, target) in [
+        ("Student", "takes", "Section"),
+        ("Section", "taken_by", "Student"),
+        ("Faculty", "teaches", "Section"),
+        ("Section", "is_taught_by", "Faculty"),
+        ("Course", "has_sections", "Section"),
+        ("Section", "is_section_of", "Course"),
+        ("Section", "has_ta", "TA"),
+        ("TA", "assists", "Section"),
+    ] {
+        let c = s.class(class).unwrap();
+        let r = c
+            .relationships
+            .iter()
+            .find(|r| r.name == rel)
+            .unwrap_or_else(|| panic!("{class}::{rel}"));
+        assert_eq!(r.target, target);
+        assert!(r.inverse.is_some());
+    }
+}
+
+#[test]
+fn step1_produces_one_relation_per_schema_element() {
+    let s = university_schema();
+    let cat = translate_schema(&s);
+    let classes = cat
+        .relations
+        .iter()
+        .filter(|r| matches!(r.kind, RelKind::Class { .. }))
+        .count();
+    let structs = cat
+        .relations
+        .iter()
+        .filter(|r| matches!(r.kind, RelKind::Struct { .. }))
+        .count();
+    let rels = cat
+        .relations
+        .iter()
+        .filter(|r| matches!(r.kind, RelKind::Relationship { .. }))
+        .count();
+    let methods = cat
+        .relations
+        .iter()
+        .filter(|r| matches!(r.kind, RelKind::Method { .. }))
+        .count();
+    assert_eq!(classes, 7);
+    assert_eq!(structs, 1);
+    assert_eq!(rels, 8);
+    assert_eq!(methods, 1);
+}
+
+#[test]
+fn step1_constraint_families_all_present() {
+    let s = university_schema();
+    let cat = translate_schema(&s);
+    let named = |prefix: &str| {
+        cat.constraints
+            .iter()
+            .filter(|c| c.name.as_deref().is_some_and(|n| n.starts_with(prefix)))
+            .count()
+    };
+    // 1. OID identification: 2 per relationship (8); 1 per structure
+    //    attribute *per class relation carrying it* (address appears in
+    //    Person and each of its 4 subclasses); 1 per method.
+    assert_eq!(named("OID("), 8 * 2 + 5 + 1);
+    // 2. Subclass hierarchy: one per subclass edge.
+    assert_eq!(named("SUB("), 4);
+    // 3. Inverse relationships: two per pair (one per direction).
+    assert_eq!(named("INV("), 8);
+    // 4. Functionality: every to-one side; one-to-one: has_ta/assists.
+    assert!(named("FUN(") >= 3); // is_section_of, is_taught_by, has_ta, assists
+    assert_eq!(named("1-1("), 2);
+    // 5. Keys: Person.name inherited by its 4 subclasses; Course.number.
+    assert_eq!(named("KEY("), 5 + 1);
+}
+
+#[test]
+fn paper_taught_by_typing_ic_shape() {
+    // Section 4.3 relies on `faculty(Z, …) ← taught_by(Y, Z)` to type z.
+    let s = university_schema();
+    let cat = translate_schema(&s);
+    let ic = cat
+        .constraints
+        .iter()
+        .find(|c| c.name.as_deref() == Some("OID(Section.is_taught_by,Faculty)"))
+        .expect("typing IC");
+    let ConstraintHead::Atom(h) = &ic.head else {
+        panic!()
+    };
+    assert_eq!(h.pred.name(), "faculty");
+    let [Literal::Pos(b)] = ic.body.as_slice() else {
+        panic!()
+    };
+    assert_eq!(b.pred.name(), "is_taught_by");
+    assert_eq!(h.args[0], b.args[1], "head OID is the relationship target");
+}
+
+#[test]
+fn rule1_attribute_layout_simple_then_struct_inherited_first() {
+    let s = university_schema();
+    let cat = translate_schema(&s);
+    let ta = cat.class_relation("TA").unwrap();
+    let arg_names: Vec<&str> = ta.args.iter().map(|a| a.name.as_str()).collect();
+    // OID, simple (name, age from Person; student_id from Student;
+    // employee_id from TA), then structure OIDs (address).
+    assert_eq!(
+        arg_names,
+        vec!["OID", "name", "age", "student_id", "employee_id", "address"]
+    );
+}

@@ -1,0 +1,131 @@
+//! Property tests for the comparison-constraint solver: soundness and
+//! (restricted) completeness against a brute-force model finder over a
+//! small domain.
+
+use proptest::prelude::*;
+use semantic_sqo::datalog::{CmpOp, Comparison, ConstraintSet, Sat, Term};
+
+const DOMAIN: std::ops::Range<i64> = 0..5;
+const VARS: [&str; 4] = ["A", "B", "C", "D"];
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0..VARS.len()).prop_map(|i| Term::var(VARS[i])),
+        DOMAIN.prop_map(Term::int),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn cmp_strategy() -> impl Strategy<Value = Comparison> {
+    (term_strategy(), op_strategy(), term_strategy())
+        .prop_map(|(l, op, r)| Comparison::new(l, op, r))
+}
+
+/// Brute force: is there an integer assignment over the small domain
+/// satisfying all comparisons?
+fn brute_force_sat(cmps: &[Comparison]) -> bool {
+    let eval_term = |t: &Term, asg: &[i64]| -> i64 {
+        match t {
+            Term::Const(c) => match c {
+                semantic_sqo::datalog::Const::Int(v) => *v,
+                _ => unreachable!("ints only in this strategy"),
+            },
+            Term::Var(v) => {
+                let i = VARS.iter().position(|n| *n == v.name()).unwrap();
+                asg[i]
+            }
+        }
+    };
+    let n = DOMAIN.end - DOMAIN.start;
+    let total = n.pow(VARS.len() as u32);
+    (0..total).any(|mut code| {
+        let mut asg = [0i64; 4];
+        for slot in &mut asg {
+            *slot = DOMAIN.start + (code % n);
+            code /= n;
+        }
+        cmps.iter().all(|c| {
+            let l = eval_term(&c.lhs, &asg);
+            let r = eval_term(&c.rhs, &asg);
+            c.op.test(l.cmp(&r))
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Soundness: if the solver says UNSAT, no integer model exists.
+    /// (The converse can fail only through density — `X > 1 ∧ X < 2` is
+    /// real-satisfiable but has no integer model — so it is not asserted.)
+    #[test]
+    fn solver_unsat_implies_no_integer_model(cmps in prop::collection::vec(cmp_strategy(), 1..7)) {
+        let solver = ConstraintSet::from_comparisons(cmps.iter());
+        if solver.check() == Sat::Unsatisfiable {
+            prop_assert!(!brute_force_sat(&cmps), "solver UNSAT but model exists: {cmps:?}");
+        }
+    }
+
+    /// Implication soundness: if the solver says `set ⊨ c`, every integer
+    /// model of the set satisfies `c`.
+    #[test]
+    fn implication_is_sound(
+        cmps in prop::collection::vec(cmp_strategy(), 1..5),
+        candidate in cmp_strategy(),
+    ) {
+        let solver = ConstraintSet::from_comparisons(cmps.iter());
+        if solver.check() == Sat::Satisfiable && solver.implies(&candidate) {
+            // set ∧ ¬candidate must have no integer model.
+            let mut with_neg = cmps.clone();
+            with_neg.push(candidate.negate());
+            prop_assert!(
+                !brute_force_sat(&with_neg),
+                "claimed implication fails: {cmps:?} ⊭ {candidate}"
+            );
+        }
+    }
+
+    /// Monotonicity: asserting more constraints never turns UNSAT into SAT.
+    #[test]
+    fn assertion_is_monotone(cmps in prop::collection::vec(cmp_strategy(), 2..7)) {
+        let mut solver = ConstraintSet::new();
+        let mut unsat_seen = false;
+        for c in &cmps {
+            let state = solver.assert_cmp(c);
+            if unsat_seen {
+                prop_assert_eq!(state, Sat::Unsatisfiable);
+            }
+            unsat_seen |= state == Sat::Unsatisfiable;
+        }
+    }
+
+    /// Every constraint set implies each of its own members.
+    #[test]
+    fn implies_own_members(cmps in prop::collection::vec(cmp_strategy(), 1..5)) {
+        let solver = ConstraintSet::from_comparisons(cmps.iter());
+        if solver.check() == Sat::Satisfiable {
+            for c in &cmps {
+                prop_assert!(solver.implies(c), "set does not imply member {c}");
+            }
+        }
+    }
+
+    /// Flipping a comparison never changes satisfiability.
+    #[test]
+    fn flip_preserves_sat(cmps in prop::collection::vec(cmp_strategy(), 1..6)) {
+        let flipped: Vec<Comparison> = cmps.iter().map(Comparison::flip).collect();
+        let a = ConstraintSet::from_comparisons(cmps.iter()).check();
+        let b = ConstraintSet::from_comparisons(flipped.iter()).check();
+        prop_assert_eq!(a, b);
+    }
+}
