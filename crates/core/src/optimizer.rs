@@ -498,9 +498,7 @@ mod tests {
         ));
         // And the fold machinery uses the qualified predicate.
         let report = opt
-            .optimize(
-                "select w from x in Student, y in x.takes, w in y.has_ta",
-            )
+            .optimize("select w from x in Student, y in x.takes, w in y.has_ta")
             .unwrap();
         assert!(report.proper_rewrites().any(|e| e
             .datalog

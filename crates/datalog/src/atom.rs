@@ -1,40 +1,45 @@
 //! Atoms, comparisons and literals.
 
+use crate::intern::Sym;
 use crate::term::{Term, Var};
 use std::fmt;
 
 /// A predicate symbol. By convention predicate symbols start with a
 /// lower-case letter (`faculty`, `takes_section`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct PredSym(pub String);
+///
+/// Backed by an interned [`Sym`]: `Copy`, and predicate equality inside
+/// unification, subsumption and the residue indexes is a single integer
+/// compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredSym(pub Sym);
 
 impl PredSym {
     /// Create a predicate symbol.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Sym>) -> Self {
         PredSym(name.into())
     }
 
     /// The symbol's name.
-    pub fn name(&self) -> &str {
-        &self.0
+    pub fn name(&self) -> &'static str {
+        self.0.as_str()
     }
 }
 
 impl fmt::Display for PredSym {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.name())
     }
 }
 
 impl From<&str> for PredSym {
     fn from(s: &str) -> Self {
-        PredSym(s.to_string())
+        PredSym(Sym::intern(s))
     }
 }
 
 impl From<String> for PredSym {
     fn from(s: String) -> Self {
-        PredSym(s)
+        PredSym(Sym::intern(&s))
     }
 }
 
@@ -155,7 +160,7 @@ impl fmt::Display for CmpOp {
 }
 
 /// An evaluable atom `t1 θ t2`, e.g. `Age > 30`, `Name1 = Name2`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Comparison {
     /// Left operand.
     pub lhs: Term,
@@ -178,12 +183,12 @@ impl Comparison {
 
     /// The logically negated comparison.
     pub fn negate(&self) -> Comparison {
-        Comparison::new(self.lhs.clone(), self.op.negate(), self.rhs.clone())
+        Comparison::new(self.lhs, self.op.negate(), self.rhs)
     }
 
     /// The same constraint with operands swapped (`X < Y` ↦ `Y > X`).
     pub fn flip(&self) -> Comparison {
-        Comparison::new(self.rhs.clone(), self.op.flip(), self.lhs.clone())
+        Comparison::new(self.rhs, self.op.flip(), self.lhs)
     }
 
     /// A canonical orientation: variable (or smaller term) on the left, so
@@ -193,7 +198,7 @@ impl Comparison {
         if format!("{flipped}") < format!("{self}") {
             flipped
         } else {
-            self.clone()
+            *self
         }
     }
 

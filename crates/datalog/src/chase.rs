@@ -155,14 +155,14 @@ impl<'a> Chase<'a> {
         };
         for l in body {
             if let Literal::Pos(a) = l {
-                chase.insert_fact(a.pred.clone(), a.args.iter().map(freeze).collect());
+                chase.insert_fact(a.pred, a.args.iter().map(freeze).collect());
             }
         }
         chase
     }
 
     fn insert_fact(&mut self, pred: PredSym, args: Vec<CTerm>) -> bool {
-        if self.facts.insert((pred.clone(), args.clone())) {
+        if self.facts.insert((pred, args.clone())) {
             self.by_pred.entry(pred).or_default().push(args);
             true
         } else {
@@ -206,14 +206,11 @@ impl<'a> Chase<'a> {
         let rewritten: HashSet<CFact> = self
             .facts
             .iter()
-            .map(|(p, args)| (p.clone(), args.iter().map(|t| self.rep(t)).collect()))
+            .map(|(p, args)| (*p, args.iter().map(|t| self.rep(t)).collect()))
             .collect();
         self.by_pred.clear();
         for (p, args) in &rewritten {
-            self.by_pred
-                .entry(p.clone())
-                .or_default()
-                .push(args.clone());
+            self.by_pred.entry(*p).or_default().push(args.clone());
         }
         self.facts = rewritten;
         true
@@ -237,8 +234,8 @@ impl<'a> Chase<'a> {
         }
         let to_term = |t: &CTerm| -> Option<Term> {
             match t {
-                CTerm::Frozen(v) => Some(Term::Var(v.clone())),
-                CTerm::Const(c) => Some(Term::Const(c.clone())),
+                CTerm::Frozen(v) => Some(Term::Var(*v)),
+                CTerm::Const(c) => Some(Term::Const(*c)),
                 CTerm::Null(_) => None,
             }
         };
@@ -280,7 +277,7 @@ impl<'a> Chase<'a> {
                     for (pat, val) in atom.args.iter().zip(args) {
                         match pat {
                             Term::Const(c) => {
-                                if self.rep(val) != CTerm::Const(c.clone()) {
+                                if self.rep(val) != CTerm::Const(*c) {
                                     ok = false;
                                     break;
                                 }
@@ -293,7 +290,7 @@ impl<'a> Chase<'a> {
                                     }
                                 }
                                 None => {
-                                    b2.insert(v.clone(), self.rep(val));
+                                    b2.insert(*v, self.rep(val));
                                 }
                             },
                         }
@@ -340,12 +337,12 @@ impl<'a> Chase<'a> {
                     let mut ok = true;
                     for t in &head.args {
                         match t {
-                            Term::Const(c) => args.push(CTerm::Const(c.clone())),
+                            Term::Const(c) => args.push(CTerm::Const(*c)),
                             Term::Var(v) => {
                                 if let Some(val) = b.get(v) {
                                     args.push(val.clone());
                                 } else if let Some(null) = self.fresh_null() {
-                                    b.insert(v.clone(), null.clone());
+                                    b.insert(*v, null.clone());
                                     args.push(null);
                                 } else {
                                     ok = false;
@@ -355,7 +352,7 @@ impl<'a> Chase<'a> {
                         }
                     }
                     if ok && self.facts.len() < self.budget.max_facts {
-                        changed |= self.insert_fact(head.pred.clone(), args);
+                        changed |= self.insert_fact(head.pred, args);
                     }
                 }
             }
@@ -378,12 +375,12 @@ impl<'a> Chase<'a> {
                         let mut args = Vec::with_capacity(a.args.len());
                         for t in &a.args {
                             match t {
-                                Term::Const(c) => args.push(CTerm::Const(c.clone())),
+                                Term::Const(c) => args.push(CTerm::Const(*c)),
                                 Term::Var(v) => {
                                     if let Some(val) = b.get(v) {
                                         args.push(val.clone());
                                     } else if let Some(null) = self.fresh_null() {
-                                        b.insert(v.clone(), null.clone());
+                                        b.insert(*v, null.clone());
                                         args.push(null);
                                     } else {
                                         ok = false;
@@ -395,7 +392,7 @@ impl<'a> Chase<'a> {
                         if !ok {
                             break;
                         }
-                        new_facts.push((a.pred.clone(), args));
+                        new_facts.push((a.pred, args));
                     }
                     if ok {
                         for (p, args) in new_facts {
@@ -466,7 +463,7 @@ impl<'a> Chase<'a> {
         // Pre-bind frozen variables to their frozen chase terms.
         let seed: BTreeMap<Var, CTerm> = frozen
             .iter()
-            .map(|v| (v.clone(), self.rep(&CTerm::Frozen(v.clone()))))
+            .map(|v| (*v, self.rep(&CTerm::Frozen(*v))))
             .collect();
         !self.match_body(&lits, &seed).is_empty()
     }
@@ -479,14 +476,14 @@ impl<'a> Chase<'a> {
 
 fn freeze(t: &Term) -> CTerm {
     match t {
-        Term::Var(v) => CTerm::Frozen(v.clone()),
-        Term::Const(c) => CTerm::Const(c.clone()),
+        Term::Var(v) => CTerm::Frozen(*v),
+        Term::Const(c) => CTerm::Const(*c),
     }
 }
 
 fn instantiate(t: &Term, b: &BTreeMap<Var, CTerm>) -> Option<CTerm> {
     match t {
-        Term::Const(c) => Some(CTerm::Const(c.clone())),
+        Term::Const(c) => Some(CTerm::Const(*c)),
         Term::Var(v) => b.get(v).cloned(),
     }
 }

@@ -360,6 +360,106 @@ impl Query {
         body.sort();
         format!("({})<-{}", parts.join(","), body.join("&"))
     }
+
+    /// A structural fingerprint of the same canonical form that
+    /// [`Query::canonical_key`] renders: body literals are sorted by a
+    /// rename-independent shape, variables are renamed by first
+    /// occurrence, and the renamed literals are sorted again — but the
+    /// result is hashed as tokens instead of being formatted into a
+    /// string. Alpha-equivalent queries (equal up to variable renaming
+    /// and body reordering) hash identically; distinct queries collide
+    /// with ~2⁻⁶⁴ probability. The Step-3 search dedups on this.
+    pub fn canonical_hash(&self) -> u64 {
+        use crate::atom::CmpOp;
+        use crate::term::{Const, R64};
+        use std::collections::hash_map::DefaultHasher;
+        use std::collections::HashMap;
+        use std::hash::{Hash, Hasher};
+
+        // Symbol ids are process-stable, so sorting by id is a fixed
+        // total order just like the string order canonical_key uses;
+        // only tie-breaking among duplicate shapes can differ, and the
+        // final re-sort of renamed literals absorbs that the same way.
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        enum Tok {
+            Blank,
+            V(usize),
+            Pos(u32),
+            Neg(u32),
+            Op(CmpOp),
+            CInt(i64),
+            CReal(R64),
+            CStr(u32),
+            CBool(bool),
+            COid(u64),
+        }
+        let const_tok = |c: &Const| match c {
+            Const::Int(v) => Tok::CInt(*v),
+            Const::Real(r) => Tok::CReal(*r),
+            Const::Str(s) => Tok::CStr(s.id()),
+            Const::Bool(b) => Tok::CBool(*b),
+            Const::Oid(o) => Tok::COid(*o),
+        };
+        let blank = |t: &Term| match t {
+            Term::Var(_) => Tok::Blank,
+            Term::Const(c) => const_tok(c),
+        };
+        let shape = |l: &Literal| -> Vec<Tok> {
+            match l {
+                Literal::Pos(a) => {
+                    let mut v = vec![Tok::Pos(a.pred.0.id())];
+                    v.extend(a.args.iter().map(blank));
+                    v
+                }
+                Literal::Neg(a) => {
+                    let mut v = vec![Tok::Neg(a.pred.0.id())];
+                    v.extend(a.args.iter().map(blank));
+                    v
+                }
+                Literal::Cmp(c) => {
+                    let c = c.canonical();
+                    vec![Tok::Op(c.op), blank(&c.lhs), blank(&c.rhs)]
+                }
+            }
+        };
+        let mut ordered: Vec<&Literal> = self.body.iter().collect();
+        ordered.sort_by_cached_key(|l| shape(l));
+        let mut map: HashMap<Var, usize> = HashMap::new();
+        let mut rt = |t: &Term| -> Tok {
+            match t {
+                Term::Var(v) => {
+                    let n = map.len();
+                    Tok::V(*map.entry(*v).or_insert(n))
+                }
+                Term::Const(c) => const_tok(c),
+            }
+        };
+        let proj: Vec<Tok> = self.projection.iter().map(&mut rt).collect();
+        let mut body: Vec<Vec<Tok>> = Vec::with_capacity(ordered.len());
+        for l in ordered {
+            body.push(match l {
+                Literal::Pos(a) => {
+                    let mut v = vec![Tok::Pos(a.pred.0.id())];
+                    v.extend(a.args.iter().map(&mut rt));
+                    v
+                }
+                Literal::Neg(a) => {
+                    let mut v = vec![Tok::Neg(a.pred.0.id())];
+                    v.extend(a.args.iter().map(&mut rt));
+                    v
+                }
+                Literal::Cmp(c) => {
+                    let c = c.canonical();
+                    vec![Tok::Op(c.op), rt(&c.lhs), rt(&c.rhs)]
+                }
+            });
+        }
+        body.sort();
+        let mut h = DefaultHasher::new();
+        proj.hash(&mut h);
+        body.hash(&mut h);
+        h.finish()
+    }
 }
 
 impl fmt::Display for Query {
@@ -512,6 +612,74 @@ mod tests {
             ],
         );
         assert_eq!(q1.canonical_key(), q2.canonical_key());
+    }
+
+    #[test]
+    fn canonical_hash_agrees_with_key_on_equivalents() {
+        let q1 = sample_query();
+        // Renamed variables.
+        let q2 = Query::new(
+            "q",
+            vec![Term::var("N")],
+            vec![
+                Literal::pos(
+                    "person",
+                    vec![Term::var("A"), Term::var("N"), Term::var("G")],
+                ),
+                Literal::cmp(Term::var("G"), CmpOp::Lt, Term::int(30)),
+            ],
+        );
+        assert_eq!(q1.canonical_key(), q2.canonical_key());
+        assert_eq!(q1.canonical_hash(), q2.canonical_hash());
+        // Reordered body + flipped comparison orientation.
+        let q3 = Query::new(
+            "q",
+            vec![Term::var("Name")],
+            vec![
+                Literal::cmp(Term::int(30), CmpOp::Gt, Term::var("Age")),
+                Literal::pos(
+                    "person",
+                    vec![Term::var("X"), Term::var("Name"), Term::var("Age")],
+                ),
+            ],
+        );
+        assert_eq!(q1.canonical_key(), q3.canonical_key());
+        assert_eq!(q1.canonical_hash(), q3.canonical_hash());
+    }
+
+    #[test]
+    fn canonical_hash_separates_distinct_queries() {
+        let q1 = sample_query();
+        let q2 = Query::new(
+            "q",
+            vec![Term::var("Name")],
+            vec![
+                Literal::pos(
+                    "person",
+                    vec![Term::var("X"), Term::var("Name"), Term::var("Age")],
+                ),
+                Literal::cmp(Term::var("Age"), CmpOp::Lt, Term::int(31)),
+            ],
+        );
+        assert_ne!(q1.canonical_hash(), q2.canonical_hash());
+        // Negation is distinguished from a positive literal.
+        let q3 = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![Term::var("X")]),
+                Literal::neg("r", vec![Term::var("X")]),
+            ],
+        );
+        let q4 = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![Term::var("X")]),
+                Literal::pos("r", vec![Term::var("X")]),
+            ],
+        );
+        assert_ne!(q3.canonical_hash(), q4.canonical_hash());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! benchmarks can report *logical* cost (tuples examined, bindings
 //! produced) alongside wall-clock time.
 
-use crate::atom::{Atom, Literal};
+use crate::atom::{Atom, Literal, PredSym};
 use crate::clause::{Query, Rule};
 use crate::error::{DatalogError, Result};
 use crate::program::{EdbDatabase, Program, Relation};
@@ -33,7 +33,7 @@ pub struct EvalStats {
     /// Tuples examined per predicate — the object-database cost model
     /// distinguishes class-relation access (object fetches) from
     /// relationship traversal and extent probes.
-    pub per_pred: HashMap<String, u64>,
+    pub per_pred: crate::fxhash::FxHashMap<PredSym, u64>,
 }
 
 impl EvalStats {
@@ -44,13 +44,13 @@ impl EvalStats {
         self.facts_derived += other.facts_derived;
         self.negation_probes += other.negation_probes;
         for (k, v) in &other.per_pred {
-            *self.per_pred.entry(k.clone()).or_insert(0) += v;
+            *self.per_pred.entry(*k).or_insert(0) += v;
         }
     }
 
     /// Tuples examined for one predicate.
     pub fn examined(&self, pred: &str) -> u64 {
-        self.per_pred.get(pred).copied().unwrap_or(0)
+        self.per_pred.get(&PredSym::new(pred)).copied().unwrap_or(0)
     }
 }
 
@@ -81,7 +81,7 @@ impl<'a> IndexCache<'a> {
         Some(self.cache.entry(key).or_insert_with(|| {
             let mut m: HashMap<Vec<Const>, Vec<usize>> = HashMap::new();
             for (i, t) in rel.tuples().iter().enumerate() {
-                let k: Vec<Const> = positions.iter().map(|&p| t[p].clone()).collect();
+                let k: Vec<Const> = positions.iter().map(|&p| t[p]).collect();
                 m.entry(k).or_default().push(i);
             }
             m
@@ -119,12 +119,12 @@ fn join_atom(
             match t {
                 Term::Const(c) => {
                     bound_pos.push(i);
-                    bound_vals.push(c.clone());
+                    bound_vals.push(*c);
                 }
                 Term::Var(v) => {
                     if let Some(c) = b.get(v) {
                         bound_pos.push(i);
-                        bound_vals.push(c.clone());
+                        bound_vals.push(*c);
                     }
                 }
             }
@@ -139,10 +139,7 @@ fn join_atom(
         for ti in candidates {
             let tuple = &rel.tuples()[ti];
             stats.tuples_examined += 1;
-            *stats
-                .per_pred
-                .entry(atom.pred.name().to_string())
-                .or_insert(0) += 1;
+            *stats.per_pred.entry(atom.pred).or_insert(0) += 1;
             let mut b2 = b.clone();
             let mut ok = true;
             for (t, c) in atom.args.iter().zip(tuple) {
@@ -161,7 +158,7 @@ fn join_atom(
                             }
                         }
                         None => {
-                            b2.insert(v.clone(), c.clone());
+                            b2.insert(*v, *c);
                         }
                     },
                 }
@@ -188,7 +185,7 @@ fn half_bound(c: &crate::atom::Comparison, bindings: &[Binding]) -> Option<()> {
 
 fn term_value(t: &Term, b: &Binding) -> Option<Const> {
     match t {
-        Term::Const(c) => Some(c.clone()),
+        Term::Const(c) => Some(*c),
         Term::Var(v) => b.get(v).cloned(),
     }
 }
@@ -240,7 +237,7 @@ fn eval_body(db: &EdbDatabase, body: &[Literal], stats: &mut EvalStats) -> Resul
             let l = remaining.remove(pos);
             for v in l.vars() {
                 if !bound_vars.contains(v) {
-                    bound_vars.push(v.clone());
+                    bound_vars.push(*v);
                 }
             }
             ordered.push(l);
@@ -261,7 +258,7 @@ fn eval_body(db: &EdbDatabase, body: &[Literal], stats: &mut EvalStats) -> Resul
                 let l = remaining.remove(i);
                 for v in l.vars() {
                     if !bound_vars.contains(v) {
-                        bound_vars.push(v.clone());
+                        bound_vars.push(*v);
                     }
                 }
                 ordered.push(l);
@@ -298,13 +295,13 @@ fn eval_body(db: &EdbDatabase, body: &[Literal], stats: &mut EvalStats) -> Resul
                         (Some(val), None) => {
                             let Term::Var(v) = &c.rhs else { unreachable!() };
                             let mut b2 = b;
-                            b2.insert(v.clone(), val);
+                            b2.insert(*v, val);
                             out.push(b2);
                         }
                         (None, Some(val)) => {
                             let Term::Var(v) = &c.lhs else { unreachable!() };
                             let mut b2 = b;
-                            b2.insert(v.clone(), val);
+                            b2.insert(*v, val);
                             out.push(b2);
                         }
                         (None, None) => {
@@ -350,7 +347,7 @@ fn eval_body(db: &EdbDatabase, body: &[Literal], stats: &mut EvalStats) -> Resul
                             candidates.iter().any(|&ti| {
                                 let tuple = &rel.tuples()[ti];
                                 stats.tuples_examined += 1;
-                                *stats.per_pred.entry(a.pred.name().to_string()).or_insert(0) += 1;
+                                *stats.per_pred.entry(a.pred).or_insert(0) += 1;
                                 let mut local: HashMap<&Var, &Const> = HashMap::new();
                                 a.args.iter().zip(tuple).all(|(t, c)| match t {
                                     Term::Const(k) => k == c,
@@ -461,7 +458,7 @@ pub fn materialize(db: &EdbDatabase, program: &Program) -> Result<(EdbDatabase, 
                             variable: String::new(),
                         });
                     };
-                    if total.insert(rule.head.pred.clone(), tuple)? {
+                    if total.insert(rule.head.pred, tuple)? {
                         stats.facts_derived += 1;
                         any_new = true;
                         new_changed.insert(rule.head.pred.name().to_string());

@@ -30,6 +30,8 @@ pub mod atom;
 pub mod clause;
 pub mod error;
 pub mod eval;
+pub mod fxhash;
+pub mod intern;
 pub mod parser;
 pub mod program;
 pub mod residue;
@@ -44,6 +46,7 @@ pub mod unify;
 pub use atom::{Atom, CmpOp, Comparison, Literal, PredSym};
 pub use clause::{Constraint, ConstraintHead, Query, Rule};
 pub use error::{DatalogError, Result};
+pub use intern::Sym;
 pub use solver::{ConstraintSet, Sat};
 pub use subst::Subst;
 pub use term::{Const, Term, Var, R64};

@@ -93,9 +93,9 @@ impl EdbDatabase {
         let tuple: Vec<Const> = atom
             .args
             .iter()
-            .map(|t| t.as_const().expect("ground").clone())
+            .map(|t| *t.as_const().expect("ground"))
             .collect();
-        self.insert(atom.pred.clone(), tuple)
+        self.insert(atom.pred, tuple)
     }
 
     /// Insert a tuple into the named relation.
@@ -140,7 +140,7 @@ impl EdbDatabase {
     pub fn absorb(&mut self, other: &EdbDatabase) -> Result<()> {
         for (p, rel) in &other.relations {
             for t in rel.tuples() {
-                self.insert(p.clone(), t.clone())?;
+                self.insert(*p, t.clone())?;
             }
         }
         Ok(())
@@ -162,7 +162,7 @@ impl Program {
 
     /// The set of intensional (rule-defined) predicates.
     pub fn idb_preds(&self) -> HashSet<PredSym> {
-        self.rules.iter().map(|r| r.head.pred.clone()).collect()
+        self.rules.iter().map(|r| r.head.pred).collect()
     }
 
     /// Validate safety of every rule.
@@ -196,7 +196,7 @@ impl Program {
     pub fn stratify(&self) -> Result<Vec<Vec<usize>>> {
         let idb = self.idb_preds();
         // Compute per-predicate stratum numbers by fixpoint.
-        let mut stratum: HashMap<PredSym, usize> = idb.iter().map(|p| (p.clone(), 0)).collect();
+        let mut stratum: HashMap<PredSym, usize> = idb.iter().map(|p| (*p, 0)).collect();
         let max_iter = idb.len() * idb.len() + idb.len() + 2;
         for round in 0..=max_iter {
             let mut changed = false;
@@ -219,7 +219,7 @@ impl Program {
                     }
                 }
                 if need > head_s {
-                    stratum.insert(r.head.pred.clone(), need);
+                    stratum.insert(r.head.pred, need);
                     changed = true;
                 }
             }

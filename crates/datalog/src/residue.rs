@@ -29,11 +29,11 @@
 
 use crate::atom::{Atom, Literal, PredSym};
 use crate::clause::{Constraint, ConstraintHead};
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::unify::mgu;
-use std::collections::HashMap;
 
 /// A compiled integrity-constraint fragment attached to a relation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Residue {
     /// Index of the originating constraint in [`ResidueSet::constraints`].
     pub ic_index: usize,
@@ -47,6 +47,49 @@ pub struct Residue {
     pub rest: Vec<Literal>,
     /// The residue head: what becomes true of every query answer.
     pub head: ConstraintHead,
+    /// Sorted, deduplicated variables of the whole residue (anchor,
+    /// rest, and head), precomputed at compile time so the per-query
+    /// standardize-apart clash check does not rebuild it.
+    pub vars: Vec<crate::term::Var>,
+    /// Lazily-built copy of this residue with every variable renamed
+    /// into a reserved namespace no parser produces, so
+    /// [`standardize_residue_apart`] can return a borrow instead of
+    /// renaming afresh on every query it is applied to.
+    apart: std::sync::OnceLock<Box<Residue>>,
+}
+
+/// Equality on the semantic fields only — the lazy standardized copy is
+/// derived data.
+impl PartialEq for Residue {
+    fn eq(&self, other: &Self) -> bool {
+        self.ic_index == other.ic_index
+            && self.ic_name == other.ic_name
+            && self.anchor == other.anchor
+            && self.rest == other.rest
+            && self.head == other.head
+    }
+}
+
+impl Eq for Residue {}
+
+/// The sorted, deduplicated variable set of a residue's parts.
+fn residue_vars(anchor: &Atom, rest: &[Literal], head: &ConstraintHead) -> Vec<crate::term::Var> {
+    let mut vars: Vec<crate::term::Var> = Vec::with_capacity(anchor.args.len() + 4);
+    match head {
+        ConstraintHead::None => {}
+        ConstraintHead::Atom(a) | ConstraintHead::NegAtom(a) => vars.extend(a.vars().copied()),
+        ConstraintHead::Cmp(c) => vars.extend(c.vars().copied()),
+    }
+    vars.extend(anchor.vars().copied());
+    for l in rest {
+        match l {
+            Literal::Pos(a) | Literal::Neg(a) => vars.extend(a.vars().copied()),
+            Literal::Cmp(c) => vars.extend(c.vars().copied()),
+        }
+    }
+    vars.sort_unstable();
+    vars.dedup();
+    vars
 }
 
 impl std::fmt::Display for Residue {
@@ -88,7 +131,7 @@ impl Default for CompileOptions {
 pub struct ResidueSet {
     /// Original constraints followed by derived ones.
     pub constraints: Vec<Constraint>,
-    by_pred: HashMap<PredSym, Vec<Residue>>,
+    by_pred: FxHashMap<PredSym, Vec<Residue>>,
     residue_count: usize,
 }
 
@@ -113,28 +156,30 @@ impl ResidueSet {
             let derived = derive_contrapositives(&constraints);
             constraints.extend(derived);
         }
-        let mut by_pred: HashMap<PredSym, Vec<Residue>> = HashMap::new();
+        let mut by_pred: FxHashMap<PredSym, Vec<Residue>> =
+            FxHashMap::with_capacity_and_hasher(constraints.len(), Default::default());
         let mut residue_count = 0;
         for (idx, ic) in constraints.iter().enumerate() {
             for (i, lit) in ic.body.iter().enumerate() {
                 let Literal::Pos(anchor) = lit else { continue };
-                let rest: Vec<Literal> = ic
-                    .body
-                    .iter()
-                    .enumerate()
-                    .filter(|(j, _)| *j != i)
-                    .map(|(_, l)| l.clone())
-                    .collect();
-                by_pred
-                    .entry(anchor.pred.clone())
-                    .or_default()
-                    .push(Residue {
-                        ic_index: idx,
-                        ic_name: ic.name.clone(),
-                        anchor: anchor.clone(),
-                        rest,
-                        head: ic.head.clone(),
-                    });
+                let mut rest: Vec<Literal> = Vec::with_capacity(ic.body.len() - 1);
+                rest.extend(
+                    ic.body
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, l)| l.clone()),
+                );
+                let vars = residue_vars(anchor, &rest, &ic.head);
+                by_pred.entry(anchor.pred).or_default().push(Residue {
+                    ic_index: idx,
+                    ic_name: ic.name.clone(),
+                    anchor: anchor.clone(),
+                    rest,
+                    head: ic.head.clone(),
+                    vars,
+                    apart: std::sync::OnceLock::new(),
+                });
                 residue_count += 1;
             }
         }
@@ -181,26 +226,41 @@ fn as_inclusion(ic: &Constraint) -> Option<(&Atom, &Atom)> {
 
 /// Transitively compose inclusion constraints: from `a(…) ← b(…)` and
 /// `b(…) ← c(…)` derive `a(…) ← c(…)` (bounded fixpoint).
+///
+/// Inclusions are indexed by head predicate, so each composition round
+/// pairs an upper inclusion only with the inclusions that can actually
+/// feed its body, instead of scanning the full cross product.
 fn saturate_inclusions(constraints: &[Constraint]) -> Vec<Constraint> {
     let mut all: Vec<Constraint> = constraints
         .iter()
         .filter(|c| as_inclusion(c).is_some())
         .cloned()
         .collect();
+    // head pred → indices into `all`, and the (head, body) pred pairs
+    // already present (for O(1) known-checks).
+    let mut by_head: FxHashMap<PredSym, Vec<usize>> = FxHashMap::default();
+    let mut known: FxHashSet<(PredSym, PredSym)> = FxHashSet::default();
+    for (i, c) in all.iter().enumerate() {
+        let (h, b) = as_inclusion(c).expect("filtered to inclusions");
+        by_head.entry(h.pred).or_default().push(i);
+        known.insert((h.pred, b.pred));
+    }
     let mut derived: Vec<Constraint> = Vec::new();
     for _round in 0..constraints.len() {
         let mut new_ics: Vec<Constraint> = Vec::new();
-        for upper in &all {
-            let Some((u_head, u_body)) = as_inclusion(upper) else {
+        for ui in 0..all.len() {
+            let upper = &all[ui];
+            let Some((_u_head, u_body)) = as_inclusion(upper) else {
                 continue;
             };
-            for lower in &all {
+            let Some(lowers) = by_head.get(&u_body.pred) else {
+                continue;
+            };
+            for &li in lowers {
+                let lower = &all[li];
                 let Some((l_head, _)) = as_inclusion(lower) else {
                     continue;
                 };
-                if l_head.pred != u_body.pred {
-                    continue;
-                }
                 // Standardize the upper IC apart and unify its body with
                 // the lower IC's head.
                 let used = lower.vars();
@@ -211,7 +271,6 @@ fn saturate_inclusions(constraints: &[Constraint]) -> Vec<Constraint> {
                 let Some(theta) = mgu(u_body_f, l_head) else {
                     continue;
                 };
-                let _ = u_head;
                 let new_head = theta.apply_atom(u_head_f);
                 let new_body = theta.apply_body(&lower.body);
                 // Skip trivial or already-known inclusions.
@@ -229,9 +288,8 @@ fn saturate_inclusions(constraints: &[Constraint]) -> Vec<Constraint> {
                     head: ConstraintHead::Atom(new_head),
                     body: new_body,
                 };
-                let key = inclusion_key(&candidate);
-                let known = all.iter().chain(&new_ics).any(|c| inclusion_key(c) == key);
-                if !known {
+                let key = inclusion_key(&candidate).expect("candidate is an inclusion");
+                if known.insert(key) {
                     new_ics.push(candidate);
                 }
             }
@@ -239,19 +297,18 @@ fn saturate_inclusions(constraints: &[Constraint]) -> Vec<Constraint> {
         if new_ics.is_empty() {
             break;
         }
-        all.extend(new_ics.iter().cloned());
+        for c in &new_ics {
+            let (h, _) = as_inclusion(c).expect("derived inclusions");
+            by_head.entry(h.pred).or_default().push(all.len());
+            all.push(c.clone());
+        }
         derived.extend(new_ics);
     }
     derived
 }
 
-fn inclusion_key(c: &Constraint) -> String {
-    match (&c.head, c.body.first()) {
-        (ConstraintHead::Atom(h), Some(Literal::Pos(b))) => {
-            format!("{}<-{}", h.pred, b.pred)
-        }
-        _ => c.to_string(),
-    }
+fn inclusion_key(c: &Constraint) -> Option<(PredSym, PredSym)> {
+    as_inclusion(c).map(|(h, b)| (h.pred, b.pred))
 }
 
 /// Derive strengthened constraints: for each IC containing a positive body
@@ -260,21 +317,33 @@ fn inclusion_key(c: &Constraint) -> String {
 /// IC4 + IC5 ⇒ IC6 step: `Age ≥ 30 ← faculty(..)` becomes
 /// `Age ≥ 30 ← faculty(..), person(..)`.
 fn derive_strengthened(constraints: &[Constraint]) -> Vec<Constraint> {
+    // Index inclusion ICs by their body predicate so each target body
+    // literal only visits the inclusions that can strengthen it. The
+    // emitted order (inclusion position, then body-literal index) is
+    // observable downstream, so candidates carry a sort key.
+    let mut inclusions_by_body: FxHashMap<PredSym, Vec<(usize, &Constraint)>> =
+        FxHashMap::default();
+    for (n, inc) in constraints.iter().enumerate() {
+        if let Some((_, inc_body)) = as_inclusion(inc) {
+            inclusions_by_body
+                .entry(inc_body.pred)
+                .or_default()
+                .push((n, inc));
+        }
+    }
     let mut out = Vec::new();
     for ic in constraints {
         // Skip inclusion ICs themselves: strengthening them yields noise.
         if as_inclusion(ic).is_some() {
             continue;
         }
-        for inc in constraints {
-            let Some((_inc_head, inc_body)) = as_inclusion(inc) else {
+        let mut local: Vec<((usize, usize), Constraint)> = Vec::new();
+        for (i, lit) in ic.body.iter().enumerate() {
+            let Literal::Pos(b) = lit else { continue };
+            let Some(incs) = inclusions_by_body.get(&b.pred) else {
                 continue;
             };
-            for (i, lit) in ic.body.iter().enumerate() {
-                let Literal::Pos(b) = lit else { continue };
-                if b.pred != inc_body.pred {
-                    continue;
-                }
+            for &(n, inc) in incs {
                 // Standardize the inclusion IC apart from the target IC.
                 let used = ic.vars();
                 let inc_fresh = crate::subst::standardize_apart(inc, &used);
@@ -299,13 +368,18 @@ fn derive_strengthened(constraints: &[Constraint]) -> Vec<Constraint> {
                     (Some(a), Some(b)) => Some(format!("{a}+{b}")),
                     _ => None,
                 };
-                out.push(Constraint {
-                    name,
-                    head: ic.head.clone(),
-                    body,
-                });
+                local.push((
+                    (n, i),
+                    Constraint {
+                        name,
+                        head: ic.head.clone(),
+                        body,
+                    },
+                ));
             }
         }
+        local.sort_by_key(|(k, _)| *k);
+        out.extend(local.into_iter().map(|(_, c)| c));
     }
     dedup_constraints(out)
 }
@@ -358,59 +432,132 @@ fn derive_contrapositives(constraints: &[Constraint]) -> Vec<Constraint> {
     dedup_constraints(out)
 }
 
+/// One token of a constraint's structural dedup key. The key is exact
+/// (not a hash): two constraints share a key iff they have the same
+/// head and body up to comparison orientation — the same equivalence
+/// the old rendered-string key expressed, without the string building.
+#[derive(PartialEq, Eq, Hash)]
+enum KeyTok {
+    Tag(u8),
+    Pred(PredSym),
+    T(crate::term::Term),
+    Op(crate::atom::CmpOp),
+}
+
+fn key_atom(out: &mut Vec<KeyTok>, tag: u8, a: &Atom) {
+    out.push(KeyTok::Tag(tag));
+    out.push(KeyTok::Pred(a.pred));
+    out.extend(a.args.iter().map(|t| KeyTok::T(*t)));
+}
+
+fn key_cmp(out: &mut Vec<KeyTok>, tag: u8, c: &crate::atom::Comparison) {
+    let c = c.canonical();
+    out.push(KeyTok::Tag(tag));
+    out.push(KeyTok::Op(c.op));
+    out.push(KeyTok::T(c.lhs));
+    out.push(KeyTok::T(c.rhs));
+}
+
+fn constraint_key(ic: &Constraint) -> Vec<KeyTok> {
+    let mut out = Vec::new();
+    match &ic.head {
+        ConstraintHead::None => out.push(KeyTok::Tag(0)),
+        ConstraintHead::Atom(a) => key_atom(&mut out, 1, a),
+        ConstraintHead::NegAtom(a) => key_atom(&mut out, 2, a),
+        // The head comparison keeps its orientation, as the rendered
+        // key did.
+        ConstraintHead::Cmp(c) => {
+            out.push(KeyTok::Tag(3));
+            out.push(KeyTok::Op(c.op));
+            out.push(KeyTok::T(c.lhs));
+            out.push(KeyTok::T(c.rhs));
+        }
+    }
+    for l in &ic.body {
+        match l {
+            Literal::Pos(a) => key_atom(&mut out, 4, a),
+            Literal::Neg(a) => key_atom(&mut out, 5, a),
+            Literal::Cmp(c) => key_cmp(&mut out, 6, c),
+        }
+    }
+    out
+}
+
 fn dedup_constraints(ics: Vec<Constraint>) -> Vec<Constraint> {
-    let mut seen = std::collections::HashSet::new();
+    let mut seen: FxHashSet<Vec<KeyTok>> = FxHashSet::default();
     let mut out = Vec::new();
     for ic in ics {
-        let key = format!(
-            "{}<-{}",
-            ic.head,
-            ic.body
-                .iter()
-                .map(canonical_lit)
-                .collect::<Vec<_>>()
-                .join(",")
-        );
-        if seen.insert(key) {
+        if seen.insert(constraint_key(&ic)) {
             out.push(ic);
         }
     }
     out
 }
 
-fn canonical_lit(l: &Literal) -> String {
-    match l {
-        Literal::Cmp(c) => c.canonical().to_string(),
-        other => other.to_string(),
-    }
-}
-
-/// Rename a residue's variables apart from a set of used variables,
-/// returning the renamed residue. Used at query-application time.
-pub fn standardize_residue_apart(
-    r: &Residue,
-    used: &std::collections::BTreeSet<crate::term::Var>,
-) -> Residue {
-    // Reuse constraint renaming by packing the residue into a constraint.
-    let mut body = vec![Literal::Pos(r.anchor.clone())];
-    body.extend(r.rest.iter().cloned());
-    let packed = Constraint {
-        name: r.ic_name.clone(),
-        head: r.head.clone(),
-        body,
-    };
-    let renamed = crate::subst::standardize_apart(&packed, used);
-    let mut it = renamed.body.into_iter();
-    let Some(Literal::Pos(anchor)) = it.next() else {
-        unreachable!("anchor literal is positive by construction");
-    };
+/// Apply a renaming substitution to a residue's three parts, rebuilding
+/// the precomputed variable set.
+fn apply_rename(r: &Residue, s: &crate::subst::Subst) -> Residue {
+    let anchor = s.apply_atom(&r.anchor);
+    let rest: Vec<Literal> = r.rest.iter().map(|l| s.apply_literal(l)).collect();
+    let head = s.apply_head(&r.head);
+    let vars = residue_vars(&anchor, &rest, &head);
     Residue {
         ic_index: r.ic_index,
         ic_name: r.ic_name.clone(),
         anchor,
-        rest: it.collect(),
-        head: renamed.head,
+        rest,
+        head,
+        vars,
+        apart: std::sync::OnceLock::new(),
     }
+}
+
+/// Rename a residue's variables apart from a set of used variables.
+/// Used at query-application time; matching requires the pattern's
+/// variables to be disjoint from the query's (see
+/// [`crate::unify::match_terms`]).
+///
+/// This sits on the inner loop of [`crate::transform::analyse`] — once
+/// per attached residue per frontier query — so the common cases return
+/// a borrow: either the residue itself (no clash), or its lazily-built
+/// copy renamed into a reserved `\u{1}`-prefixed namespace no parser
+/// produces. The renamed names are not observable downstream: matched
+/// variables are substituted by query terms, and unmatched (foreign)
+/// ones are either discarded or freshened into `NV*` query names before
+/// they reach a candidate. Only the pathological case of a query that
+/// itself uses reserved names pays for a per-call fresh renaming.
+pub fn standardize_residue_apart<'r>(
+    r: &'r Residue,
+    used: &std::collections::BTreeSet<crate::term::Var>,
+) -> std::borrow::Cow<'r, Residue> {
+    use crate::term::{Term, Var};
+    use std::borrow::Cow;
+    if !r.vars.iter().any(|v| used.contains(v)) {
+        return Cow::Borrowed(r);
+    }
+    let apart = r.apart.get_or_init(|| {
+        let mut s = crate::subst::Subst::new();
+        for v in &r.vars {
+            s.bind(*v, Term::Var(Var::new(format!("\u{1}{}", v.name()))));
+        }
+        Box::new(apply_rename(r, &s))
+    });
+    if !apart.vars.iter().any(|v| used.contains(v)) {
+        return Cow::Borrowed(apart);
+    }
+    let mut s = crate::subst::Subst::new();
+    let mut counter = 0usize;
+    for v in r.vars.iter().filter(|v| used.contains(v)) {
+        loop {
+            counter += 1;
+            let fresh = Var::new(format!("{}_{counter}", v.name()));
+            if !used.contains(&fresh) && r.vars.binary_search(&fresh).is_err() {
+                s.bind(*v, Term::Var(fresh));
+                break;
+            }
+        }
+    }
+    Cow::Owned(apply_rename(r, &s))
 }
 
 #[cfg(test)]

@@ -9,8 +9,9 @@
 
 use crate::atom::Literal;
 use crate::clause::Query;
+use crate::fxhash::FxHashSet;
 use crate::transform::{analyse, apply, Analysis, Op, TransformContext};
-use std::collections::{HashSet, VecDeque};
+use std::collections::HashSet;
 
 /// When join introduction (`AddAtom`) is explored.
 ///
@@ -29,6 +30,19 @@ pub enum JoinIntro {
     ViewRelevant,
     /// Introduce every implied atom (exhaustive; exponential).
     All,
+}
+
+/// How the search deduplicates query variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DedupMode {
+    /// Hash the canonical form ([`Query::canonical_hash`]) — no string
+    /// rendering per candidate.
+    #[default]
+    Fingerprint,
+    /// Render the full canonical string ([`Query::canonical_key`]) per
+    /// candidate. Functionally identical; kept as the measurable
+    /// baseline for the benchmark ablation.
+    CanonicalKey,
 }
 
 /// Heuristic configuration for the equivalent-query search.
@@ -52,6 +66,8 @@ pub struct SearchConfig {
     pub enable_remove_cmp: bool,
     /// Enable atom/group removal (`RemoveAtoms`).
     pub enable_remove_atoms: bool,
+    /// Variant deduplication strategy.
+    pub dedup: DedupMode,
 }
 
 impl Default for SearchConfig {
@@ -65,6 +81,7 @@ impl Default for SearchConfig {
             enable_add_neg: true,
             enable_remove_cmp: true,
             enable_remove_atoms: true,
+            dedup: DedupMode::default(),
         }
     }
 }
@@ -236,64 +253,173 @@ impl Outcome {
 }
 
 /// Run the bounded equivalent-query search (Step 3).
+///
+/// The search is a breadth-first expansion processed level by level:
+/// the expensive applicability analysis of each frontier node depends
+/// only on the node's query and the (immutable) context, so with the
+/// `parallel` feature (on by default) every level's analyses run on
+/// worker threads. The merge that consumes the analyses — candidate
+/// ordering, dedup against the seen-set, budget checks, contradiction
+/// short-circuiting — stays sequential and ordered, so the outcome is
+/// byte-identical to [`optimize_sequential`].
 pub fn optimize(q: &Query, ctx: &TransformContext, cfg: &SearchConfig) -> Outcome {
+    optimize_with(q, ctx, cfg, analyse_level)
+}
+
+/// Single-threaded variant of [`optimize`]. Produces the identical
+/// outcome (same variants, same order, same provenance); exists so the
+/// equivalence can be asserted in tests and measured in benchmarks.
+pub fn optimize_sequential(q: &Query, ctx: &TransformContext, cfg: &SearchConfig) -> Outcome {
+    optimize_with(q, ctx, cfg, analyse_level_sequential)
+}
+
+fn analyse_level_sequential(nodes: &[Variant], ctx: &TransformContext) -> Vec<Analysis> {
+    nodes.iter().map(|n| analyse(&n.query, ctx)).collect()
+}
+
+/// Analyse one BFS level, fanning out over the available cores. Results
+/// come back in node order (contiguous chunks, joined in spawn order).
+/// Cached core count: `available_parallelism` re-reads the cgroup
+/// quota files on every call on Linux, which is far too slow to sit on
+/// the per-level path of a microsecond-scale search.
+#[cfg(feature = "parallel")]
+fn worker_budget() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+#[cfg(feature = "parallel")]
+fn analyse_level(nodes: &[Variant], ctx: &TransformContext) -> Vec<Analysis> {
+    let workers = worker_budget().min(nodes.len());
+    if workers <= 1 {
+        return analyse_level_sequential(nodes, ctx);
+    }
+    let chunk = nodes.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = nodes
+            .chunks(chunk)
+            .map(|c| s.spawn(move || analyse_level_sequential(c, ctx)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("search worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(not(feature = "parallel"))]
+fn analyse_level(nodes: &[Variant], ctx: &TransformContext) -> Vec<Analysis> {
+    analyse_level_sequential(nodes, ctx)
+}
+
+/// The variant seen-set, generic over [`DedupMode`]. Both modes dedup
+/// on the same canonical form; they differ only in whether that form is
+/// hashed as tokens or rendered into a string.
+enum Seen {
+    Fingerprint(FxHashSet<u64>),
+    CanonicalKey(HashSet<String>),
+}
+
+impl Seen {
+    fn new(mode: DedupMode) -> Self {
+        match mode {
+            DedupMode::Fingerprint => Seen::Fingerprint(FxHashSet::default()),
+            DedupMode::CanonicalKey => Seen::CanonicalKey(HashSet::new()),
+        }
+    }
+
+    /// Insert the query's canonical form; `false` if already present.
+    fn insert(&mut self, q: &Query) -> bool {
+        match self {
+            Seen::Fingerprint(s) => s.insert(q.canonical_hash()),
+            Seen::CanonicalKey(s) => s.insert(q.canonical_key()),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Seen::Fingerprint(s) => s.len(),
+            Seen::CanonicalKey(s) => s.len(),
+        }
+    }
+}
+
+fn optimize_with(
+    q: &Query,
+    ctx: &TransformContext,
+    cfg: &SearchConfig,
+    analyse_level: impl Fn(&[Variant], &TransformContext) -> Vec<Analysis>,
+) -> Outcome {
     let mut variants: Vec<Variant> = Vec::new();
-    let mut seen: HashSet<String> = HashSet::new();
-    let mut queue: VecDeque<Variant> = VecDeque::new();
+    let mut seen = Seen::new(cfg.dedup);
     let mut expansions = 0usize;
 
-    let root = Variant {
+    let mut frontier = vec![Variant {
         query: q.clone(),
         steps: Vec::new(),
-    };
-    seen.insert(q.canonical_key());
-    queue.push_back(root);
+    }];
+    seen.insert(q);
 
-    while let Some(node) = queue.pop_front() {
-        if expansions >= cfg.max_expansions {
-            variants.push(node);
-            continue;
-        }
-        expansions += 1;
-        match analyse(&node.query, ctx) {
-            Analysis::Contradiction { ic_name, note } => {
-                return Outcome::Contradiction {
-                    ic_name,
-                    note,
-                    steps: node.steps,
-                };
-            }
-            Analysis::Candidates(mut cands) => {
-                let depth = node.steps.len();
-                if depth < cfg.max_depth {
-                    cands.sort_by_key(|c| SearchConfig::priority(&c.op));
-                    for cand in cands {
-                        if !cfg.enabled(&cand.op, ctx) {
-                            continue;
-                        }
-                        let next = apply(&node.query, &cand.op);
-                        if !next.is_safe() {
-                            continue;
-                        }
-                        let key = next.canonical_key();
-                        if !seen.insert(key) {
-                            continue;
-                        }
-                        if seen.len() > cfg.max_variants {
-                            continue;
-                        }
-                        let mut steps = node.steps.clone();
-                        steps.push(Step {
-                            op: cand.op,
-                            ic_name: cand.ic_name,
-                            note: cand.note,
-                        });
-                        queue.push_back(Variant { query: next, steps });
-                    }
-                }
+    while !frontier.is_empty() {
+        // Nodes beyond the expansion budget pass through unexpanded, in
+        // order, exactly as they would pop off a FIFO queue.
+        let analysed = cfg
+            .max_expansions
+            .saturating_sub(expansions)
+            .min(frontier.len());
+        expansions += analysed;
+        let analyses = analyse_level(&frontier[..analysed], ctx);
+        let mut results = analyses.into_iter();
+        let mut next_level: Vec<Variant> = Vec::new();
+        for (i, node) in frontier.into_iter().enumerate() {
+            if i >= analysed {
                 variants.push(node);
+                continue;
+            }
+            match results.next().expect("one analysis per analysed node") {
+                Analysis::Contradiction { ic_name, note } => {
+                    return Outcome::Contradiction {
+                        ic_name,
+                        note,
+                        steps: node.steps,
+                    };
+                }
+                Analysis::Candidates(mut cands) => {
+                    let depth = node.steps.len();
+                    if depth < cfg.max_depth {
+                        cands.sort_by_key(|c| SearchConfig::priority(&c.op));
+                        for cand in cands {
+                            if !cfg.enabled(&cand.op, ctx) {
+                                continue;
+                            }
+                            let next = apply(&node.query, &cand.op);
+                            if !next.is_safe() {
+                                continue;
+                            }
+                            if !seen.insert(&next) {
+                                continue;
+                            }
+                            if seen.len() > cfg.max_variants {
+                                continue;
+                            }
+                            let mut steps = node.steps.clone();
+                            steps.push(Step {
+                                op: cand.op,
+                                ic_name: cand.ic_name,
+                                note: cand.note,
+                            });
+                            next_level.push(Variant { query: next, steps });
+                        }
+                    }
+                    variants.push(node);
+                }
             }
         }
+        frontier = next_level;
     }
 
     Outcome::Equivalents(variants)
@@ -482,6 +608,165 @@ mod tests {
         let d = delta(&q, &folded.query);
         assert_eq!(d.removed.len(), 4);
         assert_eq!(d.added.len(), 1);
+    }
+
+    /// Assert the two search paths return identical outcomes: same
+    /// variants in the same order, same steps, same provenance.
+    fn assert_outcomes_identical(q: &Query, ctx: &TransformContext, cfg: &SearchConfig) {
+        let par = optimize(q, ctx, cfg);
+        let seq = optimize_sequential(q, ctx, cfg);
+        match (&par, &seq) {
+            (
+                Outcome::Contradiction {
+                    ic_name: n1,
+                    note: m1,
+                    steps: s1,
+                },
+                Outcome::Contradiction {
+                    ic_name: n2,
+                    note: m2,
+                    steps: s2,
+                },
+            ) => {
+                assert_eq!(n1, n2);
+                assert_eq!(m1, m2);
+                assert_eq!(s1.len(), s2.len());
+                for (a, b) in s1.iter().zip(s2) {
+                    assert_eq!(a.op, b.op);
+                    assert_eq!(a.ic_name, b.ic_name);
+                }
+            }
+            (Outcome::Equivalents(v1), Outcome::Equivalents(v2)) => {
+                assert_eq!(v1.len(), v2.len(), "variant count differs");
+                for (a, b) in v1.iter().zip(v2) {
+                    assert_eq!(a.query, b.query, "variant query differs");
+                    assert_eq!(a.query.to_string(), b.query.to_string());
+                    assert_eq!(a.steps.len(), b.steps.len());
+                    for (x, y) in a.steps.iter().zip(&b.steps) {
+                        assert_eq!(x.op, y.op);
+                        assert_eq!(x.ic_name, y.ic_name);
+                        assert_eq!(x.note, y.note);
+                    }
+                }
+            }
+            _ => panic!("outcome kinds differ: {par:?} vs {seq:?}"),
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_scope_reduction() {
+        let q = Query::new(
+            "q",
+            vec![v("Name")],
+            vec![
+                Literal::pos("person", vec![v("X"), v("Name"), v("Age")]),
+                Literal::cmp(v("Age"), CmpOp::Lt, Term::int(30)),
+            ],
+        );
+        assert_outcomes_identical(&q, &scope_ctx(), &SearchConfig::default());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_view_fold() {
+        let view = Rule::new(
+            Atom::new("asr", vec![v("X"), v("W")]),
+            vec![
+                Literal::pos("takes", vec![v("X"), v("Y")]),
+                Literal::pos("is_section_of", vec![v("Y"), v("Z")]),
+                Literal::pos("has_sections", vec![v("Z"), v("V")]),
+                Literal::pos("has_ta", vec![v("V"), v("W")]),
+            ],
+        );
+        let ctx = TransformContext::new(ResidueSet::compile(vec![]), vec![view], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("W")],
+            vec![
+                Literal::pos("student", vec![v("X"), v("Name")]),
+                Literal::pos("takes", vec![v("X"), v("Y")]),
+                Literal::pos("is_section_of", vec![v("Y"), v("Z")]),
+                Literal::pos("has_sections", vec![v("Z"), v("V")]),
+                Literal::pos("has_ta", vec![v("V"), v("W")]),
+                Literal::cmp(v("Name"), CmpOp::Eq, Term::str("james")),
+            ],
+        );
+        assert_outcomes_identical(&q, &ctx, &SearchConfig::default());
+    }
+
+    #[test]
+    fn parallel_matches_sequential_under_tight_budgets() {
+        // A wide frontier (many restriction residues) with tight variant
+        // and expansion bounds exercises the budget-ordering guarantees.
+        let mut ics = Vec::new();
+        for i in 0..8 {
+            ics.push(Constraint::named(
+                format!("R{i}"),
+                ConstraintHead::Cmp(Comparison::new(v("A"), CmpOp::Gt, Term::int(i))),
+                vec![Literal::pos("p", vec![v("X"), v("A")])],
+            ));
+        }
+        let ctx = TransformContext::new(ResidueSet::compile(ics), vec![], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("X")],
+            vec![Literal::pos("p", vec![v("X"), v("A")])],
+        );
+        for (max_variants, max_expansions) in [(5, 3), (64, 96), (2, 1), (16, 7)] {
+            let cfg = SearchConfig {
+                max_variants,
+                max_expansions,
+                ..Default::default()
+            };
+            assert_outcomes_identical(&q, &ctx, &cfg);
+        }
+    }
+
+    #[test]
+    fn dedup_modes_produce_identical_variants() {
+        let q = Query::new(
+            "q",
+            vec![v("Name")],
+            vec![
+                Literal::pos("person", vec![v("X"), v("Name"), v("Age")]),
+                Literal::cmp(v("Age"), CmpOp::Lt, Term::int(30)),
+            ],
+        );
+        let ctx = scope_ctx();
+        let fp = optimize(&q, &ctx, &SearchConfig::default());
+        let key = optimize(
+            &q,
+            &ctx,
+            &SearchConfig {
+                dedup: DedupMode::CanonicalKey,
+                ..Default::default()
+            },
+        );
+        let (Outcome::Equivalents(a), Outcome::Equivalents(b)) = (&fp, &key) else {
+            panic!("both satisfiable");
+        };
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.query, y.query);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_contradiction() {
+        let ic = Constraint::named(
+            "IC1",
+            ConstraintHead::Cmp(Comparison::new(v("S"), CmpOp::Gt, Term::int(40000))),
+            vec![Literal::pos("faculty", vec![v("O"), v("S")])],
+        );
+        let ctx = TransformContext::new(ResidueSet::compile(vec![ic]), vec![], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("O")],
+            vec![
+                Literal::pos("faculty", vec![v("O"), v("Sal")]),
+                Literal::cmp(v("Sal"), CmpOp::Lt, Term::int(20000)),
+            ],
+        );
+        assert_outcomes_identical(&q, &ctx, &SearchConfig::default());
     }
 
     #[test]

@@ -77,8 +77,8 @@ impl ConstraintSet {
             return i;
         }
         let i = self.nodes.len();
-        self.nodes.push(t.clone());
-        self.index.insert(t.clone(), i);
+        self.nodes.push(*t);
+        self.index.insert(*t, i);
         i
     }
 
@@ -255,7 +255,7 @@ impl ConstraintSet {
 
     /// Whether the two terms are entailed equal.
     pub fn entails_equal(&self, a: &Term, b: &Term) -> bool {
-        self.implies(&Comparison::eq(a.clone(), b.clone()))
+        self.implies(&Comparison::eq(*a, *b))
     }
 }
 

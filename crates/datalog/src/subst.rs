@@ -40,12 +40,12 @@ impl Subst {
 
     /// Resolve a term through the substitution until fixpoint.
     pub fn resolve(&self, t: &Term) -> Term {
-        let mut cur = t.clone();
+        let mut cur = *t;
         let mut steps = 0;
         while let Term::Var(v) = &cur {
             match self.map.get(v) {
                 Some(next) => {
-                    cur = next.clone();
+                    cur = *next;
                     steps += 1;
                     // Idempotent substitutions terminate in one step, but be
                     // defensive against accidental chains.
@@ -64,15 +64,15 @@ impl Subst {
     /// conflicts with an existing one.
     pub fn bind(&mut self, v: Var, t: Term) -> bool {
         let t = self.resolve(&t);
-        match self.resolve(&Term::Var(v.clone())) {
+        match self.resolve(&Term::Var(v)) {
             Term::Var(root) => {
-                if Term::Var(root.clone()) == t {
+                if Term::Var(root) == t {
                     return true;
                 }
                 // Substitute the new binding into existing range terms to
                 // preserve idempotence.
                 let mut single = Subst::new();
-                single.map.insert(root.clone(), t.clone());
+                single.map.insert(root, t);
                 for val in self.map.values_mut() {
                     *val = single.apply_term(val);
                 }
@@ -89,7 +89,7 @@ impl Subst {
     /// target variable of the same name — later occurrences of the
     /// pattern variable must match exactly that term.
     pub fn bind_exact(&mut self, v: Var, t: Term) -> bool {
-        if Term::Var(v.clone()) == t {
+        if Term::Var(v) == t {
             self.map.entry(v).or_insert(t);
             return true;
         }
@@ -103,10 +103,7 @@ impl Subst {
 
     /// Apply the substitution to an atom.
     pub fn apply_atom(&self, a: &Atom) -> Atom {
-        Atom::new(
-            a.pred.clone(),
-            a.args.iter().map(|t| self.apply_term(t)).collect(),
-        )
+        Atom::new(a.pred, a.args.iter().map(|t| self.apply_term(t)).collect())
     }
 
     /// Apply the substitution to a comparison.
@@ -170,13 +167,13 @@ impl Subst {
     pub fn compose(&self, other: &Subst) -> Subst {
         let mut out = Subst::new();
         for (v, t) in &self.map {
-            out.map.insert(v.clone(), other.apply_term(t));
+            out.map.insert(*v, other.apply_term(t));
         }
         for (v, t) in &other.map {
-            out.map.entry(v.clone()).or_insert_with(|| t.clone());
+            out.map.entry(*v).or_insert_with(|| *t);
         }
         // Drop trivial bindings v ↦ v.
-        out.map.retain(|v, t| Term::Var(v.clone()) != *t);
+        out.map.retain(|v, t| Term::Var(*v) != *t);
         out
     }
 
@@ -187,7 +184,7 @@ impl Subst {
                 .map
                 .iter()
                 .filter(|(v, _)| vars.contains(*v))
-                .map(|(v, t)| (v.clone(), t.clone()))
+                .map(|(v, t)| (*v, *t))
                 .collect(),
         }
     }
@@ -218,7 +215,7 @@ pub fn standardize_apart(c: &Constraint, used: &std::collections::BTreeSet<Var>)
             counter += 1;
             let fresh = Var::new(format!("{}_{counter}", v.name()));
             if !used.contains(&fresh) && !c.vars().contains(&fresh) {
-                s.bind(v.clone(), Term::Var(fresh));
+                s.bind(v, Term::Var(fresh));
                 break;
             }
         }

@@ -117,7 +117,7 @@ pub fn body_subsumes(pattern: &[Literal], body: &[Literal]) -> bool {
     let cmps: Vec<_> = body
         .iter()
         .filter_map(|l| match l {
-            Literal::Cmp(c) => Some(c.clone()),
+            Literal::Cmp(c) => Some(*c),
             _ => None,
         })
         .collect();

@@ -6,6 +6,7 @@
 //! that the object-database substrate can round-trip identity through the
 //! Datalog representation.
 
+use crate::intern::Sym;
 use std::cmp::Ordering;
 use std::fmt;
 
@@ -81,42 +82,48 @@ impl fmt::Display for R64 {
 /// A variable name. By convention variables start with an upper-case letter
 /// (e.g. `Age`, `OID1`); the parser enforces this, but programmatic
 /// construction accepts any non-empty string.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Var(pub String);
+///
+/// Backed by an interned [`Sym`]: `Copy`, integer equality/hashing,
+/// lexicographic `Ord` (sort order is unchanged by interning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub Sym);
 
 impl Var {
     /// Create a variable from anything string-like.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Sym>) -> Self {
         Var(name.into())
     }
 
     /// The variable's name.
-    pub fn name(&self) -> &str {
-        &self.0
+    pub fn name(&self) -> &'static str {
+        self.0.as_str()
     }
 }
 
 impl fmt::Display for Var {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.name())
     }
 }
 
 impl From<&str> for Var {
     fn from(s: &str) -> Self {
-        Var(s.to_string())
+        Var(Sym::intern(s))
     }
 }
 
 /// A constant value.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// `Copy`: string constants are interned [`Sym`]s, so constants (and
+/// [`Term`]s) move without heap traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Const {
     /// Integer constant, e.g. `30`, `40000`.
     Int(i64),
     /// Real constant, e.g. `0.1`.
     Real(R64),
     /// String (or symbolic) constant, e.g. `"john"`.
-    Str(String),
+    Str(Sym),
     /// Boolean constant.
     Bool(bool),
     /// Object identifier. OIDs are opaque: only equality is meaningful.
@@ -151,7 +158,7 @@ impl Const {
             (Const::Real(a), Const::Real(b)) => Some(a.cmp(b)),
             (Const::Int(a), Const::Real(b)) => R64::new(*a as f64).partial_cmp(b),
             (Const::Real(a), Const::Int(b)) => a.partial_cmp(&R64::new(*b as f64)),
-            (Const::Str(a), Const::Str(b)) => Some(a.cmp(b)),
+            (Const::Str(a), Const::Str(b)) => Some(a.as_str().cmp(b.as_str())),
             (Const::Bool(a), Const::Bool(b)) => Some(a.cmp(b)),
             _ => None,
         }
@@ -178,7 +185,7 @@ impl fmt::Display for Const {
                     write!(f, "{x}")
                 }
             }
-            Const::Str(s) => write!(f, "{s:?}"),
+            Const::Str(s) => write!(f, "{:?}", s.as_str()),
             Const::Bool(b) => write!(f, "{b}"),
             Const::Oid(o) => write!(f, "#{o}"),
         }
@@ -197,12 +204,12 @@ impl From<f64> for Const {
 }
 impl From<&str> for Const {
     fn from(v: &str) -> Self {
-        Const::Str(v.to_string())
+        Const::Str(Sym::intern(v))
     }
 }
 impl From<String> for Const {
     fn from(v: String) -> Self {
-        Const::Str(v)
+        Const::Str(Sym::intern(&v))
     }
 }
 impl From<bool> for Const {
@@ -213,7 +220,9 @@ impl From<bool> for Const {
 
 /// A term: either a variable or a constant. The Datalog fragment of the
 /// paper is function-free, so there are no compound terms.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+///
+/// `Copy` since both variants are interned-symbol sized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// A variable.
     Var(Var),
@@ -223,7 +232,7 @@ pub enum Term {
 
 impl Term {
     /// Construct a variable term.
-    pub fn var(name: impl Into<String>) -> Self {
+    pub fn var(name: impl Into<Sym>) -> Self {
         Term::Var(Var::new(name))
     }
 
@@ -238,7 +247,7 @@ impl Term {
     }
 
     /// Construct a string constant term.
-    pub fn str(v: impl Into<String>) -> Self {
+    pub fn str(v: impl Into<Sym>) -> Self {
         Term::Const(Const::Str(v.into()))
     }
 

@@ -23,6 +23,7 @@
 use crate::atom::{Atom, Comparison, Literal, PredSym};
 use crate::chase::{group_removal_sound, ChaseBudget, ChaseContext};
 use crate::clause::{ConstraintHead, Query, Rule};
+use crate::fxhash::FxHashSet;
 use crate::residue::{standardize_residue_apart, ResidueSet};
 use crate::solver::{ConstraintSet, Sat};
 use crate::subst::Subst;
@@ -171,7 +172,7 @@ pub fn query_solver(q: &Query, functional: &BTreeMap<PredSym, usize>) -> Constra
                 if prefix_eq {
                     for (x, y) in a.args.iter().zip(&b.args).skip(k) {
                         if x != y {
-                            let eq = Comparison::eq(x.clone(), y.clone());
+                            let eq = Comparison::eq(*x, *y);
                             if !solver.implies(&eq) {
                                 new_eqs.push(eq);
                             }
@@ -204,12 +205,44 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
     let qvars = q.vars();
     let target = MatchTarget::new(&q.body, &solver);
 
+    // Signature sets for the rest-literal prefilter: a residue whose rest
+    // contains a database literal with no same-sign, same-predicate,
+    // same-arity counterpart in the query can never map into it
+    // (`match_body_onto` matches positives onto positives and negatives
+    // onto negatives), so it is skipped before the allocating
+    // standardize-apart + match work.
+    let mut pos_sigs: FxHashSet<(PredSym, usize)> = FxHashSet::default();
+    let mut neg_sigs: FxHashSet<(PredSym, usize)> = FxHashSet::default();
+    for l in &q.body {
+        match l {
+            Literal::Pos(a) => {
+                pos_sigs.insert((a.pred, a.args.len()));
+            }
+            Literal::Neg(a) => {
+                neg_sigs.insert((a.pred, a.args.len()));
+            }
+            Literal::Cmp(_) => {}
+        }
+    }
+    let rest_can_match = |rest: &[Literal]| {
+        rest.iter().all(|l| match l {
+            Literal::Pos(a) => pos_sigs.contains(&(a.pred, a.args.len())),
+            Literal::Neg(a) => neg_sigs.contains(&(a.pred, a.args.len())),
+            Literal::Cmp(_) => true,
+        })
+    };
+
     // Residue applications.
     for lit in &q.body {
         let Literal::Pos(anchor_target) = lit else {
             continue;
         };
         for residue in ctx.residues.residues_for(&anchor_target.pred) {
+            if residue.anchor.args.len() != anchor_target.args.len()
+                || !rest_can_match(&residue.rest)
+            {
+                continue;
+            }
             let residue = standardize_residue_apart(residue, &qvars);
             let mut seed = Subst::new();
             if !match_atoms(&residue.anchor, anchor_target, &mut seed) {
@@ -244,7 +277,7 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
                                 ),
                             };
                         }
-                        if solver.implies(&c) || q.contains(&Literal::Cmp(c.clone())) {
+                        if solver.implies(&c) || q.contains(&Literal::Cmp(c)) {
                             continue;
                         }
                         push_candidate(
@@ -354,7 +387,7 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
                 &mut candidates,
                 Candidate {
                     note: format!("`{c}` is implied by the rest of the query"),
-                    op: Op::RemoveCmp(c.clone()),
+                    op: Op::RemoveCmp(*c),
                     ic_name: None,
                 },
             );
@@ -544,7 +577,7 @@ fn fold_view_candidates(
 pub fn apply(q: &Query, op: &Op) -> Query {
     let mut body = q.body.clone();
     match op {
-        Op::AddCmp(c) => body.push(Literal::Cmp(c.clone())),
+        Op::AddCmp(c) => body.push(Literal::Cmp(*c)),
         Op::AddAtom(a) => body.push(Literal::Pos(a.clone())),
         Op::AddNegAtom(a) => body.push(Literal::Neg(a.clone())),
         Op::RemoveCmp(c) => {
@@ -636,7 +669,7 @@ fn freshen_foreign_vars(a: &Atom, qvars: &BTreeSet<Var>) -> Atom {
                 counter += 1;
                 let fresh = Var::new(format!("NV{counter}"));
                 if !qvars.contains(&fresh) {
-                    s.bind(v.clone(), Term::Var(fresh));
+                    s.bind(*v, Term::Var(fresh));
                     break;
                 }
             }

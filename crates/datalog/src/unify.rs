@@ -56,7 +56,7 @@ pub fn match_terms(pattern: &Term, target: &Term, s: &mut Subst) -> bool {
         // even when pattern and target share variable names.
         Term::Var(v) => match s.lookup(v) {
             Some(bound) => bound == target,
-            None => s.bind_exact(v.clone(), target.clone()),
+            None => s.bind_exact(*v, *target),
         },
     }
 }

@@ -146,9 +146,9 @@ proptest! {
     }
 }
 
-/// Chase-based removal soundness checked against the evaluation engine:
-/// if the chase approves removing an atom, the reduced query returns the
-/// same answers on a database closed under the (inclusion) dependency.
+// Chase-based removal soundness checked against the evaluation engine:
+// if the chase approves removing an atom, the reduced query returns the
+// same answers on a database closed under the (inclusion) dependency.
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(60))]
 
@@ -194,5 +194,37 @@ proptest! {
         full.sort();
         red.sort();
         prop_assert_eq!(full, red);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// Interner round-trip: `intern → as_str → intern` is the identity,
+    /// and symbol equality/ordering mirror string equality/ordering
+    /// (symbol order is observable through canonical forms and the
+    /// `BTreeMap<Var, _>` substitution iteration order).
+    #[test]
+    fn interner_round_trip(a in "[a-zA-Z0-9_]{0,12}", b in "[a-zA-Z0-9_]{0,12}") {
+        use sqo_datalog::intern::Sym;
+        let sa = Sym::intern(&a);
+        let sb = Sym::intern(&b);
+        prop_assert_eq!(sa.as_str(), a.as_str());
+        prop_assert_eq!(sb.as_str(), b.as_str());
+        prop_assert_eq!(Sym::intern(sa.as_str()), sa);
+        prop_assert_eq!(sa == sb, a == b);
+        prop_assert_eq!(sa.cmp(&sb), a.cmp(&b));
+    }
+
+    /// Interning through the typed wrappers agrees with raw interning:
+    /// a `Var` and a `PredSym` built from the same text resolve to the
+    /// same underlying symbol text.
+    #[test]
+    fn interner_typed_wrappers_round_trip(name in "[a-z][a-zA-Z0-9_]{0,10}") {
+        let v = Var::new(name.clone());
+        let p = PredSym::new(name.clone());
+        prop_assert_eq!(v.name(), name.as_str());
+        prop_assert_eq!(p.name(), name.as_str());
+        prop_assert_eq!(Var::new(v.name()), v);
     }
 }

@@ -75,7 +75,7 @@ pub fn rewrite_for_extents(db: &ObjectDb, q: &Query) -> Query {
     // Count variable occurrences across the whole query.
     let mut occurrences: HashMap<Var, usize> = HashMap::new();
     let bump = |v: &Var, occ: &mut HashMap<Var, usize>| {
-        *occ.entry(v.clone()).or_insert(0) += 1;
+        *occ.entry(*v).or_insert(0) += 1;
     };
     for t in &q.projection {
         if let Term::Var(v) = t {
@@ -115,7 +115,7 @@ pub fn rewrite_for_extents(db: &ObjectDb, q: &Query) -> Query {
         } else {
             Some(Atom::new(
                 format!("{}__extent", a.pred.name()),
-                vec![a.args[0].clone()],
+                vec![a.args[0]],
             ))
         }
     };
@@ -163,10 +163,7 @@ pub fn rewrite_for_extents(db: &ObjectDb, q: &Query) -> Query {
             }
         });
         if consistent {
-            Some(Atom::new(
-                format!("{}__extent", a.pred.name()),
-                vec![oid.clone()],
-            ))
+            Some(Atom::new(format!("{}__extent", a.pred.name()), vec![*oid]))
         } else {
             None
         }
@@ -206,7 +203,7 @@ pub fn rewrite_for_extents(db: &ObjectDb, q: &Query) -> Query {
         if a.args.first().is_some_and(|oid| anti_joined.contains(oid)) {
             prefix.push(Literal::pos(
                 format!("{}__extent", a.pred.name()),
-                vec![a.args[0].clone()],
+                vec![a.args[0]],
             ));
         }
     }
@@ -263,17 +260,17 @@ pub fn execute(db: &ObjectDb, q: &Query) -> Result<(Vec<Vec<Const>>, CostReport)
         elapsed,
         ..Default::default()
     };
-    report.per_pred = stats.per_pred.clone();
+    report.per_pred = stats
+        .per_pred
+        .iter()
+        .map(|(k, v)| (k.name().to_string(), *v))
+        .collect();
     for (pred, count) in &stats.per_pred {
-        if pred.ends_with("__extent") {
+        if pred.name().ends_with("__extent") {
             report.extent_probes += count;
             continue;
         }
-        match db
-            .catalog()
-            .relation_by_pred(&PredSym::new(pred.clone()))
-            .map(|d| &d.kind)
-        {
+        match db.catalog().relation_by_pred(pred).map(|d| &d.kind) {
             Some(RelKind::Class { .. }) | Some(RelKind::Struct { .. }) => {
                 report.object_fetches += count
             }

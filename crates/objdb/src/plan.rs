@@ -62,7 +62,7 @@ fn distinct(
             let mut set = HashSet::new();
             for t in r.tuples() {
                 if let Some(c) = t.get(pos) {
-                    set.insert(c.clone());
+                    set.insert(*c);
                 }
             }
             set.len().max(1) as f64
@@ -149,7 +149,7 @@ pub fn estimate_cost(db: &ObjectDb, q: &Query) -> f64 {
         cost += (card.max(1.0)) * (n * sel).max(1.0) * weight(db, &a.pred);
         card = produced;
         for v in a.vars() {
-            bound.insert(v.clone());
+            bound.insert(*v);
         }
     }
     // Result materialization: a more selective query produces fewer

@@ -621,10 +621,10 @@ impl ObjectDb {
         for decl in &self.catalog.relations {
             match &decl.kind {
                 RelKind::Class { class } | RelKind::Struct { strct: class } => {
-                    let pred = decl.pred.clone();
+                    let pred = decl.pred;
                     let extent_pred = PredSym::new(format!("{}__extent", pred.name()));
-                    db.declare(pred.clone(), decl.arity());
-                    db.declare(extent_pred.clone(), 1);
+                    db.declare(pred, decl.arity());
+                    db.declare(extent_pred, 1);
                     for oid in self.extent(class) {
                         let obj = &self.objects[oid];
                         let mut tuple: Vec<Const> = vec![Const::Oid(oid.0)];
@@ -635,39 +635,41 @@ impl ObjectDb {
                                     .map(Value::to_const)
                                     .unwrap_or(match &arg.ty {
                                         ArgType::Oid(_) => Const::Oid(0),
-                                        ArgType::Base(BaseType::Str) => Const::Str(String::new()),
+                                        ArgType::Base(BaseType::Str) => {
+                                            Const::Str(sqo_datalog::Sym::intern(""))
+                                        }
                                         ArgType::Base(BaseType::Real) => Const::Real(0.0.into()),
                                         ArgType::Base(BaseType::Bool) => Const::Bool(false),
                                         ArgType::Base(BaseType::Int) => Const::Int(0),
                                     });
                             tuple.push(v);
                         }
-                        db.insert(pred.clone(), tuple).expect("consistent arity");
-                        db.insert(extent_pred.clone(), vec![Const::Oid(oid.0)])
+                        db.insert(pred, tuple).expect("consistent arity");
+                        db.insert(extent_pred, vec![Const::Oid(oid.0)])
                             .expect("unary");
                     }
                 }
                 RelKind::Relationship { .. } => {
-                    db.declare(decl.pred.clone(), 2);
+                    db.declare(decl.pred, 2);
                     if let Some(pairs) = self.links.get(decl.pred.name()) {
                         for (f, t) in pairs {
-                            db.insert(decl.pred.clone(), vec![Const::Oid(f.0), Const::Oid(t.0)])
+                            db.insert(decl.pred, vec![Const::Oid(f.0), Const::Oid(t.0)])
                                 .expect("binary");
                         }
                     }
                 }
                 RelKind::View { .. } => {
-                    db.declare(decl.pred.clone(), 2);
+                    db.declare(decl.pred, 2);
                 }
                 RelKind::Method { .. } => {
-                    db.declare(decl.pred.clone(), decl.arity());
+                    db.declare(decl.pred, decl.arity());
                 }
             }
         }
         for def in &self.asrs {
             let pred = PredSym::new(def.name.clone());
             for (f, t) in self.asr_pairs(def) {
-                db.insert(pred.clone(), vec![Const::Oid(f.0), Const::Oid(t.0)])
+                db.insert(pred, vec![Const::Oid(f.0), Const::Oid(t.0)])
                     .expect("binary");
             }
         }

@@ -34,7 +34,7 @@ impl Value {
         match self {
             Value::Int(v) => Const::Int(*v),
             Value::Real(v) => Const::Real(R64::new(*v)),
-            Value::Str(s) => Const::Str(s.clone()),
+            Value::Str(s) => Const::Str(sqo_datalog::Sym::intern(s)),
             Value::Bool(b) => Const::Bool(*b),
             Value::Obj(o) => Const::Oid(o.0),
         }
@@ -45,7 +45,7 @@ impl Value {
         match c {
             Const::Int(v) => Value::Int(*v),
             Const::Real(r) => Value::Real(r.get()),
-            Const::Str(s) => Value::Str(s.clone()),
+            Const::Str(s) => Value::Str(s.as_str().to_string()),
             Const::Bool(b) => Value::Bool(*b),
             Const::Oid(o) => Value::Obj(Oid(*o)),
         }

@@ -186,7 +186,7 @@ impl Catalog {
             })
             .collect();
         self.push(RelationDecl {
-            pred: pred.clone(),
+            pred,
             kind: RelKind::View {
                 name: name.to_string(),
             },
@@ -197,7 +197,7 @@ impl Catalog {
 
     fn push(&mut self, decl: RelationDecl) -> usize {
         let i = self.relations.len();
-        self.by_pred.insert(decl.pred.clone(), i);
+        self.by_pred.insert(decl.pred, i);
         self.used_names.insert(decl.pred.name().to_string());
         match &decl.kind {
             RelKind::Class { class } => {
@@ -284,7 +284,7 @@ fn object_args(schema: &Schema, owner: &str, is_class: bool) -> Vec<ArgDesc> {
 /// argument descriptors (optionally suffixed for freshness).
 pub fn template_atom(decl: &RelationDecl, suffix: &str) -> Atom {
     Atom::new(
-        decl.pred.clone(),
+        decl.pred,
         decl.args
             .iter()
             .map(|a| Term::var(format!("{}{}", capitalize(&a.name), suffix)))
@@ -308,7 +308,7 @@ pub fn translate_schema(schema: &Schema) -> Catalog {
     for c in schema.classes() {
         let pred = PredSym::new(cat.fresh_name(&c.name, "class"));
         let args = object_args(schema, &c.name, true);
-        cat.functional.insert(pred.clone(), 1);
+        cat.functional.insert(pred, 1);
         cat.push(RelationDecl {
             pred,
             kind: RelKind::Class {
@@ -320,7 +320,7 @@ pub fn translate_schema(schema: &Schema) -> Catalog {
     for s in schema.structures() {
         let pred = PredSym::new(cat.fresh_name(&s.name, "struct"));
         let args = object_args(schema, &s.name, false);
-        cat.functional.insert(pred.clone(), 1);
+        cat.functional.insert(pred, 1);
         cat.push(RelationDecl {
             pred,
             kind: RelKind::Struct {
@@ -379,7 +379,7 @@ pub fn translate_schema(schema: &Schema) -> Catalog {
             });
             // Methods are functional: receiver OID plus the user-provided
             // arguments determine the result value.
-            cat.functional.insert(pred.clone(), args.len() - 1);
+            cat.functional.insert(pred, args.len() - 1);
             cat.push(RelationDecl {
                 pred,
                 kind: RelKind::Method {
@@ -405,10 +405,7 @@ pub fn translate_schema(schema: &Schema) -> Catalog {
         else {
             continue;
         };
-        let r_atom = Atom::new(
-            decl.pred.clone(),
-            vec![Term::var("OID1"), Term::var("OID2")],
-        );
+        let r_atom = Atom::new(decl.pred, vec![Term::var("OID1"), Term::var("OID2")]);
         if let Some(cd) = cat.class_relation(class) {
             let mut head = template_atom(cd, "_a");
             head.args[0] = Term::var("OID1");
@@ -442,7 +439,7 @@ pub fn translate_schema(schema: &Schema) -> Catalog {
                 continue; // class-typed attribute without a struct decl
             };
             let body_atom = template_atom(&decl, "_c");
-            let shared = body_atom.args[pos].clone();
+            let shared = body_atom.args[pos];
             let mut head = template_atom(sd, "_s");
             head.args[0] = shared;
             ics.push(Constraint::named(
@@ -462,7 +459,7 @@ pub fn translate_schema(schema: &Schema) -> Catalog {
             continue;
         };
         let body_atom = template_atom(&decl, "_m");
-        let oid = body_atom.args[0].clone();
+        let oid = body_atom.args[0];
         let mut head = template_atom(cd, "_h");
         head.args[0] = oid;
         ics.push(Constraint::named(
@@ -487,12 +484,12 @@ pub fn translate_schema(schema: &Schema) -> Catalog {
                 let pos = sub_rel
                     .arg_position(&a.name)
                     .expect("superclass attribute present in subclass relation");
-                body_atom.args[pos].clone()
+                body_atom.args[pos]
             })
             .collect();
         ics.push(Constraint::named(
             format!("SUB({}<{})", c.name, sup),
-            ConstraintHead::Atom(Atom::new(sup_rel.pred.clone(), head_args)),
+            ConstraintHead::Atom(Atom::new(sup_rel.pred, head_args)),
             vec![Literal::Pos(body_atom)],
         ));
     }
@@ -511,10 +508,7 @@ pub fn translate_schema(schema: &Schema) -> Catalog {
             };
             ics.push(Constraint::named(
                 format!("INV({}.{})", c.name, r.name),
-                ConstraintHead::Atom(Atom::new(
-                    fwd.pred.clone(),
-                    vec![Term::var("X"), Term::var("Y")],
-                )),
+                ConstraintHead::Atom(Atom::new(fwd.pred, vec![Term::var("X"), Term::var("Y")])),
                 vec![Literal::pos(
                     bwd.pred.name(),
                     vec![Term::var("Y"), Term::var("X")],
@@ -581,9 +575,9 @@ pub fn translate_schema(schema: &Schema) -> Catalog {
             for attr in key {
                 match decl.arg_position(attr) {
                     Some(pos) => body.push(Literal::Cmp(Comparison::new(
-                        a1.args[pos].clone(),
+                        a1.args[pos],
                         CmpOp::Eq,
-                        a2.args[pos].clone(),
+                        a2.args[pos],
                     ))),
                     None => ok = false,
                 }
@@ -593,11 +587,7 @@ pub fn translate_schema(schema: &Schema) -> Catalog {
             }
             ics.push(Constraint::named(
                 format!("KEY({}.{})", c.name, key.join("+")),
-                ConstraintHead::Cmp(Comparison::new(
-                    a1.args[0].clone(),
-                    CmpOp::Eq,
-                    a2.args[0].clone(),
-                )),
+                ConstraintHead::Cmp(Comparison::new(a1.args[0], CmpOp::Eq, a2.args[0])),
                 body,
             ));
         }

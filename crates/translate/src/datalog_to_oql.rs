@@ -170,7 +170,7 @@ impl<'a> Editor<'a> {
             RelKind::Relationship { name, .. } => {
                 let x = a.args.first()?.as_var()?;
                 let y = a.args.get(1)?.as_var()?;
-                let (x, y) = (x.clone(), y.clone());
+                let (x, y) = (*x, *y);
                 Some(FromEntry::In {
                     var: self.oql_name(&y),
                     source: Source::Path(PathExpr::member(self.oql_name(&x), name)),
@@ -180,7 +180,7 @@ impl<'a> Editor<'a> {
                 // Synthetic relationship syntax: `w in x.ASR`.
                 let x = a.args.first()?.as_var()?;
                 let w = a.args.last()?.as_var()?;
-                let (x, w) = (x.clone(), w.clone());
+                let (x, w) = (*x, *w);
                 Some(FromEntry::In {
                     var: self.oql_name(&w),
                     source: Source::Path(PathExpr::member(self.oql_name(&x), name)),
@@ -290,7 +290,7 @@ impl<'a> Editor<'a> {
             RelKind::Class { class } | RelKind::Struct { strct: class } => {
                 let class = class.clone();
                 if let Some(v) = a.args.first().and_then(Term::as_var) {
-                    let v = v.clone();
+                    let v = *v;
                     let var = self.oql_name(&v);
                     self.query.from.push(FromEntry::NotIn {
                         var,
@@ -468,7 +468,7 @@ fn const_lit(c: &sqo_datalog::Const) -> OqlLit {
     match c {
         sqo_datalog::Const::Int(v) => OqlLit::Int(*v),
         sqo_datalog::Const::Real(r) => OqlLit::Real(r.get()),
-        sqo_datalog::Const::Str(s) => OqlLit::Str(s.clone()),
+        sqo_datalog::Const::Str(s) => OqlLit::Str(s.as_str().to_string()),
         sqo_datalog::Const::Bool(b) => OqlLit::Bool(*b),
         // OIDs have no OQL literal syntax; surface them as ints (only
         // reachable through hand-written Datalog deltas).

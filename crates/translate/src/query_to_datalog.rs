@@ -201,7 +201,7 @@ impl<'a> Translator<'a> {
         let ty = self.type_of(oql_var)?.to_string();
         let decl = self.object_relation(&ty)?.clone();
         let oid = self.oid_var(oql_var);
-        let mut args: Vec<Term> = vec![Term::Var(oid.clone())];
+        let mut args: Vec<Term> = vec![Term::Var(oid)];
         for a in decl.args.iter().skip(1) {
             // Filler variable, replaced on demand when the attribute is
             // accessed: `Age_X`, `Address_X`, … Recorded in the map so
@@ -376,7 +376,7 @@ impl<'a> Translator<'a> {
         };
         atom_args.push(Term::var(vname.clone()));
         self.where_lits
-            .push(Literal::Pos(Atom::new(decl.pred.clone(), atom_args)));
+            .push(Literal::Pos(Atom::new(decl.pred, atom_args)));
         self.map.method_results.insert(
             vname.clone(),
             (root.to_string(), method.to_string(), args.to_vec()),
@@ -389,7 +389,7 @@ fn lit_const(l: &OqlLit) -> Const {
     match l {
         OqlLit::Int(v) => Const::Int(*v),
         OqlLit::Real(v) => Const::Real((*v).into()),
-        OqlLit::Str(s) => Const::Str(s.clone()),
+        OqlLit::Str(s) => Const::Str(sqo_datalog::Sym::intern(s)),
         OqlLit::Bool(b) => Const::Bool(*b),
     }
 }
@@ -553,7 +553,7 @@ pub fn translate_query(
                                     .arg_position(&attr)
                                     .expect("attribute exists in relation");
                                 tr.object_atoms.get_mut(&p.root).expect("ensured")[pos] =
-                                    Term::Var(v.clone());
+                                    Term::Var(v);
                                 tr.attr_assign
                                     .insert((p.root.clone(), attr.clone()), v.name().to_string());
                                 // Eagerly add the structure atom, as in the
@@ -664,7 +664,7 @@ pub fn translate_query(
                 let pos_decl = tr.object_atom_pred.get(&var).cloned();
                 for a in decl.args.iter().skip(1) {
                     let reused = match (&pos_atom, &pos_decl) {
-                        (Some(atom), Some(pd)) => pd.arg_position(&a.name).map(|i| atom[i].clone()),
+                        (Some(atom), Some(pd)) => pd.arg_position(&a.name).map(|i| atom[i]),
                         _ => None,
                     };
                     match reused {
@@ -675,7 +675,7 @@ pub fn translate_query(
                         }
                     }
                 }
-                neg_lits.push(Literal::Neg(Atom::new(decl.pred.clone(), args)));
+                neg_lits.push(Literal::Neg(Atom::new(decl.pred, args)));
             }
             Source::Path(p) => {
                 let root_ty = tr.type_of(&p.root)?.to_string();
@@ -714,7 +714,7 @@ pub fn translate_query(
     for var in &tr.object_atom_order {
         let decl = &tr.object_atom_pred[var];
         body.push(Literal::Pos(Atom::new(
-            decl.pred.clone(),
+            decl.pred,
             tr.object_atoms[var].clone(),
         )));
     }

@@ -1,0 +1,273 @@
+//! Hermetic stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API used by this workspace's
+//! benches (`benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `sample_size`, `criterion_group!`, `criterion_main!`)
+//! with a simple but honest measurement loop: per sample, a batch of
+//! iterations is timed with `std::time::Instant` and the reported figure
+//! is the **median** per-iteration time across samples.
+//!
+//! Results are printed one per line:
+//!
+//! ```text
+//! bench: e1/attach_restriction            median      12_345 ns/iter (20 samples)
+//! ```
+//!
+//! When the `CRITERION_SHIM_JSON` environment variable names a file, the
+//! final results are merged into it as a flat `{"bench name": median_ns}`
+//! JSON object, so external tooling (see `tables.rs --json`) can track
+//! the perf trajectory across runs.
+
+#![warn(missing_docs)]
+
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+fn registry() -> &'static Mutex<Vec<(String, f64)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter (the group name prefixes it).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`, recording the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Estimate a batch size targeting ~2ms per sample so Instant
+        // granularity is negligible even for nanosecond routines.
+        let start = Instant::now();
+        black_box(routine());
+        let est = start.elapsed().as_nanos().max(1) as f64;
+        let iters = ((2_000_000.0 / est) as usize).clamp(1, 10_000);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let mid = samples.len() / 2;
+        let median = if samples.len().is_multiple_of(2) {
+            (samples[mid - 1] + samples[mid]) / 2.0
+        } else {
+            samples[mid]
+        };
+        self.median_ns = Some(median);
+    }
+}
+
+fn run_one(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        median_ns: None,
+    };
+    f(&mut b);
+    let median = b.median_ns.unwrap_or(f64::NAN);
+    println!("bench: {id:<50} median {median:>14.0} ns/iter ({sample_size} samples)");
+    registry().lock().unwrap().push((id.to_string(), median));
+}
+
+/// Group of related benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure with no separate input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: BenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timing samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single named closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+}
+
+/// Write collected results to `CRITERION_SHIM_JSON` (if set), merging
+/// with any object already in the file. Called by [`criterion_main!`].
+pub fn finalize() {
+    let Ok(path) = std::env::var("CRITERION_SHIM_JSON") else {
+        return;
+    };
+    let mut merged: Vec<(String, f64)> = std::fs::read_to_string(&path)
+        .ok()
+        .map(|text| parse_flat_json(&text))
+        .unwrap_or_default();
+    for (k, v) in registry().lock().unwrap().iter() {
+        if let Some(slot) = merged.iter_mut().find(|(mk, _)| mk == k) {
+            slot.1 = *v;
+        } else {
+            merged.push((k.clone(), *v));
+        }
+    }
+    let body: Vec<String> = merged
+        .iter()
+        .map(|(k, v)| format!("  {:?}: {:.0}", k, v))
+        .collect();
+    let text = format!("{{\n{}\n}}\n", body.join(",\n"));
+    if let Err(e) = std::fs::write(&path, text) {
+        eprintln!("criterion shim: cannot write {path}: {e}");
+    }
+}
+
+/// Parse a flat `{"name": number}` JSON object (the only shape this shim
+/// ever writes). Returns an empty vec on malformed input.
+pub fn parse_flat_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let inner = text.trim().trim_start_matches('{').trim_end_matches('}');
+    for entry in inner.split(',') {
+        let Some((k, v)) = entry.rsplit_once(':') else {
+            continue;
+        };
+        let key = k.trim().trim_matches('"').to_string();
+        if key.is_empty() {
+            continue;
+        }
+        if let Ok(num) = v.trim().parse::<f64>() {
+            out.push((key, num));
+        }
+    }
+    out
+}
+
+/// Define a benchmark group function, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_recorded() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("shim/selftest", |b| b.iter(|| black_box(2u64 + 2)));
+        let results = registry().lock().unwrap();
+        let (_, ns) = results
+            .iter()
+            .find(|(k, _)| k == "shim/selftest")
+            .expect("result recorded");
+        assert!(ns.is_finite() && *ns >= 0.0);
+    }
+
+    #[test]
+    fn flat_json_roundtrip() {
+        let parsed = parse_flat_json("{\n  \"a/b\": 120,\n  \"c\": 45\n}\n");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], ("a/b".to_string(), 120.0));
+    }
+}

@@ -99,7 +99,7 @@ proptest! {
             let mut subst = semantic_sqo::datalog::Subst::new();
             for v in q.vars() {
                 subst.bind(
-                    v.clone(),
+                    v,
                     Term::var(format!("{}R{suffix}", v.name())),
                 );
             }
