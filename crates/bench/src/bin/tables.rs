@@ -11,7 +11,8 @@
 //! map covering the e1/f2 pipeline benchmarks in both the current
 //! engine configuration and the pre-optimization baseline paths kept as
 //! ablation knobs ([`DedupMode::CanonicalKey`], `optimize_sequential`),
-//! plus the derived `speedup/…` ratios.
+//! plus the derived `speedup/…` ratios and `stage/…` entries carrying the
+//! mean per-stage span timings from the observability registry.
 
 use sqo_bench::{
     asr_q1_scenario, asr_scenario, contradiction_scenario, key_join_scenario, optimizer_with_n_ics,
@@ -24,6 +25,7 @@ use sqo_datalog::search::{self, DedupMode, Outcome, SearchConfig};
 use sqo_datalog::transform::TransformContext;
 use sqo_datalog::Query;
 use sqo_objdb::execute;
+use sqo_obs as obs;
 use sqo_translate::translate_schema;
 use std::collections::{BTreeMap, HashSet};
 use std::time::Instant;
@@ -270,6 +272,32 @@ fn bench_pipeline(quick: bool) {
             *e = v;
         }
     };
+    // Always-on instrumentation guard: the same e1 residue workload with
+    // obs recording on vs. off (min of per-round medians for both). The
+    // workload is microsecond-scale, so full repetitions cost milliseconds
+    // — the guard runs at full strength and asserts even in quick mode.
+    let mut obs_on_ns = f64::INFINITY;
+    let mut obs_off_ns = f64::INFINITY;
+    for _round in 0..5 {
+        obs_on_ns = obs_on_ns.min(median_ns(501, || {
+            std::hint::black_box(search::optimize(&attach, &e1_ctx, &current));
+        }));
+        obs::set_enabled(false);
+        obs_off_ns = obs_off_ns.min(median_ns(501, || {
+            std::hint::black_box(search::optimize(&attach, &e1_ctx, &current));
+        }));
+        obs::set_enabled(true);
+    }
+    let overhead = obs_on_ns / obs_off_ns - 1.0;
+    println!(
+        "instrumentation overhead on e1/attach_restriction: {:+.2}% (on {obs_on_ns:.0} ns vs off {obs_off_ns:.0} ns)",
+        overhead * 100.0
+    );
+    assert!(
+        overhead <= 0.02,
+        "always-on instrumentation overhead {:.2}% exceeds the 2% budget",
+        overhead * 100.0
+    );
     for _round in 0..rounds {
         for (name, query) in [
             ("attach_restriction", &attach),
@@ -344,7 +372,9 @@ fn bench_pipeline(quick: bool) {
                 continue;
             };
             let k = k.trim().trim_matches('"');
-            if k.starts_with("speedup") || bench.contains_key(k) {
+            // `speedup/…` is re-derived and `stage/…` re-snapshotted below,
+            // so stale entries under either prefix never survive a rewrite.
+            if k.starts_with("speedup") || k.starts_with("stage/") || bench.contains_key(k) {
                 continue;
             }
             if let Ok(v) = v.trim().parse::<f64>() {
@@ -352,9 +382,21 @@ fn bench_pipeline(quick: bool) {
             }
         }
     }
+    // Stage-level breakdown: mean span time per pipeline stage, from the
+    // observability registry populated by all the work this process did
+    // above (parse, translate, search, eval, execute). These carry their
+    // own `stage/` namespace and take no part in the speedup derivation.
+    for (name, stat) in &obs::snapshot().spans {
+        bench.insert(format!("stage/{name}"), stat.mean_ns() as f64);
+    }
     let measured: Vec<String> = bench
         .keys()
-        .filter(|n| !n.ends_with("_baseline") && !n.ends_with("_seed") && !n.starts_with("speedup"))
+        .filter(|n| {
+            !n.ends_with("_baseline")
+                && !n.ends_with("_seed")
+                && !n.starts_with("speedup")
+                && !n.starts_with("stage/")
+        })
         .cloned()
         .collect();
     for name in &measured {
@@ -390,9 +432,20 @@ fn bench_pipeline(quick: bool) {
     }
 
     // Quick mode trades repetitions for speed; its medians are too noisy
-    // to record, so it never overwrites the manifest.
+    // to record, so it never overwrites the manifest — and says so, so a
+    // CI log never reads as if the manifest were refreshed.
     if quick {
-        println!("\n(quick mode — {path} left untouched)");
+        if std::path::Path::new(path).exists() {
+            println!(
+                "\n(quick mode — declining to overwrite {path}: quick-run medians \
+                 are too noisy to persist; existing manifest kept as-is)"
+            );
+        } else {
+            println!(
+                "\n(quick mode — declining to write {path}: quick-run medians are \
+                 too noisy to persist; run without --quick to generate it)"
+            );
+        }
         return;
     }
     let mut json = String::from("{\n");

@@ -18,6 +18,7 @@ use sqo_datalog::residue::{CompileOptions, ResidueSet};
 use sqo_datalog::search::{self, Delta, Outcome, SearchConfig, Step};
 use sqo_datalog::transform::TransformContext;
 use sqo_datalog::{parser as dl_parser, Constraint, Query, Rule};
+use sqo_obs as obs;
 use sqo_odl::Schema;
 use sqo_oql::SelectQuery;
 use sqo_translate::{apply_delta, translate_query, translate_schema, Catalog, QueryTranslation};
@@ -37,6 +38,15 @@ pub struct EquivalentQuery {
     pub oql_warnings: Vec<String>,
 }
 
+impl EquivalentQuery {
+    /// The derivation chain: which residue, source IC, and transformation
+    /// kind produced each step. The unchanged original carries the synthetic
+    /// `original` chain, so the provenance is never empty.
+    pub fn provenance(&self) -> obs::Provenance {
+        obs::Provenance::from_steps(self.steps.iter().map(Step::provenance).collect())
+    }
+}
+
 /// The outcome of optimizing one OQL query.
 #[derive(Debug, Clone)]
 pub enum Verdict {
@@ -46,6 +56,9 @@ pub enum Verdict {
         ic_name: Option<String>,
         /// Human-readable explanation.
         note: String,
+        /// Transformation steps applied before the contradiction surfaced
+        /// (empty when the original query is already contradictory).
+        steps: Vec<Step>,
     },
     /// The semantically equivalent queries (original first).
     Equivalents(Vec<EquivalentQuery>),
@@ -62,6 +75,9 @@ pub struct OptimizationReport {
     pub datalog: Query,
     /// The Step 3/4 outcome.
     pub verdict: Verdict,
+    /// Counter/span deltas attributable to this one optimization run
+    /// (difference of [`obs::snapshot`] taken around the pipeline).
+    pub stats: obs::Snapshot,
 }
 
 impl OptimizationReport {
@@ -81,6 +97,120 @@ impl OptimizationReport {
     /// Equivalents other than the unchanged original.
     pub fn proper_rewrites(&self) -> impl Iterator<Item = &EquivalentQuery> {
         self.equivalents().iter().filter(|e| !e.delta.is_empty())
+    }
+
+    /// The refutation chain when the verdict is a contradiction: the
+    /// transformation steps leading to the refuted variant, closed by a
+    /// `contradiction` step naming the refuting IC.
+    pub fn contradiction_provenance(&self) -> Option<obs::Provenance> {
+        let Verdict::Contradiction {
+            ic_name,
+            note,
+            steps,
+        } = &self.verdict
+        else {
+            return None;
+        };
+        let mut chain: Vec<obs::ProvenanceStep> = steps.iter().map(Step::provenance).collect();
+        chain.push(obs::ProvenanceStep {
+            kind: "contradiction",
+            residue: None,
+            ic: ic_name.clone(),
+            detail: note.clone(),
+        });
+        Some(obs::Provenance { steps: chain })
+    }
+
+    /// Human-readable account of the run: the verdict, each equivalent
+    /// query with its provenance chain, and the per-run counters/spans.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("query: {}\n", self.original));
+        out.push_str(&format!("datalog: {}\n", self.datalog));
+        match &self.verdict {
+            Verdict::Contradiction { .. } => {
+                out.push_str("verdict: contradiction (query can return no answers)\n");
+                if let Some(p) = self.contradiction_provenance() {
+                    out.push_str(&format!("{p}\n"));
+                }
+            }
+            Verdict::Equivalents(eqs) => {
+                out.push_str(&format!("verdict: {} equivalent quer{}\n", eqs.len(), {
+                    if eqs.len() == 1 {
+                        "y"
+                    } else {
+                        "ies"
+                    }
+                }));
+                for (i, e) in eqs.iter().enumerate() {
+                    out.push_str(&format!("--- equivalent {} ---\n", i + 1));
+                    out.push_str(&format!("oql: {}\n", e.oql));
+                    out.push_str(&format!("datalog: {}\n", e.datalog));
+                    out.push_str(&format!("provenance:\n{}\n", e.provenance()));
+                    for w in &e.oql_warnings {
+                        out.push_str(&format!("warning: {w}\n"));
+                    }
+                }
+            }
+        }
+        out.push_str(&self.stats.to_text());
+        out
+    }
+
+    /// Machine-readable account of the run, with stable key order.
+    ///
+    /// Top-level keys: `query`, `datalog`, `verdict`, then either
+    /// `contradiction` (object with `ic`, `note`, `provenance`) or
+    /// `equivalents` (array of objects with `oql`, `datalog`, `changed`,
+    /// `warnings`, `provenance`), then `stats` (the [`obs::Snapshot`]).
+    pub fn explain_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "\"query\": {},\n",
+            obs::json_string(&self.original.to_string())
+        ));
+        out.push_str(&format!(
+            "\"datalog\": {},\n",
+            obs::json_string(&self.datalog.to_string())
+        ));
+        match &self.verdict {
+            Verdict::Contradiction { ic_name, note, .. } => {
+                out.push_str("\"verdict\": \"contradiction\",\n");
+                out.push_str(&format!(
+                    "\"contradiction\": {{\"ic\": {}, \"note\": {}, \"provenance\": {}}},\n",
+                    obs::json_opt_string(ic_name.as_deref()),
+                    obs::json_string(note),
+                    self.contradiction_provenance()
+                        .unwrap_or_default()
+                        .to_json()
+                ));
+            }
+            Verdict::Equivalents(eqs) => {
+                out.push_str("\"verdict\": \"equivalents\",\n");
+                out.push_str("\"equivalents\": [");
+                for (i, e) in eqs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\n  {{\"oql\": {}, \"datalog\": {}, \"changed\": {}, \
+                         \"warnings\": [{}], \"provenance\": {}}}",
+                        obs::json_string(&e.oql.to_string()),
+                        obs::json_string(&e.datalog.to_string()),
+                        !e.delta.is_empty(),
+                        e.oql_warnings
+                            .iter()
+                            .map(|w| obs::json_string(w))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                        e.provenance().to_json()
+                    ));
+                }
+                out.push_str("\n],\n");
+            }
+        }
+        out.push_str(&format!("\"stats\": {}\n}}", self.stats.to_json()));
+        out
     }
 }
 
@@ -105,6 +235,22 @@ impl UnionReport {
     /// Whether the whole union is provably empty.
     pub fn is_empty_union(&self) -> bool {
         self.branches.iter().all(|b| b.is_contradiction())
+    }
+
+    /// Contradiction provenance for every pruned branch: the branch index
+    /// (source order), the refuting IC when known, and the full refutation
+    /// chain — so a caller can answer "why was this branch dropped?".
+    pub fn pruned_provenance(&self) -> Vec<(usize, Option<String>, obs::Provenance)> {
+        self.branches
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let Verdict::Contradiction { ic_name, .. } = &b.verdict else {
+                    return None;
+                };
+                Some((i, ic_name.clone(), b.contradiction_provenance()?))
+            })
+            .collect()
     }
 }
 
@@ -217,6 +363,7 @@ impl SemanticOptimizer {
     /// relations, chase context assembled.
     pub fn compile(&mut self) -> &TransformContext {
         if self.ctx.is_none() {
+            let _span = obs::span!("step1.compile");
             let residues = ResidueSet::compile_with(self.constraints(), &self.compile_options);
             self.ctx = Some(TransformContext::new(
                 residues,
@@ -245,14 +392,26 @@ impl SemanticOptimizer {
 
     /// Optimize a parsed OQL query through the full pipeline.
     pub fn optimize_query(&mut self, original: &SelectQuery) -> Result<OptimizationReport> {
+        let _span = obs::span!("pipeline.optimize");
+        let before = obs::snapshot();
+        obs::bump(obs::Counter::OptimizerQueries);
         let translation = self.translate(original)?;
         let datalog = translation.query.clone();
         let search_cfg = self.search.clone();
         let ctx = self.compile();
         let outcome = search::optimize(&datalog, ctx, &search_cfg);
         let verdict = match outcome {
-            Outcome::Contradiction { ic_name, note, .. } => {
-                Verdict::Contradiction { ic_name, note }
+            Outcome::Contradiction {
+                ic_name,
+                note,
+                steps,
+            } => {
+                obs::bump(obs::Counter::OptimizerContradictions);
+                Verdict::Contradiction {
+                    ic_name,
+                    note,
+                    steps,
+                }
             }
             Outcome::Equivalents(variants) => {
                 let mut out = Vec::with_capacity(variants.len());
@@ -272,6 +431,10 @@ impl SemanticOptimizer {
                         oql_warnings: edit.warnings,
                     });
                 }
+                obs::add(
+                    obs::Counter::OptimizerRewrites,
+                    out.iter().filter(|e| !e.delta.is_empty()).count() as u64,
+                );
                 Verdict::Equivalents(out)
             }
         };
@@ -280,6 +443,7 @@ impl SemanticOptimizer {
             normalized: translation.normalized,
             datalog,
             verdict,
+            stats: obs::snapshot().since(&before),
         })
     }
 

@@ -30,6 +30,12 @@ pub struct EvalStats {
     pub facts_derived: u64,
     /// Anti-join (negation) probes.
     pub negation_probes: u64,
+    /// Bindings flowing *into* positive-atom join steps (the sum of input
+    /// cardinalities across every `join_atom` call).
+    pub join_input_tuples: u64,
+    /// Bindings flowing *out of* positive-atom join steps (the sum of
+    /// output cardinalities; the join's selectivity is output/input).
+    pub join_output_tuples: u64,
     /// Tuples examined per predicate — the object-database cost model
     /// distinguishes class-relation access (object fetches) from
     /// relationship traversal and extent probes.
@@ -43,6 +49,8 @@ impl EvalStats {
         self.bindings_produced += other.bindings_produced;
         self.facts_derived += other.facts_derived;
         self.negation_probes += other.negation_probes;
+        self.join_input_tuples += other.join_input_tuples;
+        self.join_output_tuples += other.join_output_tuples;
         for (k, v) in &other.per_pred {
             *self.per_pred.entry(*k).or_insert(0) += v;
         }
@@ -110,6 +118,7 @@ fn join_atom(
             });
         }
     }
+    stats.join_input_tuples += bindings.len() as u64;
     let mut out = Vec::new();
     for b in bindings {
         // Determine bound positions under this binding.
@@ -169,6 +178,7 @@ fn join_atom(
             }
         }
     }
+    stats.join_output_tuples += out.len() as u64;
     Ok(out)
 }
 
@@ -391,6 +401,7 @@ fn eval_body(db: &EdbDatabase, body: &[Literal], stats: &mut EvalStats) -> Resul
 /// Answer a conjunctive query; returns the projected tuples (deduplicated,
 /// set semantics) and evaluation statistics.
 pub fn answer_query(db: &EdbDatabase, q: &Query) -> Result<(Vec<Vec<Const>>, EvalStats)> {
+    let _span = sqo_obs::span!("eval.answer_query");
     let mut stats = EvalStats::default();
     let bindings = eval_body(db, &q.body, &mut stats)?;
     let mut out = Relation::default();
@@ -420,6 +431,7 @@ pub fn answer_query(db: &EdbDatabase, q: &Query) -> Result<(Vec<Vec<Const>>, Eva
 /// recursive rule is re-evaluated against the growing database until
 /// fixpoint, joining new bindings only through the per-iteration deltas.
 pub fn materialize(db: &EdbDatabase, program: &Program) -> Result<(EdbDatabase, EvalStats)> {
+    let _span = sqo_obs::span!("eval.materialize");
     program.validate()?;
     let strata = program.stratify()?;
     let mut total = db.clone();

@@ -31,10 +31,14 @@ use crate::atom::{Atom, Literal, PredSym};
 use crate::clause::{Constraint, ConstraintHead};
 use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::unify::mgu;
+use sqo_obs as obs;
 
 /// A compiled integrity-constraint fragment attached to a relation.
 #[derive(Debug, Clone)]
 pub struct Residue {
+    /// Compile-order ordinal of this residue within its [`ResidueSet`];
+    /// the stable half of the provenance id (see [`Residue::provenance_id`]).
+    pub id: u32,
     /// Index of the originating constraint in [`ResidueSet::constraints`].
     pub ic_index: usize,
     /// Name of the originating constraint, if any (e.g. `"IC7"`).
@@ -92,6 +96,17 @@ fn residue_vars(anchor: &Atom, rest: &[Literal], head: &ConstraintHead) -> Vec<c
     vars
 }
 
+impl Residue {
+    /// Stable provenance id of the form `r<ordinal>@<anchor-pred>`, e.g.
+    /// `r3@faculty`. The ordinal is the compile-order position of the
+    /// residue in its [`ResidueSet`], so ids are deterministic for a given
+    /// schema + IC set and let `explain()` output name the exact compiled
+    /// fragment that drove a rewrite.
+    pub fn provenance_id(&self) -> String {
+        format!("r{}@{}", self.id, self.anchor.pred)
+    }
+}
+
 impl std::fmt::Display for Residue {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{{{}", self.head)?;
@@ -143,6 +158,7 @@ impl ResidueSet {
 
     /// Compile a set of integrity constraints.
     pub fn compile_with(mut constraints: Vec<Constraint>, opts: &CompileOptions) -> Self {
+        let _span = obs::span!("step1.residue_compile");
         if opts.derive_strengthened {
             // Saturate inclusion constraints transitively first, so a
             // two-hop hierarchy (faculty ⊆ employee ⊆ person) still
@@ -172,6 +188,7 @@ impl ResidueSet {
                 );
                 let vars = residue_vars(anchor, &rest, &ic.head);
                 by_pred.entry(anchor.pred).or_default().push(Residue {
+                    id: residue_count as u32,
                     ic_index: idx,
                     ic_name: ic.name.clone(),
                     anchor: anchor.clone(),
@@ -183,6 +200,7 @@ impl ResidueSet {
                 residue_count += 1;
             }
         }
+        obs::add(obs::Counter::ResiduesAttached, residue_count as u64);
         ResidueSet {
             constraints,
             by_pred,
@@ -502,6 +520,7 @@ fn apply_rename(r: &Residue, s: &crate::subst::Subst) -> Residue {
     let head = s.apply_head(&r.head);
     let vars = residue_vars(&anchor, &rest, &head);
     Residue {
+        id: r.id,
         ic_index: r.ic_index,
         ic_name: r.ic_name.clone(),
         anchor,

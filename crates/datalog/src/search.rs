@@ -11,6 +11,7 @@ use crate::atom::Literal;
 use crate::clause::Query;
 use crate::fxhash::FxHashSet;
 use crate::transform::{analyse, apply, Analysis, Op, TransformContext};
+use sqo_obs as obs;
 use std::collections::HashSet;
 
 /// When join introduction (`AddAtom`) is explored.
@@ -128,8 +129,24 @@ pub struct Step {
     pub op: Op,
     /// The justifying constraint/view name, if any.
     pub ic_name: Option<String>,
+    /// Provenance id of the compiled residue that drove the step, if one
+    /// did (see [`crate::residue::Residue::provenance_id`]).
+    pub residue: Option<String>,
     /// Human-readable explanation.
     pub note: String,
+}
+
+impl Step {
+    /// The step as a provenance record: (transformation kind, residue id,
+    /// source IC, detail).
+    pub fn provenance(&self) -> obs::ProvenanceStep {
+        obs::ProvenanceStep {
+            kind: self.op.kind(),
+            residue: self.residue.clone(),
+            ic: self.ic_name.clone(),
+            detail: self.note.clone(),
+        }
+    }
 }
 
 impl std::fmt::Display for Step {
@@ -148,6 +165,15 @@ pub struct Variant {
     pub query: Query,
     /// The steps that produced it from the original.
     pub steps: Vec<Step>,
+}
+
+impl Variant {
+    /// The derivation chain of this variant. The original query (no steps)
+    /// yields the synthetic `original` chain, so every variant — including
+    /// the input itself — carries a non-empty provenance.
+    pub fn provenance(&self) -> obs::Provenance {
+        obs::Provenance::from_steps(self.steps.iter().map(Step::provenance).collect())
+    }
 }
 
 /// The difference between the original query and a variant, as literal
@@ -354,6 +380,7 @@ fn optimize_with(
     cfg: &SearchConfig,
     analyse_level: impl Fn(&[Variant], &TransformContext) -> Vec<Analysis>,
 ) -> Outcome {
+    let _span = obs::span!("step3.search");
     let mut variants: Vec<Variant> = Vec::new();
     let mut seen = Seen::new(cfg.dedup);
     let mut expansions = 0usize;
@@ -372,6 +399,12 @@ fn optimize_with(
             .saturating_sub(expansions)
             .min(frontier.len());
         expansions += analysed;
+        obs::bump(obs::Counter::SearchLevels);
+        obs::add(obs::Counter::SearchNodesExpanded, analysed as u64);
+        // Worker threads flush their local counters into the global
+        // registry when `std::thread::scope` joins them inside
+        // `analyse_level`, so by the time the sequential merge below runs,
+        // totals are already identical to a sequential analysis.
         let analyses = analyse_level(&frontier[..analysed], ctx);
         let mut results = analyses.into_iter();
         let mut next_level: Vec<Variant> = Vec::new();
@@ -401,15 +434,19 @@ fn optimize_with(
                                 continue;
                             }
                             if !seen.insert(&next) {
+                                obs::bump(obs::Counter::SearchDedupHits);
+                                obs::bump(obs::Counter::SearchNodesPruned);
                                 continue;
                             }
                             if seen.len() > cfg.max_variants {
+                                obs::bump(obs::Counter::SearchNodesPruned);
                                 continue;
                             }
                             let mut steps = node.steps.clone();
                             steps.push(Step {
                                 op: cand.op,
                                 ic_name: cand.ic_name,
+                                residue: cand.residue,
                                 note: cand.note,
                             });
                             next_level.push(Variant { query: next, steps });

@@ -18,6 +18,7 @@ use crate::atom::{Atom, Literal};
 use crate::solver::ConstraintSet;
 use crate::subst::Subst;
 use crate::unify::match_atoms;
+use sqo_obs as obs;
 
 /// The fixed side of a match: the query's positive atoms, negative atoms,
 /// and a solver primed with its comparison literals (plus any derived
@@ -54,6 +55,7 @@ impl<'a> MatchTarget<'a> {
 /// **Precondition:** pattern variables disjoint from target variables
 /// (see [`crate::unify::match_terms`]).
 pub fn match_body_onto(pattern: &[Literal], target: &MatchTarget<'_>, seed: &Subst) -> Vec<Subst> {
+    obs::bump(obs::Counter::SubsumeChecks);
     // Match database literals first so comparisons see their variables
     // bound; among database literals keep the given order.
     let mut db: Vec<&Literal> = Vec::new();

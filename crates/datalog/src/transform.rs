@@ -30,6 +30,7 @@ use crate::subst::Subst;
 use crate::subsume::{match_body_onto, MatchTarget};
 use crate::term::{Term, Var};
 use crate::unify::match_atoms;
+use sqo_obs as obs;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// An atomic semantic transformation of a query.
@@ -47,6 +48,22 @@ pub enum Op {
     /// Groups arise from view folds (Application 4); single-atom removal
     /// is the common case.
     RemoveAtoms(Vec<Atom>),
+}
+
+impl Op {
+    /// The transformation kind as a stable provenance label (the paper's
+    /// terminology for each atomic rewrite).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Op::AddCmp(c) if c.op == crate::atom::CmpOp::Eq => "key-equality",
+            Op::AddCmp(_) => "restriction-introduction",
+            Op::AddAtom(_) => "join-introduction",
+            Op::AddNegAtom(_) => "scope-reduction",
+            Op::RemoveCmp(_) => "comparison-removal",
+            Op::RemoveAtoms(atoms) if atoms.len() > 1 => "view-fold",
+            Op::RemoveAtoms(_) => "join-elimination",
+        }
+    }
 }
 
 impl std::fmt::Display for Op {
@@ -77,6 +94,9 @@ pub struct Candidate {
     pub op: Op,
     /// Name of the justifying integrity constraint or view, if any.
     pub ic_name: Option<String>,
+    /// Provenance id of the compiled residue that produced the candidate
+    /// (see [`crate::residue::Residue::provenance_id`]), if one did.
+    pub residue: Option<String>,
     /// Human-readable explanation for reports.
     pub note: String,
 }
@@ -241,14 +261,18 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
             if residue.anchor.args.len() != anchor_target.args.len()
                 || !rest_can_match(&residue.rest)
             {
+                obs::bump(obs::Counter::PrefilterMisses);
                 continue;
             }
+            obs::bump(obs::Counter::PrefilterHits);
             let residue = standardize_residue_apart(residue, &qvars);
             let mut seed = Subst::new();
             if !match_atoms(&residue.anchor, anchor_target, &mut seed) {
                 continue;
             }
+            let residue_id = residue.provenance_id();
             for theta in match_body_onto(&residue.rest, &target, &seed) {
+                obs::bump(obs::Counter::ResiduesApplied);
                 let head = theta.apply_head(&residue.head);
                 let provenance = residue.ic_name.clone();
                 match head {
@@ -286,6 +310,7 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
                                 note: format!("restriction `{c}` attached by residue"),
                                 op: Op::AddCmp(c),
                                 ic_name: provenance,
+                                residue: Some(residue_id.clone()),
                             },
                         );
                     }
@@ -306,6 +331,7 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
                                 note: format!("join introduction: `{a}` implied by the query"),
                                 op: Op::AddAtom(a),
                                 ic_name: provenance,
+                                residue: Some(residue_id.clone()),
                             },
                         );
                     }
@@ -362,6 +388,7 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
                                 ),
                                 op: Op::AddNegAtom(a),
                                 ic_name: provenance,
+                                residue: Some(residue_id.clone()),
                             },
                         );
                     }
@@ -389,6 +416,7 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
                     note: format!("`{c}` is implied by the rest of the query"),
                     op: Op::RemoveCmp(*c),
                     ic_name: None,
+                    residue: None,
                 },
             );
         }
@@ -446,6 +474,7 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
                     note: format!("join elimination: `{a}` is implied by the rest of the query"),
                     op: Op::RemoveAtoms(vec![a.clone()]),
                     ic_name: None,
+                    residue: None,
                 },
             );
         }
@@ -513,6 +542,7 @@ fn fold_view_candidates(
                 ),
                 op: Op::AddAtom(head_inst),
                 ic_name: Some(format!("view {}", view.head.pred)),
+                residue: None,
             });
             continue;
         }
@@ -564,6 +594,7 @@ fn fold_view_candidates(
                     ),
                     op: Op::RemoveAtoms(removal),
                     ic_name: Some(format!("view {}", view.head.pred)),
+                    residue: None,
                 });
                 break; // largest sound removal found for this match
             }

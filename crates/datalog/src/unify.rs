@@ -63,6 +63,7 @@ pub fn match_terms(pattern: &Term, target: &Term, s: &mut Subst) -> bool {
 
 /// One-way matching of atoms: `pattern`θ = `target`.
 pub fn match_atoms(pattern: &Atom, target: &Atom, s: &mut Subst) -> bool {
+    sqo_obs::bump(sqo_obs::Counter::UnifyAttempts);
     if pattern.pred != target.pred || pattern.arity() != target.arity() {
         return false;
     }

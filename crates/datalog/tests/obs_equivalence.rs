@@ -1,0 +1,104 @@
+//! Counter-equivalence between the parallel and sequential Step-3 search
+//! backends: both must report byte-identical observability totals for the
+//! same input, because the parallel frontier performs exactly the same
+//! `analyse` calls and worker-thread counters merge at the sequential join.
+//!
+//! This file runs under both feature configurations in CI (`--features
+//! parallel` is the default; `--no-default-features` forces `optimize` onto
+//! the sequential path), so equality here pins the cross-build guarantee:
+//! `explain_json` counter totals do not depend on the chosen backend.
+
+use sqo_datalog::parser::{parse_constraint, parse_query};
+use sqo_datalog::residue::ResidueSet;
+use sqo_datalog::search::{self, SearchConfig};
+use sqo_datalog::transform::TransformContext;
+use sqo_obs as obs;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: counter deltas are computed against
+/// the process-global registry.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The paper's university constraints at the Datalog level (Example 1 plus
+/// enough extra ICs to keep several candidates live per search level, so
+/// the parallel backend actually fans out).
+fn university_ctx() -> TransformContext {
+    let ics = [
+        "ic IC1: Age > 30 <- faculty(Sec, Fac, Age).",
+        "ic IC2: Age < 70 <- faculty(Sec, Fac, Age).",
+        "ic IC5: Fac > 0 <- faculty(Sec, Fac, Age).",
+        "ic IC6: Sec > 0 <- takes_section(St, Sec).",
+    ]
+    .iter()
+    .map(|s| parse_constraint(s).unwrap())
+    .collect();
+    TransformContext::new(ResidueSet::compile(ics), vec![], BTreeMap::new())
+}
+
+/// Counter totals recorded while running `f`, as a stable sorted map.
+fn counters_of(f: impl FnOnce()) -> BTreeMap<&'static str, u64> {
+    let before = obs::snapshot();
+    f();
+    obs::snapshot().since(&before).counters
+}
+
+#[test]
+fn parallel_and_sequential_counter_totals_identical() {
+    let _g = lock();
+    let ctx = university_ctx();
+    let cfg = SearchConfig::default();
+    for src in [
+        // Example 1's restriction attachment (satisfiable).
+        "Q(Name) <- student(St, Name), takes_section(St, Sec), faculty(Sec, F, Age)",
+        // Example 1's contradiction (refuted by IC1).
+        "Q(Name) <- student(St, Name), takes_section(St, Sec), faculty(Sec, F, Age), Age < 18",
+        // A wider query keeping several residues applicable at once.
+        "Q(N1, N2) <- student(S1, N1), student(S2, N2), takes_section(S1, Sec1), \
+         takes_section(S2, Sec2), faculty(Sec1, F1, A1), faculty(Sec2, F2, A2)",
+    ] {
+        let q = parse_query(src).unwrap();
+        let par = counters_of(|| {
+            std::hint::black_box(search::optimize(&q, &ctx, &cfg));
+        });
+        let seq = counters_of(|| {
+            std::hint::black_box(search::optimize_sequential(&q, &ctx, &cfg));
+        });
+        assert_eq!(par, seq, "backend counter totals must match for `{src}`");
+        assert!(
+            par["unify.attempts"] > 0,
+            "instrumentation fired for `{src}`"
+        );
+        assert!(par["search.levels"] > 0);
+    }
+}
+
+#[test]
+fn counter_totals_serialize_byte_identically() {
+    let _g = lock();
+    let ctx = university_ctx();
+    let cfg = SearchConfig::default();
+    let q =
+        parse_query("Q(Name) <- student(St, Name), takes_section(St, Sec), faculty(Sec, F, Age)")
+            .unwrap();
+    let render = |counters: BTreeMap<&'static str, u64>| {
+        obs::Snapshot {
+            counters,
+            spans: BTreeMap::new(),
+        }
+        .to_json()
+    };
+    let par = render(counters_of(|| {
+        std::hint::black_box(search::optimize(&q, &ctx, &cfg));
+    }));
+    let seq = render(counters_of(|| {
+        std::hint::black_box(search::optimize_sequential(&q, &ctx, &cfg));
+    }));
+    // Span timings necessarily differ run to run; the counter section is
+    // the machine-consumed part and must be byte-identical.
+    assert_eq!(par, seq);
+}

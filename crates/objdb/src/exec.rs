@@ -217,6 +217,8 @@ pub fn rewrite_for_extents(db: &ObjectDb, q: &Query) -> Query {
 /// Execute a Datalog query against the object store, with cost
 /// accounting.
 pub fn execute(db: &ObjectDb, q: &Query) -> Result<(Vec<Vec<Const>>, CostReport)> {
+    let _span = sqo_obs::span!("objdb.execute");
+    sqo_obs::bump(sqo_obs::Counter::ExecQueries);
     let physical = rewrite_for_extents(db, q);
 
     // Materialize method facts for every method atom's constant args.
@@ -251,6 +253,18 @@ pub fn execute(db: &ObjectDb, q: &Query) -> Result<(Vec<Vec<Const>>, CostReport)
         answer_query(&edb, &physical)?
     };
     let elapsed = start.elapsed();
+
+    // Join cardinalities flow into the global observability snapshot so
+    // experiment reports read them from one place rather than re-deriving
+    // them from per-predicate conversions at the report edge.
+    sqo_obs::add(
+        sqo_obs::Counter::EvalJoinInputTuples,
+        stats.join_input_tuples,
+    );
+    sqo_obs::add(
+        sqo_obs::Counter::EvalJoinOutputTuples,
+        stats.join_output_tuples,
+    );
 
     let mut report = CostReport {
         answers: rows.len(),

@@ -1,0 +1,710 @@
+//! Dependency-free observability layer for the SQO pipeline.
+//!
+//! The workspace builds hermetically, so this crate supplies the small slice
+//! of `tracing`/`metrics` functionality the pipeline needs, in the same
+//! spirit as the `shims/` stand-ins:
+//!
+//! * **Spans** — [`span!`] returns a guard that records elapsed wall time
+//!   into a thread-safe global registry keyed by a static name. Each span
+//!   name aggregates `count / total_ns / min_ns / max_ns`. Guards are cheap
+//!   enough to stay always-on and become a no-op when recording is disabled
+//!   (a single relaxed atomic load).
+//! * **Counters** — a fixed set of named monotonic counters ([`Counter`]).
+//!   Increments land in thread-local cells and are merged into the global
+//!   registry when the thread exits (or when the owning thread snapshots).
+//!   The parallel Step-3 search relies on this: worker threads accumulate
+//!   locally and their totals merge at the sequential join, so sequential
+//!   and parallel runs report identical totals.
+//! * **Provenance** — [`Provenance`] / [`ProvenanceStep`] records describing
+//!   which residue, source integrity constraint, and transformation kind
+//!   derived each rewrite. These are plain data (always populated, never
+//!   gated by [`enabled`]).
+//! * **Snapshots** — [`snapshot`] / [`snapshot_json`] expose the registry
+//!   with a stable (sorted) key order for machine consumption.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Enable switch
+// ---------------------------------------------------------------------------
+
+/// Recording is on by default: the whole point of the layer is that it is
+/// cheap enough to leave enabled. `set_enabled(false)` turns every span and
+/// counter into a no-op behind one relaxed load.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Returns whether span/counter recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enables or disables span/counter recording globally.
+///
+/// Disabling does not clear previously recorded data; use [`reset`] for that.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// The fixed set of pipeline counters.
+///
+/// Every counter is monotonic within a process (until [`reset`]). The
+/// discriminant doubles as the index into the counter arrays, and
+/// [`Counter::name`] gives the stable dotted name used in snapshots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Classes parsed by the ODL parser (Step 1 input).
+    OdlClassesParsed,
+    /// OQL queries translated to Datalog (Step 2).
+    TranslateQueries,
+    /// Residues attached to relation predicates during IC compilation.
+    ResiduesAttached,
+    /// Residues whose body matched a query and produced a candidate.
+    ResiduesApplied,
+    /// Residue applicability prefilter accepted (full match attempted).
+    PrefilterHits,
+    /// Residue applicability prefilter rejected (match skipped).
+    PrefilterMisses,
+    /// Atom-level unification attempts.
+    UnifyAttempts,
+    /// Subsumption checks (`match_body_onto` invocations).
+    SubsumeChecks,
+    /// Search nodes expanded by the Step-3 BFS.
+    SearchNodesExpanded,
+    /// Candidate nodes pruned by the Step-3 BFS (budget or variant cap).
+    SearchNodesPruned,
+    /// Candidates dropped because their fingerprint was already seen.
+    SearchDedupHits,
+    /// BFS levels processed by the Step-3 search.
+    SearchLevels,
+    /// Tuples flowing into join steps during evaluation.
+    EvalJoinInputTuples,
+    /// Tuples flowing out of join steps during evaluation.
+    EvalJoinOutputTuples,
+    /// Queries executed by the object-database evaluator.
+    ExecQueries,
+    /// Queries optimized by the `SemanticOptimizer` facade.
+    OptimizerQueries,
+    /// Equivalent rewrites (beyond the original) produced by the optimizer.
+    OptimizerRewrites,
+    /// Queries refuted outright by an integrity constraint.
+    OptimizerContradictions,
+}
+
+/// Number of distinct counters.
+pub const N_COUNTERS: usize = 18;
+
+const COUNTER_NAMES: [&str; N_COUNTERS] = [
+    "odl.classes_parsed",
+    "translate.queries",
+    "residue.attached",
+    "residue.applied",
+    "residue.prefilter_hits",
+    "residue.prefilter_misses",
+    "unify.attempts",
+    "subsume.checks",
+    "search.nodes_expanded",
+    "search.nodes_pruned",
+    "search.dedup_hits",
+    "search.levels",
+    "eval.join_input_tuples",
+    "eval.join_output_tuples",
+    "exec.queries",
+    "optimizer.queries",
+    "optimizer.rewrites",
+    "optimizer.contradictions",
+];
+
+impl Counter {
+    /// Stable dotted name used as the snapshot key.
+    #[inline]
+    pub fn name(self) -> &'static str {
+        COUNTER_NAMES[self as usize]
+    }
+
+    /// All counters, in declaration order.
+    pub fn all() -> impl Iterator<Item = Counter> {
+        (0..N_COUNTERS).map(|i| ALL_COUNTERS[i])
+    }
+}
+
+const ALL_COUNTERS: [Counter; N_COUNTERS] = [
+    Counter::OdlClassesParsed,
+    Counter::TranslateQueries,
+    Counter::ResiduesAttached,
+    Counter::ResiduesApplied,
+    Counter::PrefilterHits,
+    Counter::PrefilterMisses,
+    Counter::UnifyAttempts,
+    Counter::SubsumeChecks,
+    Counter::SearchNodesExpanded,
+    Counter::SearchNodesPruned,
+    Counter::SearchDedupHits,
+    Counter::SearchLevels,
+    Counter::EvalJoinInputTuples,
+    Counter::EvalJoinOutputTuples,
+    Counter::ExecQueries,
+    Counter::OptimizerQueries,
+    Counter::OptimizerRewrites,
+    Counter::OptimizerContradictions,
+];
+
+/// Global merged totals. Thread-local cells flush here on thread exit and on
+/// [`snapshot`]/[`reset`] from the owning thread.
+static GLOBAL: [AtomicU64; N_COUNTERS] = [const { AtomicU64::new(0) }; N_COUNTERS];
+
+/// Per-thread counter cells. Keeping increments thread-local means the hot
+/// paths (unification, prefilter checks) never contend on a shared cache
+/// line; the `Drop` impl merges each worker's totals into [`GLOBAL`] exactly
+/// once, at the sequential join when `std::thread::scope` joins the worker.
+struct LocalCells {
+    cells: [Cell<u64>; N_COUNTERS],
+}
+
+impl LocalCells {
+    const fn new() -> Self {
+        LocalCells {
+            cells: [const { Cell::new(0) }; N_COUNTERS],
+        }
+    }
+
+    fn flush(&self) {
+        for (cell, global) in self.cells.iter().zip(GLOBAL.iter()) {
+            let v = cell.replace(0);
+            if v != 0 {
+                global.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for LocalCells {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: LocalCells = const { LocalCells::new() };
+}
+
+/// Increments `c` by one.
+#[inline]
+pub fn bump(c: Counter) {
+    add(c, 1);
+}
+
+/// Adds `n` to counter `c`.
+///
+/// The increment lands in a thread-local cell; totals become globally
+/// visible when the thread exits or when the thread calls [`snapshot`].
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    if !enabled() || n == 0 {
+        return;
+    }
+    let idx = c as usize;
+    // `try_with` so late increments during thread teardown (after the TLS
+    // destructor ran) fall back to the global registry instead of panicking.
+    let ok = LOCAL.try_with(|l| l.cells[idx].set(l.cells[idx].get() + n));
+    if ok.is_err() {
+        GLOBAL[idx].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Flushes the calling thread's local counter cells into the global registry.
+///
+/// Worker threads flush automatically on exit; long-lived threads (e.g. the
+/// main thread) call this implicitly via [`snapshot`] / [`reset`].
+pub fn flush_local() {
+    let _ = LOCAL.try_with(LocalCells::flush);
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// Aggregated timing for one span name.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed span guards.
+    pub count: u64,
+    /// Total elapsed nanoseconds across all completions.
+    pub total_ns: u64,
+    /// Fastest single completion in nanoseconds (0 when `count == 0`).
+    pub min_ns: u64,
+    /// Slowest single completion in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanStat {
+    fn record(&mut self, ns: u64) {
+        if self.count == 0 {
+            self.min_ns = ns;
+            self.max_ns = ns;
+        } else {
+            self.min_ns = self.min_ns.min(ns);
+            self.max_ns = self.max_ns.max(ns);
+        }
+        self.count += 1;
+        self.total_ns += ns;
+    }
+
+    /// Mean elapsed nanoseconds per completion (0 when `count == 0`).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Span registry. Spans fire at pipeline-stage granularity (a handful per
+/// optimized query), so one mutex around a sorted map is plenty; the hot
+/// per-atom work uses thread-local [`Counter`]s instead.
+static SPANS: Mutex<BTreeMap<&'static str, SpanStat>> = Mutex::new(BTreeMap::new());
+
+/// RAII guard created by [`span!`]; records elapsed time on drop.
+#[must_use = "binding the guard to `_name` keeps the span open for the scope"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Starts a span. Prefer the [`span!`] macro at call sites.
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        let start = if enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
+        SpanGuard { name, start }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if let Ok(mut spans) = SPANS.lock() {
+                spans.entry(self.name).or_default().record(ns);
+            }
+        }
+    }
+}
+
+/// Opens a timing span for the rest of the enclosing scope:
+/// `let _span = obs::span!("step3.search");`
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name)
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots
+// ---------------------------------------------------------------------------
+
+/// A point-in-time copy of the counter and span registries.
+///
+/// Both maps use sorted (`BTreeMap`) key order, so serialized snapshots are
+/// byte-comparable across runs and across the sequential/parallel search
+/// backends.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Counter totals keyed by [`Counter::name`]. Every counter is present,
+    /// including zeros, so the key set is build-independent.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Span aggregates keyed by span name.
+    pub spans: BTreeMap<&'static str, SpanStat>,
+}
+
+impl Snapshot {
+    /// Returns the delta of `self` relative to an `earlier` snapshot.
+    ///
+    /// Counter values and span `count`/`total_ns` subtract; span `min_ns` /
+    /// `max_ns` are taken from `self` (extrema cannot be un-merged). Spans
+    /// with no completions since `earlier` are omitted.
+    pub fn since(&self, earlier: &Snapshot) -> Snapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, v)| {
+                (
+                    *name,
+                    v.saturating_sub(earlier.counters.get(name).copied().unwrap_or(0)),
+                )
+            })
+            .collect();
+        let mut spans = BTreeMap::new();
+        for (name, stat) in &self.spans {
+            let before = earlier.spans.get(name).copied().unwrap_or_default();
+            let count = stat.count.saturating_sub(before.count);
+            if count > 0 {
+                spans.insert(
+                    *name,
+                    SpanStat {
+                        count,
+                        total_ns: stat.total_ns.saturating_sub(before.total_ns),
+                        min_ns: stat.min_ns,
+                        max_ns: stat.max_ns,
+                    },
+                );
+            }
+        }
+        Snapshot { counters, spans }
+    }
+
+    /// Counter total by [`Counter`], defaulting to 0.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters.get(c.name()).copied().unwrap_or(0)
+    }
+
+    /// Serializes the snapshot as a JSON object with stable key order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (name, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    {}: {v}", json_string(name)));
+        }
+        out.push_str("\n  },\n  \"spans\": {");
+        first = true;
+        for (name, s) in &self.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {}: {{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}}}",
+                json_string(name),
+                s.count,
+                s.total_ns,
+                s.min_ns,
+                s.max_ns
+            ));
+        }
+        out.push_str("\n  }\n}");
+        out
+    }
+
+    /// Human-readable rendering of the snapshot (counters, then spans).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("counters:\n");
+        for (name, v) in &self.counters {
+            if *v != 0 {
+                out.push_str(&format!("  {name:<28} {v}\n"));
+            }
+        }
+        out.push_str("spans (count / total / mean):\n");
+        for (name, s) in &self.spans {
+            out.push_str(&format!(
+                "  {name:<28} {:>6} / {:>10} ns / {:>8} ns\n",
+                s.count,
+                s.total_ns,
+                s.mean_ns()
+            ));
+        }
+        out
+    }
+}
+
+/// Takes a snapshot of all counters and spans.
+///
+/// Flushes the calling thread's local cells first, so totals include all
+/// work done on this thread and on any already-joined worker thread.
+pub fn snapshot() -> Snapshot {
+    flush_local();
+    let counters = Counter::all()
+        .map(|c| (c.name(), GLOBAL[c as usize].load(Ordering::Relaxed)))
+        .collect();
+    let spans = SPANS.lock().map(|s| s.clone()).unwrap_or_default();
+    Snapshot { counters, spans }
+}
+
+/// [`snapshot`] serialized as JSON with stable key order.
+pub fn snapshot_json() -> String {
+    snapshot().to_json()
+}
+
+/// Zeroes all global counters, the calling thread's local cells, and the
+/// span registry. Counts still held by *other* live threads are unaffected
+/// until those threads flush.
+pub fn reset() {
+    let _ = LOCAL.try_with(|l| {
+        for cell in &l.cells {
+            cell.set(0);
+        }
+    });
+    for global in &GLOBAL {
+        global.store(0, Ordering::Relaxed);
+    }
+    if let Ok(mut spans) = SPANS.lock() {
+        spans.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Provenance
+// ---------------------------------------------------------------------------
+
+/// One derivation step in a rewrite's provenance chain: which transformation
+/// kind fired, driven by which residue and source integrity constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProvenanceStep {
+    /// Transformation kind (e.g. `"scope-reduction"`, `"join-elimination"`).
+    pub kind: &'static str,
+    /// Residue id of the form `r<index>@<anchor-pred>`, when a compiled
+    /// residue drove the step.
+    pub residue: Option<String>,
+    /// Name of the source integrity constraint (or view), when known.
+    pub ic: Option<String>,
+    /// Free-form description of what the step changed.
+    pub detail: String,
+}
+
+impl ProvenanceStep {
+    /// The synthetic step carried by the unmodified original query, so every
+    /// equivalent query — including the input itself — has a non-empty chain.
+    pub fn original() -> ProvenanceStep {
+        ProvenanceStep {
+            kind: "original",
+            residue: None,
+            ic: None,
+            detail: "input query, no transformation applied".to_string(),
+        }
+    }
+
+    /// Serializes the step as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\": {}, \"residue\": {}, \"ic\": {}, \"detail\": {}}}",
+            json_string(self.kind),
+            json_opt_string(self.residue.as_deref()),
+            json_opt_string(self.ic.as_deref()),
+            json_string(&self.detail)
+        )
+    }
+}
+
+impl fmt::Display for ProvenanceStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.kind)?;
+        if let Some(r) = &self.residue {
+            write!(f, " via {r}")?;
+        }
+        if let Some(ic) = &self.ic {
+            write!(f, " [{ic}]")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, ": {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// The full derivation chain for one equivalent query.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Provenance {
+    /// Derivation steps in application order.
+    pub steps: Vec<ProvenanceStep>,
+}
+
+impl Provenance {
+    /// Chain for the unmodified original query (one synthetic step).
+    pub fn original() -> Provenance {
+        Provenance {
+            steps: vec![ProvenanceStep::original()],
+        }
+    }
+
+    /// Builds a chain from derivation steps; an empty step list denotes the
+    /// original query and maps to [`Provenance::original`].
+    pub fn from_steps(steps: Vec<ProvenanceStep>) -> Provenance {
+        if steps.is_empty() {
+            Provenance::original()
+        } else {
+            Provenance { steps }
+        }
+    }
+
+    /// Serializes the chain as a JSON array of step objects.
+    pub fn to_json(&self) -> String {
+        let items: Vec<String> = self.steps.iter().map(ProvenanceStep::to_json).collect();
+        format!("[{}]", items.join(", "))
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{}. {step}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers (shared by explain() implementations downstream)
+// ---------------------------------------------------------------------------
+
+/// Escapes and quotes `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `json_string` for optional values; `None` serializes as `null`.
+pub fn json_opt_string(s: Option<&str>) -> String {
+    match s {
+        Some(s) => json_string(s),
+        None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests in this binary: they all mutate the global registry.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn counters_merge_from_scoped_workers() {
+        let _g = lock();
+        reset();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        bump(Counter::UnifyAttempts);
+                    }
+                });
+            }
+        });
+        bump(Counter::UnifyAttempts);
+        let snap = snapshot();
+        assert_eq!(snap.counter(Counter::UnifyAttempts), 401);
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        let _g = lock();
+        reset();
+        set_enabled(false);
+        bump(Counter::SubsumeChecks);
+        {
+            let _s = span!("test.disabled");
+        }
+        set_enabled(true);
+        let snap = snapshot();
+        assert_eq!(snap.counter(Counter::SubsumeChecks), 0);
+        assert!(!snap.spans.contains_key("test.disabled"));
+    }
+
+    #[test]
+    fn span_guard_records_count_and_extrema() {
+        let _g = lock();
+        reset();
+        for _ in 0..3 {
+            let _s = span!("test.span");
+        }
+        let snap = snapshot();
+        let stat = snap.spans["test.span"];
+        assert_eq!(stat.count, 3);
+        assert!(stat.min_ns <= stat.max_ns);
+        assert!(stat.total_ns >= stat.max_ns);
+    }
+
+    #[test]
+    fn snapshot_json_has_stable_sorted_keys() {
+        let _g = lock();
+        reset();
+        bump(Counter::SearchLevels);
+        let json = snapshot_json();
+        let a = json.find("\"eval.join_input_tuples\"").unwrap();
+        let b = json.find("\"search.levels\"").unwrap();
+        let c = json.find("\"unify.attempts\"").unwrap();
+        assert!(a < b && b < c, "counter keys must be sorted");
+        assert_eq!(json, snapshot_json());
+    }
+
+    #[test]
+    fn since_subtracts_counters_and_span_counts() {
+        let _g = lock();
+        reset();
+        add(Counter::ResiduesApplied, 5);
+        {
+            let _s = span!("test.delta");
+        }
+        let before = snapshot();
+        add(Counter::ResiduesApplied, 7);
+        {
+            let _s = span!("test.delta");
+        }
+        let delta = snapshot().since(&before);
+        assert_eq!(delta.counter(Counter::ResiduesApplied), 7);
+        assert_eq!(delta.spans["test.delta"].count, 1);
+        assert_eq!(delta.counter(Counter::SearchLevels), 0);
+    }
+
+    #[test]
+    fn provenance_chain_renders_json_and_text() {
+        let step = ProvenanceStep {
+            kind: "scope-reduction",
+            residue: Some("r3@faculty".into()),
+            ic: Some("IC4".into()),
+            detail: "added not dept(x)".into(),
+        };
+        let chain = Provenance::from_steps(vec![step]);
+        let json = chain.to_json();
+        assert!(json.contains("\"kind\": \"scope-reduction\""));
+        assert!(json.contains("\"residue\": \"r3@faculty\""));
+        assert!(json.contains("\"ic\": \"IC4\""));
+        let text = chain.to_string();
+        assert!(text.contains("via r3@faculty"));
+        assert_eq!(Provenance::from_steps(Vec::new()).steps[0].kind, "original");
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_opt_string(None), "null");
+    }
+}

@@ -415,9 +415,18 @@ impl Parser {
 
 /// Parse an ODL source text into declarations.
 pub fn parse_odl(src: &str) -> Result<Vec<Decl>> {
+    let _span = sqo_obs::span!("odl.parse");
     let toks = Lexer::new(src).tokens()?;
     let mut p = Parser { toks, pos: 0 };
-    p.decls()
+    let decls = p.decls()?;
+    sqo_obs::add(
+        sqo_obs::Counter::OdlClassesParsed,
+        decls
+            .iter()
+            .filter(|d| matches!(d, Decl::Interface(_)))
+            .count() as u64,
+    );
+    Ok(decls)
 }
 
 #[cfg(test)]

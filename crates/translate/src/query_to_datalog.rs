@@ -465,6 +465,8 @@ pub fn translate_query(
     schema: &Schema,
     catalog: &Catalog,
 ) -> Result<QueryTranslation> {
+    let _span = sqo_obs::span!("step2.translate_query");
+    sqo_obs::bump(sqo_obs::Counter::TranslateQueries);
     let normalized = normalize(oql);
     let mut tr = Translator {
         schema,

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate `sqo --explain` output against schemas/explain.schema.json.
+
+Usage:
+    sqo --university --explain "select ..." | python3 scripts/check_explain_schema.py
+    python3 scripts/check_explain_schema.py report.json
+
+Implements the small JSON Schema subset the checked-in schema uses (type,
+required, properties, items, enum, minItems, additionalProperties, $ref to
+#/definitions/*) so CI needs nothing beyond the Python standard library.
+Union-mode output (a JSON array of reports) validates each element.
+
+Exit status: 0 on success, 1 on validation failure, 2 on bad input.
+"""
+
+import json
+import os
+import sys
+
+SCHEMA_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "schemas", "explain.schema.json"
+)
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; keep number/boolean disjoint.
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def resolve(schema, root):
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref: {ref}")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def validate(value, schema, root, path, errors):
+    schema = resolve(schema, root)
+
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(TYPE_CHECKS[t](value) for t in types):
+            errors.append(f"{path}: expected type {expected}, got {type(value).__name__}")
+            return
+
+    enum = schema.get("enum")
+    if enum is not None and value not in enum:
+        errors.append(f"{path}: value {value!r} not in {enum}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], root, f"{path}.{key}", errors)
+            elif isinstance(extra, dict):
+                validate(item, extra, root, f"{path}.{key}", errors)
+
+    if isinstance(value, list):
+        min_items = schema.get("minItems")
+        if min_items is not None and len(value) < min_items:
+            errors.append(f"{path}: expected at least {min_items} item(s), got {len(value)}")
+        items = schema.get("items")
+        if items is not None:
+            for i, item in enumerate(value):
+                validate(item, items, root, f"{path}[{i}]", errors)
+
+
+def main():
+    if len(sys.argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(SCHEMA_PATH, encoding="utf-8") as f:
+            schema = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot load schema {SCHEMA_PATH}: {e}", file=sys.stderr)
+        return 2
+    source = sys.argv[1] if len(sys.argv) == 2 else "/dev/stdin"
+    try:
+        with open(source, encoding="utf-8") as f:
+            text = f.read()
+        data = json.loads(text)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot parse report from {source}: {e}", file=sys.stderr)
+        return 2
+
+    reports = data if isinstance(data, list) else [data]
+    errors = []
+    for i, report in enumerate(reports):
+        prefix = f"$[{i}]" if isinstance(data, list) else "$"
+        validate(report, schema, schema, prefix, errors)
+        # Cross-key consistency the schema's vocabulary cannot express: the
+        # verdict selects which payload key must be present.
+        if isinstance(report, dict):
+            verdict = report.get("verdict")
+            if verdict == "equivalents" and "equivalents" not in report:
+                errors.append(f"{prefix}: verdict 'equivalents' without 'equivalents' payload")
+            if verdict == "contradiction" and "contradiction" not in report:
+                errors.append(f"{prefix}: verdict 'contradiction' without 'contradiction' payload")
+    if errors:
+        for e in errors:
+            print(f"explain schema violation: {e}", file=sys.stderr)
+        return 1
+    print(f"explain report OK ({len(reports)} report(s) validated)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,8 @@ struct Args {
     ic_files: Vec<String>,
     show_schema: bool,
     show_datalog: bool,
+    trace: bool,
+    explain: bool,
     query: Option<String>,
 }
 
@@ -36,6 +38,10 @@ fn usage() -> ! {
                              may be repeated)\n\
            --show-schema     print the Step 1 Datalog schema and exit\n\
            --show-datalog    also print the Datalog form of every rewrite\n\
+           --trace           append a trace section: provenance chain per\n\
+                             rewrite plus pipeline counters and span timings\n\
+           --explain         print the machine-readable optimization report\n\
+                             (JSON: verdict, rewrites, provenance, stats)\n\
          \n\
          A contradiction verdict exits with status 2."
     );
@@ -49,6 +55,8 @@ fn parse_args() -> Args {
         ic_files: Vec::new(),
         show_schema: false,
         show_datalog: false,
+        trace: false,
+        explain: false,
         query: None,
     };
     let mut it = std::env::args().skip(1);
@@ -59,6 +67,8 @@ fn parse_args() -> Args {
             "--ic" => args.ic_files.push(it.next().unwrap_or_else(|| usage())),
             "--show-schema" => args.show_schema = true,
             "--show-datalog" => args.show_datalog = true,
+            "--trace" => args.trace = true,
+            "--explain" => args.explain = true,
             "--help" | "-h" => usage(),
             q if !q.starts_with('-') => args.query = Some(q.to_string()),
             _ => usage(),
@@ -151,9 +161,19 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        if args.explain {
+            // One JSON report per branch, in source order.
+            let items: Vec<String> = report.branches.iter().map(|b| b.explain_json()).collect();
+            println!("[{}]", items.join(",\n"));
+            return if report.is_empty_union() {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            };
+        }
         for (i, b) in report.branches.iter().enumerate() {
             match &b.verdict {
-                semantic_sqo::Verdict::Contradiction { ic_name, note } => println!(
+                semantic_sqo::Verdict::Contradiction { ic_name, note, .. } => println!(
                     "branch {}: PRUNED [{}] {note}",
                     i + 1,
                     ic_name.as_deref().unwrap_or("query-local")
@@ -162,6 +182,16 @@ fn main() -> ExitCode {
                     println!("branch {}: {} equivalent forms", i + 1, v.len())
                 }
             }
+        }
+        if args.trace {
+            for (i, ic, chain) in report.pruned_provenance() {
+                println!(
+                    "-- branch {} refuted by {}:\n{chain}",
+                    i + 1,
+                    ic.as_deref().unwrap_or("query-local constraints")
+                );
+            }
+            println!("\n-- trace\n{}", sqo_obs::snapshot().to_text());
         }
         if report.is_empty_union() {
             println!("the whole union is provably empty.");
@@ -180,9 +210,25 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.explain {
+        println!("{}", report.explain_json());
+        return if report.is_contradiction() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    if args.trace {
+        println!("{}", report.explain());
+        return if report.is_contradiction() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     println!("-- datalog translation\n{}\n", report.datalog);
     match &report.verdict {
-        Verdict::Contradiction { ic_name, note } => {
+        Verdict::Contradiction { ic_name, note, .. } => {
             println!(
                 "CONTRADICTION [{}]: {note}\nThe query can return no answers and need not be evaluated.",
                 ic_name.as_deref().unwrap_or("query-local")
