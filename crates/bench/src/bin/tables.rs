@@ -12,13 +12,15 @@
 //! engine configuration and the pre-optimization baseline paths kept as
 //! ablation knobs ([`DedupMode::CanonicalKey`], `optimize_sequential`),
 //! plus the derived `speedup/…` ratios and `stage/…` entries carrying the
-//! mean per-stage span timings from the observability registry.
+//! mean per-stage span timings from the observability registry, and the
+//! `serve/…` rows measuring the query-serving path (cold per-request
+//! search vs warm semantic-plan-cache hits, sequential and concurrent).
 
 use sqo_bench::{
     asr_q1_scenario, asr_scenario, contradiction_scenario, key_join_scenario, optimizer_with_n_ics,
     scope_reduction_scenario, synthetic_schema,
 };
-use sqo_core::SemanticOptimizer;
+use sqo_core::{PlanCache, SemanticOptimizer};
 use sqo_datalog::parser::{parse_constraint, parse_query};
 use sqo_datalog::residue::ResidueSet;
 use sqo_datalog::search::{self, DedupMode, Outcome, SearchConfig};
@@ -259,6 +261,16 @@ fn bench_pipeline(quick: bool) {
         Outcome::Equivalents(vs) => vs.into_iter().map(|v| v.query).collect(),
         Outcome::Contradiction { .. } => unreachable!("range query is satisfiable"),
     };
+    // serve: the query-serving path — a prepared (frozen) optimizer
+    // answering a parameterized query cold (fresh search per request)
+    // vs warm (semantic-plan-cache hit with retargeting).
+    let prep = {
+        let mut o = SemanticOptimizer::university();
+        o.add_constraint_text("ic IC4: Age >= 30 <- faculty(X, N, Age, S, R, Ad).")
+            .unwrap();
+        o.prepare()
+    };
+    let serve_q = "select x.name from x in Person where x.age < 25";
 
     // Record the minimum of the per-round medians: the machine this runs
     // on flaps between performance modes on a seconds scale, so a single
@@ -359,6 +371,60 @@ fn bench_pipeline(quick: bool) {
                 }
             }),
         );
+        // Cold: every request pays translation + Step-3 search.
+        record(
+            &mut bench,
+            "serve/cold_miss",
+            median_ns(reps, || {
+                let cache = PlanCache::new();
+                std::hint::black_box(prep.optimize_cached(&cache, serve_q).unwrap());
+            }),
+        );
+        // Warm: the template is cached; requests retarget the cached
+        // rewrite set (the baseline is the same request uncached).
+        {
+            let cache = PlanCache::new();
+            record(
+                &mut bench,
+                "serve/warm_hit",
+                median_ns(reps_small, || {
+                    std::hint::black_box(prep.optimize_cached(&cache, serve_q).unwrap());
+                }),
+            );
+        }
+        record(
+            &mut bench,
+            "serve/warm_hit_baseline",
+            median_ns(reps, || {
+                std::hint::black_box(prep.optimize(serve_q).unwrap());
+            }),
+        );
+        // Concurrent warm throughput: every hardware thread hammering
+        // one shared cache; recorded as ns/query so the min-of-rounds
+        // rule applies (the derived `serve/warm_qps` is written below).
+        {
+            let cache = PlanCache::new();
+            let _ = prep.optimize_cached(&cache, serve_q).unwrap();
+            let threads = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2);
+            let per_thread = if quick { 16 } else { 64 };
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| {
+                        for _ in 0..per_thread {
+                            std::hint::black_box(prep.optimize_cached(&cache, serve_q).unwrap());
+                        }
+                    });
+                }
+            });
+            record(
+                &mut bench,
+                "serve/warm_concurrent_ns_per_query",
+                t0.elapsed().as_secs_f64() * 1e9 / (threads * per_thread) as f64,
+            );
+        }
     }
 
     // Merge with any entries already recorded in the file (notably the
@@ -394,6 +460,7 @@ fn bench_pipeline(quick: bool) {
         .filter(|n| {
             !n.ends_with("_baseline")
                 && !n.ends_with("_seed")
+                && !n.ends_with("_qps")
                 && !n.starts_with("speedup")
                 && !n.starts_with("stage/")
         })
@@ -413,6 +480,11 @@ fn bench_pipeline(quick: bool) {
             bench.insert(format!("speedup_vs_seed/{name}"), seed / cur);
         }
     }
+    // Queries/sec is derived, not measured: re-computed from the
+    // (min-of-rounds) concurrent ns/query on every full run.
+    if let Some(ns) = bench.get("serve/warm_concurrent_ns_per_query").copied() {
+        bench.insert("serve/warm_qps".to_string(), 1e9 / ns);
+    }
 
     println!(
         "{:>44} {:>14} {:>10} {:>10}",
@@ -429,6 +501,9 @@ fn bench_pipeline(quick: bool) {
             fmt(bench.get(&format!("speedup/{name}"))),
             fmt(bench.get(&format!("speedup_vs_seed/{name}"))),
         );
+    }
+    if let Some(qps) = bench.get("serve/warm_qps") {
+        println!("{:>44} {qps:>14.0} (derived)", "serve/warm_qps");
     }
 
     // Quick mode trades repetitions for speed; its medians are too noisy

@@ -22,9 +22,11 @@
 
 pub mod error;
 pub mod optimizer;
+pub mod prepared;
 
 pub use error::{Result, SqoError};
 pub use optimizer::{EquivalentQuery, OptimizationReport, SemanticOptimizer, UnionReport, Verdict};
+pub use prepared::{CacheOutcome, PlanCache, PreparedOptimizer};
 
 // Re-export the pieces callers typically need alongside the facade.
 pub use sqo_datalog::residue::CompileOptions;

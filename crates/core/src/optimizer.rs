@@ -400,44 +400,7 @@ impl SemanticOptimizer {
         let search_cfg = self.search.clone();
         let ctx = self.compile();
         let outcome = search::optimize(&datalog, ctx, &search_cfg);
-        let verdict = match outcome {
-            Outcome::Contradiction {
-                ic_name,
-                note,
-                steps,
-            } => {
-                obs::bump(obs::Counter::OptimizerContradictions);
-                Verdict::Contradiction {
-                    ic_name,
-                    note,
-                    steps,
-                }
-            }
-            Outcome::Equivalents(variants) => {
-                let mut out = Vec::with_capacity(variants.len());
-                for v in variants {
-                    let delta = search::delta(&datalog, &v.query);
-                    let edit = apply_delta(
-                        &translation.normalized,
-                        &translation.map,
-                        &self.catalog,
-                        &delta,
-                    )?;
-                    out.push(EquivalentQuery {
-                        datalog: v.query,
-                        delta,
-                        steps: v.steps,
-                        oql: edit.query,
-                        oql_warnings: edit.warnings,
-                    });
-                }
-                obs::add(
-                    obs::Counter::OptimizerRewrites,
-                    out.iter().filter(|e| !e.delta.is_empty()).count() as u64,
-                );
-                Verdict::Equivalents(out)
-            }
-        };
+        let verdict = outcome_to_verdict(outcome, &datalog, &translation, &self.catalog)?;
         Ok(OptimizationReport {
             original: original.clone(),
             normalized: translation.normalized,
@@ -468,6 +431,66 @@ impl SemanticOptimizer {
         let ctx = self.compile();
         search::optimize(q, ctx, &cfg)
     }
+
+    /// Freeze this optimizer into an immutable, shareable
+    /// [`crate::prepared::PreparedOptimizer`]: Step-1 translation and
+    /// residue compilation run once here and are reused for every query
+    /// optimized through the prepared instance.
+    pub fn prepare(self) -> crate::prepared::PreparedOptimizer {
+        crate::prepared::PreparedOptimizer::new(self)
+    }
+
+    /// Decompose into the pieces a prepared optimizer keeps, compiling
+    /// first so the transform context is guaranteed present.
+    pub(crate) fn into_parts(mut self) -> (Schema, Catalog, SearchConfig, TransformContext) {
+        self.compile();
+        let ctx = self.ctx.take().expect("just compiled");
+        (self.schema, self.catalog, self.search, ctx)
+    }
+}
+
+/// Steps 3½–4 epilogue shared by [`SemanticOptimizer`] and
+/// [`crate::prepared::PreparedOptimizer`]: turn a search outcome into a
+/// verdict, back-translating every surviving variant to OQL.
+pub(crate) fn outcome_to_verdict(
+    outcome: Outcome,
+    datalog: &Query,
+    translation: &QueryTranslation,
+    catalog: &Catalog,
+) -> Result<Verdict> {
+    Ok(match outcome {
+        Outcome::Contradiction {
+            ic_name,
+            note,
+            steps,
+        } => {
+            obs::bump(obs::Counter::OptimizerContradictions);
+            Verdict::Contradiction {
+                ic_name,
+                note,
+                steps,
+            }
+        }
+        Outcome::Equivalents(variants) => {
+            let mut out = Vec::with_capacity(variants.len());
+            for v in variants {
+                let delta = search::delta(datalog, &v.query);
+                let edit = apply_delta(&translation.normalized, &translation.map, catalog, &delta)?;
+                out.push(EquivalentQuery {
+                    datalog: v.query,
+                    delta,
+                    steps: v.steps,
+                    oql: edit.query,
+                    oql_warnings: edit.warnings,
+                });
+            }
+            obs::add(
+                obs::Counter::OptimizerRewrites,
+                out.iter().filter(|e| !e.delta.is_empty()).count() as u64,
+            );
+            Verdict::Equivalents(out)
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,616 @@
+//! The prepared (immutable) optimizer and the parameterized semantic-plan
+//! cache — the amortization layer behind `sqo-service`.
+//!
+//! A [`PreparedOptimizer`] freezes the expensive per-schema work (ODL
+//! parse, Step-1 translation, residue compilation) so concurrent workers
+//! can share it behind an `Arc` and run queries with `&self`. A
+//! [`PlanCache`] then amortizes the Step-3 search across a workload: the
+//! cache key is the query's parameter-normalized canonical fingerprint
+//! ([`Query::canonical_template`]), so `age < 30` and `age < 40` share
+//! one entry, with the residue-applicability conditions re-checked
+//! cheaply against the bound constants (the *parameter signature*), and
+//! the cached rewrite set retargeted onto the new variables and
+//! constants before Step 4 runs.
+//!
+//! ## Why the parameter signature is sound
+//!
+//! Every decision the Step-3 search takes about a constant is a pairwise
+//! comparison: a query constant against an IC/view constant (residue
+//! applicability, chase refutation) or against another query constant.
+//! The signature records, for each lifted parameter, its type and its
+//! ordering against every such *threshold* — all constants of the
+//! compiled constraint set, the views, the query's own non-lifted
+//! constants — and against every earlier parameter. Two parameter
+//! vectors with equal signatures therefore drive every comparison to the
+//! same outcome, so the search would traverse the same path; the cached
+//! outcome transfers. A parameter that *equals* a threshold forces the
+//! new parameter to equal it too, so retargeting can never corrupt an
+//! IC-derived constant.
+
+use crate::error::Result;
+use crate::optimizer::{outcome_to_verdict, OptimizationReport, SemanticOptimizer};
+use sqo_datalog::search::{self, Outcome, SearchConfig, Variant};
+use sqo_datalog::transform::TransformContext;
+use sqo_datalog::{Atom, CanonicalTemplate, Comparison, Literal, Query, Term};
+use sqo_obs as obs;
+use sqo_odl::Schema;
+use sqo_oql::SelectQuery;
+use sqo_translate::{translate_query, Catalog};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use sqo_datalog::term::{Const, Var};
+
+/// How a cached-path optimization was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// The template matched and the parameter signature agreed: the
+    /// cached rewrite set was retargeted, skipping the Step-3 search.
+    Hit,
+    /// The template matched but the parameter signature differed; a
+    /// fresh search ran and re-populated the entry.
+    Rebind,
+    /// No entry for the template; a fresh search ran and was cached.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Stable lowercase label (used in wire responses and logs).
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Rebind => "rebind",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// One cached plan: the search outcome of the template representative,
+/// plus everything needed to decide applicability and retarget.
+struct CacheEntry {
+    /// Schema generation the entry was computed under.
+    generation: u64,
+    /// Thresholds the signature was computed against (knowledge-base
+    /// constants plus the template's non-lifted constants).
+    thresholds: Vec<Const>,
+    /// The representative's parameter signature.
+    signature: Vec<u8>,
+    /// The representative's bound parameters, in template order.
+    repr_params: Vec<Const>,
+    /// The representative's variables, in canonical order.
+    repr_var_order: Vec<Var>,
+    /// The representative's search outcome.
+    outcome: Outcome,
+}
+
+/// A bounded, invalidation-aware cache of Step-3 search outcomes keyed
+/// by [`Query::canonical_template`] fingerprints.
+///
+/// Thread-safe; share one per prepared schema. [`PlanCache::invalidate`]
+/// bumps the generation and drops every entry — call it whenever the
+/// constraint set changes (the service does this on IC reload).
+pub struct PlanCache {
+    entries: Mutex<HashMap<u64, CacheEntry>>,
+    generation: AtomicU64,
+    capacity: usize,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    /// A cache holding up to 4096 templates.
+    pub fn new() -> Self {
+        PlanCache::with_capacity(4096)
+    }
+
+    /// A cache holding up to `capacity` templates; when full, an
+    /// arbitrary entry is evicted per insertion.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            entries: Mutex::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The current invalidation generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Number of cached templates.
+    pub fn len(&self) -> usize {
+        self.entries.lock().map(|e| e.len()).unwrap_or(0)
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached plan and bump the generation, so plans computed
+    /// under the previous constraint set can never be served again.
+    /// Bumps [`obs::Counter::PlanCacheInvalidations`] once per dropped
+    /// entry.
+    pub fn invalidate(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        if let Ok(mut entries) = self.entries.lock() {
+            obs::add(obs::Counter::PlanCacheInvalidations, entries.len() as u64);
+            entries.clear();
+        }
+    }
+}
+
+/// An immutable, eagerly compiled optimizer: schema, Step-1 catalog,
+/// compiled residues and search configuration, shareable across threads
+/// with `&self` (wrap in an `Arc` for the service layer).
+pub struct PreparedOptimizer {
+    schema: Schema,
+    catalog: Catalog,
+    search: SearchConfig,
+    ctx: TransformContext,
+    generation: u64,
+    /// Constants of the compiled knowledge base (constraints + views):
+    /// the schema-level part of every parameter-signature threshold set.
+    kb_consts: Vec<Const>,
+}
+
+impl PreparedOptimizer {
+    /// Compile `opt` (Step 1 + residues) and freeze it at generation 0.
+    pub fn new(opt: SemanticOptimizer) -> Self {
+        let (schema, catalog, search, ctx) = opt.into_parts();
+        let mut kb: BTreeSet<Const> = BTreeSet::new();
+        for ic in &ctx.residues.constraints {
+            collect_head_consts(&ic.head, &mut kb);
+            for l in &ic.body {
+                collect_literal_consts(l, &mut kb);
+            }
+        }
+        for v in &ctx.views {
+            for t in &v.head.args {
+                collect_term_const(t, &mut kb);
+            }
+            for l in &v.body {
+                collect_literal_consts(l, &mut kb);
+            }
+        }
+        PreparedOptimizer {
+            schema,
+            catalog,
+            search,
+            ctx,
+            generation: 0,
+            kb_consts: kb.into_iter().collect(),
+        }
+    }
+
+    /// The same prepared optimizer stamped with an explicit generation
+    /// (the service bumps this on every reload).
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
+    }
+
+    /// The schema generation this instance was prepared under.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The Step-1 catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Number of compiled residues.
+    pub fn residue_count(&self) -> usize {
+        self.ctx.residues.len()
+    }
+
+    /// Optimize an OQL query without consulting a cache. Step 1 never
+    /// runs here — it already ran at preparation time.
+    pub fn optimize(&self, oql_src: &str) -> Result<OptimizationReport> {
+        let original = sqo_oql::parse_oql(oql_src)?;
+        self.optimize_query(&original)
+    }
+
+    /// Optimize a parsed OQL query without consulting a cache.
+    pub fn optimize_query(&self, original: &SelectQuery) -> Result<OptimizationReport> {
+        let _span = obs::span!("pipeline.optimize");
+        let before = obs::snapshot();
+        obs::bump(obs::Counter::OptimizerQueries);
+        let translation = translate_query(original, &self.schema, &self.catalog)?;
+        let datalog = translation.query.clone();
+        let outcome = search::optimize(&datalog, &self.ctx, &self.search);
+        let verdict = outcome_to_verdict(outcome, &datalog, &translation, &self.catalog)?;
+        Ok(OptimizationReport {
+            original: original.clone(),
+            normalized: translation.normalized,
+            datalog,
+            verdict,
+            stats: obs::snapshot().since(&before),
+        })
+    }
+
+    /// Optimize an OQL query through the semantic-plan cache.
+    pub fn optimize_cached(
+        &self,
+        cache: &PlanCache,
+        oql_src: &str,
+    ) -> Result<(OptimizationReport, CacheOutcome)> {
+        let original = sqo_oql::parse_oql(oql_src)?;
+        self.optimize_query_cached(cache, &original)
+    }
+
+    /// Optimize a parsed OQL query through the semantic-plan cache: on a
+    /// template hit with a matching parameter signature the Step-3
+    /// search is skipped entirely and the cached rewrite set is
+    /// retargeted onto this query's variables and constants.
+    pub fn optimize_query_cached(
+        &self,
+        cache: &PlanCache,
+        original: &SelectQuery,
+    ) -> Result<(OptimizationReport, CacheOutcome)> {
+        let _span = obs::span!("pipeline.optimize");
+        let before = obs::snapshot();
+        obs::bump(obs::Counter::OptimizerQueries);
+        let translation = translate_query(original, &self.schema, &self.catalog)?;
+        let datalog = translation.query.clone();
+
+        let (template, cached) = {
+            let _s = obs::span!("cache.lookup");
+            let template = datalog.canonical_template();
+            let cached = self.try_cached(cache, &template);
+            (template, cached)
+        };
+        let (outcome, disposition) = match cached {
+            Ok(outcome) => {
+                obs::bump(obs::Counter::PlanCacheHits);
+                (outcome, CacheOutcome::Hit)
+            }
+            Err(had_entry) => {
+                let disposition = if had_entry {
+                    obs::bump(obs::Counter::PlanCacheRebinds);
+                    CacheOutcome::Rebind
+                } else {
+                    obs::bump(obs::Counter::PlanCacheMisses);
+                    CacheOutcome::Miss
+                };
+                let outcome = search::optimize(&datalog, &self.ctx, &self.search);
+                self.store(cache, &datalog, &template, &outcome);
+                (outcome, disposition)
+            }
+        };
+        let verdict = outcome_to_verdict(outcome, &datalog, &translation, &self.catalog)?;
+        Ok((
+            OptimizationReport {
+                original: original.clone(),
+                normalized: translation.normalized,
+                datalog,
+                verdict,
+                stats: obs::snapshot().since(&before),
+            },
+            disposition,
+        ))
+    }
+
+    /// Look the template up and, when applicable, return the cached
+    /// outcome retargeted onto this query. `Err(had_entry)` asks the
+    /// caller to run a fresh search.
+    fn try_cached(
+        &self,
+        cache: &PlanCache,
+        template: &CanonicalTemplate,
+    ) -> std::result::Result<Outcome, bool> {
+        let entries = cache.entries.lock().map_err(|_| false)?;
+        let Some(entry) = entries.get(&template.hash) else {
+            return Err(false);
+        };
+        if entry.generation != self.generation
+            || entry.repr_params.len() != template.params.len()
+            || entry.repr_var_order.len() != template.var_order.len()
+        {
+            return Err(true);
+        }
+        if param_signature(&template.params, &entry.thresholds) != entry.signature {
+            return Err(true);
+        }
+        let outcome = entry.outcome.clone();
+        let retarget = Retarget::new(
+            &entry.repr_var_order,
+            &template.var_order,
+            &entry.repr_params,
+            &template.params,
+        );
+        drop(entries);
+        let _s = obs::span!("cache.retarget");
+        Ok(retarget.outcome(outcome))
+    }
+
+    /// Insert (or replace) the template's entry with a fresh outcome.
+    fn store(
+        &self,
+        cache: &PlanCache,
+        datalog: &Query,
+        template: &CanonicalTemplate,
+        outcome: &Outcome,
+    ) {
+        let mut thresholds: BTreeSet<Const> = self.kb_consts.iter().copied().collect();
+        collect_unlifted_consts(datalog, &mut thresholds);
+        let thresholds: Vec<Const> = thresholds.into_iter().collect();
+        let entry = CacheEntry {
+            generation: self.generation,
+            signature: param_signature(&template.params, &thresholds),
+            thresholds,
+            repr_params: template.params.clone(),
+            repr_var_order: template.var_order.clone(),
+            outcome: outcome.clone(),
+        };
+        if let Ok(mut entries) = cache.entries.lock() {
+            if entries.len() >= cache.capacity && !entries.contains_key(&template.hash) {
+                if let Some(&k) = entries.keys().next() {
+                    entries.remove(&k);
+                }
+            }
+            entries.insert(template.hash, entry);
+        }
+    }
+}
+
+/// The parameter signature: for each parameter, its value family and its
+/// ordering against every threshold and every earlier parameter. Equal
+/// signatures guarantee every constant-vs-constant decision the search
+/// could take comes out identically (see the module docs).
+fn param_signature(params: &[Const], thresholds: &[Const]) -> Vec<u8> {
+    fn family(c: &Const) -> u8 {
+        match c {
+            Const::Int(_) => 0,
+            Const::Real(_) => 1,
+            Const::Str(_) => 2,
+            Const::Bool(_) => 3,
+            Const::Oid(_) => 4,
+        }
+    }
+    fn rel(a: &Const, b: &Const) -> u8 {
+        match a.order(b) {
+            Some(std::cmp::Ordering::Less) => 0,
+            Some(std::cmp::Ordering::Equal) => 1,
+            Some(std::cmp::Ordering::Greater) => 2,
+            None if a.same_value(b) => 3,
+            None => 4,
+        }
+    }
+    let mut sig = Vec::with_capacity(params.len() * (thresholds.len() + params.len() + 1));
+    for (i, p) in params.iter().enumerate() {
+        sig.push(family(p));
+        for t in thresholds {
+            sig.push(rel(p, t));
+        }
+        for q in &params[..i] {
+            sig.push(rel(p, q));
+        }
+    }
+    sig
+}
+
+fn collect_term_const(t: &Term, out: &mut BTreeSet<Const>) {
+    if let Term::Const(c) = t {
+        out.insert(*c);
+    }
+}
+
+fn collect_literal_consts(l: &Literal, out: &mut BTreeSet<Const>) {
+    match l {
+        Literal::Pos(a) | Literal::Neg(a) => {
+            for t in &a.args {
+                collect_term_const(t, out);
+            }
+        }
+        Literal::Cmp(c) => {
+            collect_term_const(&c.lhs, out);
+            collect_term_const(&c.rhs, out);
+        }
+    }
+}
+
+fn collect_head_consts(h: &sqo_datalog::ConstraintHead, out: &mut BTreeSet<Const>) {
+    match h {
+        sqo_datalog::ConstraintHead::None => {}
+        sqo_datalog::ConstraintHead::Atom(a) | sqo_datalog::ConstraintHead::NegAtom(a) => {
+            for t in &a.args {
+                collect_term_const(t, out);
+            }
+        }
+        sqo_datalog::ConstraintHead::Cmp(c) => {
+            collect_term_const(&c.lhs, out);
+            collect_term_const(&c.rhs, out);
+        }
+    }
+}
+
+/// The query's constants that were *not* lifted into parameters: atom
+/// arguments, ground comparisons, and projection constants — mirroring
+/// exactly what [`Query::canonical_template`] keeps in the shape.
+fn collect_unlifted_consts(q: &Query, out: &mut BTreeSet<Const>) {
+    for t in &q.projection {
+        collect_term_const(t, out);
+    }
+    for l in &q.body {
+        match l {
+            Literal::Cmp(c)
+                if matches!(
+                    (&c.lhs, &c.rhs),
+                    (Term::Var(_), Term::Const(_)) | (Term::Const(_), Term::Var(_))
+                ) =>
+            {
+                // Lifted: exactly the parameter slots.
+            }
+            other => collect_literal_consts(other, out),
+        }
+    }
+}
+
+/// Maps the cached representative's variables and parameters onto a new
+/// member of the same template family. Variables the search introduced
+/// (IC existentials) are renamed to fresh names that cannot capture any
+/// target variable.
+struct Retarget {
+    var_map: HashMap<Var, Var>,
+    const_map: HashMap<Const, Const>,
+    used: HashSet<Var>,
+    fresh: HashMap<Var, Var>,
+    next_fresh: usize,
+}
+
+impl Retarget {
+    fn new(from_vars: &[Var], to_vars: &[Var], from_params: &[Const], to_params: &[Const]) -> Self {
+        let var_map: HashMap<Var, Var> = from_vars
+            .iter()
+            .copied()
+            .zip(to_vars.iter().copied())
+            .collect();
+        let const_map: HashMap<Const, Const> = from_params
+            .iter()
+            .copied()
+            .zip(to_params.iter().copied())
+            .collect();
+        Retarget {
+            var_map,
+            const_map,
+            used: to_vars.iter().copied().collect(),
+            fresh: HashMap::new(),
+            next_fresh: 0,
+        }
+    }
+
+    fn var(&mut self, v: Var) -> Var {
+        if let Some(&w) = self.var_map.get(&v) {
+            return w;
+        }
+        if let Some(&w) = self.fresh.get(&v) {
+            return w;
+        }
+        // A search-introduced existential: keep its name when free,
+        // otherwise derive a non-capturing one.
+        let mut cand = v;
+        while self.used.contains(&cand) {
+            cand = Var::new(format!("{}_c{}", v.name(), self.next_fresh));
+            self.next_fresh += 1;
+        }
+        self.used.insert(cand);
+        self.fresh.insert(v, cand);
+        cand
+    }
+
+    fn term(&mut self, t: &Term) -> Term {
+        match t {
+            Term::Var(v) => Term::Var(self.var(*v)),
+            Term::Const(c) => Term::Const(*self.const_map.get(c).unwrap_or(c)),
+        }
+    }
+
+    fn atom(&mut self, a: &Atom) -> Atom {
+        Atom::new(a.pred, a.args.iter().map(|t| self.term(t)).collect())
+    }
+
+    fn literal(&mut self, l: &Literal) -> Literal {
+        match l {
+            Literal::Pos(a) => Literal::Pos(self.atom(a)),
+            Literal::Neg(a) => Literal::Neg(self.atom(a)),
+            Literal::Cmp(c) => {
+                Literal::Cmp(Comparison::new(self.term(&c.lhs), c.op, self.term(&c.rhs)))
+            }
+        }
+    }
+
+    fn query(&mut self, q: &Query) -> Query {
+        Query {
+            name: q.name.clone(),
+            projection: q.projection.iter().map(|t| self.term(t)).collect(),
+            body: q.body.iter().map(|l| self.literal(l)).collect(),
+        }
+    }
+
+    /// Retarget a cached outcome. Variant queries are rewritten onto the
+    /// new variables/constants; derivation steps are kept verbatim — the
+    /// provenance describes the template representative's derivation,
+    /// which is step-for-step the derivation of the new query.
+    fn outcome(mut self, o: Outcome) -> Outcome {
+        match o {
+            Outcome::Contradiction { .. } => o,
+            Outcome::Equivalents(variants) => Outcome::Equivalents(
+                variants
+                    .into_iter()
+                    .map(|v| Variant {
+                        query: self.query(&v.query),
+                        steps: v.steps,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqo_datalog::{CmpOp, R64};
+
+    #[test]
+    fn signature_orders_against_thresholds_and_peers() {
+        let thresholds = [Const::Int(30)];
+        let a = param_signature(&[Const::Int(18)], &thresholds);
+        let b = param_signature(&[Const::Int(25)], &thresholds);
+        let c = param_signature(&[Const::Int(40)], &thresholds);
+        let eq = param_signature(&[Const::Int(30)], &thresholds);
+        assert_eq!(a, b, "both below the threshold");
+        assert_ne!(a, c, "opposite sides of the threshold");
+        assert_ne!(a, eq, "equality with a threshold is its own class");
+        // Pairwise parameter order matters too.
+        let lo_hi = param_signature(&[Const::Int(1), Const::Int(2)], &[]);
+        let hi_lo = param_signature(&[Const::Int(2), Const::Int(1)], &[]);
+        assert_ne!(lo_hi, hi_lo);
+        // And value families are distinguished even when order is moot.
+        assert_ne!(
+            param_signature(&[Const::Int(1)], &[]),
+            param_signature(&[Const::Real(R64::new(1.0))], &[]),
+        );
+    }
+
+    #[test]
+    fn retarget_renames_without_capture() {
+        // Representative used X; the new query calls that variable N2 —
+        // which collides with the existential N2 the search introduced.
+        let from = [Var::new("X")];
+        let to = [Var::new("N2")];
+        let mut rt = Retarget::new(&from, &to, &[Const::Int(30)], &[Const::Int(40)]);
+        let variant = Query::new(
+            "q",
+            vec![Term::var("X")],
+            vec![
+                Literal::pos("p", vec![Term::var("X"), Term::var("N2")]),
+                Literal::cmp(Term::var("X"), CmpOp::Lt, Term::int(30)),
+            ],
+        );
+        let out = rt.query(&variant);
+        assert_eq!(out.projection, vec![Term::var("N2")]);
+        let Literal::Pos(a) = &out.body[0] else {
+            panic!()
+        };
+        assert_eq!(a.args[0], Term::var("N2"));
+        assert_ne!(a.args[1], Term::var("N2"), "existential must not capture");
+        let Literal::Cmp(c) = &out.body[1] else {
+            panic!()
+        };
+        assert_eq!(c.rhs, Term::int(40), "parameter remapped");
+    }
+}

@@ -1,0 +1,165 @@
+//! Behavior tests for [`PreparedOptimizer`] + [`PlanCache`].
+//!
+//! These assert on obs counter/span deltas, so every test in this binary
+//! serializes through one lock (the obs registry is process-global).
+
+use sqo_core::{CacheOutcome, OptimizationReport, PlanCache, PreparedOptimizer, SemanticOptimizer};
+use sqo_obs as obs;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn prepared_university() -> PreparedOptimizer {
+    let mut opt = SemanticOptimizer::university();
+    opt.add_constraint_text("ic IC4: Age >= 30 <- faculty(X, N, Age, S, R, Ad).")
+        .unwrap();
+    opt.prepare()
+}
+
+/// Rewrites of every equivalent, as (oql, changed) pairs — the
+/// cache-independent part of a report.
+fn rewrites(r: &OptimizationReport) -> Vec<(String, bool)> {
+    r.equivalents()
+        .iter()
+        .map(|e| (e.oql.to_string(), !e.delta.is_empty()))
+        .collect()
+}
+
+#[test]
+fn warm_hit_skips_search_and_matches_fresh_output() {
+    let _g = lock();
+    let prep = prepared_university();
+    let cache = PlanCache::new();
+    // Note 28, not 30: a parameter *equal* to IC4's threshold would pin
+    // the entry's signature to the exact-match class.
+    let (cold, d0) = prep
+        .optimize_cached(&cache, "select x.name from x in Person where x.age < 28")
+        .unwrap();
+    assert_eq!(d0, CacheOutcome::Miss);
+    assert!(cold.stats.counter(obs::Counter::SearchLevels) > 0);
+
+    // Same template, different constant, same side of IC4's 30.
+    let (warm, d1) = prep
+        .optimize_cached(&cache, "select x.name from x in Person where x.age < 25")
+        .unwrap();
+    assert_eq!(d1, CacheOutcome::Hit);
+    // The warm path ran no Step-1 compilation and no Step-3 search.
+    assert_eq!(warm.stats.counter(obs::Counter::ResiduesAttached), 0);
+    assert_eq!(warm.stats.counter(obs::Counter::SearchLevels), 0);
+    assert_eq!(warm.stats.counter(obs::Counter::SearchNodesExpanded), 0);
+    assert!(!warm.stats.spans.contains_key("step3.search"));
+    assert!(!warm.stats.spans.contains_key("step1.compile"));
+
+    // And the rewrites are identical to a fresh, uncached run.
+    let fresh = prep
+        .optimize("select x.name from x in Person where x.age < 25")
+        .unwrap();
+    assert_eq!(rewrites(&warm), rewrites(&fresh));
+    assert!(rewrites(&warm).iter().any(|(oql, changed)| {
+        *changed && oql.contains("x not in Faculty") && oql.contains("x.age < 25")
+    }));
+}
+
+#[test]
+fn signature_mismatch_rebinds() {
+    let _g = lock();
+    let prep = prepared_university();
+    let cache = PlanCache::new();
+    // age < 20 sits below IC4's 30, so the faculty scope reduction
+    // applies; 20 orders Less against the 30 threshold.
+    let (_r0, d0) = prep
+        .optimize_cached(&cache, "select x.name from x in Person where x.age < 20")
+        .unwrap();
+    assert_eq!(d0, CacheOutcome::Miss);
+    // age < 50 orders Greater against 30: the cached plan may not
+    // transfer, so the cache must re-search.
+    let (r1, d1) = prep
+        .optimize_cached(&cache, "select x.name from x in Person where x.age < 50")
+        .unwrap();
+    assert_eq!(d1, CacheOutcome::Rebind);
+    let fresh = prep
+        .optimize("select x.name from x in Person where x.age < 50")
+        .unwrap();
+    assert_eq!(rewrites(&r1), rewrites(&fresh));
+    // The rebound entry now answers its own parameter family.
+    let (_r2, d2) = prep
+        .optimize_cached(&cache, "select x.name from x in Person where x.age < 60")
+        .unwrap();
+    assert_eq!(d2, CacheOutcome::Hit);
+}
+
+#[test]
+fn contradictions_are_cached_and_retargeted() {
+    let _g = lock();
+    let prep = prepared_university();
+    let cache = PlanCache::new();
+    let (r0, d0) = prep
+        .optimize_cached(&cache, "select x.name from x in Faculty where x.age < 20")
+        .unwrap();
+    assert_eq!(d0, CacheOutcome::Miss);
+    assert!(r0.is_contradiction());
+    let (r1, d1) = prep
+        .optimize_cached(&cache, "select x.name from x in Faculty where x.age < 25")
+        .unwrap();
+    assert_eq!(d1, CacheOutcome::Hit);
+    assert!(r1.is_contradiction());
+    assert_eq!(r1.stats.counter(obs::Counter::SearchLevels), 0);
+}
+
+#[test]
+fn invalidation_prevents_stale_plans() {
+    let _g = lock();
+    let prep = prepared_university();
+    let cache = PlanCache::new();
+    let q = "select x.name from x in Person where x.age < 30";
+    let (_r, d0) = prep.optimize_cached(&cache, q).unwrap();
+    assert_eq!(d0, CacheOutcome::Miss);
+    assert_eq!(cache.len(), 1);
+    let before = obs::snapshot();
+    cache.invalidate();
+    let invalidated = obs::snapshot().since(&before);
+    assert_eq!(invalidated.counter(obs::Counter::PlanCacheInvalidations), 1);
+    assert!(cache.is_empty());
+    // The same query misses again (fresh compilation of the plan).
+    let (_r, d1) = prep.optimize_cached(&cache, q).unwrap();
+    assert_eq!(d1, CacheOutcome::Miss);
+}
+
+#[test]
+fn generation_mismatch_is_never_served() {
+    let _g = lock();
+    let prep0 = prepared_university();
+    let cache = PlanCache::new();
+    let q = "select x.name from x in Person where x.age < 30";
+    let (_r, d0) = prep0.optimize_cached(&cache, q).unwrap();
+    assert_eq!(d0, CacheOutcome::Miss);
+    // A reloaded schema at a newer generation must not serve the old
+    // entry even if the cache was (incorrectly) not invalidated.
+    let prep1 = prepared_university().with_generation(1);
+    let (_r, d1) = prep1.optimize_cached(&cache, q).unwrap();
+    assert_ne!(d1, CacheOutcome::Hit);
+}
+
+#[test]
+fn distinct_templates_do_not_collide() {
+    let _g = lock();
+    let prep = prepared_university();
+    let cache = PlanCache::new();
+    let (_r, d0) = prep
+        .optimize_cached(&cache, "select x.name from x in Person where x.age < 30")
+        .unwrap();
+    assert_eq!(d0, CacheOutcome::Miss);
+    let (_r, d1) = prep
+        .optimize_cached(&cache, "select x.name from x in Student where x.age < 30")
+        .unwrap();
+    assert_eq!(
+        d1,
+        CacheOutcome::Miss,
+        "different class, different template"
+    );
+    assert_eq!(cache.len(), 2);
+}

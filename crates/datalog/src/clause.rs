@@ -222,6 +222,43 @@ impl fmt::Display for Constraint {
     }
 }
 
+/// Where a lifted parameter constant sits in the original query body.
+///
+/// `lit` indexes into [`Query::body`]; `rhs` records which side of that
+/// comparison held the constant, so [`Query::with_params`] can substitute
+/// a new constant back without re-deriving the canonical form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamSlot {
+    /// Index of the comparison literal in the query body.
+    pub lit: usize,
+    /// `true` when the constant is the right-hand operand.
+    pub rhs: bool,
+}
+
+/// A parameter-normalized canonical fingerprint of a query.
+///
+/// Produced by [`Query::canonical_template`]: comparison constants that
+/// face a variable (`Age < 30`) are lifted into numbered parameters, so
+/// `Age < 30` and `Age < 40` share a `hash` while differing only in
+/// `params`. A semantic-plan cache keys on `hash` and re-checks the
+/// residue-applicability conditions against the bound `params`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalTemplate {
+    /// Fingerprint of the query with lifted constants replaced by
+    /// parameter numbers. Equal for queries identical up to lifted
+    /// constants (and variable renaming; body reordering is absorbed
+    /// up to duplicate shapes, as in [`Query::canonical_hash`]).
+    pub hash: u64,
+    /// The lifted constants, in parameter order.
+    pub params: Vec<crate::term::Const>,
+    /// Where each parameter lives in the original body (parallel to
+    /// `params`).
+    pub slots: Vec<ParamSlot>,
+    /// Query variables in canonical first-occurrence order: two queries
+    /// with equal `hash` correspond under `var_order[k] ↦ var_order[k]`.
+    pub var_order: Vec<Var>,
+}
+
 /// A conjunctive query `q(Projection) <- Body`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Query {
@@ -459,6 +496,162 @@ impl Query {
         proj.hash(&mut h);
         body.hash(&mut h);
         h.finish()
+    }
+
+    /// The parameter-normalized variant of [`Query::canonical_hash`]:
+    /// every comparison between a variable and a constant contributes a
+    /// numbered parameter token instead of the constant itself, oriented
+    /// variable-left so the constant's value cannot change the literal's
+    /// canonical orientation. Ground comparisons, variable–variable
+    /// comparisons, and constants inside database atoms are *not* lifted
+    /// — they are part of the template shape.
+    ///
+    /// Two queries with equal template hashes correspond literal-for-
+    /// literal under the variable map `var_order[k] ↦ var_order[k]` and
+    /// the parameter map `params[i] ↦ params[i]`.
+    pub fn canonical_template(&self) -> CanonicalTemplate {
+        use crate::atom::CmpOp;
+        use crate::term::{Const, R64};
+        use std::collections::hash_map::DefaultHasher;
+        use std::collections::HashMap;
+        use std::hash::{Hash, Hasher};
+
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        enum Tok {
+            Blank,
+            // A lifted constant, before (ParamBlank) and after (Param)
+            // parameter numbers are assigned.
+            ParamBlank,
+            Param(usize),
+            V(usize),
+            Pos(u32),
+            Neg(u32),
+            Op(CmpOp),
+            CInt(i64),
+            CReal(R64),
+            CStr(u32),
+            CBool(bool),
+            COid(u64),
+        }
+        let const_tok = |c: &Const| match c {
+            Const::Int(v) => Tok::CInt(*v),
+            Const::Real(r) => Tok::CReal(*r),
+            Const::Str(s) => Tok::CStr(s.id()),
+            Const::Bool(b) => Tok::CBool(*b),
+            Const::Oid(o) => Tok::COid(*o),
+        };
+        // A comparison is liftable when exactly one side is a variable:
+        // (var, const, var-left op, const-was-rhs).
+        let liftable = |c: &Comparison| -> Option<(Var, Const, CmpOp, bool)> {
+            match (&c.lhs, &c.rhs) {
+                (Term::Var(v), Term::Const(k)) => Some((*v, *k, c.op, true)),
+                (Term::Const(k), Term::Var(v)) => Some((*v, *k, c.op.flip(), false)),
+                _ => None,
+            }
+        };
+        let blank = |t: &Term| match t {
+            Term::Var(_) => Tok::Blank,
+            Term::Const(c) => const_tok(c),
+        };
+        let shape = |l: &Literal| -> Vec<Tok> {
+            match l {
+                Literal::Pos(a) => {
+                    let mut v = vec![Tok::Pos(a.pred.0.id())];
+                    v.extend(a.args.iter().map(blank));
+                    v
+                }
+                Literal::Neg(a) => {
+                    let mut v = vec![Tok::Neg(a.pred.0.id())];
+                    v.extend(a.args.iter().map(blank));
+                    v
+                }
+                Literal::Cmp(c) => match liftable(c) {
+                    Some((_, _, op, _)) => vec![Tok::Op(op), Tok::Blank, Tok::ParamBlank],
+                    None => {
+                        let c = c.canonical();
+                        vec![Tok::Op(c.op), blank(&c.lhs), blank(&c.rhs)]
+                    }
+                },
+            }
+        };
+        // Sort body *indices* so parameter slots can point back into the
+        // original body.
+        let mut ordered: Vec<usize> = (0..self.body.len()).collect();
+        ordered.sort_by_cached_key(|&i| shape(&self.body[i]));
+        let mut map: HashMap<Var, usize> = HashMap::new();
+        let rt = |t: &Term, map: &mut HashMap<Var, usize>| -> Tok {
+            match t {
+                Term::Var(v) => {
+                    let n = map.len();
+                    Tok::V(*map.entry(*v).or_insert(n))
+                }
+                Term::Const(c) => const_tok(c),
+            }
+        };
+        let proj: Vec<Tok> = self.projection.iter().map(|t| rt(t, &mut map)).collect();
+        let mut params: Vec<Const> = Vec::new();
+        let mut slots: Vec<ParamSlot> = Vec::new();
+        let mut body: Vec<Vec<Tok>> = Vec::with_capacity(ordered.len());
+        for i in ordered {
+            body.push(match &self.body[i] {
+                Literal::Pos(a) => {
+                    let mut v = vec![Tok::Pos(a.pred.0.id())];
+                    v.extend(a.args.iter().map(|t| rt(t, &mut map)));
+                    v
+                }
+                Literal::Neg(a) => {
+                    let mut v = vec![Tok::Neg(a.pred.0.id())];
+                    v.extend(a.args.iter().map(|t| rt(t, &mut map)));
+                    v
+                }
+                Literal::Cmp(c) => match liftable(c) {
+                    Some((v, k, op, rhs)) => {
+                        let idx = params.len();
+                        params.push(k);
+                        slots.push(ParamSlot { lit: i, rhs });
+                        vec![Tok::Op(op), rt(&Term::Var(v), &mut map), Tok::Param(idx)]
+                    }
+                    None => {
+                        let c = c.canonical();
+                        vec![Tok::Op(c.op), rt(&c.lhs, &mut map), rt(&c.rhs, &mut map)]
+                    }
+                },
+            });
+        }
+        body.sort();
+        let mut h = DefaultHasher::new();
+        proj.hash(&mut h);
+        body.hash(&mut h);
+        let mut var_order: Vec<Var> = self.vars().iter().copied().collect();
+        // `vars()` is alphabetical; reorder by canonical number. Every
+        // query variable is in `map` because projection and body were
+        // both walked above.
+        var_order.sort_by_key(|v| map.get(v).copied().unwrap_or(usize::MAX));
+        CanonicalTemplate {
+            hash: h.finish(),
+            params,
+            slots,
+            var_order,
+        }
+    }
+
+    /// Substitute constants back into the parameter slots of this query,
+    /// producing the member of the template family bound to `params`.
+    /// Slots and params must be parallel (as produced by
+    /// [`Query::canonical_template`]); excess entries on either side are
+    /// ignored.
+    pub fn with_params(&self, slots: &[ParamSlot], params: &[crate::term::Const]) -> Query {
+        let mut q = self.clone();
+        for (slot, k) in slots.iter().zip(params) {
+            if let Some(Literal::Cmp(c)) = q.body.get_mut(slot.lit) {
+                if slot.rhs {
+                    c.rhs = Term::Const(*k);
+                } else {
+                    c.lhs = Term::Const(*k);
+                }
+            }
+        }
+        q
     }
 }
 
@@ -726,6 +919,197 @@ mod tests {
             vec![Literal::pos("p", vec![Term::var("X")])],
         );
         assert!(!bad.is_safe());
+    }
+
+    #[test]
+    fn template_lifts_comparison_constants() {
+        use crate::term::Const;
+        let q30 = sample_query();
+        let q40 = Query::new(
+            "q",
+            vec![Term::var("Name")],
+            vec![
+                Literal::pos(
+                    "person",
+                    vec![Term::var("X"), Term::var("Name"), Term::var("Age")],
+                ),
+                Literal::cmp(Term::var("Age"), CmpOp::Lt, Term::int(40)),
+            ],
+        );
+        assert_ne!(q30.canonical_hash(), q40.canonical_hash());
+        let t30 = q30.canonical_template();
+        let t40 = q40.canonical_template();
+        assert_eq!(t30.hash, t40.hash);
+        assert_eq!(t30.params, vec![Const::Int(30)]);
+        assert_eq!(t40.params, vec![Const::Int(40)]);
+        assert_eq!(t30.slots, t40.slots);
+    }
+
+    #[test]
+    fn template_is_orientation_invariant() {
+        // `30 > Age` and `Age < 30` are the same template member; the
+        // flipped orientation must not change hash or lifted constant.
+        let q = sample_query();
+        let flipped = Query::new(
+            "q",
+            vec![Term::var("Name")],
+            vec![
+                Literal::pos(
+                    "person",
+                    vec![Term::var("X"), Term::var("Name"), Term::var("Age")],
+                ),
+                Literal::cmp(Term::int(30), CmpOp::Gt, Term::var("Age")),
+            ],
+        );
+        let t1 = q.canonical_template();
+        let t2 = flipped.canonical_template();
+        assert_eq!(t1.hash, t2.hash);
+        assert_eq!(t1.params, t2.params);
+        // The slot remembers which side the constant was actually on.
+        assert!(t1.slots[0].rhs);
+        assert!(!t2.slots[0].rhs);
+    }
+
+    #[test]
+    fn template_keeps_ground_and_var_var_comparisons() {
+        // A ground comparison is part of the shape, not a parameter.
+        let g1 = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![Term::var("X")]),
+                Literal::cmp(Term::int(1), CmpOp::Eq, Term::int(2)),
+            ],
+        );
+        let g2 = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![Term::var("X")]),
+                Literal::cmp(Term::int(1), CmpOp::Eq, Term::int(3)),
+            ],
+        );
+        assert_ne!(g1.canonical_template().hash, g2.canonical_template().hash);
+        assert!(g1.canonical_template().params.is_empty());
+        // A var-var comparison is likewise not lifted.
+        let vv = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("p", vec![Term::var("X"), Term::var("Y")]),
+                Literal::cmp(Term::var("X"), CmpOp::Lt, Term::var("Y")),
+            ],
+        );
+        assert!(vv.canonical_template().params.is_empty());
+    }
+
+    #[test]
+    fn template_distinguishes_atom_constants() {
+        // Constants inside database atoms are not parameters: different
+        // atom constants are different templates.
+        let a1 = Query::new(
+            "q",
+            vec![],
+            vec![Literal::pos("p", vec![Term::var("X"), Term::int(1)])],
+        );
+        let a2 = Query::new(
+            "q",
+            vec![],
+            vec![Literal::pos("p", vec![Term::var("X"), Term::int(2)])],
+        );
+        assert_ne!(a1.canonical_template().hash, a2.canonical_template().hash);
+    }
+
+    #[test]
+    fn with_params_round_trips() {
+        use crate::term::Const;
+        let q = sample_query();
+        let t = q.canonical_template();
+        // Substituting a template's own params back is the identity.
+        assert_eq!(q.with_params(&t.slots, &t.params), q);
+        // Substituting fresh constants reproduces the sibling query's
+        // canonical hash.
+        let q40 = q.with_params(&t.slots, &[Const::Int(40)]);
+        let expected = Query::new(
+            "q",
+            vec![Term::var("Name")],
+            vec![
+                Literal::pos(
+                    "person",
+                    vec![Term::var("X"), Term::var("Name"), Term::var("Age")],
+                ),
+                Literal::cmp(Term::var("Age"), CmpOp::Lt, Term::int(40)),
+            ],
+        );
+        assert_eq!(q40.canonical_hash(), expected.canonical_hash());
+        assert_eq!(q40.canonical_template().hash, t.hash);
+    }
+
+    #[test]
+    fn template_var_order_aligns_equal_hashes() {
+        // Template-equal queries written with different variable names
+        // correspond under var_order position.
+        let a = sample_query();
+        let b = Query::new(
+            "q",
+            vec![Term::var("N")],
+            vec![
+                Literal::pos(
+                    "person",
+                    vec![Term::var("P"), Term::var("N"), Term::var("G")],
+                ),
+                Literal::cmp(Term::var("G"), CmpOp::Lt, Term::int(99)),
+            ],
+        );
+        let ta = a.canonical_template();
+        let tb = b.canonical_template();
+        assert_eq!(ta.hash, tb.hash);
+        assert_eq!(ta.var_order.len(), tb.var_order.len());
+        // Renaming a's query along var_order → var_order and rebinding
+        // params yields b's canonical hash.
+        let renamed = Query {
+            name: a.name.clone(),
+            projection: a
+                .projection
+                .iter()
+                .map(|t| remap(t, &ta.var_order, &tb.var_order))
+                .collect(),
+            body: a
+                .body
+                .iter()
+                .map(|l| remap_lit(l, &ta.var_order, &tb.var_order))
+                .collect(),
+        };
+        let renamed = renamed.with_params(&renamed.canonical_template().slots, &tb.params);
+        assert_eq!(renamed.canonical_hash(), b.canonical_hash());
+    }
+
+    fn remap(t: &Term, from: &[Var], to: &[Var]) -> Term {
+        match t {
+            Term::Var(v) => {
+                let i = from.iter().position(|w| w == v).expect("var in order");
+                Term::Var(to[i])
+            }
+            c => *c,
+        }
+    }
+
+    fn remap_lit(l: &Literal, from: &[Var], to: &[Var]) -> Literal {
+        match l {
+            Literal::Pos(a) => Literal::Pos(Atom::new(
+                a.pred,
+                a.args.iter().map(|t| remap(t, from, to)).collect(),
+            )),
+            Literal::Neg(a) => Literal::Neg(Atom::new(
+                a.pred,
+                a.args.iter().map(|t| remap(t, from, to)).collect(),
+            )),
+            Literal::Cmp(c) => Literal::Cmp(Comparison::new(
+                remap(&c.lhs, from, to),
+                c.op,
+                remap(&c.rhs, from, to),
+            )),
+        }
     }
 
     #[test]

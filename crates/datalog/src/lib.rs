@@ -44,7 +44,7 @@ pub mod transform;
 pub mod unify;
 
 pub use atom::{Atom, CmpOp, Comparison, Literal, PredSym};
-pub use clause::{Constraint, ConstraintHead, Query, Rule};
+pub use clause::{CanonicalTemplate, Constraint, ConstraintHead, ParamSlot, Query, Rule};
 pub use error::{DatalogError, Result};
 pub use intern::Sym;
 pub use solver::{ConstraintSet, Sat};

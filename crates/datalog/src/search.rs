@@ -328,7 +328,15 @@ fn analyse_level(nodes: &[Variant], ctx: &TransformContext) -> Vec<Analysis> {
     std::thread::scope(|s| {
         let handles: Vec<_> = nodes
             .chunks(chunk)
-            .map(|c| s.spawn(move || analyse_level_sequential(c, ctx)))
+            .map(|c| {
+                s.spawn(move || {
+                    let out = analyse_level_sequential(c, ctx);
+                    // Flush inside the closure: scope/join completion does
+                    // not wait for the worker's TLS destructors to run.
+                    obs::flush_local();
+                    out
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -402,9 +410,9 @@ fn optimize_with(
         obs::bump(obs::Counter::SearchLevels);
         obs::add(obs::Counter::SearchNodesExpanded, analysed as u64);
         // Worker threads flush their local counters into the global
-        // registry when `std::thread::scope` joins them inside
-        // `analyse_level`, so by the time the sequential merge below runs,
-        // totals are already identical to a sequential analysis.
+        // registry before their closures return inside `analyse_level`,
+        // so by the time the sequential merge below runs, totals are
+        // already identical to a sequential analysis.
         let analyses = analyse_level(&frontier[..analysed], ctx);
         let mut results = analyses.into_iter();
         let mut next_level: Vec<Variant> = Vec::new();

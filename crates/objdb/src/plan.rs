@@ -159,11 +159,17 @@ pub fn estimate_cost(db: &ObjectDb, q: &Query) -> f64 {
 
 /// Choose the cheapest query among semantically equivalent candidates.
 /// Returns the winning index and all estimates.
+///
+/// Exact cost ties are broken deterministically: prefer the candidate
+/// with fewer body literals, then the lower index — so the winner does
+/// not depend on the enumeration order of the equivalent set.
 pub fn choose_best(db: &ObjectDb, queries: &[Query]) -> (usize, Vec<f64>) {
     let costs: Vec<f64> = queries.iter().map(|q| estimate_cost(db, q)).collect();
     let mut best = 0;
     for (i, c) in costs.iter().enumerate() {
-        if *c < costs[best] {
+        if *c < costs[best]
+            || (*c == costs[best] && queries[i].body.len() < queries[best].body.len())
+        {
             best = i;
         }
     }
@@ -262,5 +268,29 @@ mod tests {
         let (best, costs) = choose_best(&d, &[q1, q2]);
         assert_eq!(costs.len(), 2);
         assert!(best < 2);
+    }
+
+    #[test]
+    fn choose_best_breaks_exact_ties_by_body_length() {
+        let d = ObjectDb::new(university_schema());
+        // Both probe one unknown relation (cost 2.0 exactly); the ground
+        // comparison is free, so the costs tie to the bit. The shorter
+        // candidate must win even though it is enumerated second.
+        let longer = Query::new(
+            "q",
+            vec![],
+            vec![
+                Literal::pos("u1", vec![Term::var("X")]),
+                Literal::cmp(Term::int(1), CmpOp::Lt, Term::int(2)),
+            ],
+        );
+        let shorter = Query::new("q", vec![], vec![Literal::pos("u2", vec![Term::var("X")])]);
+        let (best, costs) = choose_best(&d, &[longer.clone(), shorter.clone()]);
+        assert_eq!(costs[0], costs[1], "test premise: an exact cost tie");
+        assert_eq!(best, 1, "shorter body wins the tie");
+        // Among equal-length, equal-cost candidates the lower index wins,
+        // so the choice is stable under permutation of the rest.
+        let (best, _) = choose_best(&d, &[shorter.clone(), shorter]);
+        assert_eq!(best, 0);
     }
 }

@@ -101,10 +101,29 @@ pub enum Counter {
     OptimizerRewrites,
     /// Queries refuted outright by an integrity constraint.
     OptimizerContradictions,
+    /// Plan-cache lookups answered with a fully retargeted cached plan.
+    PlanCacheHits,
+    /// Plan-cache lookups where the template matched but the parameter
+    /// signature differed, forcing a fresh search that re-populated the
+    /// template entry.
+    PlanCacheRebinds,
+    /// Plan-cache lookups that found no usable entry.
+    PlanCacheMisses,
+    /// Plan-cache entries dropped by a generation bump (IC/schema reload).
+    PlanCacheInvalidations,
+    /// Sessions prepared (ODL parse + Step-1 translation + residue
+    /// compilation) by the service session registry.
+    ServiceSessionsPrepared,
+    /// Requests accepted by the serve front end (all ops).
+    ServeRequests,
+    /// Requests shed because the admission queue was full.
+    ServeShed,
+    /// Requests that missed their deadline before or during execution.
+    ServeDeadlineExceeded,
 }
 
 /// Number of distinct counters.
-pub const N_COUNTERS: usize = 18;
+pub const N_COUNTERS: usize = 26;
 
 const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "odl.classes_parsed",
@@ -125,6 +144,14 @@ const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "optimizer.queries",
     "optimizer.rewrites",
     "optimizer.contradictions",
+    "plan_cache.hits",
+    "plan_cache.rebinds",
+    "plan_cache.misses",
+    "plan_cache.invalidations",
+    "service.sessions_prepared",
+    "serve.requests",
+    "serve.shed",
+    "serve.deadline_exceeded",
 ];
 
 impl Counter {
@@ -159,6 +186,14 @@ const ALL_COUNTERS: [Counter; N_COUNTERS] = [
     Counter::OptimizerQueries,
     Counter::OptimizerRewrites,
     Counter::OptimizerContradictions,
+    Counter::PlanCacheHits,
+    Counter::PlanCacheRebinds,
+    Counter::PlanCacheMisses,
+    Counter::PlanCacheInvalidations,
+    Counter::ServiceSessionsPrepared,
+    Counter::ServeRequests,
+    Counter::ServeShed,
+    Counter::ServeDeadlineExceeded,
 ];
 
 /// Global merged totals. Thread-local cells flush here on thread exit and on
@@ -615,6 +650,9 @@ mod tests {
                     for _ in 0..100 {
                         bump(Counter::UnifyAttempts);
                     }
+                    // Scope exit only waits for the closure to return, not
+                    // for TLS destructors, so flush before returning.
+                    flush_local();
                 });
             }
         });

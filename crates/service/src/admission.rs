@@ -1,0 +1,215 @@
+//! Admission control: a bounded worker pool with load shedding.
+//!
+//! Requests enter a bounded FIFO queue drained by a fixed set of worker
+//! threads. When the queue is full the submission is *shed* immediately
+//! (the client gets `overloaded` instead of unbounded latency), and a
+//! task whose deadline passed while it waited is dropped at dequeue
+//! without running — dropping it tears down its reply channel, which the
+//! waiting connection observes as `deadline_exceeded`.
+
+use sqo_obs as obs;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One queued unit of work.
+pub struct Task {
+    /// Tasks not started by this instant are dropped unexecuted.
+    pub deadline: Instant,
+    /// The work itself (owns its reply channel).
+    pub run: Box<dyn FnOnce() + Send + 'static>,
+}
+
+struct PoolState {
+    queue: VecDeque<Task>,
+    stopping: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    wake: Condvar,
+    capacity: usize,
+}
+
+/// A fixed-size worker pool over a bounded queue.
+pub struct Pool {
+    inner: Arc<PoolInner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `workers` threads draining a queue of at most `capacity`
+    /// pending tasks.
+    pub fn new(workers: usize, capacity: usize) -> Pool {
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                stopping: false,
+            }),
+            wake: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        Pool { inner, workers }
+    }
+
+    /// Enqueues a task, or sheds it (returning `false` and bumping the
+    /// shed counter) when the queue is full or the pool is stopping.
+    pub fn submit(&self, task: Task) -> bool {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.stopping || state.queue.len() >= self.inner.capacity {
+            obs::add(obs::Counter::ServeShed, 1);
+            return false;
+        }
+        state.queue.push_back(task);
+        drop(state);
+        self.inner.wake.notify_one();
+        true
+    }
+
+    /// Tasks currently waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .len()
+    }
+
+    /// Stops accepting work, drains nothing further, and joins the
+    /// workers. Pending tasks are dropped (their reply channels close).
+    pub fn shutdown(&mut self) {
+        {
+            let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.stopping = true;
+            state.queue.clear();
+        }
+        self.inner.wake.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    loop {
+        let task = {
+            let mut state = inner.state.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(t) = state.queue.pop_front() {
+                    break t;
+                }
+                if state.stopping {
+                    // Flush before the closure returns: thread join does
+                    // not wait for TLS destructors.
+                    obs::flush_local();
+                    return;
+                }
+                state = inner.wake.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        if Instant::now() > task.deadline {
+            // Expired while queued: drop without running. The waiting
+            // connection sees the reply channel close and reports
+            // deadline_exceeded.
+            drop(task);
+            continue;
+        }
+        (task.run)();
+        // Make this worker's counters visible to concurrent metrics
+        // readers (locals only merge globally on flush).
+        obs::flush_local();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn far() -> Instant {
+        Instant::now() + Duration::from_secs(60)
+    }
+
+    #[test]
+    fn executes_submitted_tasks() {
+        let pool = Pool::new(2, 8);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..4 {
+            let tx = tx.clone();
+            assert!(pool.submit(Task {
+                deadline: far(),
+                run: Box::new(move || tx.send(i).unwrap()),
+            }));
+        }
+        let mut got: Vec<i32> = (0..4).map(|_| rx.recv().unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sheds_when_queue_full() {
+        // One worker, blocked; capacity 1 → the second queued task is shed.
+        let pool = Pool::new(1, 1);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        assert!(pool.submit(Task {
+            deadline: far(),
+            run: Box::new(move || {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            }),
+        }));
+        started_rx.recv().unwrap(); // worker is now busy
+        assert!(pool.submit(Task {
+            deadline: far(),
+            run: Box::new(|| {}),
+        })); // fills the queue
+        assert!(!pool.submit(Task {
+            deadline: far(),
+            run: Box::new(|| {}),
+        })); // shed
+        release_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn expired_tasks_are_dropped_unexecuted() {
+        let pool = Pool::new(1, 4);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        assert!(pool.submit(Task {
+            deadline: far(),
+            run: Box::new(move || {
+                started_tx.send(()).unwrap();
+                release_rx.recv().unwrap();
+            }),
+        }));
+        started_rx.recv().unwrap();
+        // Queued behind the blocker with an already-expired deadline; its
+        // reply channel must close without the closure ever running.
+        let (tx, rx) = mpsc::channel::<()>();
+        assert!(pool.submit(Task {
+            deadline: Instant::now() - Duration::from_millis(1),
+            run: Box::new(move || tx.send(()).unwrap()),
+        }));
+        release_tx.send(()).unwrap();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)),
+            Err(mpsc::RecvTimeoutError::Disconnected)
+        );
+    }
+}

@@ -1,0 +1,87 @@
+#![warn(missing_docs)]
+
+//! # sqo-service
+//!
+//! The concurrent query-serving subsystem over the semantic optimizer:
+//! long-lived prepared schemas, a parameterized semantic-plan cache, and
+//! admission control behind a JSON-lines-over-TCP front end — all on the
+//! standard library alone.
+//!
+//! * [`registry`] — named sessions holding a shared
+//!   [`sqo_core::PreparedOptimizer`] (schema parse, Step-1 translation
+//!   and residue compilation done once) plus a [`sqo_core::PlanCache`];
+//!   constraint reloads bump the generation and invalidate the cache.
+//! * [`admission`] — a bounded worker pool: full queue ⇒ shed
+//!   (`overloaded`), expired deadline ⇒ dropped unexecuted
+//!   (`deadline_exceeded`).
+//! * [`server`] — the wire protocol: one JSON request per line, one JSON
+//!   response per line; responses embed the optimizer's explain report.
+//! * [`json`] — the tiny JSON reader backing the protocol.
+//!
+//! ```no_run
+//! use sqo_service::{Server, ServerConfig, SessionRegistry, SessionSpec};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(SessionRegistry::new());
+//! registry
+//!     .prepare("default", SessionSpec::University,
+//!              Some("ic IC4: Age >= 30 <- faculty(X, N, Age, S, R, Ad)."))
+//!     .unwrap();
+//! let server = Server::bind(ServerConfig::default(), registry).unwrap();
+//! server.run().unwrap();
+//! ```
+
+pub mod admission;
+pub mod json;
+pub mod registry;
+pub mod server;
+
+pub use registry::{Session, SessionRegistry, SessionSpec};
+pub use server::{Server, ServerConfig};
+
+/// Why a request was not answered with a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The request line was not a valid protocol request.
+    BadRequest(String),
+    /// The named session has not been prepared.
+    UnknownSession(String),
+    /// The admission queue was full; the request was shed.
+    Overloaded,
+    /// The deadline passed before a result was produced.
+    DeadlineExceeded,
+    /// The optimizer rejected the query (parse/translation error).
+    Optimize(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable error kind for the wire envelope.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::UnknownSession(_) => "unknown_session",
+            ServeError::Overloaded => "overloaded",
+            ServeError::DeadlineExceeded => "deadline_exceeded",
+            ServeError::Optimize(_) => "optimize_error",
+        }
+    }
+
+    /// Human-readable detail.
+    pub fn message(&self) -> String {
+        match self {
+            ServeError::BadRequest(m) => m.clone(),
+            ServeError::UnknownSession(s) => format!("session {s:?} is not prepared"),
+            ServeError::Overloaded => "admission queue full; request shed".to_string(),
+            ServeError::DeadlineExceeded => "deadline exceeded".to_string(),
+            ServeError::Optimize(m) => m.clone(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind(), self.message())
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,305 @@
+//! The JSON-lines-over-TCP front end.
+//!
+//! One request per line, one response per line, `std::net` only. A
+//! connection may issue any number of requests; `query` requests pass
+//! through the admission pool while control requests (`ping`,
+//! `metrics`, `prepare`, `reload_ic`, `shutdown`) are answered inline.
+//!
+//! Request shapes (`op` selects the operation):
+//!
+//! ```text
+//! {"op":"ping"}
+//! {"op":"query","session":"default","oql":"select ...","timeout_ms":250}
+//! {"op":"prepare","session":"s","university":true,"ic":"ic IC4: ..."}
+//! {"op":"prepare","session":"s","schema":"<ODL source>"}
+//! {"op":"reload_ic","session":"s","ic":"ic IC4: ..."}
+//! {"op":"metrics"}
+//! {"op":"shutdown"}
+//! ```
+//!
+//! Responses are `{"ok":true,...}` or
+//! `{"ok":false,"error":{"kind":...,"message":...}}`; see
+//! `schemas/serve.schema.json` for the full envelope.
+
+use crate::admission::{Pool, Task};
+use crate::json::{self, Json};
+use crate::registry::{SessionRegistry, SessionSpec};
+use crate::ServeError;
+use sqo_obs as obs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Maximum queued (admitted but unstarted) queries before shedding.
+    pub queue_capacity: usize,
+    /// Deadline applied when a request carries no `timeout_ms`.
+    pub default_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            queue_capacity: 64,
+            default_timeout_ms: 10_000,
+        }
+    }
+}
+
+struct Shared {
+    registry: Arc<SessionRegistry>,
+    pool: Pool,
+    stop: AtomicBool,
+    local_addr: SocketAddr,
+    workers: usize,
+    queue_capacity: usize,
+    default_timeout: Duration,
+}
+
+/// A bound (but not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `cfg.addr` and spawns the worker pool.
+    pub fn bind(cfg: ServerConfig, registry: Arc<SessionRegistry>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry,
+            pool: Pool::new(cfg.workers, cfg.queue_capacity),
+            stop: AtomicBool::new(false),
+            local_addr,
+            workers: cfg.workers.max(1),
+            queue_capacity: cfg.queue_capacity.max(1),
+            default_timeout: Duration::from_millis(cfg.default_timeout_ms.max(1)),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (useful with a `:0` port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Accept loop. Returns after a `shutdown` request. Each connection
+    /// is served by its own thread; the bounded resource is the query
+    /// queue, not the connection count.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shared.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || {
+                let _ = handle_conn(&shared, stream);
+                obs::flush_local();
+            });
+        }
+        Ok(())
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(shared, &line);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        // By the time the client sees a response, this thread's counter
+        // bumps are globally visible (metrics may be read elsewhere).
+        obs::flush_local();
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn error_response(e: &ServeError) -> String {
+    format!(
+        r#"{{"ok":false,"error":{{"kind":{},"message":{}}}}}"#,
+        obs::json_string(e.kind()),
+        obs::json_string(&e.message())
+    )
+}
+
+fn handle_line(shared: &Arc<Shared>, line: &str) -> String {
+    match dispatch(shared, line) {
+        Ok(resp) => resp,
+        Err(e) => error_response(&e),
+    }
+}
+
+fn dispatch(shared: &Arc<Shared>, line: &str) -> Result<String, ServeError> {
+    let req = json::parse(line).map_err(ServeError::BadRequest)?;
+    let op = req
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing \"op\"".into()))?;
+    match op {
+        "ping" => Ok(r#"{"ok":true,"op":"ping"}"#.to_string()),
+        "metrics" => Ok(metrics_response(shared)),
+        "prepare" => prepare(shared, &req),
+        "reload_ic" => reload_ic(shared, &req),
+        "query" => query(shared, &req),
+        "shutdown" => {
+            shared.stop.store(true, Ordering::Release);
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(shared.local_addr);
+            Ok(r#"{"ok":true,"op":"shutdown"}"#.to_string())
+        }
+        other => Err(ServeError::BadRequest(format!("unknown op {other:?}"))),
+    }
+}
+
+fn session_name(req: &Json) -> Result<&str, ServeError> {
+    match req.get("session") {
+        None => Ok("default"),
+        Some(v) => v
+            .as_str()
+            .ok_or_else(|| ServeError::BadRequest("\"session\" must be a string".into())),
+    }
+}
+
+fn metrics_response(shared: &Arc<Shared>) -> String {
+    let sessions: Vec<String> = shared
+        .registry
+        .names()
+        .into_iter()
+        .filter_map(|name| shared.registry.get(&name))
+        .map(|s| {
+            format!(
+                r#"{{"name":{},"generation":{},"cached_templates":{}}}"#,
+                obs::json_string(s.name()),
+                s.prepared().generation(),
+                s.cache().len()
+            )
+        })
+        .collect();
+    format!(
+        r#"{{"ok":true,"op":"metrics","workers":{},"queue_capacity":{},"queue_depth":{},"sessions":[{}],"stats":{}}}"#,
+        shared.workers,
+        shared.queue_capacity,
+        shared.pool.queue_depth(),
+        sessions.join(","),
+        json::compact(&obs::snapshot_json())
+    )
+}
+
+fn prepare(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
+    let name = session_name(req)?;
+    let spec = if req.get("university").and_then(Json::as_bool) == Some(true) {
+        SessionSpec::University
+    } else {
+        let src = req.get("schema").and_then(Json::as_str).ok_or_else(|| {
+            ServeError::BadRequest("need \"university\":true or \"schema\"".into())
+        })?;
+        SessionSpec::Odl(src.to_string())
+    };
+    let ic = req.get("ic").and_then(Json::as_str);
+    let generation = shared.registry.prepare(name, spec, ic)?;
+    Ok(format!(
+        r#"{{"ok":true,"op":"prepare","session":{},"generation":{generation}}}"#,
+        obs::json_string(name)
+    ))
+}
+
+fn reload_ic(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
+    let name = session_name(req)?;
+    let ic = req
+        .get("ic")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing \"ic\"".into()))?;
+    let session = shared
+        .registry
+        .get(name)
+        .ok_or_else(|| ServeError::UnknownSession(name.to_string()))?;
+    let generation = session.reload_ic(ic)?;
+    Ok(format!(
+        r#"{{"ok":true,"op":"reload_ic","session":{},"generation":{generation}}}"#,
+        obs::json_string(name)
+    ))
+}
+
+fn query(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
+    obs::add(obs::Counter::ServeRequests, 1);
+    let name = session_name(req)?.to_string();
+    let oql = req
+        .get("oql")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing \"oql\"".into()))?
+        .to_string();
+    let timeout = req
+        .get("timeout_ms")
+        .and_then(Json::as_u64)
+        .map(Duration::from_millis)
+        .unwrap_or(shared.default_timeout);
+    let session = shared
+        .registry
+        .get(&name)
+        .ok_or_else(|| ServeError::UnknownSession(name.clone()))?;
+    let deadline = Instant::now() + timeout;
+
+    type Answer = Result<(String, &'static str, u64, u128), String>;
+    let (tx, rx) = mpsc::sync_channel::<Answer>(1);
+    let task_session = Arc::clone(&session);
+    let admitted = shared.pool.submit(Task {
+        deadline,
+        run: Box::new(move || {
+            let prep = task_session.prepared();
+            let started = Instant::now();
+            let answer = prep
+                .optimize_cached(task_session.cache(), &oql)
+                .map(|(report, outcome)| {
+                    (
+                        json::compact(&report.explain_json()),
+                        outcome.label(),
+                        prep.generation(),
+                        started.elapsed().as_micros(),
+                    )
+                })
+                .map_err(|e| e.to_string());
+            let _ = tx.send(answer);
+        }),
+    });
+    if !admitted {
+        return Err(ServeError::Overloaded);
+    }
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    match rx.recv_timeout(remaining) {
+        Ok(Ok((report, cache, generation, elapsed_us))) => Ok(format!(
+            r#"{{"ok":true,"op":"query","session":{},"generation":{generation},"cache":{},"elapsed_us":{elapsed_us},"report":{report}}}"#,
+            obs::json_string(&name),
+            obs::json_string(cache)
+        )),
+        Ok(Err(msg)) => Err(ServeError::Optimize(msg)),
+        Err(_) => {
+            // Timed out waiting, or the pool dropped the expired task.
+            obs::add(obs::Counter::ServeDeadlineExceeded, 1);
+            Err(ServeError::DeadlineExceeded)
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Wire-level tests for the serving subsystem.
+//!
+//! Tests assert on obs counter deltas (process-global), so every test in
+//! this binary serializes through one lock.
+
+use sqo_core::SemanticOptimizer;
+use sqo_obs as obs;
+use sqo_service::json::{self, Json};
+use sqo_service::{Server, ServerConfig, SessionRegistry, SessionSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Mutex};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const IC4: &str = "ic IC4: Age >= 30 <- faculty(X, N, Age, S, R, Ad).";
+
+/// Starts a university server on an ephemeral port; returns its address.
+/// The server thread exits when a `shutdown` request arrives.
+fn start_server(workers: usize, queue: usize) -> SocketAddr {
+    let registry = Arc::new(SessionRegistry::new());
+    registry
+        .prepare("default", SessionSpec::University, Some(IC4))
+        .unwrap();
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            queue_capacity: queue,
+            default_timeout_ms: 10_000,
+        },
+        registry,
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    std::thread::spawn(move || server.run().unwrap());
+    addr
+}
+
+/// Sends each line on one connection and returns the parsed responses.
+fn roundtrip(addr: SocketAddr, lines: &[String]) -> Vec<Json> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    lines
+        .iter()
+        .map(|l| {
+            writeln!(stream, "{l}").unwrap();
+            stream.flush().unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            json::parse(&resp).unwrap()
+        })
+        .collect()
+}
+
+fn shutdown(addr: SocketAddr) {
+    let _ = roundtrip(addr, &[r#"{"op":"shutdown"}"#.to_string()]);
+}
+
+fn query_line(oql: &str) -> String {
+    format!(r#"{{"op":"query","oql":{}}}"#, obs::json_string(oql))
+}
+
+/// The rewrite OQL strings of a wire `query` response.
+fn wire_rewrites(resp: &Json) -> Vec<String> {
+    resp.get("report")
+        .and_then(|r| r.get("equivalents"))
+        .and_then(Json::as_arr)
+        .unwrap_or(&[])
+        .iter()
+        .filter(|e| e.get("changed").and_then(Json::as_bool) == Some(true))
+        .filter_map(|e| e.get("oql").and_then(Json::as_str))
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn served_rewrites_match_the_one_shot_cli_path() {
+    let _g = lock();
+    let addr = start_server(2, 16);
+    let oql = "select x.name from x in Person where x.age < 27";
+    let resps = roundtrip(addr, &[query_line(oql), query_line(oql)]);
+    shutdown(addr);
+
+    assert_eq!(resps[0].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        resps[0].get("cache").and_then(Json::as_str),
+        Some("miss"),
+        "first sight of the template"
+    );
+    assert_eq!(
+        resps[1].get("cache").and_then(Json::as_str),
+        Some("hit"),
+        "identical query is a warm hit"
+    );
+
+    // The one-shot path: same schema, same IC, fresh optimizer.
+    let mut opt = SemanticOptimizer::university();
+    opt.add_constraint_text(IC4).unwrap();
+    let report = opt.optimize(oql).unwrap();
+    let mut local: Vec<String> = report
+        .proper_rewrites()
+        .map(|e| e.oql.to_string())
+        .collect();
+    local.sort();
+    for resp in &resps {
+        let mut served = wire_rewrites(resp);
+        served.sort();
+        assert_eq!(served, local, "served rewrites differ from one-shot CLI");
+    }
+    assert!(local.iter().any(|o| o.contains("x not in Faculty")));
+}
+
+#[test]
+fn concurrent_mixed_load_hits_cache_and_sheds_nothing() {
+    let _g = lock();
+    let before = obs::snapshot();
+    let addr = start_server(4, 64);
+    // 32 concurrent clients: a parameterized family (warm after the
+    // first), a second template, and a contradiction.
+    let handles: Vec<_> = (0..32)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let oql = match i % 3 {
+                    0 => format!("select x.name from x in Person where x.age < {}", 20 + i),
+                    1 => "select s.name from s in Student".to_string(),
+                    _ => format!(
+                        "select f.name from f in Faculty where f.age < {}",
+                        10 + i % 10
+                    ),
+                };
+                let resp = roundtrip(addr, &[query_line(&oql)]).remove(0);
+                assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "req {i}: {resp:?}");
+                let verdict = resp
+                    .get("report")
+                    .and_then(|r| r.get("verdict"))
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string();
+                if i % 3 == 2 {
+                    assert_eq!(verdict, "contradiction", "faculty under 30 is empty");
+                } else {
+                    assert_eq!(verdict, "equivalents");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let metrics = roundtrip(addr, &[r#"{"op":"metrics"}"#.to_string()]).remove(0);
+    shutdown(addr);
+    assert_eq!(metrics.get("ok"), Some(&Json::Bool(true)));
+    assert!(metrics.get("queue_depth").and_then(Json::as_u64).is_some());
+    let stats = metrics
+        .get("stats")
+        .and_then(|s| s.get("counters"))
+        .unwrap();
+    let total = |k: &str| stats.get(k).and_then(Json::as_u64).unwrap_or(0);
+    let delta = obs::snapshot().since(&before);
+    assert_eq!(delta.counter(obs::Counter::ServeRequests), 32);
+    assert_eq!(delta.counter(obs::Counter::ServeShed), 0);
+    assert_eq!(delta.counter(obs::Counter::ServeDeadlineExceeded), 0);
+    assert!(
+        delta.counter(obs::Counter::PlanCacheHits) >= 1,
+        "parameterized family must warm the cache"
+    );
+    // The wire metrics reply carries the same registry totals.
+    assert!(total("serve.requests") >= 32);
+    assert!(total("plan_cache.hits") >= 1);
+}
+
+#[test]
+fn zero_timeout_is_deadline_exceeded() {
+    let _g = lock();
+    let before = obs::snapshot();
+    let addr = start_server(1, 4);
+    let line =
+        r#"{"op":"query","oql":"select x.name from x in Person where x.age < 29","timeout_ms":0}"#
+            .to_string();
+    let resp = roundtrip(addr, &[line]).remove(0);
+    shutdown(addr);
+    assert_eq!(resp.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        resp.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("deadline_exceeded")
+    );
+    let delta = obs::snapshot().since(&before);
+    assert_eq!(delta.counter(obs::Counter::ServeDeadlineExceeded), 1);
+}
+
+#[test]
+fn reload_ic_invalidates_cached_plans_over_the_wire() {
+    let _g = lock();
+    let before = obs::snapshot();
+    let addr = start_server(2, 16);
+    let q = query_line("select x.name from x in Person where x.age < 24");
+    let reload = format!(
+        r#"{{"op":"reload_ic","ic":{}}}"#,
+        obs::json_string("ic IC4: Age >= 40 <- faculty(X, N, Age, S, R, Ad).")
+    );
+    let resps = roundtrip(addr, &[q.clone(), q.clone(), reload, q]);
+    shutdown(addr);
+    assert_eq!(resps[0].get("cache").and_then(Json::as_str), Some("miss"));
+    assert_eq!(resps[1].get("cache").and_then(Json::as_str), Some("hit"));
+    assert_eq!(resps[2].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(resps[2].get("generation").and_then(Json::as_u64), Some(1));
+    // After the reload the old plan must not be served again.
+    assert_eq!(resps[3].get("cache").and_then(Json::as_str), Some("miss"));
+    assert_eq!(resps[3].get("generation").and_then(Json::as_u64), Some(1));
+    let delta = obs::snapshot().since(&before);
+    assert!(delta.counter(obs::Counter::PlanCacheInvalidations) >= 1);
+}
+
+#[test]
+fn protocol_errors_are_structured() {
+    let _g = lock();
+    let addr = start_server(1, 4);
+    let resps = roundtrip(
+        addr,
+        &[
+            "this is not json".to_string(),
+            r#"{"op":"frobnicate"}"#.to_string(),
+            r#"{"op":"query","session":"nope","oql":"select s.name from s in Student"}"#
+                .to_string(),
+            r#"{"op":"query"}"#.to_string(),
+            r#"{"op":"ping"}"#.to_string(),
+        ],
+    );
+    shutdown(addr);
+    let kind = |r: &Json| {
+        r.get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+    };
+    assert_eq!(kind(&resps[0]).as_deref(), Some("bad_request"));
+    assert_eq!(kind(&resps[1]).as_deref(), Some("bad_request"));
+    assert_eq!(kind(&resps[2]).as_deref(), Some("unknown_session"));
+    assert_eq!(kind(&resps[3]).as_deref(), Some("bad_request"));
+    assert_eq!(resps[4].get("ok"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn prepare_over_the_wire_creates_sessions() {
+    let _g = lock();
+    let addr = start_server(1, 4);
+    let resps = roundtrip(
+        addr,
+        &[
+            format!(
+                r#"{{"op":"prepare","session":"second","university":true,"ic":{}}}"#,
+                obs::json_string(IC4)
+            ),
+            r#"{"op":"query","session":"second","oql":"select f.name from f in Faculty where f.age < 20"}"#
+                .to_string(),
+            r#"{"op":"metrics"}"#.to_string(),
+        ],
+    );
+    shutdown(addr);
+    assert_eq!(resps[0].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        resps[1]
+            .get("report")
+            .and_then(|r| r.get("verdict"))
+            .and_then(Json::as_str),
+        Some("contradiction")
+    );
+    let sessions = resps[2].get("sessions").and_then(Json::as_arr).unwrap();
+    let names: Vec<&str> = sessions
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(names, vec!["default", "second"]);
+}

@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Smoke-test `sqo serve`: concurrent mixed load over the wire.
+
+Starts the server on an ephemeral port, fires >= 32 concurrent queries
+(a parameterized cache-hit family, a second template, and one
+contradiction), validates every response line against
+schemas/serve.schema.json (and each embedded report against
+schemas/explain.schema.json), then checks the metrics reply: cache hits
+>= 1 and shed == 0. Exits nonzero on any failure or timeout.
+
+Stdlib only, mirroring check_explain_schema.py (whose validator it
+reuses).
+
+Usage: python3 scripts/serve_smoke.py [path/to/sqo]
+"""
+
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from check_explain_schema import validate  # noqa: E402
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TIMEOUT_S = 60
+N_CLIENTS = 33  # one contradiction + 32 mixed queries
+
+IC4 = "ic IC4: Age >= 30 <- faculty(X, N, Age, S, R, Ad).\n"
+
+
+def load_schema(name):
+    with open(os.path.join(REPO, "schemas", name)) as f:
+        return json.load(f)
+
+
+def fail(msg):
+    print(f"serve_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request(addr, line, timeout=TIMEOUT_S):
+    """One request line -> one parsed response object."""
+    with socket.create_connection(addr, timeout=timeout) as s:
+        s.sendall(line.encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(65536)
+            if not chunk:
+                break
+            buf += chunk
+    return json.loads(buf.decode())
+
+
+def check(value, schema, root, what):
+    errors = []
+    validate(value, schema, root, "$", errors)
+    if errors:
+        fail(f"{what} violates schema: " + "; ".join(errors[:5]))
+
+
+def main():
+    sqo = sys.argv[1] if len(sys.argv) > 1 else os.path.join(REPO, "target", "release", "sqo")
+    if not os.path.exists(sqo):
+        fail(f"binary not found: {sqo} (build with `cargo build --release`)")
+    serve_schema = load_schema("serve.schema.json")
+    explain_schema = load_schema("explain.schema.json")
+
+    with tempfile.NamedTemporaryFile("w", suffix=".dl", delete=False) as f:
+        f.write(IC4)
+        ic_path = f.name
+    proc = subprocess.Popen(
+        [sqo, "serve", "--university", "--ic", ic_path,
+         "--addr", "127.0.0.1:0", "--workers", "4", "--queue", "64"],
+        stdout=subprocess.PIPE, text=True,
+    )
+    try:
+        # The first stdout line announces the bound address.
+        line = proc.stdout.readline()
+        if not line:
+            fail("server did not announce a listening address")
+        announce = json.loads(line)
+        host, port = announce["listening"].rsplit(":", 1)
+        addr = (host, int(port))
+
+        # Warm one template so concurrent repeats can hit the cache.
+        warm = request(addr, json.dumps(
+            {"op": "query", "oql": "select x.name from x in Person where x.age < 21"}))
+        check(warm, serve_schema, serve_schema, "warm-up response")
+        if not warm.get("ok") or warm.get("cache") != "miss":
+            fail(f"warm-up should be a cache miss: {warm}")
+
+        results = [None] * N_CLIENTS
+
+        def client(i):
+            if i == 0:
+                oql = "select f.name from f in Faculty where f.age < 25"
+            elif i % 2 == 0:
+                # Cache-hit family: same template as the warm-up.
+                oql = f"select x.name from x in Person where x.age < {22 + i % 7}"
+            else:
+                # Distinct templates: a fresh comparison column each time.
+                oql = f"select s.name from s in Student where s.student_id != \"id{i}\""
+            try:
+                results[i] = (oql, request(addr, json.dumps(
+                    {"op": "query", "oql": oql, "timeout_ms": 30000})))
+            except Exception as e:  # noqa: BLE001 - reported as a failure below
+                results[i] = (oql, e)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(N_CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(TIMEOUT_S)
+            if t.is_alive():
+                fail("client timed out")
+
+        hits = 0
+        for i, (oql, resp) in enumerate(results):
+            if isinstance(resp, Exception):
+                fail(f"client {i} ({oql!r}): {resp}")
+            check(resp, serve_schema, serve_schema, f"client {i} response")
+            if not resp.get("ok"):
+                fail(f"client {i} ({oql!r}) not ok: {resp}")
+            report = resp["report"]
+            check(report, explain_schema, explain_schema, f"client {i} report")
+            want = "contradiction" if i == 0 else "equivalents"
+            if report["verdict"] != want:
+                fail(f"client {i} ({oql!r}): verdict {report['verdict']}, want {want}")
+            if resp.get("cache") == "hit":
+                hits += 1
+
+        metrics = request(addr, json.dumps({"op": "metrics"}))
+        check(metrics, serve_schema, serve_schema, "metrics response")
+        counters = metrics["stats"]["counters"]
+        if counters.get("plan_cache.hits", 0) < 1 or hits < 1:
+            fail(f"expected cache hits >= 1 (wire: {hits}, counter: "
+                 f"{counters.get('plan_cache.hits')})")
+        if counters.get("serve.shed", 0) != 0:
+            fail(f"expected shed == 0, got {counters.get('serve.shed')}")
+        if counters.get("serve.requests", 0) < N_CLIENTS + 1:
+            fail(f"serve.requests under-counts: {counters.get('serve.requests')}")
+
+        bye = request(addr, json.dumps({"op": "shutdown"}))
+        check(bye, serve_schema, serve_schema, "shutdown response")
+        proc.wait(timeout=TIMEOUT_S)
+        print(f"serve_smoke: OK ({N_CLIENTS} concurrent queries, "
+              f"{hits} warm hits, shed 0)")
+    finally:
+        os.unlink(ic_path)
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,8 @@
 //! sqo --schema school.odl [--ic constraints.dl] [--asr views.dl] "select ... from ... where ..."
 //! sqo --university "select x.name from x in Person where x.age < 30"
 //! sqo --university --show-schema
+//! sqo serve --university --ic constraints.dl --addr 127.0.0.1:7878 --workers 4
+//! sqo client --addr 127.0.0.1:7878 --oql "select x.name from x in Person where x.age < 30"
 //! ```
 //!
 //! Constraint / view files use the Datalog concrete syntax, one statement
@@ -15,8 +17,13 @@
 //! ```
 
 use semantic_sqo::datalog::parser::{parse_program, Statement};
+use semantic_sqo::service::json::{self as wire, Json};
+use semantic_sqo::service::{Server, ServerConfig, SessionRegistry, SessionSpec};
 use semantic_sqo::{SemanticOptimizer, Verdict};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 struct Args {
     schema: Option<String>,
@@ -32,6 +39,10 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: sqo (--schema FILE.odl | --university) [options] [OQL-QUERY]\n\
+         \u{20}      sqo serve  (--schema FILE.odl | --university) [--ic FILE]...\n\
+         \u{20}                 [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]\n\
+         \u{20}      sqo client [--addr HOST:PORT] (--oql QUERY [--session S] [--timeout-ms N]\n\
+         \u{20}                 | --metrics | --ping | --shutdown | --reload-ic FILE [--session S])\n\
          \n\
          options:\n\
            --ic FILE         add integrity constraints / ASR views (Datalog syntax;\n\
@@ -80,7 +91,185 @@ fn parse_args() -> Args {
     args
 }
 
+/// `sqo serve` — prepare a session and run the JSON-lines TCP server.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut cfg = ServerConfig::default();
+    let mut schema: Option<String> = None;
+    let mut university = false;
+    let mut ic_files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("sqo serve: {flag} needs a value");
+                std::process::exit(64)
+            })
+        };
+        match a.as_str() {
+            "--schema" => schema = Some(next("--schema")),
+            "--university" => university = true,
+            "--ic" => ic_files.push(next("--ic")),
+            "--addr" => cfg.addr = next("--addr"),
+            "--workers" => cfg.workers = next("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => cfg.queue_capacity = next("--queue").parse().unwrap_or_else(|_| usage()),
+            "--timeout-ms" => {
+                cfg.default_timeout_ms = next("--timeout-ms").parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let spec = match (&schema, university) {
+        (Some(path), false) => match std::fs::read_to_string(path) {
+            Ok(src) => SessionSpec::Odl(src),
+            Err(e) => {
+                eprintln!("sqo serve: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, true) => SessionSpec::University,
+        _ => usage(),
+    };
+    let mut ic_text = String::new();
+    for f in &ic_files {
+        match std::fs::read_to_string(f) {
+            Ok(src) => {
+                ic_text.push_str(&src);
+                ic_text.push('\n');
+            }
+            Err(e) => {
+                eprintln!("sqo serve: cannot read {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let registry = Arc::new(SessionRegistry::new());
+    let ic = (!ic_text.is_empty()).then_some(ic_text.as_str());
+    if let Err(e) = registry.prepare("default", spec, ic) {
+        eprintln!("sqo serve: {e}");
+        return ExitCode::FAILURE;
+    }
+    let server = match Server::bind(cfg, registry) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sqo serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // One machine-readable line so launchers (and the smoke test) can
+    // discover the bound port when started with :0.
+    println!("{{\"listening\":\"{}\"}}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sqo serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `sqo client` — send one request line and print the response line.
+fn client_main(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut session: Option<String> = None;
+    let mut oql: Option<String> = None;
+    let mut timeout_ms: Option<u64> = None;
+    let mut op: Option<&'static str> = None;
+    let mut reload_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut next = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| {
+                eprintln!("sqo client: {flag} needs a value");
+                std::process::exit(64)
+            })
+        };
+        match a.as_str() {
+            "--addr" => addr = next("--addr"),
+            "--session" => session = Some(next("--session")),
+            "--oql" => {
+                oql = Some(next("--oql"));
+                op = Some("query");
+            }
+            "--timeout-ms" => {
+                timeout_ms = Some(next("--timeout-ms").parse().unwrap_or_else(|_| usage()))
+            }
+            "--metrics" => op = Some("metrics"),
+            "--ping" => op = Some("ping"),
+            "--shutdown" => op = Some("shutdown"),
+            "--reload-ic" => {
+                reload_file = Some(next("--reload-ic"));
+                op = Some("reload_ic");
+            }
+            _ => usage(),
+        }
+    }
+    let Some(op) = op else { usage() };
+    let mut fields = vec![format!("\"op\":{}", sqo_obs::json_string(op))];
+    if let Some(s) = &session {
+        fields.push(format!("\"session\":{}", sqo_obs::json_string(s)));
+    }
+    if let Some(q) = &oql {
+        fields.push(format!("\"oql\":{}", sqo_obs::json_string(q)));
+    }
+    if let Some(ms) = timeout_ms {
+        fields.push(format!("\"timeout_ms\":{ms}"));
+    }
+    if let Some(f) = &reload_file {
+        match std::fs::read_to_string(f) {
+            Ok(src) => fields.push(format!("\"ic\":{}", sqo_obs::json_string(&src))),
+            Err(e) => {
+                eprintln!("sqo client: cannot read {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let request = format!("{{{}}}", fields.join(","));
+    let response = (|| -> std::io::Result<String> {
+        let mut stream = TcpStream::connect(&addr)?;
+        stream.write_all(request.as_bytes())?;
+        stream.write_all(b"\n")?;
+        stream.flush()?;
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line)?;
+        Ok(line)
+    })();
+    let line = match response {
+        Ok(l) if !l.trim().is_empty() => l,
+        Ok(_) => {
+            eprintln!("sqo client: server closed the connection without a response");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("sqo client: {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{line}");
+    match wire::parse(line.trim()) {
+        Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => {
+            // Mirror the one-shot CLI: a contradiction verdict exits 2.
+            let verdict = v
+                .get("report")
+                .and_then(|r| r.get("verdict"))
+                .and_then(Json::as_str);
+            if verdict == Some("contradiction") {
+                ExitCode::from(2)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => ExitCode::FAILURE,
+    }
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("serve") => return serve_main(&argv[1..]),
+        Some("client") => return client_main(&argv[1..]),
+        _ => {}
+    }
     let args = parse_args();
     let mut opt = if args.university {
         SemanticOptimizer::university()

@@ -21,7 +21,10 @@
 //!   evaluation engine;
 //! * [`sqo_objdb`] — an in-memory object database with extents,
 //!   relationships, methods, access support relations, a cost-accounting
-//!   executor and a cardinality-based plan chooser.
+//!   executor and a cardinality-based plan chooser;
+//! * [`sqo_service`] — the concurrent query-serving subsystem: session
+//!   registry, parameterized semantic-plan cache, admission control, and
+//!   a JSON-lines-over-TCP front end (`sqo serve` / `sqo client`).
 //!
 //! ## Quickstart
 //!
@@ -40,11 +43,13 @@
 //! ```
 
 pub use sqo_core::{
-    CompileOptions, Constraint, Delta, EquivalentQuery, OptimizationReport, Outcome, Query, Result,
-    Rule, Schema, SearchConfig, SelectQuery, SemanticOptimizer, SqoError, Step, Verdict,
+    CacheOutcome, CompileOptions, Constraint, Delta, EquivalentQuery, OptimizationReport, Outcome,
+    PlanCache, PreparedOptimizer, Query, Result, Rule, Schema, SearchConfig, SelectQuery,
+    SemanticOptimizer, SqoError, Step, Verdict,
 };
 pub use sqo_datalog as datalog;
 pub use sqo_objdb as objdb;
 pub use sqo_odl as odl;
 pub use sqo_oql as oql;
+pub use sqo_service as service;
 pub use sqo_translate as translate;
