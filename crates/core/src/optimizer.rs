@@ -15,7 +15,7 @@
 
 use crate::error::Result;
 use sqo_datalog::residue::{CompileOptions, ResidueSet};
-use sqo_datalog::search::{self, Delta, Outcome, SearchConfig, Step};
+use sqo_datalog::search::{self, Backend, Delta, Outcome, SearchConfig, Step};
 use sqo_datalog::transform::TransformContext;
 use sqo_datalog::{parser as dl_parser, Constraint, Query, Rule};
 use sqo_obs as obs;
@@ -392,6 +392,18 @@ impl SemanticOptimizer {
 
     /// Optimize a parsed OQL query through the full pipeline.
     pub fn optimize_query(&mut self, original: &SelectQuery) -> Result<OptimizationReport> {
+        self.optimize_query_backend(original, Backend::Parallel)
+    }
+
+    /// Optimize a parsed OQL query, forcing a specific Step-3 search
+    /// backend. Both backends yield byte-identical reports; differential
+    /// harnesses (the fuzz oracle, the cross-config determinism tests)
+    /// call this to assert it.
+    pub fn optimize_query_backend(
+        &mut self,
+        original: &SelectQuery,
+        backend: Backend,
+    ) -> Result<OptimizationReport> {
         let _span = obs::span!("pipeline.optimize");
         let before = obs::snapshot();
         obs::bump(obs::Counter::OptimizerQueries);
@@ -399,7 +411,7 @@ impl SemanticOptimizer {
         let datalog = translation.query.clone();
         let search_cfg = self.search.clone();
         let ctx = self.compile();
-        let outcome = search::optimize(&datalog, ctx, &search_cfg);
+        let outcome = search::optimize_with_backend(&datalog, ctx, &search_cfg, backend);
         let verdict = outcome_to_verdict(outcome, &datalog, &translation, &self.catalog)?;
         Ok(OptimizationReport {
             original: original.clone(),

@@ -225,12 +225,22 @@ impl PreparedOptimizer {
 
     /// Optimize a parsed OQL query without consulting a cache.
     pub fn optimize_query(&self, original: &SelectQuery) -> Result<OptimizationReport> {
+        self.optimize_query_backend(original, search::Backend::Parallel)
+    }
+
+    /// Optimize a parsed OQL query with an explicit Step-3 search
+    /// backend (see [`sqo_datalog::search::Backend`]).
+    pub fn optimize_query_backend(
+        &self,
+        original: &SelectQuery,
+        backend: search::Backend,
+    ) -> Result<OptimizationReport> {
         let _span = obs::span!("pipeline.optimize");
         let before = obs::snapshot();
         obs::bump(obs::Counter::OptimizerQueries);
         let translation = translate_query(original, &self.schema, &self.catalog)?;
         let datalog = translation.query.clone();
-        let outcome = search::optimize(&datalog, &self.ctx, &self.search);
+        let outcome = search::optimize_with_backend(&datalog, &self.ctx, &self.search, backend);
         let verdict = outcome_to_verdict(outcome, &datalog, &translation, &self.catalog)?;
         Ok(OptimizationReport {
             original: original.clone(),

@@ -46,6 +46,34 @@ pub enum DedupMode {
     CanonicalKey,
 }
 
+/// Which engine analyses the BFS frontier. The two backends produce
+/// byte-identical outcomes (same variants, same order, same provenance,
+/// same counter totals); the enumeration exists so differential harnesses
+/// can run every backend against the same query and assert exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Frontier analyses fan out over worker threads (the default path;
+    /// falls back to sequential analysis without the `parallel` feature).
+    Parallel,
+    /// Frontier analyses run on the calling thread.
+    Sequential,
+}
+
+impl Backend {
+    /// Every backend, for exhaustive differential sweeps.
+    pub fn all() -> [Backend; 2] {
+        [Backend::Parallel, Backend::Sequential]
+    }
+
+    /// Stable lowercase label (used in logs and repro dumps).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Parallel => "parallel",
+            Backend::Sequential => "sequential",
+        }
+    }
+}
+
 /// Heuristic configuration for the equivalent-query search.
 #[derive(Debug, Clone)]
 pub struct SearchConfig {
@@ -297,6 +325,19 @@ pub fn optimize(q: &Query, ctx: &TransformContext, cfg: &SearchConfig) -> Outcom
 /// equivalence can be asserted in tests and measured in benchmarks.
 pub fn optimize_sequential(q: &Query, ctx: &TransformContext, cfg: &SearchConfig) -> Outcome {
     optimize_with(q, ctx, cfg, analyse_level_sequential)
+}
+
+/// Run the search through an explicitly selected [`Backend`].
+pub fn optimize_with_backend(
+    q: &Query,
+    ctx: &TransformContext,
+    cfg: &SearchConfig,
+    backend: Backend,
+) -> Outcome {
+    match backend {
+        Backend::Parallel => optimize(q, ctx, cfg),
+        Backend::Sequential => optimize_sequential(q, ctx, cfg),
+    }
 }
 
 fn analyse_level_sequential(nodes: &[Variant], ctx: &TransformContext) -> Vec<Analysis> {

@@ -102,3 +102,110 @@ fn counter_totals_serialize_byte_identically() {
     // the machine-consumed part and must be byte-identical.
     assert_eq!(par, seq);
 }
+
+/// A stable rendering of a search outcome: every variant's query text and
+/// step notes, or the contradiction's justification.
+fn outcome_fingerprint(o: &search::Outcome) -> String {
+    match o {
+        search::Outcome::Contradiction {
+            ic_name,
+            note,
+            steps,
+        } => format!(
+            "contradiction ic={ic_name:?} note={note} steps=[{}]",
+            steps
+                .iter()
+                .map(|s| s.note.clone())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ),
+        search::Outcome::Equivalents(vs) => vs
+            .iter()
+            .map(|v| {
+                format!(
+                    "{} | steps=[{}]",
+                    v.query,
+                    v.steps
+                        .iter()
+                        .map(|s| s.note.clone())
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n"),
+    }
+}
+
+/// Fifty seeded random queries against randomized range ICs: the parallel
+/// and sequential backends must produce byte-identical outcomes *and*
+/// byte-identical counter totals for every one. Because this file also
+/// runs in CI under `--no-default-features` (where `optimize` itself
+/// takes the sequential path), equality here pins the cross-build
+/// guarantee transitively: parallel-build output ≡ sequential output ≡
+/// no-default-features output, byte for byte.
+#[test]
+fn randomized_sweep_backends_byte_identical() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let _g = lock();
+    let cfg = SearchConfig::default();
+    let rels: [(&str, usize); 3] = [("p", 2), ("q", 2), ("r", 3)];
+    for seed in 0u64..50 {
+        let mut rng = StdRng::seed_from_u64(0xD1FF ^ seed.wrapping_mul(0x9E37_79B9));
+
+        // 1–3 random range ICs over the relations.
+        let n_ics = 1 + rng.gen_range(0usize..3);
+        let ics = (0..n_ics)
+            .map(|n| {
+                let (rel, arity) = rels[rng.gen_range(0usize..rels.len())];
+                let args: Vec<String> = (0..arity).map(|j| format!("V{j}")).collect();
+                let v = rng.gen_range(0usize..arity);
+                let op = ["<", "<=", ">", ">="][rng.gen_range(0usize..4)];
+                let k = rng.gen_range(0i64..100);
+                parse_constraint(&format!(
+                    "ic S{n}: V{v} {op} {k} <- {rel}({}).",
+                    args.join(", ")
+                ))
+                .unwrap()
+            })
+            .collect();
+        let ctx = TransformContext::new(ResidueSet::compile(ics), vec![], BTreeMap::new());
+
+        // A random conjunctive query joined on a shared first variable,
+        // with an optional restriction that may interact with the ICs.
+        let n_atoms = 1 + rng.gen_range(0usize..3);
+        let mut body: Vec<String> = (0..n_atoms)
+            .map(|i| {
+                let (rel, arity) = rels[rng.gen_range(0usize..rels.len())];
+                let args: Vec<String> = (0..arity)
+                    .map(|j| format!("X{}_{j}", i.min(1) * i))
+                    .collect();
+                format!("{rel}(X, {})", args[1..].join(", "))
+            })
+            .collect();
+        if rng.gen_bool(0.6) {
+            let op = ["<", "<=", ">", ">="][rng.gen_range(0usize..4)];
+            body.push(format!("X {op} {}", rng.gen_range(0i64..100)));
+        }
+        let q = parse_query(&format!("Q(X) <- {}", body.join(", "))).unwrap();
+
+        let before_par = obs::snapshot();
+        let par = search::optimize(&q, &ctx, &cfg);
+        let par_counters = obs::snapshot().since(&before_par).counters;
+        let before_seq = obs::snapshot();
+        let seq = search::optimize_sequential(&q, &ctx, &cfg);
+        let seq_counters = obs::snapshot().since(&before_seq).counters;
+
+        assert_eq!(
+            outcome_fingerprint(&par),
+            outcome_fingerprint(&seq),
+            "seed {seed}: backends disagree on `{q}`"
+        );
+        assert_eq!(
+            par_counters, seq_counters,
+            "seed {seed}: counter totals diverge on `{q}`"
+        );
+    }
+}

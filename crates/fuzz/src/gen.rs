@@ -1,0 +1,316 @@
+//! Seed-driven case generation.
+//!
+//! One seed fully determines one [`CaseSpec`]. The generator keeps two
+//! invariants the oracle relies on:
+//!
+//! 1. **ICs hold by construction.** Every range IC narrows a tracked
+//!    per-attribute population interval (starting at
+//!    [`crate::spec::INT_INTERVAL`]); an IC that would empty the interval is
+//!    skipped. The population recipe then draws values from the final
+//!    interval, so the store satisfies every emitted IC — *globally*,
+//!    which is stricter than the per-class requirement and therefore
+//!    sound (class relations include subclass members).
+//! 2. **Queries are well-formed.** Hops only traverse relationship
+//!    members visible on the current variable's inheritance chain, and
+//!    predicates only reference attributes visible on their variable.
+
+use crate::spec::{
+    AttrKind, AttrSpec, CaseSpec, ClassSpec, HopSpec, IcOp, IcSpec, PredSpec, QuerySpec, RelSpec,
+    INT_INTERVAL,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+const STR_POOL: &[&str] = &["alpha", "beta", "gamma", "delta", "epsilon"];
+
+/// Generate the [`CaseSpec`] for `seed`.
+pub fn generate_case(seed: u64) -> CaseSpec {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(seed));
+
+    // --- classes ---------------------------------------------------------
+    let n_classes = rng.gen_range(2usize..5);
+    let mut classes = Vec::with_capacity(n_classes);
+    for i in 0..n_classes {
+        let parent = if i > 0 && rng.gen_bool(0.55) {
+            Some(rng.gen_range(0usize..i))
+        } else {
+            None
+        };
+        let n_attrs = rng.gen_range(1usize..3);
+        let mut attrs = Vec::with_capacity(n_attrs);
+        for j in 0..n_attrs {
+            let kind = if rng.gen_bool(0.7) {
+                AttrKind::Int
+            } else {
+                AttrKind::Str
+            };
+            attrs.push(AttrSpec {
+                name: format!("a{i}_{j}"),
+                kind,
+            });
+        }
+        // A key is a string attribute populated with unique values; add a
+        // dedicated one occasionally so key-based join elimination has
+        // something to bite on.
+        let key = if rng.gen_bool(0.3) {
+            attrs.push(AttrSpec {
+                name: format!("a{i}_k"),
+                kind: AttrKind::Str,
+            });
+            Some(attrs.len() - 1)
+        } else {
+            None
+        };
+        classes.push(ClassSpec {
+            name: format!("C{i}"),
+            parent,
+            attrs,
+            key,
+            count: rng.gen_range(3usize..9),
+        });
+    }
+
+    // --- relationships ---------------------------------------------------
+    let n_rels = rng.gen_range(1usize..3);
+    let mut rels = Vec::with_capacity(n_rels);
+    for k in 0..n_rels {
+        let from = rng.gen_range(0usize..n_classes);
+        let to = rng.gen_range(0usize..n_classes);
+        let (many, inv_many) = match rng.gen_range(0usize..3) {
+            0 => (true, true),   // many-to-many
+            1 => (false, true),  // to-one forward, set inverse
+            _ => (false, false), // one-to-one
+        };
+        rels.push(RelSpec {
+            name: format!("r{k}"),
+            from,
+            to,
+            many,
+            inv_name: format!("r{k}i"),
+            inv_many,
+        });
+    }
+
+    // --- population intervals, narrowed by ICs ---------------------------
+    let spec_wip = CaseSpec {
+        seed,
+        classes,
+        rels,
+        ics: Vec::new(),
+        int_ranges: BTreeMap::new(),
+        str_domains: BTreeMap::new(),
+        links_per_object: 1 + rng.gen_range(0usize..3),
+        query: QuerySpec {
+            root: 0,
+            hops: Vec::new(),
+            preds: Vec::new(),
+            selects: vec![(0, None)],
+            distinct: false,
+        },
+    };
+    let mut spec = spec_wip;
+
+    let mut intervals: BTreeMap<String, (i64, i64)> = BTreeMap::new();
+    let mut str_domains: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for c in &spec.classes {
+        for (j, a) in c.attrs.iter().enumerate() {
+            match a.kind {
+                AttrKind::Int => {
+                    intervals.insert(a.name.clone(), INT_INTERVAL);
+                }
+                AttrKind::Str => {
+                    if Some(j) != c.key {
+                        let n = rng.gen_range(2usize..5);
+                        str_domains.insert(
+                            a.name.clone(),
+                            STR_POOL[..n].iter().map(|s| s.to_string()).collect(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    let n_ics = rng.gen_range(1usize..4);
+    let mut ics = Vec::new();
+    for n in 0..n_ics {
+        // Pick a class with at least one integer attribute on its chain.
+        let class = rng.gen_range(0usize..spec.classes.len());
+        let int_attrs: Vec<String> = spec
+            .chain_attrs(class)
+            .into_iter()
+            .filter(|a| a.kind == AttrKind::Int)
+            .map(|a| a.name.clone())
+            .collect();
+        if int_attrs.is_empty() {
+            continue;
+        }
+        let attr = int_attrs[rng.gen_range(0usize..int_attrs.len())].clone();
+        let (lo, hi) = intervals[&attr];
+        if lo >= hi {
+            continue; // interval too tight for further narrowing
+        }
+        let op = match rng.gen_range(0usize..4) {
+            0 => IcOp::Ge,
+            1 => IcOp::Gt,
+            2 => IcOp::Le,
+            _ => IcOp::Lt,
+        };
+        // Narrow the interval so the IC is satisfied by construction and
+        // the new interval stays non-empty.
+        let k = match op {
+            IcOp::Ge => {
+                let k = rng.gen_range(lo + 1..hi + 1);
+                intervals.insert(attr.clone(), (k, hi));
+                k
+            }
+            IcOp::Gt => {
+                let k = rng.gen_range(lo..hi);
+                intervals.insert(attr.clone(), (k + 1, hi));
+                k
+            }
+            IcOp::Le => {
+                let k = rng.gen_range(lo..hi);
+                intervals.insert(attr.clone(), (lo, k));
+                k
+            }
+            IcOp::Lt => {
+                let k = rng.gen_range(lo + 1..hi + 1);
+                intervals.insert(attr.clone(), (lo, k - 1));
+                k
+            }
+        };
+        ics.push(IcSpec {
+            name: format!("F{n}"),
+            class,
+            attr,
+            op,
+            k,
+        });
+    }
+    spec.ics = ics;
+    spec.int_ranges = intervals;
+    spec.str_domains = str_domains;
+
+    // --- query -----------------------------------------------------------
+    let root = rng.gen_range(0usize..spec.classes.len());
+    let mut hops = Vec::new();
+    let mut var_classes = vec![root];
+    let n_hops = rng.gen_range(0usize..3);
+    for _ in 0..n_hops {
+        let cur = *var_classes.last().unwrap();
+        let chain = spec.chain(cur);
+        // A hop can follow a forward member declared anywhere on the
+        // current chain, or an inverse member likewise.
+        let mut candidates: Vec<HopSpec> = Vec::new();
+        for (ri, r) in spec.rels.iter().enumerate() {
+            if chain.contains(&r.from) {
+                candidates.push(HopSpec {
+                    rel: ri,
+                    forward: true,
+                });
+            }
+            if chain.contains(&r.to) {
+                candidates.push(HopSpec {
+                    rel: ri,
+                    forward: false,
+                });
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        let h = candidates[rng.gen_range(0usize..candidates.len())].clone();
+        let r = &spec.rels[h.rel];
+        var_classes.push(if h.forward { r.to } else { r.from });
+        hops.push(h);
+    }
+
+    let mut preds = Vec::new();
+    let n_preds = rng.gen_range(0usize..3);
+    for _ in 0..n_preds {
+        let var = rng.gen_range(0usize..var_classes.len());
+        let attrs = spec.chain_attrs(var_classes[var]);
+        if attrs.is_empty() {
+            continue;
+        }
+        let a = attrs[rng.gen_range(0usize..attrs.len())];
+        match a.kind {
+            AttrKind::Int => {
+                let (lo, hi) = spec.int_ranges[&a.name];
+                // Constants near the populated interval's edges exercise
+                // restriction removal (implied predicate) and contradiction
+                // detection, not just mid-range filtering.
+                let k = rng.gen_range(lo.saturating_sub(2)..hi + 3);
+                let op = ["<", "<=", ">", ">=", "="][rng.gen_range(0usize..5)];
+                preds.push(PredSpec::IntCmp {
+                    var,
+                    attr: a.name.clone(),
+                    op: op.to_string(),
+                    k,
+                });
+            }
+            AttrKind::Str => {
+                if let Some(domain) = spec.str_domains.get(&a.name) {
+                    let value = domain[rng.gen_range(0usize..domain.len())].clone();
+                    preds.push(PredSpec::StrEq {
+                        var,
+                        attr: a.name.clone(),
+                        value,
+                    });
+                }
+            }
+        }
+    }
+    // When two variables share a visible attribute, occasionally join on
+    // it — on key attributes this is the redundant-join shape that
+    // key-based elimination targets.
+    if var_classes.len() >= 2 && rng.gen_bool(0.35) {
+        'join: for i in 0..var_classes.len() {
+            for j in (i + 1)..var_classes.len() {
+                let ai: Vec<String> = spec
+                    .chain_attrs(var_classes[i])
+                    .iter()
+                    .map(|a| a.name.clone())
+                    .collect();
+                let shared: Vec<String> = spec
+                    .chain_attrs(var_classes[j])
+                    .iter()
+                    .map(|a| a.name.clone())
+                    .filter(|n| ai.contains(n))
+                    .collect();
+                if let Some(attr) = shared.first() {
+                    preds.push(PredSpec::AttrJoin {
+                        lhs: i,
+                        rhs: j,
+                        attr: attr.clone(),
+                    });
+                    break 'join;
+                }
+            }
+        }
+    }
+
+    let mut selects = Vec::new();
+    let n_sel = rng.gen_range(1usize..3);
+    for _ in 0..n_sel {
+        let var = rng.gen_range(0usize..var_classes.len());
+        let attrs = spec.chain_attrs(var_classes[var]);
+        if !attrs.is_empty() && rng.gen_bool(0.6) {
+            let a = attrs[rng.gen_range(0usize..attrs.len())];
+            selects.push((var, Some(a.name.clone())));
+        } else {
+            selects.push((var, None));
+        }
+    }
+
+    spec.query = QuerySpec {
+        root,
+        hops,
+        preds,
+        selects,
+        distinct: rng.gen_bool(0.2),
+    };
+    spec
+}

@@ -1,0 +1,6 @@
+//! `sqo-fuzz` — differential semantic-equivalence fuzzing CLI.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(sqo_fuzz::cli_main(&args));
+}

@@ -1,0 +1,244 @@
+//! The answer-set equivalence oracle.
+//!
+//! [`run_inputs`] runs one rendered case end to end: it populates a store
+//! from the IC-consistent recipe, evaluates the original query to get the
+//! baseline answer multiset, then checks that *every* artifact the
+//! optimizer can emit agrees with it —
+//!
+//! * each [`sqo_core::EquivalentQuery`] from the parallel Step-3 search,
+//! * the sequential search (verdict fingerprints must be byte-identical),
+//! * the warm plan-cache path (miss → hit on the same query, then a
+//!   constant-shifted sibling through retargeting),
+//! * and a [`sqo_core::Verdict::Contradiction`] only when the baseline is actually
+//!   empty — a contradiction verdict over a non-empty answer set is a
+//!   soundness bug, not an optimization.
+//!
+//! Invalid cases (parse/translate errors) are reported as `Err(reason)`
+//! so the driver can skip them; the generator should make these rare.
+
+use sqo_core::{Backend, CacheOutcome, OptimizationReport, PlanCache, SemanticOptimizer, Verdict};
+use sqo_datalog::term::Const;
+use sqo_datalog::Query;
+use sqo_objdb::{execute, ObjectDb};
+use sqo_odl::Schema;
+use sqo_oql::SelectQuery;
+
+use crate::spec::CaseInputs;
+
+/// Summary of a passing case.
+#[derive(Debug, Clone, Default)]
+pub struct PassInfo {
+    /// Rows in the baseline answer set.
+    pub baseline_rows: usize,
+    /// Equivalent queries checked (0 when the verdict was a
+    /// contradiction).
+    pub variants: usize,
+    /// Whether the verdict was a (validated) contradiction.
+    pub contradiction: bool,
+}
+
+/// An equivalence violation, with enough detail to triage.
+#[derive(Debug, Clone)]
+pub struct Mismatch {
+    /// Which check failed (`"equivalent"`, `"contradiction"`,
+    /// `"backend"`, `"cache"`, `"sibling"`).
+    pub path: String,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+/// Outcome of running one case through the oracle.
+#[derive(Debug, Clone)]
+pub enum CaseStatus {
+    /// All artifacts agreed with the baseline.
+    Pass(PassInfo),
+    /// Some artifact disagreed.
+    Mismatch(Mismatch),
+}
+
+impl CaseStatus {
+    /// Whether this is a pass.
+    pub fn is_pass(&self) -> bool {
+        matches!(self, CaseStatus::Pass(_))
+    }
+}
+
+fn answers(db: &ObjectDb, q: &Query) -> Result<Vec<Vec<Const>>, String> {
+    let (mut rows, _) = execute(db, q).map_err(|e| format!("execute: {e}"))?;
+    rows.sort();
+    Ok(rows)
+}
+
+/// A stable fingerprint of a report's verdict: contradictions by
+/// (ic, note), equivalents by their Datalog renderings in order.
+fn fingerprint(report: &OptimizationReport) -> String {
+    match &report.verdict {
+        Verdict::Contradiction { ic_name, note, .. } => {
+            format!("contradiction ic={ic_name:?} note={note}")
+        }
+        Verdict::Equivalents(eqs) => eqs
+            .iter()
+            .map(|e| e.datalog.to_string())
+            .collect::<Vec<_>>()
+            .join("\n"),
+    }
+}
+
+fn build_optimizer(inputs: &CaseInputs) -> Result<SemanticOptimizer, String> {
+    let mut opt = SemanticOptimizer::from_odl(&inputs.odl).map_err(|e| format!("odl: {e}"))?;
+    for ic in &inputs.ics {
+        opt.add_constraint_text(ic)
+            .map_err(|e| format!("ic: {e}"))?;
+    }
+    Ok(opt)
+}
+
+/// Check every equivalent in `report` against `baseline`; on the
+/// contradiction verdict, check the baseline is empty instead.
+fn check_report(
+    db: &ObjectDb,
+    report: &OptimizationReport,
+    baseline: &[Vec<Const>],
+    path: &str,
+) -> Result<Option<Mismatch>, String> {
+    match &report.verdict {
+        Verdict::Contradiction { ic_name, note, .. } => {
+            if !baseline.is_empty() {
+                return Ok(Some(Mismatch {
+                    path: "contradiction".to_string(),
+                    detail: format!(
+                        "{path}: verdict Contradiction (ic={ic_name:?}, note={note}) but the \
+                         store returns {} answer rows",
+                        baseline.len()
+                    ),
+                }));
+            }
+            Ok(None)
+        }
+        Verdict::Equivalents(eqs) => {
+            for (i, eq) in eqs.iter().enumerate() {
+                let rows = answers(db, &eq.datalog)?;
+                if rows != baseline {
+                    return Ok(Some(Mismatch {
+                        path: path.to_string(),
+                        detail: format!(
+                            "{path}: equivalent #{i} [{}] returned {} rows vs baseline {} \
+                             (steps: {})",
+                            eq.datalog,
+                            rows.len(),
+                            baseline.len(),
+                            eq.steps
+                                .iter()
+                                .map(|s| s.op.to_string())
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        ),
+                    }));
+                }
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Run one rendered case through every differential check.
+pub fn run_inputs(inputs: &CaseInputs) -> Result<CaseStatus, String> {
+    // Store population (IC-consistent by construction).
+    let schema = Schema::parse(&inputs.odl).map_err(|e| format!("schema: {e}"))?;
+    let data = inputs
+        .population
+        .build(schema)
+        .map_err(|e| format!("populate: {e}"))?;
+    let db = &data.db;
+
+    // Baseline: the original query, translated but untouched by Step 3.
+    let mut opt = build_optimizer(inputs)?;
+    let query: SelectQuery = sqo_oql::parse_oql(&inputs.oql).map_err(|e| format!("oql: {e}"))?;
+    let translation = opt
+        .translate(&query)
+        .map_err(|e| format!("translate: {e}"))?;
+    let baseline = answers(db, &translation.query)?;
+
+    // Parallel and sequential searches must agree verdict-for-verdict.
+    let report_par = opt
+        .optimize_query_backend(&query, Backend::Parallel)
+        .map_err(|e| format!("optimize(parallel): {e}"))?;
+    let report_seq = opt
+        .optimize_query_backend(&query, Backend::Sequential)
+        .map_err(|e| format!("optimize(sequential): {e}"))?;
+    let fp_par = fingerprint(&report_par);
+    let fp_seq = fingerprint(&report_seq);
+    if fp_par != fp_seq {
+        return Ok(CaseStatus::Mismatch(Mismatch {
+            path: "backend".to_string(),
+            detail: format!(
+                "parallel and sequential searches disagree:\n--- parallel ---\n{fp_par}\n--- \
+                 sequential ---\n{fp_seq}"
+            ),
+        }));
+    }
+
+    // Every equivalent (and any contradiction verdict) vs the baseline.
+    if let Some(m) = check_report(db, &report_par, &baseline, "equivalent")? {
+        return Ok(CaseStatus::Mismatch(m));
+    }
+
+    // Warm plan-cache path: miss, then hit, on the very same query.
+    let prepared = build_optimizer(inputs)?.prepare();
+    let cache = PlanCache::new();
+    let (_, first) = prepared
+        .optimize_query_cached(&cache, &query)
+        .map_err(|e| format!("cache(miss): {e}"))?;
+    if first != CacheOutcome::Miss {
+        return Err(format!("expected cold cache miss, got {}", first.label()));
+    }
+    let (hit_report, second) = prepared
+        .optimize_query_cached(&cache, &query)
+        .map_err(|e| format!("cache(hit): {e}"))?;
+    if second == CacheOutcome::Miss {
+        return Err("expected warm cache hit, got miss".to_string());
+    }
+    let fp_hit = fingerprint(&hit_report);
+    if fp_hit != fp_par {
+        return Ok(CaseStatus::Mismatch(Mismatch {
+            path: "cache".to_string(),
+            detail: format!(
+                "warm cached plan disagrees with cold search:\n--- cold ---\n{fp_par}\n--- \
+                 cached ---\n{fp_hit}"
+            ),
+        }));
+    }
+    if let Some(m) = check_report(db, &hit_report, &baseline, "cache")? {
+        return Ok(CaseStatus::Mismatch(m));
+    }
+
+    // Constant-shifted sibling through the warm cache: the retargeted
+    // rewrites must agree with the sibling's own baseline.
+    if let Some(sib_src) = &inputs.sibling_oql {
+        let sib: SelectQuery =
+            sqo_oql::parse_oql(sib_src).map_err(|e| format!("sibling oql: {e}"))?;
+        let sib_translation = opt
+            .translate(&sib)
+            .map_err(|e| format!("sibling translate: {e}"))?;
+        let sib_baseline = answers(db, &sib_translation.query)?;
+        let (sib_report, _outcome) = prepared
+            .optimize_query_cached(&cache, &sib)
+            .map_err(|e| format!("cache(sibling): {e}"))?;
+        if let Some(mut m) = check_report(db, &sib_report, &sib_baseline, "sibling")? {
+            if m.path == "contradiction" {
+                m.path = "sibling".to_string();
+            }
+            return Ok(CaseStatus::Mismatch(m));
+        }
+    }
+
+    let (variants, contradiction) = match &report_par.verdict {
+        Verdict::Contradiction { .. } => (0, true),
+        Verdict::Equivalents(eqs) => (eqs.len(), false),
+    };
+    Ok(CaseStatus::Pass(PassInfo {
+        baseline_rows: baseline.len(),
+        variants,
+        contradiction,
+    }))
+}

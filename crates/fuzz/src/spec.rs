@@ -1,0 +1,409 @@
+//! The structured fuzz-case model.
+//!
+//! A [`CaseSpec`] is the *generator-level* description of one test case:
+//! a random schema (classes, inheritance, relationships, keys), a set of
+//! range integrity constraints guaranteed satisfiable by construction, a
+//! population recipe, and one conjunctive OQL query. Everything the
+//! pipeline consumes is *rendered* from the spec ([`CaseSpec::inputs`]),
+//! so the shrinker can edit the structured form and re-render.
+
+use sqo_objdb::GenericConfig;
+use sqo_odl::fixtures::{render_schema, InterfaceSketch, RelationshipSketch};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Initial (widest) value interval for every generated integer attribute.
+/// Range ICs narrow per-attribute copies of this interval, so population
+/// within the final interval satisfies every IC.
+pub const INT_INTERVAL: (i64, i64) = (0, 1000);
+
+/// The kind of a generated attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrKind {
+    /// `attribute long …` — range ICs and comparisons apply.
+    Int,
+    /// `attribute string …` — equality predicates apply.
+    Str,
+}
+
+/// One generated attribute.
+#[derive(Debug, Clone)]
+pub struct AttrSpec {
+    /// Globally unique attribute name (`a{class}_{n}`).
+    pub name: String,
+    /// Value kind.
+    pub kind: AttrKind,
+}
+
+/// One generated class.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Class name (`C{i}`, also the extent name).
+    pub name: String,
+    /// Direct superclass, as an index of an earlier class.
+    pub parent: Option<usize>,
+    /// Attributes declared on this class (not inherited).
+    pub attrs: Vec<AttrSpec>,
+    /// Index into `attrs` of a key attribute (always [`AttrKind::Str`];
+    /// populated with globally unique values).
+    pub key: Option<usize>,
+    /// Objects to create with this concrete class.
+    pub count: usize,
+}
+
+/// One generated relationship pair (forward + declared inverse).
+#[derive(Debug, Clone)]
+pub struct RelSpec {
+    /// Forward member name (declared on `from`).
+    pub name: String,
+    /// Declaring class index.
+    pub from: usize,
+    /// Target class index.
+    pub to: usize,
+    /// Whether the forward side is set-valued.
+    pub many: bool,
+    /// Inverse member name (declared on `to`).
+    pub inv_name: String,
+    /// Whether the inverse side is set-valued.
+    pub inv_many: bool,
+}
+
+/// Comparison operator of a range IC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IcOp {
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+}
+
+impl IcOp {
+    /// Operator surface syntax.
+    pub fn text(self) -> &'static str {
+        match self {
+            IcOp::Ge => ">=",
+            IcOp::Gt => ">",
+            IcOp::Le => "<=",
+            IcOp::Lt => "<",
+        }
+    }
+}
+
+/// One application range IC: `attr op k` for every member of `class`.
+#[derive(Debug, Clone)]
+pub struct IcSpec {
+    /// IC name (`F{n}`).
+    pub name: String,
+    /// Class whose relation the IC ranges over.
+    pub class: usize,
+    /// Constrained attribute (anywhere in the class's inheritance chain).
+    pub attr: String,
+    /// Comparison operator.
+    pub op: IcOp,
+    /// Threshold.
+    pub k: i64,
+}
+
+/// One `where` predicate of the generated query.
+#[derive(Debug, Clone)]
+pub enum PredSpec {
+    /// `x{var}.{attr} {op} {k}` over an integer attribute.
+    IntCmp {
+        /// Query variable index.
+        var: usize,
+        /// Attribute name.
+        attr: String,
+        /// OQL comparison operator text.
+        op: String,
+        /// Constant.
+        k: i64,
+    },
+    /// `x{var}.{attr} = "{value}"` over a string attribute.
+    StrEq {
+        /// Query variable index.
+        var: usize,
+        /// Attribute name.
+        attr: String,
+        /// Constant.
+        value: String,
+    },
+    /// `x{lhs}.{attr} = x{rhs}.{attr}` — a join on a shared attribute
+    /// (on a key attribute this is the paper's Application 3 shape).
+    AttrJoin {
+        /// Left query variable index.
+        lhs: usize,
+        /// Right query variable index.
+        rhs: usize,
+        /// Shared attribute name.
+        attr: String,
+    },
+}
+
+/// One path hop: `x{i+1} in x{i}.{member}`.
+#[derive(Debug, Clone)]
+pub struct HopSpec {
+    /// Index into [`CaseSpec::rels`].
+    pub rel: usize,
+    /// Traverse the forward member (`true`) or the inverse (`false`).
+    pub forward: bool,
+}
+
+/// The generated conjunctive query.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Root class index (`x0 in C{root}`).
+    pub root: usize,
+    /// Path hops introducing `x1, x2, …`.
+    pub hops: Vec<HopSpec>,
+    /// `where` conjuncts.
+    pub preds: Vec<PredSpec>,
+    /// Select items: (variable index, optional attribute).
+    pub selects: Vec<(usize, Option<String>)>,
+    /// `select distinct`.
+    pub distinct: bool,
+}
+
+/// Everything the oracle needs to run one case, fully rendered: the
+/// lowest-common-denominator form shared by generated specs and replayed
+/// `.repro` files.
+#[derive(Debug, Clone)]
+pub struct CaseInputs {
+    /// ODL schema source.
+    pub odl: String,
+    /// Application IC statements (Datalog constraint syntax).
+    pub ics: Vec<String>,
+    /// Store population recipe.
+    pub population: GenericConfig,
+    /// The query under test.
+    pub oql: String,
+    /// A constant-shifted sibling of `oql` exercising the plan-cache
+    /// retarget path, when the query has an integer constant.
+    pub sibling_oql: Option<String>,
+}
+
+/// One complete fuzz case.
+#[derive(Debug, Clone)]
+pub struct CaseSpec {
+    /// The generator seed that produced this spec.
+    pub seed: u64,
+    /// Classes, in declaration order (parents precede children).
+    pub classes: Vec<ClassSpec>,
+    /// Relationship pairs.
+    pub rels: Vec<RelSpec>,
+    /// Application range ICs.
+    pub ics: Vec<IcSpec>,
+    /// Final (post-IC-narrowing) population interval per integer
+    /// attribute.
+    pub int_ranges: BTreeMap<String, (i64, i64)>,
+    /// Value pools per plain string attribute.
+    pub str_domains: BTreeMap<String, Vec<String>>,
+    /// Random links per source object on set-valued relationships.
+    pub links_per_object: usize,
+    /// The query under test.
+    pub query: QuerySpec,
+}
+
+impl CaseSpec {
+    /// Indices of `class` and its ancestors, root first.
+    pub fn chain(&self, class: usize) -> Vec<usize> {
+        let mut chain = vec![class];
+        let mut cur = class;
+        while let Some(p) = self.classes[cur].parent {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// All attributes visible on `class` (inherited first), mirroring the
+    /// Step-1 class-relation argument order.
+    pub fn chain_attrs(&self, class: usize) -> Vec<&AttrSpec> {
+        self.chain(class)
+            .into_iter()
+            .flat_map(|i| self.classes[i].attrs.iter())
+            .collect()
+    }
+
+    /// Render the ODL schema source.
+    pub fn odl(&self) -> String {
+        let sketches: Vec<InterfaceSketch> = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| InterfaceSketch {
+                name: c.name.clone(),
+                parent: c.parent.map(|p| self.classes[p].name.clone()),
+                keys: c.key.iter().map(|&k| c.attrs[k].name.clone()).collect(),
+                attributes: c
+                    .attrs
+                    .iter()
+                    .map(|a| {
+                        let ty = match a.kind {
+                            AttrKind::Int => "long",
+                            AttrKind::Str => "string",
+                        };
+                        (a.name.clone(), ty.to_string())
+                    })
+                    .collect(),
+                relationships: self
+                    .rels
+                    .iter()
+                    .flat_map(|r| {
+                        let mut out = Vec::new();
+                        if r.from == i {
+                            out.push(RelationshipSketch {
+                                name: r.name.clone(),
+                                target: self.classes[r.to].name.clone(),
+                                many: r.many,
+                                inverse: r.inv_name.clone(),
+                            });
+                        }
+                        if r.to == i {
+                            out.push(RelationshipSketch {
+                                name: r.inv_name.clone(),
+                                target: self.classes[r.from].name.clone(),
+                                many: r.inv_many,
+                                inverse: r.name.clone(),
+                            });
+                        }
+                        out
+                    })
+                    .collect(),
+            })
+            .collect();
+        render_schema(&sketches)
+    }
+
+    /// Render the application ICs in Datalog constraint syntax. The body
+    /// atom's argument list follows the Step-1 class-relation layout
+    /// (OID, then chain attributes inherited-first).
+    pub fn ic_texts(&self) -> Vec<String> {
+        self.ics
+            .iter()
+            .map(|ic| {
+                let attrs = self.chain_attrs(ic.class);
+                let args: Vec<String> = std::iter::once("OID".to_string())
+                    .chain(attrs.iter().enumerate().map(|(j, a)| {
+                        if a.name == ic.attr {
+                            "V".to_string()
+                        } else {
+                            format!("A{j}")
+                        }
+                    }))
+                    .collect();
+                format!(
+                    "ic {}: V {} {} <- {}({}).",
+                    ic.name,
+                    ic.op.text(),
+                    ic.k,
+                    self.classes[ic.class].name.to_lowercase(),
+                    args.join(", ")
+                )
+            })
+            .collect()
+    }
+
+    /// Render the population recipe.
+    pub fn population(&self) -> GenericConfig {
+        let mut unique_attrs = BTreeSet::new();
+        for c in &self.classes {
+            if let Some(k) = c.key {
+                unique_attrs.insert(c.attrs[k].name.clone());
+            }
+        }
+        GenericConfig {
+            counts: self
+                .classes
+                .iter()
+                .map(|c| (c.name.clone(), c.count))
+                .collect(),
+            int_ranges: self.int_ranges.clone(),
+            str_domains: self.str_domains.clone(),
+            unique_attrs,
+            links_per_object: self.links_per_object,
+            seed: self.seed,
+        }
+    }
+
+    /// The class index bound to each query variable (`x0, x1, …`).
+    pub fn var_classes(&self) -> Vec<usize> {
+        let mut out = vec![self.query.root];
+        for h in &self.query.hops {
+            let r = &self.rels[h.rel];
+            out.push(if h.forward { r.to } else { r.from });
+        }
+        out
+    }
+
+    /// Render the OQL query.
+    pub fn oql(&self) -> String {
+        self.render_oql(&self.query)
+    }
+
+    fn render_oql(&self, q: &QuerySpec) -> String {
+        let mut out = String::from("select ");
+        if q.distinct {
+            out.push_str("distinct ");
+        }
+        let items: Vec<String> = q
+            .selects
+            .iter()
+            .map(|(v, attr)| match attr {
+                Some(a) => format!("x{v}.{a}"),
+                None => format!("x{v}"),
+            })
+            .collect();
+        out.push_str(&items.join(", "));
+        out.push_str(&format!(" from x0 in {}", self.classes[q.root].name));
+        for (i, h) in q.hops.iter().enumerate() {
+            let r = &self.rels[h.rel];
+            let member = if h.forward { &r.name } else { &r.inv_name };
+            out.push_str(&format!(", x{} in x{}.{}", i + 1, i, member));
+        }
+        let preds: Vec<String> = q
+            .preds
+            .iter()
+            .map(|p| match p {
+                PredSpec::IntCmp { var, attr, op, k } => format!("x{var}.{attr} {op} {k}"),
+                PredSpec::StrEq { var, attr, value } => format!("x{var}.{attr} = \"{value}\""),
+                PredSpec::AttrJoin { lhs, rhs, attr } => {
+                    format!("x{lhs}.{attr} = x{rhs}.{attr}")
+                }
+            })
+            .collect();
+        if !preds.is_empty() {
+            out.push_str(" where ");
+            out.push_str(&preds.join(" and "));
+        }
+        out
+    }
+
+    /// A sibling query that shifts the first integer constant by one
+    /// (staying a distinct value) — same canonical template, different
+    /// parameters, so a warm plan cache must retarget.
+    pub fn sibling_oql(&self) -> Option<String> {
+        let mut q = self.query.clone();
+        for p in &mut q.preds {
+            if let PredSpec::IntCmp { k, .. } = p {
+                *k += 1;
+                return Some(self.render_oql(&q));
+            }
+        }
+        None
+    }
+
+    /// Render everything the oracle consumes.
+    pub fn inputs(&self) -> CaseInputs {
+        CaseInputs {
+            odl: self.odl(),
+            ics: self.ic_texts(),
+            population: self.population(),
+            oql: self.oql(),
+            sibling_oql: self.sibling_oql(),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Full-pipeline determinism over the fuzz corpus's first 50 seeds: for
+//! every generated case, the parallel and sequential Step-3 backends must
+//! produce **byte-identical** `explain_json()` reports (span timings
+//! cleared — they are the only nondeterministic field). Together with
+//! `obs_equivalence.rs` (which runs at the Datalog level under both
+//! `--features parallel` and `--no-default-features` in CI), this pins
+//! the guarantee that explain output never depends on the backend or the
+//! build configuration.
+//!
+//! Everything runs inside ONE test function: per-report counter deltas
+//! are computed against the process-global `sqo-obs` registry, so
+//! concurrently running tests in the same binary would pollute them.
+
+use sqo_core::Backend;
+use sqo_fuzz::gen::generate_case;
+use sqo_fuzz::oracle::run_inputs;
+use sqo_fuzz::spec::CaseInputs;
+use std::collections::BTreeMap;
+
+fn build(inputs: &CaseInputs) -> sqo_core::SemanticOptimizer {
+    let mut opt = sqo_core::SemanticOptimizer::from_odl(&inputs.odl).expect("valid odl");
+    for ic in &inputs.ics {
+        opt.add_constraint_text(ic).expect("valid ic");
+    }
+    opt
+}
+
+#[test]
+fn first_50_seeds_explain_json_backend_invariant() {
+    let mut checked = 0usize;
+    for seed in 0u64..50 {
+        let spec = generate_case(seed);
+        let inputs = spec.inputs();
+        // Skip cases the oracle itself would skip (none expected today,
+        // but the generator contract allows them).
+        if run_inputs(&inputs).is_err() {
+            continue;
+        }
+        let query = sqo_oql::parse_oql(&inputs.oql).expect("valid oql");
+
+        let mut opt = build(&inputs);
+        let mut par = opt
+            .optimize_query_backend(&query, Backend::Parallel)
+            .expect("parallel optimize");
+        // Fresh optimizer for the sequential run: residue compilation
+        // and symbol interning state must not leak between backends for
+        // the comparison to mean anything.
+        let mut opt = build(&inputs);
+        let mut seq = opt
+            .optimize_query_backend(&query, Backend::Sequential)
+            .expect("sequential optimize");
+
+        // Span wall-clock timings are the one legitimately
+        // nondeterministic field; everything else must match bytewise.
+        par.stats.spans = BTreeMap::new();
+        seq.stats.spans = BTreeMap::new();
+        let par_json = par.explain_json();
+        let seq_json = seq.explain_json();
+        assert_eq!(
+            par_json, seq_json,
+            "seed {seed}: explain_json differs between backends for `{}`",
+            inputs.oql
+        );
+        checked += 1;
+    }
+    assert!(checked >= 45, "only {checked}/50 seeds were comparable");
+}

@@ -1,0 +1,70 @@
+//! Regression tests for the oracle's contradiction-soundness check
+//! (satellite fix): a [`sqo_core::Verdict::Contradiction`] claims the
+//! query can never return answers, so the oracle must *evaluate* the
+//! original query anyway and flag any contradiction verdict whose
+//! baseline answer set is non-empty. Before this check existed, a
+//! contradiction verdict short-circuited evaluation entirely — an unsound
+//! contradiction (e.g. from a store violating its declared ICs, or a
+//! solver bug) would sail through the harness unnoticed.
+
+use sqo_fuzz::oracle::{run_inputs, CaseStatus};
+use sqo_fuzz::spec::CaseInputs;
+use sqo_objdb::GenericConfig;
+use std::collections::BTreeMap;
+
+const ODL: &str = "interface C0 { extent C0; attribute long a0_0; };";
+const IC: &str = "ic F0: A1 >= 100 <- c0(OID, A1).";
+const QUERY: &str = "select x0 from x0 in C0 where x0.a0_0 < 50";
+
+fn inputs(int_range: (i64, i64)) -> CaseInputs {
+    CaseInputs {
+        odl: ODL.to_string(),
+        ics: vec![IC.to_string()],
+        population: GenericConfig {
+            counts: vec![("C0".to_string(), 6)],
+            int_ranges: BTreeMap::from([("a0_0".to_string(), int_range)]),
+            str_domains: BTreeMap::new(),
+            unique_attrs: Default::default(),
+            links_per_object: 1,
+            seed: 11,
+        },
+        oql: QUERY.to_string(),
+        sibling_oql: None,
+    }
+}
+
+#[test]
+fn contradiction_with_empty_baseline_passes() {
+    // Store honors the IC (all a0_0 in [100, 200]), so `a0_0 < 50` really
+    // is empty and the contradiction verdict is sound.
+    let status = run_inputs(&inputs((100, 200))).expect("case valid");
+    match status {
+        CaseStatus::Pass(info) => {
+            assert!(info.contradiction, "expected a contradiction verdict");
+            assert_eq!(info.baseline_rows, 0);
+        }
+        CaseStatus::Mismatch(m) => panic!("sound contradiction flagged: {m:?}"),
+    }
+}
+
+#[test]
+fn contradiction_with_nonempty_baseline_is_flagged() {
+    // Store VIOLATES the IC (all a0_0 in [0, 40]): the optimizer still
+    // derives the contradiction from `a0_0 < 50` vs `a0_0 >= 100`, but
+    // the store answers 6 rows — the oracle must flag it, not trust the
+    // verdict.
+    let status = run_inputs(&inputs((0, 40))).expect("case valid");
+    match status {
+        CaseStatus::Mismatch(m) => {
+            assert_eq!(m.path, "contradiction", "wrong check flagged: {m:?}");
+            assert!(
+                m.detail.contains("answer rows"),
+                "detail should cite the non-empty baseline: {}",
+                m.detail
+            );
+        }
+        CaseStatus::Pass(_) => {
+            panic!("unsound contradiction verdict accepted over a non-empty answer set")
+        }
+    }
+}

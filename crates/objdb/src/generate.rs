@@ -14,6 +14,7 @@ use crate::value::{Oid, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sqo_odl::fixtures::university_schema;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Scale and distribution knobs for the university workload.
 #[derive(Debug, Clone)]
@@ -237,6 +238,188 @@ impl UniversityConfig {
     }
 }
 
+/// Population knobs for an *arbitrary* schema — the IC-aware generator
+/// behind the differential fuzz harness.
+///
+/// The caller (the fuzz case generator) guarantees integrity constraints
+/// by construction: every range IC it emits narrows the corresponding
+/// attribute's entry in [`GenericConfig::int_ranges`], so any population
+/// drawn from the final ranges satisfies every IC — including ICs over
+/// subclass relations, because the ranges are global per attribute name
+/// and class relations include their subclass members.
+#[derive(Debug, Clone, Default)]
+pub struct GenericConfig {
+    /// Objects to create per concrete class, in creation order.
+    pub counts: Vec<(String, usize)>,
+    /// Inclusive value range per integer attribute name (default `0..=100`).
+    pub int_ranges: BTreeMap<String, (i64, i64)>,
+    /// Value pool per string attribute name (default a small fixed pool).
+    pub str_domains: BTreeMap<String, Vec<String>>,
+    /// Attributes (key members) that must be globally unique; they draw
+    /// sequential values instead of sampling the domain.
+    pub unique_attrs: BTreeSet<String>,
+    /// Random targets linked per source object on set-valued
+    /// relationships (to-one sides always link exactly once).
+    pub links_per_object: usize,
+    /// RNG seed (the generator is fully deterministic).
+    pub seed: u64,
+}
+
+/// A populated store plus the created OIDs per concrete class.
+#[derive(Debug)]
+pub struct GenericData {
+    /// The populated store.
+    pub db: ObjectDb,
+    /// OIDs created per class name (exactly the objects whose concrete
+    /// class is the key — superclass extents additionally include them).
+    pub oids: BTreeMap<String, Vec<Oid>>,
+}
+
+impl GenericConfig {
+    /// Populate `schema` deterministically from the configured
+    /// distributions.
+    pub fn build(&self, schema: sqo_odl::Schema) -> Result<GenericData> {
+        let mut db = ObjectDb::new(schema);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut unique_next: BTreeMap<String, u64> = BTreeMap::new();
+        let default_pool = ["alpha", "beta", "gamma", "delta"];
+        let mut oids: BTreeMap<String, Vec<Oid>> = BTreeMap::new();
+
+        for (class, n) in &self.counts {
+            let decls: Vec<(String, sqo_odl::Type)> = db
+                .schema()
+                .all_attributes(class)
+                .into_iter()
+                .map(|(_, a)| (a.name.clone(), a.ty.clone()))
+                .collect();
+            for _ in 0..*n {
+                let mut attrs: Vec<(String, Value)> = Vec::new();
+                for (name, ty) in &decls {
+                    let unique = self.unique_attrs.contains(name);
+                    let value = match ty {
+                        sqo_odl::Type::Base(sqo_odl::BaseType::Int) => {
+                            if unique {
+                                let c = unique_next.entry(name.clone()).or_insert(0);
+                                *c += 1;
+                                Value::Int(*c as i64)
+                            } else {
+                                let (lo, hi) =
+                                    self.int_ranges.get(name).copied().unwrap_or((0, 100));
+                                Value::Int(rng.gen_range(lo..hi + 1))
+                            }
+                        }
+                        sqo_odl::Type::Base(sqo_odl::BaseType::Real) => {
+                            let (lo, hi) = self.int_ranges.get(name).copied().unwrap_or((0, 100));
+                            Value::Real(rng.gen_range(lo as f64..(hi + 1) as f64))
+                        }
+                        sqo_odl::Type::Base(sqo_odl::BaseType::Str) => {
+                            if unique {
+                                let c = unique_next.entry(name.clone()).or_insert(0);
+                                *c += 1;
+                                Value::Str(format!("{name}_{c}"))
+                            } else {
+                                let pool = self.str_domains.get(name);
+                                let len = pool.map_or(default_pool.len(), Vec::len).max(1);
+                                let i = rng.gen_range(0usize..len);
+                                Value::Str(match pool {
+                                    Some(p) if !p.is_empty() => p[i].clone(),
+                                    _ => default_pool[i].to_string(),
+                                })
+                            }
+                        }
+                        sqo_odl::Type::Base(sqo_odl::BaseType::Bool) => {
+                            Value::Bool(rng.gen_bool(0.5))
+                        }
+                        // Structure attributes get auto-created defaults.
+                        _ => continue,
+                    };
+                    attrs.push((name.clone(), value));
+                }
+                let attrs_ref: Vec<(&str, Value)> =
+                    attrs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+                let oid = db.create(class, attrs_ref)?;
+                oids.entry(class.clone()).or_default().push(oid);
+            }
+        }
+
+        // Link relationships. Each relationship pair is processed from
+        // exactly one of its two declared sides: the to-one side when
+        // cardinalities differ (so the cardinality bound can never be
+        // violated), the lexicographically smaller side otherwise.
+        let rels: Vec<(String, String, bool, String, String, bool)> = db
+            .schema()
+            .classes()
+            .iter()
+            .flat_map(|c| {
+                c.relationships.iter().map(|r| {
+                    let inv_many = r
+                        .inverse
+                        .as_ref()
+                        .and_then(|(icls, irel)| {
+                            db.schema()
+                                .class(icls)?
+                                .relationships
+                                .iter()
+                                .find(|x| x.name == *irel)
+                        })
+                        .is_none_or(|x| x.many);
+                    let inv_name = r
+                        .inverse
+                        .as_ref()
+                        .map(|(_, n)| n.clone())
+                        .unwrap_or_default();
+                    (
+                        c.name.clone(),
+                        r.name.clone(),
+                        r.many,
+                        r.target.clone(),
+                        inv_name,
+                        inv_many,
+                    )
+                })
+            })
+            .collect();
+        for (class, rel, many, target, inv_name, inv_many) in rels {
+            let process = match (many, inv_many) {
+                (false, true) => true,
+                (true, false) => false, // handled from the to-one side
+                _ => (class.as_str(), rel.as_str()) <= (target.as_str(), inv_name.as_str()),
+            };
+            if !process {
+                continue;
+            }
+            let sources = db.extent(&class).to_vec();
+            let targets = db.extent(&target).to_vec();
+            if targets.is_empty() {
+                continue;
+            }
+            if !many && !inv_many {
+                // One-to-one: pair by index.
+                for (s, t) in sources.iter().zip(&targets) {
+                    db.link(*s, &rel, *t)?;
+                }
+            } else if !many {
+                // To-one side of a one-to-many pair: one target each.
+                for s in sources {
+                    let t = targets[rng.gen_range(0usize..targets.len())];
+                    db.link(s, &rel, t)?;
+                }
+            } else {
+                // Many-to-many: a few random targets each (idempotent
+                // links make duplicate draws harmless).
+                for s in sources {
+                    for _ in 0..self.links_per_object {
+                        let t = targets[rng.gen_range(0usize..targets.len())];
+                        db.link(s, &rel, t)?;
+                    }
+                }
+            }
+        }
+
+        Ok(GenericData { db, oids })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +506,37 @@ mod tests {
         // basis of IC3 in Application 1.
         for (_, tax) in pairs {
             assert!(tax > 4000.0);
+        }
+    }
+
+    #[test]
+    fn generic_build_respects_ranges_and_uniques() {
+        let cfg = GenericConfig {
+            counts: vec![("Person".into(), 12), ("Faculty".into(), 6)],
+            int_ranges: [("age".to_string(), (30, 40))].into_iter().collect(),
+            unique_attrs: ["name".to_string()].into_iter().collect(),
+            links_per_object: 2,
+            seed: 7,
+            ..Default::default()
+        };
+        let data = cfg.build(university_schema()).unwrap();
+        assert_eq!(data.oids["Person"].len(), 12);
+        assert_eq!(data.db.extent("Person").len(), 18);
+        let mut names = std::collections::HashSet::new();
+        for oid in data.db.extent("Person").to_vec() {
+            let Value::Int(age) = data.db.attr(oid, "age").unwrap() else {
+                panic!("age is an int");
+            };
+            assert!((30..=40).contains(age), "age {age} within range");
+            let Value::Str(name) = data.db.attr(oid, "name").unwrap().clone() else {
+                panic!("name is a string");
+            };
+            assert!(names.insert(name), "key attribute is unique");
+        }
+        // Determinism: same seed, same store.
+        let again = cfg.build(university_schema()).unwrap();
+        for (a, b) in data.oids["Faculty"].iter().zip(&again.oids["Faculty"]) {
+            assert_eq!(data.db.attr(*a, "age"), again.db.attr(*b, "age"));
         }
     }
 

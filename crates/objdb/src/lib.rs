@@ -25,7 +25,7 @@ pub mod value;
 
 pub use error::{ObjDbError, Result};
 pub use exec::{execute, CostReport};
-pub use generate::{UniversityConfig, UniversityData};
+pub use generate::{GenericConfig, GenericData, UniversityConfig, UniversityData};
 pub use plan::{choose_best, estimate_cost};
 pub use store::{AsrDef, MethodFn, Object, ObjectDb};
 pub use value::{Oid, Value};

@@ -82,6 +82,75 @@ pub fn university_schema() -> Schema {
     Schema::parse(UNIVERSITY_ODL).expect("the bundled university schema is valid")
 }
 
+/// A relationship line of an [`InterfaceSketch`].
+#[derive(Debug, Clone)]
+pub struct RelationshipSketch {
+    /// Member name.
+    pub name: String,
+    /// Target class.
+    pub target: String,
+    /// Whether this side is set-valued (`Set<Target>`).
+    pub many: bool,
+    /// The inverse member, declared on the target class.
+    pub inverse: String,
+}
+
+/// A programmatic interface declaration that renders to ODL source —
+/// the generator hook used by the fuzz harness to emit random-but-valid
+/// schemas through the same parser/validator as hand-written fixtures.
+#[derive(Debug, Clone, Default)]
+pub struct InterfaceSketch {
+    /// Class name (also used as the extent name).
+    pub name: String,
+    /// Direct superclass, if any.
+    pub parent: Option<String>,
+    /// Key attribute names (each rendered as its own `key` line).
+    pub keys: Vec<String>,
+    /// Attributes as (name, ODL type text) pairs, e.g. `("age", "long")`.
+    pub attributes: Vec<(String, String)>,
+    /// Relationships declared on this class.
+    pub relationships: Vec<RelationshipSketch>,
+}
+
+impl std::fmt::Display for InterfaceSketch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.parent {
+            Some(p) => writeln!(f, "interface {} : {} {{", self.name, p)?,
+            None => writeln!(f, "interface {} {{", self.name)?,
+        }
+        writeln!(f, "    extent {};", self.name)?;
+        for k in &self.keys {
+            writeln!(f, "    key {k};")?;
+        }
+        for (name, ty) in &self.attributes {
+            writeln!(f, "    attribute {ty} {name};")?;
+        }
+        for r in &self.relationships {
+            let ty = if r.many {
+                format!("Set<{}>", r.target)
+            } else {
+                r.target.clone()
+            };
+            writeln!(
+                f,
+                "    relationship {ty} {} inverse {}::{};",
+                r.name, r.target, r.inverse
+            )?;
+        }
+        write!(f, "}};")
+    }
+}
+
+/// Render a list of interface sketches into one ODL source text.
+pub fn render_schema(interfaces: &[InterfaceSketch]) -> String {
+    let mut out = String::new();
+    for i in interfaces {
+        out.push_str(&i.to_string());
+        out.push_str("\n\n");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +217,44 @@ mod tests {
         ] {
             assert!(s.class_by_extent(name).is_some(), "extent {name}");
         }
+    }
+
+    #[test]
+    fn sketch_renders_valid_odl() {
+        let sketches = vec![
+            InterfaceSketch {
+                name: "C0".into(),
+                keys: vec!["a0_1".into()],
+                attributes: vec![
+                    ("a0_0".into(), "long".into()),
+                    ("a0_1".into(), "string".into()),
+                ],
+                relationships: vec![RelationshipSketch {
+                    name: "r0".into(),
+                    target: "C1".into(),
+                    many: true,
+                    inverse: "r0_inv".into(),
+                }],
+                ..Default::default()
+            },
+            InterfaceSketch {
+                name: "C1".into(),
+                parent: Some("C0".into()),
+                attributes: vec![("a1_0".into(), "long".into())],
+                relationships: vec![RelationshipSketch {
+                    name: "r0_inv".into(),
+                    target: "C0".into(),
+                    many: true,
+                    inverse: "r0".into(),
+                }],
+                ..Default::default()
+            },
+        ];
+        let src = render_schema(&sketches);
+        let s = Schema::parse(&src).expect("sketched schema parses");
+        assert!(s.is_strict_subclass_of("C1", "C0"));
+        assert_eq!(s.class("C0").unwrap().keys, vec![vec!["a0_1".to_string()]]);
+        assert!(s.class_by_extent("C1").is_some());
     }
 
     #[test]

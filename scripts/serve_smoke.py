@@ -11,11 +11,18 @@ schemas/explain.schema.json), then checks the metrics reply: cache hits
 Stdlib only, mirroring check_explain_schema.py (whose validator it
 reuses).
 
+A second phase runs the service-layer differential check: 10 fuzz-emitted
+schema/IC/query cases are prepared as wire sessions, each query is sent
+twice (cold miss, then warm cache hit/rebind), and both wire reports must
+agree verdict-for-verdict and rewrite-for-rewrite with a cold in-process
+`sqo --schema ... --ic ... --explain` run of the same case.
+
 Usage: python3 scripts/serve_smoke.py [path/to/sqo]
 """
 
 import json
 import os
+import shutil
 import socket
 import subprocess
 import sys
@@ -60,6 +67,81 @@ def check(value, schema, root, what):
     validate(value, schema, root, "$", errors)
     if errors:
         fail(f"{what} violates schema: " + "; ".join(errors[:5]))
+
+
+def fuzz_differential(sqo, addr, serve_schema, explain_schema, n_cases=10):
+    """Wire sessions vs cold in-process pipeline over fuzz-emitted cases.
+
+    For each emitted case: `prepare` a session with its schema+ICs, send
+    the query cold (cache miss) and warm (hit/rebind), and require both
+    wire reports to match the verdict and rewritten-OQL list of a fresh
+    `sqo --schema ... --ic ... --explain` run.
+    """
+    outdir = tempfile.mkdtemp(prefix="sqo_fuzz_cases_")
+    try:
+        emit = subprocess.run(
+            [sqo, "fuzz", "--emit-cases", str(n_cases), "--out", outdir],
+            capture_output=True, text=True, timeout=TIMEOUT_S)
+        if emit.returncode != 0:
+            fail(f"sqo fuzz --emit-cases failed: {emit.stderr}")
+        for i in range(n_cases):
+            base = os.path.join(outdir, f"case{i}")
+            with open(base + ".odl") as f:
+                odl = f.read()
+            with open(base + ".ic") as f:
+                ic = f.read()
+            with open(base + ".oql") as f:
+                oql = f.read().strip()
+
+            # Cold in-process reference (exit 2 = contradiction, still ok).
+            ref_run = subprocess.run(
+                [sqo, "--schema", base + ".odl", "--ic", base + ".ic",
+                 "--explain", oql],
+                capture_output=True, text=True, timeout=TIMEOUT_S)
+            if ref_run.returncode not in (0, 2):
+                fail(f"fuzz case {i}: in-process run failed "
+                     f"(rc {ref_run.returncode}): {ref_run.stderr}")
+            ref = json.loads(ref_run.stdout)
+
+            prep = request(addr, json.dumps(
+                {"op": "prepare", "session": f"fuzz{i}", "schema": odl, "ic": ic}))
+            check(prep, serve_schema, serve_schema, f"fuzz case {i} prepare")
+            if not prep.get("ok"):
+                fail(f"fuzz case {i}: prepare failed: {prep}")
+
+            responses = []
+            for phase in ("cold", "warm"):
+                resp = request(addr, json.dumps(
+                    {"op": "query", "session": f"fuzz{i}", "oql": oql,
+                     "timeout_ms": 30000}))
+                check(resp, serve_schema, serve_schema, f"fuzz case {i} {phase}")
+                if not resp.get("ok"):
+                    fail(f"fuzz case {i} {phase}: {resp}")
+                responses.append((phase, resp))
+            if responses[0][1].get("cache") != "miss":
+                fail(f"fuzz case {i}: cold query should miss: {responses[0][1]}")
+            if responses[1][1].get("cache") not in ("hit", "rebind"):
+                fail(f"fuzz case {i}: warm query should hit/rebind: "
+                     f"{responses[1][1]}")
+
+            for phase, resp in responses:
+                report = resp["report"]
+                check(report, explain_schema, explain_schema,
+                      f"fuzz case {i} {phase} report")
+                if report["verdict"] != ref["verdict"]:
+                    fail(f"fuzz case {i} {phase}: wire verdict "
+                         f"{report['verdict']} != in-process {ref['verdict']}"
+                         f" for {oql!r}")
+                if report["verdict"] == "equivalents":
+                    wire_oql = [e["oql"] for e in report["equivalents"]]
+                    ref_oql = [e["oql"] for e in ref["equivalents"]]
+                    if wire_oql != ref_oql:
+                        fail(f"fuzz case {i} {phase}: wire rewrites diverge "
+                             f"from in-process for {oql!r}:\n"
+                             f"  wire: {wire_oql}\n  ref:  {ref_oql}")
+        return n_cases
+    finally:
+        shutil.rmtree(outdir, ignore_errors=True)
 
 
 def main():
@@ -144,11 +226,13 @@ def main():
         if counters.get("serve.requests", 0) < N_CLIENTS + 1:
             fail(f"serve.requests under-counts: {counters.get('serve.requests')}")
 
+        n_fuzz = fuzz_differential(sqo, addr, serve_schema, explain_schema)
+
         bye = request(addr, json.dumps({"op": "shutdown"}))
         check(bye, serve_schema, serve_schema, "shutdown response")
         proc.wait(timeout=TIMEOUT_S)
         print(f"serve_smoke: OK ({N_CLIENTS} concurrent queries, "
-              f"{hits} warm hits, shed 0)")
+              f"{hits} warm hits, shed 0, {n_fuzz} fuzz cases wire==in-process)")
     finally:
         os.unlink(ic_path)
         if proc.poll() is None:

@@ -43,6 +43,8 @@ fn usage() -> ! {
          \u{20}                 [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]\n\
          \u{20}      sqo client [--addr HOST:PORT] (--oql QUERY [--session S] [--timeout-ms N]\n\
          \u{20}                 | --metrics | --ping | --shutdown | --reload-ic FILE [--session S])\n\
+         \u{20}      sqo fuzz   [--seeds A..B] [--budget 60s] [--replay FILE|DIR] [--save DIR]\n\
+         \u{20}                 [--emit-cases N --out DIR] [--dump-dir DIR]\n\
          \n\
          options:\n\
            --ic FILE         add integrity constraints / ASR views (Datalog syntax;\n\
@@ -268,6 +270,10 @@ fn main() -> ExitCode {
     match argv.first().map(String::as_str) {
         Some("serve") => return serve_main(&argv[1..]),
         Some("client") => return client_main(&argv[1..]),
+        Some("fuzz") => {
+            let code = semantic_sqo::fuzz::cli_main(&argv[1..]);
+            return ExitCode::from(u8::try_from(code).unwrap_or(1));
+        }
         _ => {}
     }
     let args = parse_args();

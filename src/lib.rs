@@ -24,7 +24,10 @@
 //!   executor and a cardinality-based plan chooser;
 //! * [`sqo_service`] — the concurrent query-serving subsystem: session
 //!   registry, parameterized semantic-plan cache, admission control, and
-//!   a JSON-lines-over-TCP front end (`sqo serve` / `sqo client`).
+//!   a JSON-lines-over-TCP front end (`sqo serve` / `sqo client`);
+//! * [`sqo_fuzz`] — the differential semantic-equivalence fuzz harness:
+//!   randomized schema/IC/query generation with an answer-set oracle,
+//!   shrinking, and `.repro` replay (`sqo fuzz`).
 //!
 //! ## Quickstart
 //!
@@ -43,11 +46,12 @@
 //! ```
 
 pub use sqo_core::{
-    CacheOutcome, CompileOptions, Constraint, Delta, EquivalentQuery, OptimizationReport, Outcome,
-    PlanCache, PreparedOptimizer, Query, Result, Rule, Schema, SearchConfig, SelectQuery,
+    Backend, CacheOutcome, CompileOptions, Constraint, Delta, EquivalentQuery, OptimizationReport,
+    Outcome, PlanCache, PreparedOptimizer, Query, Result, Rule, Schema, SearchConfig, SelectQuery,
     SemanticOptimizer, SqoError, Step, Verdict,
 };
 pub use sqo_datalog as datalog;
+pub use sqo_fuzz as fuzz;
 pub use sqo_objdb as objdb;
 pub use sqo_odl as odl;
 pub use sqo_oql as oql;

@@ -1,0 +1,70 @@
+//! The committed fuzz regression corpus must keep replaying exactly as
+//! recorded: `expect = pass` cases stay equivalence-clean, and the
+//! deliberately IC-inconsistent `expect = mismatch` fixture keeps being
+//! *caught* — if the oracle ever stops flagging it, the harness has lost
+//! its teeth and every green fuzz run is meaningless.
+
+use semantic_sqo::fuzz::repro::{self, Expect};
+use std::path::Path;
+
+fn corpus_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+#[test]
+fn corpus_replays_to_expectations() {
+    let mut files: Vec<_> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "repro"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 5, "corpus unexpectedly small: {files:?}");
+
+    let mut saw_mismatch_fixture = false;
+    for path in files {
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let case = repro::parse(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let report = repro::replay(&case);
+        assert!(
+            report.ok,
+            "{} no longer replays as recorded: {}",
+            path.display(),
+            report.detail
+        );
+        if case.expect == Expect::Mismatch {
+            saw_mismatch_fixture = true;
+        }
+    }
+    assert!(
+        saw_mismatch_fixture,
+        "corpus must keep an expect=mismatch fixture proving the oracle detects unsound rewrites"
+    );
+}
+
+#[test]
+fn repro_format_round_trips() {
+    let path = corpus_dir().join("injected_scope_reduction_mismatch.repro");
+    let text = std::fs::read_to_string(path).expect("fixture exists");
+    let case = repro::parse(&text).expect("fixture parses");
+    let rendered = repro::render(case.seed, case.expect, &case.inputs);
+    let reparsed = repro::parse(&rendered).expect("rendered form parses");
+    assert_eq!(case.expect, reparsed.expect);
+    assert_eq!(case.inputs.oql, reparsed.inputs.oql);
+    assert_eq!(case.inputs.ics, reparsed.inputs.ics);
+    assert_eq!(
+        case.inputs.population.int_ranges,
+        reparsed.inputs.population.int_ranges
+    );
+    assert_eq!(
+        case.inputs.population.counts,
+        reparsed.inputs.population.counts
+    );
+    // And the round-tripped case still replays to its expectation.
+    assert!(
+        repro::replay(&reparsed).ok,
+        "round-tripped fixture must still mismatch"
+    );
+}
