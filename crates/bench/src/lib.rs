@@ -295,6 +295,72 @@ pub fn synthetic_schema(classes: usize) -> sqo_odl::Schema {
     sqo_odl::Schema::parse(&src).expect("synthetic schema is valid")
 }
 
+/// E3: the indexed-rewrite scenario — a Step-3 rewrite reaches an access
+/// path the original query cannot use.
+///
+/// `rank` is a non-key string attribute, so `rank = "professor"` can
+/// only scan the Faculty extent. The IC `Salary >= 90000 <- faculty(…),
+/// Rank = "professor"` lets SQO add a salary bound — and `salary` is a
+/// numeric attribute with a declared ordered index, so the rewrite
+/// becomes a range probe touching ~0.2% of the extent. The win is purely
+/// physical: both queries return exactly the professors.
+pub fn indexed_rewrite_scenario(faculty: usize) -> Scenario {
+    let mut db = ObjectDb::new(sqo_odl::fixtures::university_schema());
+    for i in 0..faculty {
+        // 0.2% professors, all at or above the IC's salary bound;
+        // everyone else stays strictly below it. The probe's cost is
+        // O(answers), the scan's O(extent): a rare target class is
+        // exactly where the indexed plan runs away from the scan.
+        let professor = i % 500 == 0;
+        let rank = if professor { "professor" } else { "lecturer" };
+        let salary = if professor {
+            90_000.0 + (i % 977) as f64
+        } else {
+            40_000.0 + (i % 49_000) as f64
+        };
+        db.create(
+            "Faculty",
+            vec![
+                ("name", format!("f{i}").into()),
+                ("age", sqo_objdb::Value::Int(30 + (i % 40) as i64)),
+                ("salary", sqo_objdb::Value::Real(salary)),
+                ("rank", rank.into()),
+            ],
+        )
+        .expect("faculty created");
+    }
+    let mut opt = SemanticOptimizer::university();
+    opt.add_constraint_text(
+        "ic IC_PROF: Salary >= 90000 <- faculty(X, N, Age, Salary, Rank, Ad), \
+         Rank = \"professor\".",
+    )
+    .expect("IC_PROF parses");
+    let report = opt
+        .optimize("select x.name from x in Faculty where x.rank = \"professor\"")
+        .expect("query optimizes");
+    let Verdict::Equivalents(eqs) = &report.verdict else {
+        panic!("satisfiable");
+    };
+    let optimized = eqs
+        .iter()
+        .filter(|e| !e.delta.is_empty())
+        .find(|e| {
+            e.delta
+                .added
+                .iter()
+                .any(|l| matches!(l, Literal::Cmp(c) if c.to_string().contains("90000")))
+        })
+        .expect("salary-bound rewrite")
+        .datalog
+        .clone();
+    Scenario {
+        db,
+        original: report.datalog.clone(),
+        optimized,
+        label: format!("E3 faculty={faculty}"),
+    }
+}
+
 /// An optimizer with `n` applicable range ICs over one relation — the
 /// Step 3 growth measurement (F2).
 pub fn optimizer_with_n_ics(n: usize) -> (SemanticOptimizer, &'static str) {
@@ -321,6 +387,7 @@ mod tests {
             key_join_scenario(60),
             asr_scenario(80, 10),
             asr_q1_scenario(80, 10),
+            indexed_rewrite_scenario(500),
         ] {
             let (orig, _) = execute(&scenario.db, &scenario.original)
                 .unwrap_or_else(|e| panic!("{}: {e}", scenario.label));

@@ -99,6 +99,25 @@ impl OptimizationReport {
         self.equivalents().iter().filter(|e| !e.delta.is_empty())
     }
 
+    /// Pick the cheapest equivalent against a concrete object base, using
+    /// the index-aware cost model: the winning equivalent, its index, and
+    /// the per-candidate estimates (empty on contradiction). Works on
+    /// cached reports too, so the service's warm plan-cache path can
+    /// re-run plan selection against the current store without repeating
+    /// the semantic search.
+    pub fn best_plan<'a>(
+        &'a self,
+        db: &sqo_objdb::ObjectDb,
+    ) -> Option<(usize, &'a EquivalentQuery, Vec<f64>)> {
+        let eqs = self.equivalents();
+        if eqs.is_empty() {
+            return None;
+        }
+        let queries: Vec<Query> = eqs.iter().map(|e| e.datalog.clone()).collect();
+        let (best, costs) = sqo_objdb::choose_best(db, &queries);
+        Some((best, &eqs[best], costs))
+    }
+
     /// The refutation chain when the verdict is a contradiction: the
     /// transformation steps leading to the refuted variant, closed by a
     /// `contradiction` step naming the refuting IC.

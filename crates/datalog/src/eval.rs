@@ -12,12 +12,12 @@
 //! benchmarks can report *logical* cost (tuples examined, bindings
 //! produced) alongside wall-clock time.
 
-use crate::atom::{Atom, Literal, PredSym};
+use crate::atom::{Atom, CmpOp, Literal, PredSym};
 use crate::clause::{Query, Rule};
 use crate::error::{DatalogError, Result};
-use crate::program::{EdbDatabase, Program, Relation};
+use crate::program::{EdbDatabase, Program, RangeBound, Relation};
 use crate::term::{Const, Term, Var};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Work counters for one evaluation.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -36,6 +36,15 @@ pub struct EvalStats {
     /// Bindings flowing *out of* positive-atom join steps (the sum of
     /// output cardinalities; the join's selectivity is output/input).
     pub join_output_tuples: u64,
+    /// Probes against declared (persistent) hash indexes.
+    pub index_probes: u64,
+    /// Range probes against declared ordered indexes.
+    pub range_probes: u64,
+    /// Full relation passes: explicit scans plus each build of an
+    /// ephemeral (per-evaluation) join index.
+    pub scans: u64,
+    /// Path-expression chains fused into index-nested-loop walks.
+    pub chains_fused: u64,
     /// Tuples examined per predicate — the object-database cost model
     /// distinguishes class-relation access (object fetches) from
     /// relationship traversal and extent probes.
@@ -51,6 +60,10 @@ impl EvalStats {
         self.negation_probes += other.negation_probes;
         self.join_input_tuples += other.join_input_tuples;
         self.join_output_tuples += other.join_output_tuples;
+        self.index_probes += other.index_probes;
+        self.range_probes += other.range_probes;
+        self.scans += other.scans;
+        self.chains_fused += other.chains_fused;
         for (k, v) in &other.per_pred {
             *self.per_pred.entry(*k).or_insert(0) += v;
         }
@@ -62,17 +75,104 @@ impl EvalStats {
     }
 }
 
+/// Physical knobs for one evaluation.
+///
+/// The default is the full access-path repertoire; [`EvalOptions::scan_only`]
+/// reproduces the pre-index engine (ephemeral join indexes and scans only),
+/// which the differential tests and the `*_seed` bench rows use as the
+/// reference executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Consult declared hash/ordered indexes for equality and range
+    /// probes (off → every access is a scan or ephemeral join index).
+    pub use_indexes: bool,
+    /// Fuse runs of binary-relation atoms chained through single-use
+    /// variables into one index-nested-loop walk.
+    pub fuse_chains: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            use_indexes: true,
+            fuse_chains: true,
+        }
+    }
+}
+
+impl EvalOptions {
+    /// The pre-index engine: no declared-index probes, no chain fusion.
+    pub fn scan_only() -> Self {
+        EvalOptions {
+            use_indexes: false,
+            fuse_chains: false,
+        }
+    }
+}
+
 type Binding = HashMap<Var, Const>;
+
+/// Range constraints harvested from a body's comparison literals:
+/// variable → (lower bound, upper bound), each side optional.
+pub type RangeMap = HashMap<Var, (Option<RangeBound>, Option<RangeBound>)>;
+
+/// Collect per-variable range bounds from `Var op Const` comparison
+/// literals (`<`, `<=`, `>`, `>=`, either operand order). The harvested
+/// bounds only *pre-filter* index probes — every comparison literal still
+/// runs, so an over-wide bound is harmless and the tightest bound wins.
+/// Public so the cost model prices range probes against the same bounds
+/// the executor will use.
+pub fn collect_ranges(body: &[Literal]) -> RangeMap {
+    let mut out = RangeMap::new();
+    for l in body {
+        let Literal::Cmp(c) = l else { continue };
+        let (v, k, op) = match (&c.lhs, &c.rhs) {
+            (Term::Var(v), Term::Const(k)) => (*v, *k, c.op),
+            (Term::Const(k), Term::Var(v)) => (*v, *k, c.op.flip()),
+            _ => continue,
+        };
+        let entry = out.entry(v).or_default();
+        let tighten = |slot: &mut Option<RangeBound>, cand: RangeBound, want_greater: bool| {
+            let replace = match slot {
+                None => true,
+                Some((cur, _)) => match cand.0.order(cur) {
+                    Some(ord) => {
+                        if want_greater {
+                            ord == std::cmp::Ordering::Greater
+                        } else {
+                            ord == std::cmp::Ordering::Less
+                        }
+                    }
+                    None => false,
+                },
+            };
+            if replace {
+                *slot = Some(cand);
+            }
+        };
+        match op {
+            CmpOp::Lt => tighten(&mut entry.1, (k, false), false),
+            CmpOp::Le => tighten(&mut entry.1, (k, true), false),
+            CmpOp::Gt => tighten(&mut entry.0, (k, false), true),
+            CmpOp::Ge => tighten(&mut entry.0, (k, true), true),
+            CmpOp::Eq | CmpOp::Ne => {}
+        }
+    }
+    out
+}
 
 /// A hash index over one relation: key values (at the bound positions) →
 /// indices of matching tuples.
 type TupleIndex = HashMap<Vec<Const>, Vec<usize>>;
 
 /// On-demand hash indexes for one evaluation: (pred, bound positions) →
-/// [`TupleIndex`].
+/// [`TupleIndex`]. These are the fallback when no declared index covers a
+/// bound column; each build is a full relation pass, counted in
+/// [`EvalStats::scans`] via `builds`.
 struct IndexCache<'a> {
     db: &'a EdbDatabase,
-    cache: HashMap<(String, Vec<usize>), TupleIndex>,
+    cache: HashMap<(PredSym, Vec<usize>), TupleIndex>,
+    builds: u64,
 }
 
 impl<'a> IndexCache<'a> {
@@ -80,13 +180,16 @@ impl<'a> IndexCache<'a> {
         IndexCache {
             db,
             cache: HashMap::new(),
+            builds: 0,
         }
     }
 
     fn index(&mut self, pred: &crate::atom::PredSym, positions: &[usize]) -> Option<&TupleIndex> {
         let rel = self.db.relation(pred)?;
-        let key = (pred.name().to_string(), positions.to_vec());
+        let key = (*pred, positions.to_vec());
+        let builds = &mut self.builds;
         Some(self.cache.entry(key).or_insert_with(|| {
+            *builds += 1;
             let mut m: HashMap<Vec<Const>, Vec<usize>> = HashMap::new();
             for (i, t) in rel.tuples().iter().enumerate() {
                 let k: Vec<Const> = positions.iter().map(|&p| t[p]).collect();
@@ -97,12 +200,113 @@ impl<'a> IndexCache<'a> {
     }
 }
 
+/// The physical access path chosen for one positive-atom join step.
+enum AccessPath {
+    /// Probe the declared hash index on this column with each binding's
+    /// value for it.
+    HashProbe(usize),
+    /// The (shared) candidate positions from one range probe against a
+    /// declared ordered index; identical for every input binding because
+    /// range bounds come from body constants.
+    RangeProbe(Vec<usize>),
+    /// Build/reuse an ephemeral per-evaluation index on the bound columns.
+    Ephemeral,
+    /// Enumerate the whole relation per binding.
+    Scan,
+}
+
+/// Bound argument positions (and their values) of `atom` under binding `b`.
+fn bound_columns(atom: &Atom, b: &Binding) -> (Vec<usize>, Vec<Const>) {
+    let mut bound_pos: Vec<usize> = Vec::new();
+    let mut bound_vals: Vec<Const> = Vec::new();
+    for (i, t) in atom.args.iter().enumerate() {
+        match t {
+            Term::Const(c) => {
+                bound_pos.push(i);
+                bound_vals.push(*c);
+            }
+            Term::Var(v) => {
+                if let Some(c) = b.get(v) {
+                    bound_pos.push(i);
+                    bound_vals.push(*c);
+                }
+            }
+        }
+    }
+    (bound_pos, bound_vals)
+}
+
+/// Pick the access path for `atom` given the (position-uniform) bound
+/// columns of the binding set. Preference order: declared hash probe on a
+/// bound column, range probe on an unbound column constrained by body
+/// comparisons (when the probe is estimated cheaper than the fallback),
+/// ephemeral join index on the bound columns, full scan.
+fn choose_access_path(
+    rel: &Relation,
+    atom: &Atom,
+    bound_pos: &[usize],
+    ranges: &RangeMap,
+    b0: &Binding,
+    n_bindings: usize,
+    opts: &EvalOptions,
+) -> AccessPath {
+    if opts.use_indexes {
+        // Most selective declared hash index over a bound column.
+        if let Some(&pos) = bound_pos
+            .iter()
+            .filter(|&&p| rel.has_hash_index(p))
+            .max_by_key(|&&p| rel.index_distinct(p).unwrap_or(0))
+        {
+            return AccessPath::HashProbe(pos);
+        }
+        // Range probe: an unbound variable column with harvested bounds
+        // and an ordered index. The comparison literal itself still runs
+        // later, so the probe only has to be a sound pre-filter.
+        let mut best: Option<(usize, usize)> = None; // (count, col)
+        for (i, t) in atom.args.iter().enumerate() {
+            let Term::Var(v) = t else { continue };
+            if b0.contains_key(v) {
+                continue;
+            }
+            let Some((lo, hi)) = ranges.get(v) else {
+                continue;
+            };
+            if let Some(k) = rel.range_count(i, lo.as_ref(), hi.as_ref()) {
+                if best.is_none_or(|(bk, _)| k < bk) {
+                    best = Some((k, i));
+                }
+            }
+        }
+        if let Some((k, col)) = best {
+            // Worth it when probing every binding touches fewer tuples
+            // than one full pass (the cost of the ephemeral build or of a
+            // single scan); with no bound column the probe always wins.
+            if bound_pos.is_empty() || k.saturating_mul(n_bindings) <= rel.len().max(1) {
+                let Term::Var(v) = &atom.args[col] else {
+                    unreachable!()
+                };
+                let (lo, hi) = &ranges[v];
+                if let Some(positions) = rel.range_probe(col, lo.as_ref(), hi.as_ref()) {
+                    return AccessPath::RangeProbe(positions);
+                }
+            }
+        }
+    }
+    if bound_pos.is_empty() {
+        AccessPath::Scan
+    } else {
+        AccessPath::Ephemeral
+    }
+}
+
 /// Evaluate a positive atom against the database, extending each binding.
 fn join_atom(
     db: &EdbDatabase,
     idx: &mut IndexCache<'_>,
     atom: &Atom,
     bindings: Vec<Binding>,
+    ranges: &RangeMap,
+    opts: &EvalOptions,
     stats: &mut EvalStats,
 ) -> Result<Vec<Binding>> {
     let Some(rel) = db.relation(&atom.pred) else {
@@ -119,31 +323,35 @@ fn join_atom(
         }
     }
     stats.join_input_tuples += bindings.len() as u64;
+    let Some(b0) = bindings.first() else {
+        return Ok(Vec::new());
+    };
+    // Bound positions are uniform across the binding set (every binding
+    // carries the same variables), so the access path is chosen once.
+    let (uniform_pos, _) = bound_columns(atom, b0);
+    let path = choose_access_path(rel, atom, &uniform_pos, ranges, b0, bindings.len(), opts);
+    if let AccessPath::RangeProbe(_) = path {
+        stats.range_probes += 1;
+    }
     let mut out = Vec::new();
     for b in bindings {
-        // Determine bound positions under this binding.
-        let mut bound_pos: Vec<usize> = Vec::new();
-        let mut bound_vals: Vec<Const> = Vec::new();
-        for (i, t) in atom.args.iter().enumerate() {
-            match t {
-                Term::Const(c) => {
-                    bound_pos.push(i);
-                    bound_vals.push(*c);
-                }
-                Term::Var(v) => {
-                    if let Some(c) = b.get(v) {
-                        bound_pos.push(i);
-                        bound_vals.push(*c);
-                    }
-                }
+        let candidates: Vec<usize> = match &path {
+            AccessPath::HashProbe(pos) => {
+                stats.index_probes += 1;
+                let val = term_value(&atom.args[*pos], &b).expect("bound column");
+                rel.hash_probe(*pos, &val).unwrap_or(&[]).to_vec()
             }
-        }
-        let candidates: Vec<usize> = if bound_pos.is_empty() {
-            (0..rel.len()).collect()
-        } else {
-            idx.index(&atom.pred, &bound_pos)
-                .and_then(|m| m.get(&bound_vals).cloned())
-                .unwrap_or_default()
+            AccessPath::RangeProbe(positions) => positions.clone(),
+            AccessPath::Ephemeral => {
+                let (bound_pos, bound_vals) = bound_columns(atom, &b);
+                idx.index(&atom.pred, &bound_pos)
+                    .and_then(|m| m.get(&bound_vals).cloned())
+                    .unwrap_or_default()
+            }
+            AccessPath::Scan => {
+                stats.scans += 1;
+                (0..rel.len()).collect()
+            }
         };
         for ti in candidates {
             let tuple = &rel.tuples()[ti];
@@ -224,9 +432,241 @@ fn eval_cmp(c: &crate::atom::Comparison, b: &Binding) -> Result<bool> {
     }
 }
 
+/// Count every occurrence of each variable across the body's literals
+/// (duplicates within one literal count separately).
+fn occurrence_counts(body: &[Literal]) -> HashMap<Var, usize> {
+    let mut counts: HashMap<Var, usize> = HashMap::new();
+    let count_term = |t: &Term, counts: &mut HashMap<Var, usize>| {
+        if let Term::Var(v) = t {
+            *counts.entry(*v).or_insert(0) += 1;
+        }
+    };
+    for l in body {
+        match l {
+            Literal::Pos(a) | Literal::Neg(a) => {
+                for t in &a.args {
+                    count_term(t, &mut counts);
+                }
+            }
+            Literal::Cmp(c) => {
+                count_term(&c.lhs, &mut counts);
+                count_term(&c.rhs, &mut counts);
+            }
+        }
+    }
+    counts
+}
+
+/// One execution step after chain-fusion detection: either a single body
+/// literal, or a run of binary atoms fused into an index-nested-loop walk.
+enum Step<'a> {
+    Single(&'a Literal),
+    Chain(Vec<&'a Atom>),
+}
+
+/// Fuse runs of consecutive binary positive atoms chained head-to-tail
+/// through variables that occur exactly twice in the body and are not
+/// protected (projected / exported by the rule head). Such intermediate
+/// variables exist only to link the hops — per the Odra collection-join
+/// fusion, the run collapses into one index-nested-loop walk that never
+/// materializes the intermediate bindings.
+fn fuse_chains<'a>(
+    ordered: &[&'a Literal],
+    body: &[Literal],
+    protected: &HashSet<Var>,
+) -> Vec<Step<'a>> {
+    let counts = occurrence_counts(body);
+    let fusable_link = |a: &Atom, b: &Atom| -> bool {
+        if a.args.len() != 2 || b.args.len() != 2 {
+            return false;
+        }
+        let (Term::Var(mid), Term::Var(next_src)) = (&a.args[1], &b.args[0]) else {
+            return false;
+        };
+        if mid != next_src || protected.contains(mid) {
+            return false;
+        }
+        // Exactly the two chain occurrences, and not a self-link.
+        counts.get(mid).copied().unwrap_or(0) == 2
+            && a.args[0] != a.args[1]
+            && b.args[0] != b.args[1]
+    };
+    let mut steps: Vec<Step<'a>> = Vec::new();
+    let mut i = 0;
+    while i < ordered.len() {
+        let Literal::Pos(a) = ordered[i] else {
+            steps.push(Step::Single(ordered[i]));
+            i += 1;
+            continue;
+        };
+        let mut run: Vec<&Atom> = vec![a];
+        while let Some(Literal::Pos(next)) = ordered.get(i + run.len()) {
+            if fusable_link(run[run.len() - 1], next) {
+                run.push(next);
+            } else {
+                break;
+            }
+        }
+        if run.len() >= 2 {
+            i += run.len();
+            steps.push(Step::Chain(run));
+        } else {
+            steps.push(Step::Single(ordered[i]));
+            i += 1;
+        }
+    }
+    steps
+}
+
+/// All successors of `from` through the binary relation `pred` (column 0 →
+/// column 1), via the declared hash index when present, else the ephemeral
+/// index cache.
+fn hop_targets(
+    db: &EdbDatabase,
+    idx: &mut IndexCache<'_>,
+    pred: &PredSym,
+    from: &Const,
+    stats: &mut EvalStats,
+) -> Vec<Const> {
+    let Some(rel) = db.relation(pred) else {
+        return Vec::new();
+    };
+    let positions: Vec<usize> = if let Some(p) = rel.hash_probe(0, from) {
+        stats.index_probes += 1;
+        p.to_vec()
+    } else {
+        idx.index(pred, &[0])
+            .and_then(|m| m.get(&vec![*from]).cloned())
+            .unwrap_or_default()
+    };
+    let rel = db.relation(pred).expect("checked above");
+    let mut out = Vec::with_capacity(positions.len());
+    for ti in positions {
+        stats.tuples_examined += 1;
+        *stats.per_pred.entry(*pred).or_insert(0) += 1;
+        out.push(rel.tuple_at(ti)[1]);
+    }
+    out
+}
+
+/// Walk a fused chain from one start value: the set of values reachable
+/// through every hop, deduplicating at each level.
+fn chain_reach(
+    db: &EdbDatabase,
+    idx: &mut IndexCache<'_>,
+    atoms: &[&Atom],
+    start: Const,
+    stats: &mut EvalStats,
+) -> HashSet<Const> {
+    let mut level: HashSet<Const> = HashSet::from([start]);
+    for a in atoms {
+        let mut next: HashSet<Const> = HashSet::new();
+        for v in &level {
+            next.extend(hop_targets(db, idx, &a.pred, v, stats));
+        }
+        level = next;
+        if level.is_empty() {
+            break;
+        }
+    }
+    level
+}
+
+/// Execute one fused chain step over the binding set.
+fn join_chain(
+    db: &EdbDatabase,
+    idx: &mut IndexCache<'_>,
+    atoms: &[&Atom],
+    bindings: Vec<Binding>,
+    stats: &mut EvalStats,
+) -> Result<Vec<Binding>> {
+    stats.chains_fused += 1;
+    stats.join_input_tuples += bindings.len() as u64;
+    // Arity guard: a hop relation with non-binary arity is a real error
+    // (the unfused path would raise it too); unknown relations mean empty.
+    for a in atoms {
+        if let Some(rel) = db.relation(&a.pred) {
+            if let Some(n) = rel.arity() {
+                if n != 2 {
+                    return Err(DatalogError::ArityMismatch {
+                        predicate: a.pred.name().to_string(),
+                        expected: n,
+                        found: 2,
+                    });
+                }
+            }
+        }
+    }
+    let start_term = &atoms[0].args[0];
+    let end_term = &atoms[atoms.len() - 1].args[1];
+    let mut out = Vec::new();
+    let emit = |b: &Binding, end: Const, out: &mut Vec<Binding>| match end_term {
+        Term::Const(c) => {
+            if *c == end {
+                out.push(b.clone());
+            }
+        }
+        Term::Var(v) => match b.get(v) {
+            Some(existing) => {
+                if *existing == end {
+                    out.push(b.clone());
+                }
+            }
+            None => {
+                let mut b2 = b.clone();
+                b2.insert(*v, end);
+                out.push(b2);
+            }
+        },
+    };
+    for b in &bindings {
+        match term_value(start_term, b) {
+            Some(s) => {
+                for end in chain_reach(db, idx, atoms, s, stats) {
+                    emit(b, end, &mut out);
+                }
+            }
+            None => {
+                // Unbound start: enumerate the first hop's distinct source
+                // values, walking the chain from each.
+                let Term::Var(sv) = start_term else {
+                    unreachable!("constants are always bound")
+                };
+                let Some(rel0) = db.relation(&atoms[0].pred) else {
+                    continue;
+                };
+                stats.scans += 1;
+                let mut starts: HashSet<Const> = HashSet::new();
+                for t in rel0.tuples() {
+                    starts.insert(t[0]);
+                }
+                for s in starts {
+                    for end in chain_reach(db, idx, atoms, s, stats) {
+                        let mut b2 = b.clone();
+                        b2.insert(*sv, s);
+                        emit(&b2, end, &mut out);
+                    }
+                }
+            }
+        }
+    }
+    stats.bindings_produced += out.len() as u64;
+    stats.join_output_tuples += out.len() as u64;
+    Ok(out)
+}
+
 /// Evaluate a body against the database, returning all complete bindings.
-fn eval_body(db: &EdbDatabase, body: &[Literal], stats: &mut EvalStats) -> Result<Vec<Binding>> {
+/// `protected` names the variables consumed outside the body (projection
+/// or rule head) — chain fusion must not eliminate them.
+fn eval_body(
+    db: &EdbDatabase,
+    body: &[Literal],
+    protected: &HashSet<Var>,
+    opts: &EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<Vec<Binding>> {
     let mut idx = IndexCache::new(db);
+    let ranges = collect_ranges(body);
     // Greedy ordering: repeatedly pick the positive literal sharing the
     // most variables with those already bound (ties: original order);
     // negatives and comparisons run as soon as fully bound.
@@ -281,11 +721,27 @@ fn eval_body(db: &EdbDatabase, body: &[Literal], stats: &mut EvalStats) -> Resul
         }
     }
 
+    let steps: Vec<Step<'_>> = if opts.use_indexes && opts.fuse_chains {
+        fuse_chains(&ordered, body, protected)
+    } else {
+        ordered.iter().map(|l| Step::Single(l)).collect()
+    };
+
     let mut bindings: Vec<Binding> = vec![Binding::new()];
-    for l in ordered {
+    for step in steps {
+        let l = match step {
+            Step::Chain(atoms) => {
+                bindings = join_chain(db, &mut idx, &atoms, bindings, stats)?;
+                if bindings.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            Step::Single(l) => l,
+        };
         match l {
             Literal::Pos(a) => {
-                bindings = join_atom(db, &mut idx, a, bindings, stats)?;
+                bindings = join_atom(db, &mut idx, a, bindings, &ranges, opts, stats)?;
             }
             // An equality with exactly one bound side propagates the
             // binding (the physical analogue of using the equality as a
@@ -347,7 +803,20 @@ fn eval_body(db: &EdbDatabase, body: &[Literal], stats: &mut EvalStats) -> Resul
                     let present = match db.relation(&a.pred) {
                         None => false,
                         Some(rel) => {
-                            let candidates: Vec<usize> = if bound_pos.is_empty() {
+                            // Same access-path preference as positive joins:
+                            // declared hash probe, then ephemeral, then scan.
+                            let declared = if opts.use_indexes {
+                                bound_pos.iter().position(|&p| rel.has_hash_index(p))
+                            } else {
+                                None
+                            };
+                            let candidates: Vec<usize> = if let Some(bi) = declared {
+                                stats.index_probes += 1;
+                                rel.hash_probe(bound_pos[bi], &bound_vals[bi])
+                                    .unwrap_or(&[])
+                                    .to_vec()
+                            } else if bound_pos.is_empty() {
+                                stats.scans += 1;
                                 (0..rel.len()).collect()
                             } else {
                                 idx.index(&a.pred, &bound_pos)
@@ -395,15 +864,34 @@ fn eval_body(db: &EdbDatabase, body: &[Literal], stats: &mut EvalStats) -> Resul
             break;
         }
     }
+    stats.scans += idx.builds;
     Ok(bindings)
 }
 
-/// Answer a conjunctive query; returns the projected tuples (deduplicated,
-/// set semantics) and evaluation statistics.
+/// Answer a conjunctive query with the default (index-enabled) options;
+/// returns the projected tuples (deduplicated, set semantics) and
+/// evaluation statistics.
 pub fn answer_query(db: &EdbDatabase, q: &Query) -> Result<(Vec<Vec<Const>>, EvalStats)> {
+    answer_query_with(db, q, &EvalOptions::default())
+}
+
+/// Answer a conjunctive query under explicit physical options —
+/// [`EvalOptions::scan_only`] reproduces the pre-index executor for
+/// differential testing and seed-equivalent benchmarking.
+pub fn answer_query_with(
+    db: &EdbDatabase,
+    q: &Query,
+    opts: &EvalOptions,
+) -> Result<(Vec<Vec<Const>>, EvalStats)> {
     let _span = sqo_obs::span!("eval.answer_query");
     let mut stats = EvalStats::default();
-    let bindings = eval_body(db, &q.body, &mut stats)?;
+    let protected: HashSet<Var> = q
+        .projection
+        .iter()
+        .filter_map(Term::as_var)
+        .copied()
+        .collect();
+    let bindings = eval_body(db, &q.body, &protected, opts, &mut stats)?;
     let mut out = Relation::default();
     for b in bindings {
         let tuple: Option<Vec<Const>> = q.projection.iter().map(|t| term_value(t, &b)).collect();
@@ -460,7 +948,20 @@ pub fn materialize(db: &EdbDatabase, program: &Program) -> Result<(EdbDatabase, 
                         continue;
                     }
                 }
-                let bindings = eval_body(&total, &rule.body, &mut stats)?;
+                let protected: HashSet<Var> = rule
+                    .head
+                    .args
+                    .iter()
+                    .filter_map(Term::as_var)
+                    .copied()
+                    .collect();
+                let bindings = eval_body(
+                    &total,
+                    &rule.body,
+                    &protected,
+                    &EvalOptions::default(),
+                    &mut stats,
+                )?;
                 for b in bindings {
                     let tuple: Option<Vec<Const>> =
                         rule.head.args.iter().map(|t| term_value(t, &b)).collect();

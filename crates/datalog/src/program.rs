@@ -4,14 +4,113 @@ use crate::atom::{Atom, Literal, PredSym};
 use crate::clause::Rule;
 use crate::error::{DatalogError, Result};
 use crate::term::Const;
-use std::collections::{HashMap, HashSet};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Bound;
 
-/// A stored relation: a deduplicated bag of constant tuples.
+/// A secondary-index key with a *total* order over mixed-type columns.
+///
+/// `Const`'s derived `Ord` is discriminant-major (all `Int`s before all
+/// `Real`s), which would break range probes over numeric columns holding a
+/// mix of the two. `OrdKey` orders by type *rank* first — numerics (0) <
+/// strings (1) < booleans (2) < OIDs (3) — and within a rank by the
+/// numeric-aware [`Const::order`], so `Int(3)` and `Real(3.0)` coincide and
+/// a range scan over `[lo, hi]` visits exactly the tuples [`crate::eval`]'s
+/// comparison filter would keep.
+#[derive(Clone, Copy, Debug)]
+struct OrdKey(Const);
+
+fn type_rank(c: &Const) -> u8 {
+    match c {
+        Const::Int(_) | Const::Real(_) => 0,
+        Const::Str(_) => 1,
+        Const::Bool(_) => 2,
+        Const::Oid(_) => 3,
+    }
+}
+
+impl Ord for OrdKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        type_rank(&self.0).cmp(&type_rank(&other.0)).then_with(|| {
+            // Same rank: `order` is total within numerics/strings/booleans;
+            // OID pairs fall back to the derived (structural) order.
+            self.0
+                .order(&other.0)
+                .unwrap_or_else(|| self.0.cmp(&other.0))
+        })
+    }
+}
+
+impl PartialOrd for OrdKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for OrdKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for OrdKey {}
+
+/// A hash secondary index over one column: key value → positions (into
+/// [`Relation::tuples`]) of the tuples carrying it. Keys use `Const`'s
+/// derived equality — the same equality the join verification loop applies
+/// — so a probe returns exactly the tuples a scan-and-compare would keep.
+#[derive(Debug, Clone, Default)]
+struct HashIndex {
+    postings: HashMap<Const, Vec<usize>>,
+}
+
+/// An ordered secondary index over one column, supporting range probes.
+#[derive(Debug, Clone, Default)]
+struct OrderedIndex {
+    postings: BTreeMap<OrdKey, Vec<usize>>,
+}
+
+impl OrderedIndex {
+    /// Whether every key in the index has the same type rank as `probe`
+    /// (and that rank supports ordering) — the precondition for a range
+    /// probe to be equivalent to scan-plus-filter, *including* the filter's
+    /// incomparability errors.
+    fn homogeneous_for(&self, probe: &Const) -> bool {
+        let rank = type_rank(probe);
+        if rank == 3 {
+            return false; // OIDs have no order semantics in comparisons.
+        }
+        match (
+            self.postings.keys().next(),
+            self.postings.keys().next_back(),
+        ) {
+            (Some(min), Some(max)) => type_rank(&min.0) == rank && type_rank(&max.0) == rank,
+            _ => true, // empty index: trivially homogeneous
+        }
+    }
+}
+
+/// One end of a range probe: the bounding constant and whether the bound
+/// is inclusive.
+pub type RangeBound = (Const, bool);
+
+fn to_bound(b: Option<&RangeBound>) -> Bound<OrdKey> {
+    match b {
+        None => Bound::Unbounded,
+        Some((c, true)) => Bound::Included(OrdKey(*c)),
+        Some((c, false)) => Bound::Excluded(OrdKey(*c)),
+    }
+}
+
+/// A stored relation: a deduplicated bag of constant tuples, plus any
+/// declared secondary indexes (maintained incrementally by [`Relation::insert`]).
 #[derive(Debug, Clone, Default)]
 pub struct Relation {
     arity: Option<usize>,
     tuples: Vec<Vec<Const>>,
     set: HashSet<Vec<Const>>,
+    hash_indexes: BTreeMap<usize, HashIndex>,
+    ordered_indexes: BTreeMap<usize, OrderedIndex>,
 }
 
 impl Relation {
@@ -43,11 +142,159 @@ impl Relation {
             _ => {}
         }
         if self.set.insert(tuple.clone()) {
+            let pos = self.tuples.len();
+            for (&col, idx) in &mut self.hash_indexes {
+                if let Some(c) = tuple.get(col) {
+                    idx.postings.entry(*c).or_default().push(pos);
+                }
+            }
+            for (&col, idx) in &mut self.ordered_indexes {
+                if let Some(c) = tuple.get(col) {
+                    idx.postings.entry(OrdKey(*c)).or_default().push(pos);
+                }
+            }
             self.tuples.push(tuple);
             Ok(true)
         } else {
             Ok(false)
         }
+    }
+
+    /// Declare a hash secondary index on column `col`. Existing tuples are
+    /// back-filled; later inserts maintain the index incrementally.
+    pub fn declare_hash_index(&mut self, col: usize) {
+        if self.hash_indexes.contains_key(&col) {
+            return;
+        }
+        let mut idx = HashIndex::default();
+        for (pos, t) in self.tuples.iter().enumerate() {
+            if let Some(c) = t.get(col) {
+                idx.postings.entry(*c).or_default().push(pos);
+            }
+        }
+        self.hash_indexes.insert(col, idx);
+    }
+
+    /// Declare an ordered (range) secondary index on column `col`.
+    /// Existing tuples are back-filled; later inserts maintain the index
+    /// incrementally.
+    pub fn declare_ordered_index(&mut self, col: usize) {
+        if self.ordered_indexes.contains_key(&col) {
+            return;
+        }
+        let mut idx = OrderedIndex::default();
+        for (pos, t) in self.tuples.iter().enumerate() {
+            if let Some(c) = t.get(col) {
+                idx.postings.entry(OrdKey(*c)).or_default().push(pos);
+            }
+        }
+        self.ordered_indexes.insert(col, idx);
+    }
+
+    /// Whether a hash index is declared on `col`.
+    pub fn has_hash_index(&self, col: usize) -> bool {
+        self.hash_indexes.contains_key(&col)
+    }
+
+    /// Whether an ordered index is declared on `col`.
+    pub fn has_ordered_index(&self, col: usize) -> bool {
+        self.ordered_indexes.contains_key(&col)
+    }
+
+    /// Columns with a declared hash index.
+    pub fn hash_indexed_columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.hash_indexes.keys().copied()
+    }
+
+    /// Equality probe against the hash index on `col`: tuple positions
+    /// whose `col` equals `key`. `None` when no hash index is declared.
+    pub fn hash_probe(&self, col: usize, key: &Const) -> Option<&[usize]> {
+        self.hash_indexes
+            .get(&col)
+            .map(|idx| idx.postings.get(key).map_or(&[][..], Vec::as_slice))
+    }
+
+    /// Number of distinct keys in the index on `col` (hash preferred,
+    /// ordered as fallback). `None` when the column has no index.
+    pub fn index_distinct(&self, col: usize) -> Option<usize> {
+        if let Some(idx) = self.hash_indexes.get(&col) {
+            return Some(idx.postings.len());
+        }
+        self.ordered_indexes.get(&col).map(|i| i.postings.len())
+    }
+
+    /// Shared precondition + traversal for range probes. `None` means the
+    /// probe is not answerable from an index (no index, or the column is
+    /// not type-homogeneous with the probe constants); `Some` iterates the
+    /// matching postings lists (possibly none, e.g. contradictory bounds).
+    fn range_postings(
+        &self,
+        col: usize,
+        lo: Option<&RangeBound>,
+        hi: Option<&RangeBound>,
+    ) -> Option<impl Iterator<Item = &Vec<usize>>> {
+        let idx = self.ordered_indexes.get(&col)?;
+        let probe = lo.or(hi).map(|(c, _)| c)?;
+        if !idx.homogeneous_for(probe) {
+            return None;
+        }
+        // An inverted or empty interval yields no tuples; `BTreeMap::range`
+        // would panic on it, so detect it here.
+        let empty = match (lo, hi) {
+            (Some((l, li)), Some((h, hi_inc))) => {
+                if type_rank(l) != type_rank(h) {
+                    return None;
+                }
+                match OrdKey(*l).cmp(&OrdKey(*h)) {
+                    Ordering::Greater => true,
+                    Ordering::Equal => !(*li && *hi_inc),
+                    Ordering::Less => false,
+                }
+            }
+            _ => false,
+        };
+        let range = if empty {
+            None
+        } else {
+            Some(idx.postings.range((to_bound(lo), to_bound(hi))))
+        };
+        Some(range.into_iter().flatten().map(|(_, v)| v))
+    }
+
+    /// Range probe against the ordered index on `col`: positions of tuples
+    /// whose `col` lies within `[lo, hi]` (each bound optional, inclusive
+    /// per its flag). Returns `None` — meaning "fall back to a scan" —
+    /// when no ordered index is declared *or* the column holds values of a
+    /// different type rank than the probe constants, so scan-and-filter
+    /// error semantics (incomparable operands) are preserved.
+    pub fn range_probe(
+        &self,
+        col: usize,
+        lo: Option<&RangeBound>,
+        hi: Option<&RangeBound>,
+    ) -> Option<Vec<usize>> {
+        let postings = self.range_postings(col, lo, hi)?;
+        let mut out = Vec::new();
+        for p in postings {
+            out.extend_from_slice(p);
+        }
+        Some(out)
+    }
+
+    /// Number of tuples a [`Relation::range_probe`] with the same bounds
+    /// would return, without materializing the positions.
+    pub fn range_count(
+        &self,
+        col: usize,
+        lo: Option<&RangeBound>,
+        hi: Option<&RangeBound>,
+    ) -> Option<usize> {
+        Some(self.range_postings(col, lo, hi)?.map(Vec::len).sum())
+    }
+
+    /// Tuple at position `pos` (as returned by the probe methods).
+    pub fn tuple_at(&self, pos: usize) -> &[Const] {
+        &self.tuples[pos]
     }
 
     /// Whether the tuple is present.
@@ -119,6 +366,25 @@ impl EdbDatabase {
         self.relations
             .entry(pred)
             .or_insert_with(|| Relation::with_arity(arity));
+    }
+
+    /// Declare a hash secondary index on `pred`'s column `col` (creating
+    /// the relation if absent). Existing tuples are back-filled; inserts
+    /// maintain the index incrementally from then on.
+    pub fn declare_hash_index(&mut self, pred: PredSym, col: usize) {
+        self.relations
+            .entry(pred)
+            .or_default()
+            .declare_hash_index(col);
+    }
+
+    /// Declare an ordered (range) secondary index on `pred`'s column
+    /// `col` (creating the relation if absent).
+    pub fn declare_ordered_index(&mut self, pred: PredSym, col: usize) {
+        self.relations
+            .entry(pred)
+            .or_default()
+            .declare_ordered_index(col);
     }
 
     /// Look up a relation.
@@ -333,6 +599,86 @@ mod tests {
             p.validate(),
             Err(DatalogError::UnsafeVariable { .. })
         ));
+    }
+
+    #[test]
+    fn hash_index_backfills_and_maintains_incrementally() {
+        let mut r = Relation::default();
+        r.insert(vec![Const::Int(1), Const::Str("a".into())])
+            .unwrap();
+        r.insert(vec![Const::Int(2), Const::Str("b".into())])
+            .unwrap();
+        // Declared after the fact: back-fill covers existing tuples.
+        r.declare_hash_index(1);
+        assert_eq!(
+            r.hash_probe(1, &Const::Str("a".into())),
+            Some(&[0usize][..])
+        );
+        // Incremental maintenance on subsequent inserts.
+        r.insert(vec![Const::Int(3), Const::Str("a".into())])
+            .unwrap();
+        assert_eq!(
+            r.hash_probe(1, &Const::Str("a".into())),
+            Some(&[0usize, 2][..])
+        );
+        assert_eq!(r.hash_probe(1, &Const::Str("zzz".into())), Some(&[][..]));
+        assert_eq!(r.hash_probe(0, &Const::Int(1)), None, "no index on col 0");
+        assert_eq!(r.index_distinct(1), Some(2));
+    }
+
+    #[test]
+    fn ordered_index_range_probe_is_numeric_aware() {
+        let mut r = Relation::default();
+        r.declare_ordered_index(0);
+        for v in [
+            Const::Int(5),
+            Const::Real(crate::term::R64::new(2.5)),
+            Const::Int(10),
+            Const::Real(crate::term::R64::new(7.0)),
+        ] {
+            r.insert(vec![v]).unwrap();
+        }
+        // 2.5 < x <= 7.0 → {5, 7.0}; Int/Real interleave numerically.
+        let lo = (Const::Real(crate::term::R64::new(2.5)), false);
+        let hi = (Const::Int(7), true);
+        let mut hits = r.range_probe(0, Some(&lo), Some(&hi)).unwrap();
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 3]);
+        assert_eq!(r.range_count(0, Some(&lo), Some(&hi)), Some(2));
+        // Open-ended probe.
+        assert_eq!(
+            r.range_count(0, Some(&(Const::Int(6), true)), None),
+            Some(2)
+        );
+        // Inverted interval: empty, not a panic.
+        assert_eq!(
+            r.range_count(
+                0,
+                Some(&(Const::Int(9), true)),
+                Some(&(Const::Int(3), true))
+            ),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn range_probe_declines_on_mixed_type_columns() {
+        let mut r = Relation::default();
+        r.declare_ordered_index(0);
+        r.insert(vec![Const::Int(1)]).unwrap();
+        r.insert(vec![Const::Str("x".into())]).unwrap();
+        // A scan would raise an incomparability error on the string row;
+        // the probe must decline rather than silently skip it.
+        assert_eq!(r.range_probe(0, Some(&(Const::Int(0), true)), None), None);
+        // A type-homogeneous column accepts the probe.
+        let mut ok = Relation::default();
+        ok.declare_ordered_index(0);
+        ok.insert(vec![Const::Str("a".into())]).unwrap();
+        ok.insert(vec![Const::Str("c".into())]).unwrap();
+        assert_eq!(
+            ok.range_count(0, Some(&(Const::Str("b".into()), true)), None),
+            Some(1)
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use sqo_core::{Backend, CacheOutcome, OptimizationReport, PlanCache, SemanticOptimizer, Verdict};
 use sqo_datalog::term::Const;
 use sqo_datalog::Query;
-use sqo_objdb::{execute, ObjectDb};
+use sqo_objdb::{execute, execute_with, ExecOptions, ObjectDb};
 use sqo_odl::Schema;
 use sqo_oql::SelectQuery;
 
@@ -63,10 +63,66 @@ impl CaseStatus {
     }
 }
 
-fn answers(db: &ObjectDb, q: &Query) -> Result<Vec<Vec<Const>>, String> {
-    let (mut rows, _) = execute(db, q).map_err(|e| format!("execute: {e}"))?;
-    rows.sort();
-    Ok(rows)
+/// Why one evaluation could not produce a trusted answer set: the case is
+/// invalid (skip it), or the two executors disagreed (a soundness bug).
+enum EvalFailure {
+    Invalid(String),
+    Mismatch(Box<Mismatch>),
+}
+
+/// Evaluate `q` under BOTH the indexed and the scan-only executor; the
+/// two must agree on the sorted answer set *and* on whether evaluation
+/// errors at all (range probes must not suppress incomparable-operand
+/// errors). Every oracle evaluation is therefore also an access-path
+/// differential test.
+fn answers(db: &ObjectDb, q: &Query) -> Result<Vec<Vec<Const>>, EvalFailure> {
+    let indexed = execute(db, q);
+    let scan = execute_with(db, q, ExecOptions::scan_only());
+    match (indexed, scan) {
+        (Ok((mut rows, _)), Ok((mut scan_rows, _))) => {
+            rows.sort();
+            scan_rows.sort();
+            if rows != scan_rows {
+                return Err(EvalFailure::Mismatch(Box::new(Mismatch {
+                    path: "index-differential".to_string(),
+                    detail: format!(
+                        "indexed execution returned {} rows but scan-only returned {} for [{q}]",
+                        rows.len(),
+                        scan_rows.len()
+                    ),
+                })));
+            }
+            Ok(rows)
+        }
+        (Err(a), Err(_)) => Err(EvalFailure::Invalid(format!("execute: {a}"))),
+        (Ok((rows, _)), Err(e)) => Err(EvalFailure::Mismatch(Box::new(Mismatch {
+            path: "index-differential".to_string(),
+            detail: format!(
+                "indexed execution returned {} rows but scan-only errored ({e}) for [{q}]",
+                rows.len()
+            ),
+        }))),
+        (Err(e), Ok((rows, _))) => Err(EvalFailure::Mismatch(Box::new(Mismatch {
+            path: "index-differential".to_string(),
+            detail: format!(
+                "scan-only execution returned {} rows but indexed errored ({e}) for [{q}]",
+                rows.len()
+            ),
+        }))),
+    }
+}
+
+/// [`answers`] adapted to the `Result<Option<Mismatch>, String>` shape of
+/// the report checks: a differential mismatch becomes the early `Some`.
+fn answers_or_mismatch(
+    db: &ObjectDb,
+    q: &Query,
+) -> Result<Result<Vec<Vec<Const>>, Mismatch>, String> {
+    match answers(db, q) {
+        Ok(rows) => Ok(Ok(rows)),
+        Err(EvalFailure::Mismatch(m)) => Ok(Err(*m)),
+        Err(EvalFailure::Invalid(s)) => Err(s),
+    }
 }
 
 /// A stable fingerprint of a report's verdict: contradictions by
@@ -117,7 +173,10 @@ fn check_report(
         }
         Verdict::Equivalents(eqs) => {
             for (i, eq) in eqs.iter().enumerate() {
-                let rows = answers(db, &eq.datalog)?;
+                let rows = match answers_or_mismatch(db, &eq.datalog)? {
+                    Ok(rows) => rows,
+                    Err(m) => return Ok(Some(m)),
+                };
                 if rows != baseline {
                     return Ok(Some(Mismatch {
                         path: path.to_string(),
@@ -157,7 +216,10 @@ pub fn run_inputs(inputs: &CaseInputs) -> Result<CaseStatus, String> {
     let translation = opt
         .translate(&query)
         .map_err(|e| format!("translate: {e}"))?;
-    let baseline = answers(db, &translation.query)?;
+    let baseline = match answers_or_mismatch(db, &translation.query)? {
+        Ok(rows) => rows,
+        Err(m) => return Ok(CaseStatus::Mismatch(m)),
+    };
 
     // Parallel and sequential searches must agree verdict-for-verdict.
     let report_par = opt
@@ -220,7 +282,10 @@ pub fn run_inputs(inputs: &CaseInputs) -> Result<CaseStatus, String> {
         let sib_translation = opt
             .translate(&sib)
             .map_err(|e| format!("sibling translate: {e}"))?;
-        let sib_baseline = answers(db, &sib_translation.query)?;
+        let sib_baseline = match answers_or_mismatch(db, &sib_translation.query)? {
+            Ok(rows) => rows,
+            Err(m) => return Ok(CaseStatus::Mismatch(m)),
+        };
         let (sib_report, _outcome) = prepared
             .optimize_query_cached(&cache, &sib)
             .map_err(|e| format!("cache(sibling): {e}"))?;

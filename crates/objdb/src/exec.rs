@@ -16,7 +16,7 @@
 
 use crate::error::{ObjDbError, Result};
 use crate::store::ObjectDb;
-use sqo_datalog::eval::answer_query;
+use sqo_datalog::eval::{answer_query_with, EvalOptions};
 use sqo_datalog::{Atom, Const, Literal, PredSym, Query, Term, Var};
 use sqo_translate::RelKind;
 use std::collections::HashMap;
@@ -44,6 +44,14 @@ pub struct CostReport {
     pub bindings_produced: u64,
     /// Anti-join probes.
     pub negation_probes: u64,
+    /// Equality probes against declared hash indexes.
+    pub index_probes: u64,
+    /// Range probes against declared ordered indexes.
+    pub range_probes: u64,
+    /// Full relation passes (explicit scans plus ephemeral index builds).
+    pub scans: u64,
+    /// Path-expression chains fused into index-nested-loop walks.
+    pub chains_fused: u64,
     /// Wall-clock evaluation time.
     pub elapsed: Duration,
     /// Tuples examined per relation (predicate name → count), for
@@ -70,8 +78,16 @@ impl std::fmt::Display for CostReport {
 
 /// Rewrite class/structure atoms whose attributes are never used into
 /// unary extent atoms (cheap membership tests). Public so the planner can
-/// estimate against the same physical shape.
+/// estimate against the same physical shape. Assumes the default
+/// (indexed) executor; see [`rewrite_for_extents_with`].
 pub fn rewrite_for_extents(db: &ObjectDb, q: &Query) -> Query {
+    rewrite_for_extents_with(db, q, ExecOptions::default())
+}
+
+/// [`rewrite_for_extents`] for an explicit executor configuration: the
+/// extent-first anti-join decomposition is suppressed only when an
+/// ordered-index range probe will actually be taken.
+pub fn rewrite_for_extents_with(db: &ObjectDb, q: &Query, opts: ExecOptions) -> Query {
     // Count variable occurrences across the whole query.
     let mut occurrences: HashMap<Var, usize> = HashMap::new();
     let bump = |v: &Var, occ: &mut HashMap<Var, usize>| {
@@ -194,17 +210,48 @@ pub fn rewrite_for_extents(db: &ObjectDb, q: &Query) -> Query {
             _ => None,
         })
         .collect();
+    // Dedup by (extent predicate, OID term): several negated atoms
+    // restricting the same OID — or several positive atoms sharing one —
+    // must not prepend the same extent scan twice. Skip the prefix
+    // entirely when the class atom can be range-probed through an
+    // ordered index (a harvested bound on an indexed attribute): the
+    // extent-first decomposition would force a full extent scan where
+    // the index already restricts the fetches.
+    let ranges = sqo_datalog::eval::collect_ranges(&body);
+    let can_range_probe = |a: &Atom| {
+        if opts.scan_only {
+            return false;
+        }
+        let edb = db.edb();
+        let Some(rel) = edb.relation(&a.pred) else {
+            return false;
+        };
+        a.args.iter().enumerate().any(|(pos, t)| {
+            let Term::Var(v) = t else { return false };
+            rel.has_ordered_index(pos)
+                && ranges
+                    .get(v)
+                    .is_some_and(|(lo, hi)| lo.is_some() || hi.is_some())
+        })
+    };
     let mut prefix: Vec<Literal> = Vec::new();
+    let mut seen: Vec<(PredSym, Term)> = Vec::new();
     for l in &body {
         let Literal::Pos(a) = l else { continue };
-        if !is_object_rel(&a.pred) || a.args.len() <= 1 {
+        if !is_object_rel(&a.pred) || a.args.len() <= 1 || can_range_probe(a) {
             continue;
         }
         if a.args.first().is_some_and(|oid| anti_joined.contains(oid)) {
-            prefix.push(Literal::pos(
-                format!("{}__extent", a.pred.name()),
-                vec![a.args[0]],
-            ));
+            let extent = PredSym::new(format!("{}__extent", a.pred.name()));
+            let key = (extent, a.args[0]);
+            if seen.contains(&key) {
+                continue;
+            }
+            seen.push(key);
+            prefix.push(Literal::Pos(Atom {
+                pred: extent,
+                args: vec![a.args[0]],
+            }));
         }
     }
     if !prefix.is_empty() {
@@ -214,12 +261,46 @@ pub fn rewrite_for_extents(db: &ObjectDb, q: &Query) -> Query {
     Query::new(q.name.clone(), q.projection.clone(), body)
 }
 
+/// Physical knobs for one objdb execution, forwarded to the Datalog
+/// engine. [`ExecOptions::scan_only`] reproduces the pre-index executor;
+/// the differential tests and the `*_seed`/`*_baseline` bench rows use it
+/// as the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecOptions {
+    /// Evaluate without declared-index probes or chain fusion.
+    pub scan_only: bool,
+}
+
+impl ExecOptions {
+    /// The pre-index executor: scans and ephemeral join indexes only.
+    pub fn scan_only() -> Self {
+        ExecOptions { scan_only: true }
+    }
+
+    fn eval_options(self) -> EvalOptions {
+        if self.scan_only {
+            EvalOptions::scan_only()
+        } else {
+            EvalOptions::default()
+        }
+    }
+}
+
 /// Execute a Datalog query against the object store, with cost
-/// accounting.
+/// accounting, using the full access-path repertoire.
 pub fn execute(db: &ObjectDb, q: &Query) -> Result<(Vec<Vec<Const>>, CostReport)> {
+    execute_with(db, q, ExecOptions::default())
+}
+
+/// Execute with explicit physical options (see [`ExecOptions`]).
+pub fn execute_with(
+    db: &ObjectDb,
+    q: &Query,
+    opts: ExecOptions,
+) -> Result<(Vec<Vec<Const>>, CostReport)> {
     let _span = sqo_obs::span!("objdb.execute");
     sqo_obs::bump(sqo_obs::Counter::ExecQueries);
-    let physical = rewrite_for_extents(db, q);
+    let physical = rewrite_for_extents_with(db, q, opts);
 
     // Materialize method facts for every method atom's constant args.
     for l in &physical.body {
@@ -250,7 +331,7 @@ pub fn execute(db: &ObjectDb, q: &Query) -> Result<(Vec<Vec<Const>>, CostReport)
     let start = Instant::now();
     let (rows, stats) = {
         let edb = db.edb();
-        answer_query(&edb, &physical)?
+        answer_query_with(&edb, &physical, &opts.eval_options())?
     };
     let elapsed = start.elapsed();
 
@@ -265,12 +346,20 @@ pub fn execute(db: &ObjectDb, q: &Query) -> Result<(Vec<Vec<Const>>, CostReport)
         sqo_obs::Counter::EvalJoinOutputTuples,
         stats.join_output_tuples,
     );
+    sqo_obs::add(sqo_obs::Counter::ExecIndexProbes, stats.index_probes);
+    sqo_obs::add(sqo_obs::Counter::ExecRangeProbes, stats.range_probes);
+    sqo_obs::add(sqo_obs::Counter::ExecScans, stats.scans);
+    sqo_obs::add(sqo_obs::Counter::ExecChainsFused, stats.chains_fused);
 
     let mut report = CostReport {
         answers: rows.len(),
         tuples_examined: stats.tuples_examined,
         bindings_produced: stats.bindings_produced,
         negation_probes: stats.negation_probes,
+        index_probes: stats.index_probes,
+        range_probes: stats.range_probes,
+        scans: stats.scans,
+        chains_fused: stats.chains_fused,
         elapsed,
         ..Default::default()
     };
@@ -350,11 +439,24 @@ mod tests {
                 .unwrap();
         let r = rewrite_for_extents(&d, &q);
         assert!(r.to_string().contains("not faculty__extent(X)"), "{r}");
-        // The anti-joined class atom gets the extent-first decomposition
-        // (the paper's Application 2 plan).
+        // `A < 30` range-probes the ordered index on age, so the
+        // extent-first decomposition is NOT applied — it would force a
+        // full extent scan where the index already restricts fetches.
         assert!(
-            r.to_string().starts_with("q(N) <- person__extent(X)"),
+            !r.to_string().starts_with("q(N) <- person__extent(X)"),
             "{r}"
+        );
+        // Without a range-probe opportunity the anti-joined class atom
+        // gets the extent-first decomposition (the paper's Application 2
+        // plan).
+        let q_no_range =
+            parse_query("Q(N) <- person(X, N, A, Ad), not faculty(X, N2, A2, S, R, Ad2)").unwrap();
+        let r_no_range = rewrite_for_extents(&d, &q_no_range);
+        assert!(
+            r_no_range
+                .to_string()
+                .starts_with("q(N) <- person__extent(X)"),
+            "{r_no_range}"
         );
         // A negated atom whose attribute position is pinned by the SAME
         // object's positive atom is still an extent test (consistent
@@ -386,8 +488,16 @@ mod tests {
         let q = parse_query("Q(N) <- person(X, N, A, Ad), A < 25").unwrap();
         let (rows, report) = execute(&d, &q).unwrap();
         assert_eq!(rows.len(), 5); // ages 20..24
-        assert!(report.object_fetches >= 15); // scans all persons incl faculty
+                                   // The ordered index on `age` pre-filters: only the matching
+                                   // tuples are fetched, and the range probe is counted.
+        assert!(report.object_fetches >= 5);
+        assert!(report.range_probes >= 1);
         assert_eq!(report.extent_probes, 0);
+        // The pre-index executor scans all persons incl faculty.
+        let (rows_s, report_s) = execute_with(&d, &q, ExecOptions::scan_only()).unwrap();
+        assert_eq!(rows_s, rows);
+        assert!(report_s.object_fetches >= 15);
+        assert_eq!(report_s.range_probes, 0);
         // OID-only query: extent probes, no fetches.
         let q2 = parse_query("Q(X) <- person(X, N, A, Ad)").unwrap();
         let (rows2, report2) = execute(&d, &q2).unwrap();

@@ -24,7 +24,7 @@ pub mod store;
 pub mod value;
 
 pub use error::{ObjDbError, Result};
-pub use exec::{execute, CostReport};
+pub use exec::{execute, execute_with, CostReport, ExecOptions};
 pub use generate::{GenericConfig, GenericData, UniversityConfig, UniversityData};
 pub use plan::{choose_best, estimate_cost};
 pub use store::{AsrDef, MethodFn, Object, ObjectDb};

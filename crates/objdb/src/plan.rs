@@ -8,9 +8,19 @@
 //! (`1/distinct` per bound join column, fixed factors for comparisons),
 //! and per-relation-kind access weights reflecting the object-level cost
 //! of each probe (object fetch ≫ extent probe).
+//!
+//! The estimator is *index-aware*: each positive atom is priced against
+//! the access path the executor would actually pick — a declared hash
+//! index on a bound column examines only the expected matches, an
+//! ordered index with a harvested range bound examines the true
+//! in-range count (probed from the index itself), an ephemeral join
+//! index pays a one-time build pass, and everything else is a scan.
+//! Distinct counts come from index postings when a hash index exists.
 
 use crate::exec::rewrite_for_extents;
 use crate::store::ObjectDb;
+use sqo_datalog::eval::{collect_ranges, RangeMap};
+use sqo_datalog::program::Relation;
 use sqo_datalog::{CmpOp, Literal, PredSym, Query, Term, Var};
 use sqo_translate::RelKind;
 use std::collections::{HashMap, HashSet};
@@ -44,14 +54,15 @@ fn cardinality(db: &ObjectDb, pred: &PredSym) -> f64 {
         .unwrap_or(0.0)
 }
 
-/// Distinct values in one column of a relation.
-fn distinct(
-    db: &ObjectDb,
-    pred: &PredSym,
-    pos: usize,
-    memo: &mut HashMap<(String, usize), f64>,
-) -> f64 {
-    let key = (pred.name().to_string(), pos);
+/// Distinct-count memo shared across all [`estimate_cost`] calls within
+/// one [`choose_best`] — keyed by interned symbol, not by name string.
+pub type DistinctMemo = HashMap<(PredSym, usize), f64>;
+
+/// Distinct values in one column of a relation. Reads the declared-index
+/// postings count when a hash (or ordered) index covers the column;
+/// otherwise falls back to a set-building pass, memoized.
+fn distinct(db: &ObjectDb, pred: &PredSym, pos: usize, memo: &mut DistinctMemo) -> f64 {
+    let key = (*pred, pos);
     if let Some(&d) = memo.get(&key) {
         return d;
     }
@@ -59,6 +70,9 @@ fn distinct(
         .edb()
         .relation(pred)
         .map(|r| {
+            if let Some(k) = r.index_distinct(pos) {
+                return k.max(1) as f64;
+            }
             let mut set = HashSet::new();
             for t in r.tuples() {
                 if let Some(c) = t.get(pos) {
@@ -72,12 +86,34 @@ fn distinct(
     d
 }
 
+/// Selectivity of a range probe on one indexed column: the true in-range
+/// fraction, probed from the ordered index, clamped away from 0 and 1 so
+/// an estimate never claims a probe is free or useless.
+fn range_selectivity(rel: &Relation, pos: usize, v: &Var, ranges: &RangeMap) -> Option<f64> {
+    let (lo, hi) = ranges.get(v)?;
+    if lo.is_none() && hi.is_none() {
+        return None;
+    }
+    let n = rel.len();
+    if n == 0 {
+        return None;
+    }
+    let k = rel.range_count(pos, lo.as_ref(), hi.as_ref())?;
+    Some((k as f64 / n as f64).clamp(0.01, 0.95))
+}
+
 /// Estimate the evaluation cost of a query against the store. Lower is
 /// cheaper. The query is first rewritten to the same physical shape the
 /// executor uses (extent atoms for attribute-free class atoms).
 pub fn estimate_cost(db: &ObjectDb, q: &Query) -> f64 {
+    estimate_cost_memo(db, q, &mut DistinctMemo::new())
+}
+
+/// [`estimate_cost`] with a caller-owned distinct memo, so one
+/// [`choose_best`] reuses column statistics across all candidates.
+fn estimate_cost_memo(db: &ObjectDb, q: &Query, memo: &mut DistinctMemo) -> f64 {
     let q = rewrite_for_extents(db, q);
-    let mut memo: HashMap<(String, usize), f64> = HashMap::new();
+    let ranges = collect_ranges(&q.body);
     let mut bound: HashSet<Var> = HashSet::new();
     let mut remaining: Vec<&Literal> = q.body.iter().collect();
     let mut card = 1.0f64;
@@ -126,14 +162,17 @@ pub fn estimate_cost(db: &ObjectDb, q: &Query) -> f64 {
         let l = remaining.remove(i);
         let Literal::Pos(a) = l else { unreachable!() };
         let n = cardinality(db, &a.pred);
+        let w = weight(db, &a.pred);
         let mut sel = 1.0;
+        let mut bound_pos: Vec<usize> = Vec::new();
         for (pos, t) in a.args.iter().enumerate() {
             let is_bound = match t {
                 Term::Const(_) => true,
                 Term::Var(v) => bound.contains(v),
             };
             if is_bound {
-                sel /= distinct(db, &a.pred, pos, &mut memo);
+                bound_pos.push(pos);
+                sel /= distinct(db, &a.pred, pos, memo);
             }
         }
         // Repeated variables within the atom also filter.
@@ -145,8 +184,50 @@ pub fn estimate_cost(db: &ObjectDb, q: &Query) -> f64 {
                 }
             }
         }
+        // Access-path pricing, mirroring the executor's choice order:
+        // hash probe on a bound indexed column examines only the expected
+        // matches; a range probe examines the true in-range count (read
+        // off the ordered index); an ephemeral join index pays a one-time
+        // build pass then examines matches; everything else scans.
+        let (hash_hit, range_sel) = {
+            let edb = db.edb();
+            match edb.relation(&a.pred) {
+                None => (false, None),
+                Some(rel) => {
+                    let hash_hit = bound_pos.iter().any(|&p| rel.has_hash_index(p));
+                    let range_sel = if !hash_hit && bound_pos.is_empty() {
+                        a.args
+                            .iter()
+                            .enumerate()
+                            .filter_map(|(pos, t)| {
+                                let Term::Var(v) = t else { return None };
+                                if !rel.has_ordered_index(pos) {
+                                    return None;
+                                }
+                                range_selectivity(rel, pos, v, &ranges)
+                            })
+                            .fold(None, |acc: Option<f64>, s| {
+                                Some(acc.map_or(s, |a| a.min(s)))
+                            })
+                    } else {
+                        None
+                    };
+                    (hash_hit, range_sel)
+                }
+            }
+        };
+        let examined = if hash_hit {
+            (n * sel).max(1.0)
+        } else if let Some(rsel) = range_sel {
+            (n * rsel).max(1.0)
+        } else if !bound_pos.is_empty() {
+            cost += n * w; // ephemeral index build: one full pass
+            (n * sel).max(1.0)
+        } else {
+            n.max(1.0)
+        };
         let produced = (card * n * sel).max(0.0);
-        cost += (card.max(1.0)) * (n * sel).max(1.0) * weight(db, &a.pred);
+        cost += card.max(1.0) * examined * w;
         card = produced;
         for v in a.vars() {
             bound.insert(*v);
@@ -164,7 +245,11 @@ pub fn estimate_cost(db: &ObjectDb, q: &Query) -> f64 {
 /// with fewer body literals, then the lower index — so the winner does
 /// not depend on the enumeration order of the equivalent set.
 pub fn choose_best(db: &ObjectDb, queries: &[Query]) -> (usize, Vec<f64>) {
-    let costs: Vec<f64> = queries.iter().map(|q| estimate_cost(db, q)).collect();
+    let mut memo = DistinctMemo::new();
+    let costs: Vec<f64> = queries
+        .iter()
+        .map(|q| estimate_cost_memo(db, q, &mut memo))
+        .collect();
     let mut best = 0;
     for (i, c) in costs.iter().enumerate() {
         if *c < costs[best]

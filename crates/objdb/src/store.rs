@@ -625,6 +625,30 @@ impl ObjectDb {
                     let extent_pred = PredSym::new(format!("{}__extent", pred.name()));
                     db.declare(pred, decl.arity());
                     db.declare(extent_pred, 1);
+                    // Physical design: the OID column and every declared
+                    // (single-attribute) key get a hash index; numeric
+                    // attributes get an ordered index for range probes.
+                    // String attributes stay unindexed unless they are
+                    // keys — equality on a non-key string is a scan.
+                    db.declare_hash_index(pred, 0);
+                    db.declare_hash_index(extent_pred, 0);
+                    if let Some(cls) = self.schema.class(class) {
+                        for key in &cls.keys {
+                            if let [attr] = key.as_slice() {
+                                if let Some(pos) = decl.arg_position(attr) {
+                                    db.declare_hash_index(pred, pos);
+                                }
+                            }
+                        }
+                    }
+                    for (pos, arg) in decl.args.iter().enumerate().skip(1) {
+                        if matches!(
+                            arg.ty,
+                            ArgType::Base(BaseType::Int) | ArgType::Base(BaseType::Real)
+                        ) {
+                            db.declare_ordered_index(pred, pos);
+                        }
+                    }
                     for oid in self.extent(class) {
                         let obj = &self.objects[oid];
                         let mut tuple: Vec<Const> = vec![Const::Oid(oid.0)];
@@ -651,6 +675,8 @@ impl ObjectDb {
                 }
                 RelKind::Relationship { .. } => {
                     db.declare(decl.pred, 2);
+                    db.declare_hash_index(decl.pred, 0);
+                    db.declare_hash_index(decl.pred, 1);
                     if let Some(pairs) = self.links.get(decl.pred.name()) {
                         for (f, t) in pairs {
                             db.insert(decl.pred, vec![Const::Oid(f.0), Const::Oid(t.0)])
@@ -660,9 +686,12 @@ impl ObjectDb {
                 }
                 RelKind::View { .. } => {
                     db.declare(decl.pred, 2);
+                    db.declare_hash_index(decl.pred, 0);
+                    db.declare_hash_index(decl.pred, 1);
                 }
                 RelKind::Method { .. } => {
                     db.declare(decl.pred, decl.arity());
+                    db.declare_hash_index(decl.pred, 0);
                 }
             }
         }
@@ -672,6 +701,8 @@ impl ObjectDb {
                 db.insert(pred, vec![Const::Oid(f.0), Const::Oid(t.0)])
                     .expect("binary");
             }
+            db.declare_hash_index(pred, 0);
+            db.declare_hash_index(pred, 1);
         }
         db
     }

@@ -120,10 +120,18 @@ pub enum Counter {
     ServeShed,
     /// Requests that missed their deadline before or during execution.
     ServeDeadlineExceeded,
+    /// Equality probes against declared (persistent) hash indexes.
+    ExecIndexProbes,
+    /// Range probes against declared ordered indexes.
+    ExecRangeProbes,
+    /// Full relation passes (explicit scans plus ephemeral index builds).
+    ExecScans,
+    /// Path-expression chains fused into index-nested-loop walks.
+    ExecChainsFused,
 }
 
 /// Number of distinct counters.
-pub const N_COUNTERS: usize = 26;
+pub const N_COUNTERS: usize = 30;
 
 const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "odl.classes_parsed",
@@ -152,6 +160,10 @@ const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "serve.requests",
     "serve.shed",
     "serve.deadline_exceeded",
+    "exec.index_probe",
+    "exec.range_probe",
+    "exec.scan",
+    "exec.chain_fused",
 ];
 
 impl Counter {
@@ -194,6 +206,10 @@ const ALL_COUNTERS: [Counter; N_COUNTERS] = [
     Counter::ServeRequests,
     Counter::ServeShed,
     Counter::ServeDeadlineExceeded,
+    Counter::ExecIndexProbes,
+    Counter::ExecRangeProbes,
+    Counter::ExecScans,
+    Counter::ExecChainsFused,
 ];
 
 /// Global merged totals. Thread-local cells flush here on thread exit and on

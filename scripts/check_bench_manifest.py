@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Validate the committed BENCH_pipeline.json manifest.
+
+Checks (all on the committed manifest — the CI tables run uses --quick,
+which never overwrites the manifest, so this validates what a full
+`cargo run --release -p sqo-bench --bin tables` wrote):
+
+1. Every value is a positive finite number.
+2. Every derived `speedup/<name>` / `speedup_vs_seed/<name>` entry has
+   its `<name>` measurement row.
+3. The E3 indexed-rewrite experiment is present, with all three rows:
+   `e3/indexed_rewrite` (IC rewrite on the indexed engine),
+   `e3/indexed_rewrite_baseline` (the original query, scan-only), and
+   `e3/indexed_rewrite_seed` (the same rewrite on the scan-only engine).
+4. `speedup/e3/indexed_rewrite` >= 10: the semantic rewrite must reach
+   an indexed plan at least an order of magnitude faster than the
+   original query's scan — the headline claim of the indexed engine.
+
+Usage: python3 scripts/check_bench_manifest.py [path/to/BENCH_pipeline.json]
+"""
+
+import json
+import math
+import sys
+
+E3_ROWS = (
+    "e3/indexed_rewrite",
+    "e3/indexed_rewrite_baseline",
+    "e3/indexed_rewrite_seed",
+)
+E3_MIN_SPEEDUP = 10.0
+
+
+def fail(msg: str) -> None:
+    print(f"check_bench_manifest: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pipeline.json"
+    with open(path, encoding="utf-8") as f:
+        manifest = json.load(f)
+    if not isinstance(manifest, dict) or not manifest:
+        fail("manifest must be a non-empty JSON object")
+
+    for name, value in manifest.items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            fail(f"{name!r}: value {value!r} is not a number")
+        if not math.isfinite(value) or value <= 0:
+            fail(f"{name!r}: value {value!r} is not positive and finite")
+
+    for name in manifest:
+        for prefix in ("speedup/", "speedup_vs_seed/"):
+            if name.startswith(prefix) and name[len(prefix):] not in manifest:
+                fail(f"{name!r} lacks its measurement row {name[len(prefix):]!r}")
+
+    for row in E3_ROWS:
+        if row not in manifest:
+            fail(f"missing E3 row {row!r} — run the full (non-quick) tables binary")
+
+    speedup = manifest.get("speedup/e3/indexed_rewrite")
+    if speedup is None:
+        fail("missing derived row 'speedup/e3/indexed_rewrite'")
+    if speedup < E3_MIN_SPEEDUP:
+        fail(
+            f"speedup/e3/indexed_rewrite = {speedup} < {E3_MIN_SPEEDUP}: the "
+            "IC-introduced rewrite no longer reaches a plan >=10x faster than "
+            "the original query's scan"
+        )
+
+    print(
+        f"check_bench_manifest: OK ({len(manifest)} rows; "
+        f"e3 indexed-rewrite speedup {speedup}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

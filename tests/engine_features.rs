@@ -184,8 +184,14 @@ fn plan_chooser_consistency() {
         .find(|e| !e.delta.is_empty())
         .map(|e| estimate_cost(&data.db, &e.datalog))
         .expect("reduced variant");
+    // Under indexed execution the original query already reaches an
+    // ordered-index range probe on `age`, which restricts the fetches
+    // physically — so the scope-reduced variant no longer has to win.
+    // It must still price within a modest constant factor (it pays one
+    // extent anti-join probe per surviving binding), not orders of
+    // magnitude.
     assert!(
-        reduced <= orig * 1.05,
+        reduced <= orig * 1.5,
         "anti-join should not be estimated drastically worse: {reduced} vs {orig}"
     );
 }
