@@ -1,0 +1,73 @@
+//! Standalone closed-loop load generator for the serving subsystem.
+//!
+//! ```text
+//! cargo run --release -p sqo-bench --bin loadgen [--smoke]
+//!     [--workers N] [--queue N] [--requests N]
+//! ```
+//!
+//! Runs the two standard phases of [`sqo_bench::loadgen`]:
+//!
+//! 1. **1x warm** — `clients == workers`, ample queue: nothing can shed;
+//!    prints `serve/p50` and `serve/p99` (client-observed, warm cache).
+//! 2. **10x overload** — clients at ten times the server's total slots
+//!    against a small queue: admission control must shed; prints the shed
+//!    rate and the p99 of the accepted requests.
+//!
+//! `--smoke` shrinks both phases to CI size and *asserts* the closed-loop
+//! invariants (quantiles present; zero sheds at 1x; nonzero sheds and a
+//! finite accepted-tail at 10x), exiting nonzero on violation. Manifest
+//! rows are written by the `tables` binary, not here — this binary is the
+//! interactive/CI entry point.
+
+use sqo_bench::loadgen::{self, LoadConfig};
+
+fn arg_value(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let workers = arg_value("--workers").unwrap_or(4);
+    let queue = arg_value("--queue").unwrap_or(2);
+    let requests = arg_value("--requests").unwrap_or(if smoke { 30 } else { 200 });
+
+    let warm = loadgen::run(&LoadConfig::warm(workers, requests));
+    println!("{}", warm.summary("1x warm"));
+
+    let overload_requests = if smoke { 10 } else { requests / 4 };
+    let overload = loadgen::run(&LoadConfig::overload(
+        workers.min(2),
+        queue,
+        overload_requests,
+    ));
+    println!("{}", overload.summary("10x overload"));
+
+    if smoke {
+        assert_eq!(
+            warm.shed, 0,
+            "1x closed-loop load can never fill the queue, yet sheds occurred"
+        );
+        assert_eq!(warm.other_errors, 0, "1x phase hit non-shed errors");
+        assert!(
+            warm.p99_ns().is_some() && warm.p50_ns().is_some(),
+            "1x phase must report latency quantiles"
+        );
+        assert_eq!(
+            overload.other_errors, 0,
+            "overload phase hit non-shed errors"
+        );
+        assert!(
+            overload.shed > 0,
+            "10x closed-loop pressure against a small queue must shed"
+        );
+        assert!(
+            overload.p99_ns().is_some(),
+            "accepted requests under overload must still report a tail"
+        );
+        println!("loadgen smoke: OK");
+    }
+}

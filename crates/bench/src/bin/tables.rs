@@ -16,6 +16,7 @@
 //! `serve/…` rows measuring the query-serving path (cold per-request
 //! search vs warm semantic-plan-cache hits, sequential and concurrent).
 
+use sqo_bench::loadgen::{self, LoadConfig};
 use sqo_bench::{
     asr_q1_scenario, asr_scenario, contradiction_scenario, indexed_rewrite_scenario,
     key_join_scenario, optimizer_with_n_ics, scope_reduction_scenario, synthetic_schema,
@@ -341,16 +342,30 @@ fn bench_pipeline(quick: bool) {
     // the paired ratios is then robust to both one-sided spikes and mode
     // flapping (independent min-of-on / min-of-off is not: the two mins
     // can land in different modes and report ±2% phantom overhead).
+    // Both arms also record a per-request latency histogram sample, as
+    // the serving path does on every request, so the budget covers the
+    // counter cells *and* the log-bucketed histogram hot path (with obs
+    // disabled the record is the same early-return as the counters).
     let mut ratios = Vec::new();
     let mut obs_on_ns = f64::INFINITY;
     let mut obs_off_ns = f64::INFINITY;
     for _round in 0..7 {
         let on = median_ns(501, || {
+            let t0 = Instant::now();
             std::hint::black_box(search::optimize(&attach, &e1_ctx, &current));
+            obs::record_hist(
+                "e1.request",
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
         });
         obs::set_enabled(false);
         let off = median_ns(501, || {
+            let t0 = Instant::now();
             std::hint::black_box(search::optimize(&attach, &e1_ctx, &current));
+            obs::record_hist(
+                "e1.request",
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
         });
         obs::set_enabled(true);
         ratios.push(on / off);
@@ -510,6 +525,38 @@ fn bench_pipeline(quick: bool) {
         }
     }
 
+    // Closed-loop serving phases over real TCP: client-observed latency
+    // at 1x (clients == workers, so admission can never shed — the
+    // quantiles are the service's intrinsic warm-cache latency) and the
+    // shed rate at 10x overload (ten clients per server slot against a
+    // small queue — bounded admission must shed rather than let queueing
+    // delay grow without bound). The quick run keeps the phases tiny but
+    // still asserts the two closed-loop invariants.
+    println!();
+    let warm = loadgen::run(&LoadConfig::warm(4, if quick { 30 } else { 200 }));
+    println!("{}", warm.summary("serve 1x warm (closed loop)"));
+    assert_eq!(warm.shed, 0, "1x closed-loop load must never shed");
+    assert_eq!(warm.other_errors, 0, "1x phase hit non-shed errors");
+    let overload = loadgen::run(&LoadConfig::overload(2, 2, if quick { 10 } else { 50 }));
+    println!("{}", overload.summary("serve 10x overload (closed loop)"));
+    assert!(
+        overload.shed > 0,
+        "10x closed-loop overload against a bounded queue must shed"
+    );
+    assert_eq!(
+        overload.other_errors, 0,
+        "overload phase hit non-shed errors"
+    );
+    bench.insert(
+        "serve/p50".to_string(),
+        warm.p50_ns().expect("1x phase records latencies") as f64,
+    );
+    bench.insert(
+        "serve/p99".to_string(),
+        warm.p99_ns().expect("1x phase records latencies") as f64,
+    );
+    bench.insert("serve/shed_rate_overload".to_string(), overload.shed_rate());
+
     // Merge with any entries already recorded in the file (notably the
     // `*_seed` medians measured once against the pre-PR seed build,
     // which this binary cannot regenerate), then derive the speedup
@@ -546,6 +593,7 @@ fn bench_pipeline(quick: bool) {
                 && !n.ends_with("_qps")
                 && !n.starts_with("speedup")
                 && !n.starts_with("stage/")
+                && !n.contains("shed_rate")
         })
         .cloned()
         .collect();
@@ -588,6 +636,13 @@ fn bench_pipeline(quick: bool) {
     if let Some(qps) = bench.get("serve/warm_qps") {
         println!("{:>44} {qps:>14.0} (derived)", "serve/warm_qps");
     }
+    if let Some(rate) = bench.get("serve/shed_rate_overload") {
+        println!(
+            "{:>44} {:>13.1}% (10x overload)",
+            "serve/shed_rate_overload",
+            rate * 100.0
+        );
+    }
 
     // Quick mode trades repetitions for speed; its medians are too noisy
     // to record, so it never overwrites the manifest — and says so, so a
@@ -609,7 +664,15 @@ fn bench_pipeline(quick: bool) {
     let mut json = String::from("{\n");
     for (i, (name, v)) in bench.iter().enumerate() {
         let sep = if i + 1 == bench.len() { "" } else { "," };
-        json.push_str(&format!("  \"{name}\": {v:.1}{sep}\n"));
+        // Sub-100 values (speedup ratios, shed rates) need more digits
+        // than nanosecond medians: one decimal would round a 4% shed
+        // rate to 0.0 and fail the manifest's positivity check.
+        let rendered = if *v < 100.0 {
+            format!("{v:.4}")
+        } else {
+            format!("{v:.1}")
+        };
+        json.push_str(&format!("  \"{name}\": {rendered}{sep}\n"));
     }
     json.push_str("}\n");
     std::fs::write(path, json).expect("write BENCH_pipeline.json");

@@ -89,6 +89,7 @@ fn counter_totals_serialize_byte_identically() {
         obs::Snapshot {
             counters,
             spans: BTreeMap::new(),
+            hists: BTreeMap::new(),
         }
         .to_json()
     };
@@ -101,6 +102,67 @@ fn counter_totals_serialize_byte_identically() {
     // Span timings necessarily differ run to run; the counter section is
     // the machine-consumed part and must be byte-identical.
     assert_eq!(par, seq);
+}
+
+/// Histogram sample counts (not timings, which necessarily vary) must be
+/// backend-independent: both search paths complete the same spans, and the
+/// per-thread histogram merge — element-wise bucket addition, like the
+/// counter merge — cannot depend on worker interleaving. Deterministic
+/// samples recorded from scoped workers must serialize byte-identically to
+/// the same samples recorded sequentially.
+#[test]
+fn histogram_merge_is_backend_and_interleaving_independent() {
+    let _g = lock();
+    let ctx = university_ctx();
+    let cfg = SearchConfig::default();
+    let q =
+        parse_query("Q(Name) <- student(St, Name), takes_section(St, Sec), faculty(Sec, F, Age)")
+            .unwrap();
+    let hist_counts = |f: &dyn Fn()| {
+        let before = obs::snapshot();
+        f();
+        let delta = obs::snapshot().since(&before);
+        delta
+            .hists
+            .iter()
+            .map(|(name, h)| (*name, h.count()))
+            .collect::<BTreeMap<_, _>>()
+    };
+    let par = hist_counts(&|| {
+        std::hint::black_box(search::optimize(&q, &ctx, &cfg));
+    });
+    let seq = hist_counts(&|| {
+        std::hint::black_box(search::optimize_sequential(&q, &ctx, &cfg));
+    });
+    assert_eq!(par, seq, "per-span histogram sample counts must match");
+    assert_eq!(par.get("step3.search"), Some(&1));
+
+    // Deterministic values, parallel merge vs sequential reference.
+    let before = obs::snapshot();
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            s.spawn(move || {
+                for i in 0..64u64 {
+                    obs::record_hist("equiv.hist.pin", (t * 64 + i) * 31 % 4093);
+                }
+                obs::flush_local();
+            });
+        }
+    });
+    let parallel = obs::snapshot().since(&before);
+    let before = obs::snapshot();
+    for v in 0..256u64 {
+        obs::record_hist("equiv.hist.pin", v * 31 % 4093);
+    }
+    let sequential = obs::snapshot().since(&before);
+    assert_eq!(
+        parallel.hists["equiv.hist.pin"],
+        sequential.hists["equiv.hist.pin"]
+    );
+    assert_eq!(
+        parallel.hists["equiv.hist.pin"].summary_json(),
+        sequential.hists["equiv.hist.pin"].summary_json()
+    );
 }
 
 /// A stable rendering of a search outcome: every variant's query text and

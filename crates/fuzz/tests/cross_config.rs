@@ -50,10 +50,12 @@ fn first_50_seeds_explain_json_backend_invariant() {
             .optimize_query_backend(&query, Backend::Sequential)
             .expect("sequential optimize");
 
-        // Span wall-clock timings are the one legitimately
-        // nondeterministic field; everything else must match bytewise.
+        // Span and histogram wall-clock timings are the legitimately
+        // nondeterministic fields; everything else must match bytewise.
         par.stats.spans = BTreeMap::new();
         seq.stats.spans = BTreeMap::new();
+        par.stats.hists = BTreeMap::new();
+        seq.stats.hists = BTreeMap::new();
         let par_json = par.explain_json();
         let seq_json = seq.explain_json();
         assert_eq!(

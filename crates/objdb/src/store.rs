@@ -31,8 +31,9 @@ pub struct Object {
     pub attrs: BTreeMap<String, Value>,
 }
 
-/// A registered method implementation.
-pub type MethodFn = Box<dyn Fn(&ObjectDb, Oid, &[Value]) -> Result<Value>>;
+/// A registered method implementation. `Send` so a populated store can
+/// move behind a `Mutex` shared across service worker threads.
+pub type MethodFn = Box<dyn Fn(&ObjectDb, Oid, &[Value]) -> Result<Value> + Send>;
 
 /// A defined access support relation.
 #[derive(Debug, Clone)]

@@ -15,6 +15,18 @@
 //!   The parallel Step-3 search relies on this: worker threads accumulate
 //!   locally and their totals merge at the sequential join, so sequential
 //!   and parallel runs report identical totals.
+//! * **Histograms** — [`Histogram`] is a dependency-free log-bucketed
+//!   (HDR-style, two sub-buckets per octave) streaming latency histogram.
+//!   [`record_hist`] records into thread-local histograms that merge into
+//!   a global registry with the same flush discipline as the counters
+//!   (element-wise bucket addition is associative and commutative, so
+//!   parallel and sequential merges are byte-identical). Every completed
+//!   span additionally records its duration into the histogram of the
+//!   same name, giving p50/p90/p99 per stage for free.
+//! * **Traces** — [`trace_begin`] / [`trace_end`] open a request-scoped
+//!   trace on the executing thread; spans completing inside it append
+//!   ordered [`SpanEvent`]s (name, start offset, duration, per-thread
+//!   counter deltas) for per-request attribution.
 //! * **Provenance** — [`Provenance`] / [`ProvenanceStep`] records describing
 //!   which residue, source integrity constraint, and transformation kind
 //!   derived each rewrite. These are plain data (always populated, never
@@ -24,7 +36,13 @@
 
 #![warn(missing_docs)]
 
-use std::cell::Cell;
+mod hist;
+mod trace;
+
+pub use hist::{Histogram, N_HIST_BUCKETS};
+pub use trace::{trace_active, trace_begin, trace_end, trace_event, SpanEvent, Trace};
+
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -120,6 +138,11 @@ pub enum Counter {
     ServeShed,
     /// Requests that missed their deadline before or during execution.
     ServeDeadlineExceeded,
+    /// Total nanoseconds accepted requests spent waiting in the admission
+    /// queue before a worker picked them up.
+    ServeWaitNs,
+    /// Requests whose service time exceeded the slow-query threshold.
+    ServeSlowQueries,
     /// Equality probes against declared (persistent) hash indexes.
     ExecIndexProbes,
     /// Range probes against declared ordered indexes.
@@ -131,7 +154,7 @@ pub enum Counter {
 }
 
 /// Number of distinct counters.
-pub const N_COUNTERS: usize = 30;
+pub const N_COUNTERS: usize = 32;
 
 const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "odl.classes_parsed",
@@ -160,6 +183,8 @@ const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "serve.requests",
     "serve.shed",
     "serve.deadline_exceeded",
+    "serve.wait_ns",
+    "serve.slow_queries",
     "exec.index_probe",
     "exec.range_probe",
     "exec.scan",
@@ -206,6 +231,8 @@ const ALL_COUNTERS: [Counter; N_COUNTERS] = [
     Counter::ServeRequests,
     Counter::ServeShed,
     Counter::ServeDeadlineExceeded,
+    Counter::ServeWaitNs,
+    Counter::ServeSlowQueries,
     Counter::ExecIndexProbes,
     Counter::ExecRangeProbes,
     Counter::ExecScans,
@@ -222,19 +249,31 @@ static GLOBAL: [AtomicU64; N_COUNTERS] = [const { AtomicU64::new(0) }; N_COUNTER
 /// once, at the sequential join when `std::thread::scope` joins the worker.
 struct LocalCells {
     cells: [Cell<u64>; N_COUNTERS],
+    /// Cumulative totals already flushed to [`GLOBAL`] by this thread.
+    /// `cells[i] + flushed[i]` is the thread's monotonic lifetime total,
+    /// which the trace layer diffs to attribute counters to spans without
+    /// adding any work to the hot [`add`] path (flushes are rare).
+    flushed: [Cell<u64>; N_COUNTERS],
 }
 
 impl LocalCells {
     const fn new() -> Self {
         LocalCells {
             cells: [const { Cell::new(0) }; N_COUNTERS],
+            flushed: [const { Cell::new(0) }; N_COUNTERS],
         }
     }
 
     fn flush(&self) {
-        for (cell, global) in self.cells.iter().zip(GLOBAL.iter()) {
+        for ((cell, flushed), global) in self
+            .cells
+            .iter()
+            .zip(self.flushed.iter())
+            .zip(GLOBAL.iter())
+        {
             let v = cell.replace(0);
             if v != 0 {
+                flushed.set(flushed.get().wrapping_add(v));
                 global.fetch_add(v, Ordering::Relaxed);
             }
         }
@@ -275,12 +314,101 @@ pub fn add(c: Counter, n: u64) {
     }
 }
 
-/// Flushes the calling thread's local counter cells into the global registry.
+/// The calling thread's monotonic lifetime counter totals (live cells plus
+/// everything it already flushed). Used by the trace layer for per-span
+/// counter deltas; immune to mid-span flushes, unlike the raw cells.
+pub(crate) fn local_counter_totals() -> [u64; N_COUNTERS] {
+    LOCAL
+        .try_with(|l| {
+            let mut out = [0u64; N_COUNTERS];
+            for (o, (cell, flushed)) in out.iter_mut().zip(l.cells.iter().zip(l.flushed.iter())) {
+                *o = cell.get().wrapping_add(flushed.get());
+            }
+            out
+        })
+        .unwrap_or([0; N_COUNTERS])
+}
+
+/// Flushes the calling thread's local counter cells and histograms into the
+/// global registries.
 ///
 /// Worker threads flush automatically on exit; long-lived threads (e.g. the
 /// main thread) call this implicitly via [`snapshot`] / [`reset`].
 pub fn flush_local() {
     let _ = LOCAL.try_with(LocalCells::flush);
+    let _ = LOCAL_HISTS.try_with(LocalHists::flush);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram registry
+// ---------------------------------------------------------------------------
+
+/// Global merged histograms keyed by name. Span names land here via
+/// [`SpanGuard`]; explicit request-level series (`serve.request`,
+/// `serve.wait`) via [`record_hist`].
+static HISTS: Mutex<BTreeMap<&'static str, Histogram>> = Mutex::new(BTreeMap::new());
+
+/// Per-thread histograms, merged into [`HISTS`] with the same discipline as
+/// the counter cells: on thread exit and on [`flush_local`] / [`snapshot`].
+/// Bucket merges are element-wise additions, so the merged state does not
+/// depend on thread interleaving or merge order.
+struct LocalHists {
+    map: RefCell<BTreeMap<&'static str, Histogram>>,
+}
+
+impl LocalHists {
+    const fn new() -> Self {
+        LocalHists {
+            map: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    fn flush(&self) {
+        let mut local = self.map.borrow_mut();
+        if local.is_empty() {
+            return;
+        }
+        if let Ok(mut global) = HISTS.lock() {
+            for (name, h) in local.iter() {
+                global.entry(name).or_default().merge(h);
+            }
+        }
+        local.clear();
+    }
+}
+
+impl Drop for LocalHists {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL_HISTS: LocalHists = const { LocalHists::new() };
+}
+
+/// Records one sample (nanoseconds, by convention) into the named
+/// histogram. Thread-local until the next flush, like counters.
+#[inline]
+pub fn record_hist(name: &'static str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let ok = LOCAL_HISTS.try_with(|h| h.map.borrow_mut().entry(name).or_default().record(ns));
+    if ok.is_err() {
+        // TLS teardown: merge straight into the global registry.
+        if let Ok(mut global) = HISTS.lock() {
+            global.entry(name).or_default().record(ns);
+        }
+    }
+}
+
+/// Ensures the named histogram exists in the global registry (with zero
+/// samples if never recorded), so consumers see a stable key set.
+pub fn hist_touch(name: &'static str) {
+    if let Ok(mut global) = HISTS.lock() {
+        global.entry(name).or_default();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -324,23 +452,33 @@ impl SpanStat {
 /// per-atom work uses thread-local [`Counter`]s instead.
 static SPANS: Mutex<BTreeMap<&'static str, SpanStat>> = Mutex::new(BTreeMap::new());
 
-/// RAII guard created by [`span!`]; records elapsed time on drop.
+/// RAII guard created by [`span!`]; records elapsed time on drop into the
+/// span registry and the same-named latency histogram, and — when a trace
+/// is active on this thread — appends a [`SpanEvent`] with the counter
+/// delta observed while the span was open.
 #[must_use = "binding the guard to `_name` keeps the span open for the scope"]
 pub struct SpanGuard {
     name: &'static str,
     start: Option<Instant>,
+    trace_base: Option<Box<[u64; N_COUNTERS]>>,
 }
 
 impl SpanGuard {
     /// Starts a span. Prefer the [`span!`] macro at call sites.
     #[inline]
     pub fn enter(name: &'static str) -> SpanGuard {
-        let start = if enabled() {
-            Some(Instant::now())
-        } else {
-            None
-        };
-        SpanGuard { name, start }
+        if !enabled() {
+            return SpanGuard {
+                name,
+                start: None,
+                trace_base: None,
+            };
+        }
+        SpanGuard {
+            name,
+            start: Some(Instant::now()),
+            trace_base: trace::span_baseline(),
+        }
     }
 }
 
@@ -350,6 +488,10 @@ impl Drop for SpanGuard {
             let ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
             if let Ok(mut spans) = SPANS.lock() {
                 spans.entry(self.name).or_default().record(ns);
+            }
+            record_hist(self.name, ns);
+            if let Some(base) = self.trace_base.take() {
+                trace::push_span(self.name, start, ns, &base);
             }
         }
     }
@@ -380,14 +522,18 @@ pub struct Snapshot {
     pub counters: BTreeMap<&'static str, u64>,
     /// Span aggregates keyed by span name.
     pub spans: BTreeMap<&'static str, SpanStat>,
+    /// Latency histograms keyed by series name (span names plus explicit
+    /// `serve.*` series).
+    pub hists: BTreeMap<&'static str, Histogram>,
 }
 
 impl Snapshot {
     /// Returns the delta of `self` relative to an `earlier` snapshot.
     ///
-    /// Counter values and span `count`/`total_ns` subtract; span `min_ns` /
-    /// `max_ns` are taken from `self` (extrema cannot be un-merged). Spans
-    /// with no completions since `earlier` are omitted.
+    /// Counter values, span `count`/`total_ns`, and histogram buckets
+    /// subtract; span and histogram `min`/`max` are taken from `self`
+    /// (extrema cannot be un-merged). Spans and histograms with no
+    /// completions since `earlier` are omitted.
     pub fn since(&self, earlier: &Snapshot) -> Snapshot {
         let counters = self
             .counters
@@ -415,7 +561,21 @@ impl Snapshot {
                 );
             }
         }
-        Snapshot { counters, spans }
+        let mut hists = BTreeMap::new();
+        for (name, h) in &self.hists {
+            let delta = match earlier.hists.get(name) {
+                Some(before) => h.since(before),
+                None => h.clone(),
+            };
+            if delta.count() > 0 {
+                hists.insert(*name, delta);
+            }
+        }
+        Snapshot {
+            counters,
+            spans,
+            hists,
+        }
     }
 
     /// Counter total by [`Counter`], defaulting to 0.
@@ -450,6 +610,19 @@ impl Snapshot {
                 s.max_ns
             ));
         }
+        out.push_str("\n  },\n  \"hists\": {");
+        first = true;
+        for (name, h) in &self.hists {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    {}: {}",
+                json_string(name),
+                h.summary_json()
+            ));
+        }
         out.push_str("\n  }\n}");
         out
     }
@@ -472,11 +645,22 @@ impl Snapshot {
                 s.mean_ns()
             ));
         }
+        out.push_str("hists (count / p50 / p99 / max):\n");
+        for (name, h) in &self.hists {
+            let q = |p: f64| h.quantile(p).unwrap_or(0);
+            out.push_str(&format!(
+                "  {name:<28} {:>6} / {:>8} ns / {:>8} ns / {:>8} ns\n",
+                h.count(),
+                q(0.5),
+                q(0.99),
+                h.max().unwrap_or(0)
+            ));
+        }
         out
     }
 }
 
-/// Takes a snapshot of all counters and spans.
+/// Takes a snapshot of all counters, spans, and histograms.
 ///
 /// Flushes the calling thread's local cells first, so totals include all
 /// work done on this thread and on any already-joined worker thread.
@@ -486,7 +670,12 @@ pub fn snapshot() -> Snapshot {
         .map(|c| (c.name(), GLOBAL[c as usize].load(Ordering::Relaxed)))
         .collect();
     let spans = SPANS.lock().map(|s| s.clone()).unwrap_or_default();
-    Snapshot { counters, spans }
+    let hists = HISTS.lock().map(|h| h.clone()).unwrap_or_default();
+    Snapshot {
+        counters,
+        spans,
+        hists,
+    }
 }
 
 /// [`snapshot`] serialized as JSON with stable key order.
@@ -494,20 +683,25 @@ pub fn snapshot_json() -> String {
     snapshot().to_json()
 }
 
-/// Zeroes all global counters, the calling thread's local cells, and the
-/// span registry. Counts still held by *other* live threads are unaffected
-/// until those threads flush.
+/// Zeroes all global counters, the calling thread's local cells and
+/// histograms, and the span and histogram registries. Counts still held by
+/// *other* live threads are unaffected until those threads flush.
 pub fn reset() {
     let _ = LOCAL.try_with(|l| {
-        for cell in &l.cells {
+        for (cell, flushed) in l.cells.iter().zip(l.flushed.iter()) {
             cell.set(0);
+            flushed.set(0);
         }
     });
+    let _ = LOCAL_HISTS.try_with(|h| h.map.borrow_mut().clear());
     for global in &GLOBAL {
         global.store(0, Ordering::Relaxed);
     }
     if let Ok(mut spans) = SPANS.lock() {
         spans.clear();
+    }
+    if let Ok(mut hists) = HISTS.lock() {
+        hists.clear();
     }
 }
 
@@ -760,5 +954,110 @@ mod tests {
     fn json_string_escapes_specials() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_opt_string(None), "null");
+    }
+
+    #[test]
+    fn spans_record_into_same_named_histograms() {
+        let _g = lock();
+        reset();
+        for _ in 0..5 {
+            let _s = span!("test.hist.span");
+        }
+        let snap = snapshot();
+        let h = &snap.hists["test.hist.span"];
+        assert_eq!(h.count(), 5);
+        assert!(h.quantile(0.5).is_some());
+        assert!(snap.to_json().contains("\"test.hist.span\""));
+    }
+
+    #[test]
+    fn histograms_merge_from_scoped_workers_byte_identically() {
+        let _g = lock();
+        reset();
+        // Four workers record disjoint deterministic samples...
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move || {
+                    for i in 0..250u64 {
+                        record_hist("test.hist.merge", (t * 250 + i) * 17 % 9973);
+                    }
+                    flush_local();
+                });
+            }
+        });
+        let parallel = snapshot().hists["test.hist.merge"].clone();
+        reset();
+        // ...and one thread records the union sequentially.
+        for v in 0..1000u64 {
+            record_hist("test.hist.merge", v * 17 % 9973);
+        }
+        let sequential = snapshot().hists["test.hist.merge"].clone();
+        assert_eq!(parallel, sequential);
+        assert_eq!(parallel.summary_json(), sequential.summary_json());
+    }
+
+    #[test]
+    fn disabled_recording_skips_histograms_and_traces() {
+        let _g = lock();
+        reset();
+        set_enabled(false);
+        record_hist("test.hist.disabled", 42);
+        {
+            let _s = span!("test.hist.disabled");
+        }
+        set_enabled(true);
+        let snap = snapshot();
+        assert!(!snap.hists.contains_key("test.hist.disabled"));
+    }
+
+    #[test]
+    fn hist_touch_pins_the_key_with_zero_samples() {
+        let _g = lock();
+        reset();
+        hist_touch("test.hist.touched");
+        let snap = snapshot();
+        let h = &snap.hists["test.hist.touched"];
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), None);
+    }
+
+    #[test]
+    fn trace_collects_ordered_events_with_counter_deltas() {
+        let _g = lock();
+        reset();
+        assert!(trace_end().is_none());
+        trace_begin("s:0:7".to_string());
+        trace_event("serve.admission_wait", 0, 1234);
+        {
+            let _s = span!("test.trace.outer");
+            add(Counter::UnifyAttempts, 3);
+            // A snapshot mid-span flushes the local cells; the cumulative
+            // totals keep the delta intact.
+            let _ = snapshot();
+            add(Counter::UnifyAttempts, 2);
+        }
+        {
+            let _s = span!("test.trace.second");
+        }
+        let trace = trace_end().expect("trace was active");
+        assert_eq!(trace.id, "s:0:7");
+        let names: Vec<&str> = trace.events.iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            [
+                "serve.admission_wait",
+                "test.trace.outer",
+                "test.trace.second"
+            ]
+        );
+        assert_eq!(trace.event_dur_ns("serve.admission_wait"), Some(1234));
+        let outer = &trace.events[1];
+        assert!(outer.counters.contains(&("unify.attempts", 5)));
+        let json = trace.events_json();
+        assert!(json.contains("\"name\": \"test.trace.outer\""));
+        assert!(json.contains("\"unify.attempts\": 5"));
+        // The trace is closed: further spans do not record events.
+        assert!(!trace_active());
+        assert!(trace_end().is_none());
     }
 }

@@ -9,16 +9,23 @@
 
 use sqo_obs as obs;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One queued unit of work.
 pub struct Task {
     /// Tasks not started by this instant are dropped unexecuted.
     pub deadline: Instant,
-    /// The work itself (owns its reply channel).
-    pub run: Box<dyn FnOnce() + Send + 'static>,
+    /// When the task entered the queue; the elapsed time until a worker
+    /// dequeues it is the admission wait, passed to `run`, added to the
+    /// `serve.wait_ns` counter, and recorded into the `serve.wait`
+    /// histogram — so shed decisions are explainable from metrics.
+    pub submitted: Instant,
+    /// The work itself (owns its reply channel); receives the admission
+    /// wait it experienced.
+    pub run: Box<dyn FnOnce(Duration) + Send + 'static>,
 }
 
 struct PoolState {
@@ -30,6 +37,8 @@ struct PoolInner {
     state: Mutex<PoolState>,
     wake: Condvar,
     capacity: usize,
+    /// Highest queue depth observed at any submit (monotonic).
+    depth_hwm: AtomicU64,
 }
 
 /// A fixed-size worker pool over a bounded queue.
@@ -49,6 +58,7 @@ impl Pool {
             }),
             wake: Condvar::new(),
             capacity: capacity.max(1),
+            depth_hwm: AtomicU64::new(0),
         });
         let workers = (0..workers.max(1))
             .map(|_| {
@@ -68,7 +78,9 @@ impl Pool {
             return false;
         }
         state.queue.push_back(task);
+        let depth = state.queue.len() as u64;
         drop(state);
+        self.inner.depth_hwm.fetch_max(depth, Ordering::Relaxed);
         self.inner.wake.notify_one();
         true
     }
@@ -81,6 +93,11 @@ impl Pool {
             .unwrap_or_else(|e| e.into_inner())
             .queue
             .len()
+    }
+
+    /// Highest queue depth ever observed (monotonic high-watermark).
+    pub fn queue_depth_hwm(&self) -> u64 {
+        self.inner.depth_hwm.load(Ordering::Relaxed)
     }
 
     /// Stops accepting work, drains nothing further, and joins the
@@ -121,6 +138,10 @@ fn worker_loop(inner: &PoolInner) {
                 state = inner.wake.wait(state).unwrap_or_else(|e| e.into_inner());
             }
         };
+        let wait = task.submitted.elapsed();
+        let wait_ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+        obs::add(obs::Counter::ServeWaitNs, wait_ns);
+        obs::record_hist("serve.wait", wait_ns);
         if Instant::now() > task.deadline {
             // Expired while queued: drop without running. The waiting
             // connection sees the reply channel close and reports
@@ -128,7 +149,7 @@ fn worker_loop(inner: &PoolInner) {
             drop(task);
             continue;
         }
-        (task.run)();
+        (task.run)(wait);
         // Make this worker's counters visible to concurrent metrics
         // readers (locals only merge globally on flush).
         obs::flush_local();
@@ -145,16 +166,21 @@ mod tests {
         Instant::now() + Duration::from_secs(60)
     }
 
+    fn task(run: impl FnOnce(Duration) + Send + 'static) -> Task {
+        Task {
+            deadline: far(),
+            submitted: Instant::now(),
+            run: Box::new(run),
+        }
+    }
+
     #[test]
     fn executes_submitted_tasks() {
         let pool = Pool::new(2, 8);
         let (tx, rx) = mpsc::channel();
         for i in 0..4 {
             let tx = tx.clone();
-            assert!(pool.submit(Task {
-                deadline: far(),
-                run: Box::new(move || tx.send(i).unwrap()),
-            }));
+            assert!(pool.submit(task(move |_| tx.send(i).unwrap())));
         }
         let mut got: Vec<i32> = (0..4).map(|_| rx.recv().unwrap()).collect();
         got.sort_unstable();
@@ -167,23 +193,40 @@ mod tests {
         let pool = Pool::new(1, 1);
         let (release_tx, release_rx) = mpsc::channel::<()>();
         let (started_tx, started_rx) = mpsc::channel::<()>();
-        assert!(pool.submit(Task {
-            deadline: far(),
-            run: Box::new(move || {
-                started_tx.send(()).unwrap();
-                release_rx.recv().unwrap();
-            }),
-        }));
+        assert!(pool.submit(task(move |_| {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })));
         started_rx.recv().unwrap(); // worker is now busy
-        assert!(pool.submit(Task {
-            deadline: far(),
-            run: Box::new(|| {}),
-        })); // fills the queue
-        assert!(!pool.submit(Task {
-            deadline: far(),
-            run: Box::new(|| {}),
-        })); // shed
+        assert!(pool.submit(task(|_| {}))); // fills the queue
+        assert!(!pool.submit(task(|_| {}))); // shed
         release_tx.send(()).unwrap();
+    }
+
+    #[test]
+    fn saturated_queue_reports_nonzero_wait_and_high_watermark() {
+        // One blocked worker saturates a capacity-1 queue: the queued
+        // task's admission wait spans the blocker's hold time, the third
+        // submit sheds, and the high-watermark pins the saturation.
+        let pool = Pool::new(1, 1);
+        let (release_tx, release_rx) = mpsc::channel::<()>();
+        let (started_tx, started_rx) = mpsc::channel::<()>();
+        assert!(pool.submit(task(move |_| {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })));
+        started_rx.recv().unwrap();
+        let (wait_tx, wait_rx) = mpsc::channel::<Duration>();
+        assert!(pool.submit(task(move |wait| wait_tx.send(wait).unwrap())));
+        assert!(!pool.submit(task(|_| {}))); // shed while saturated
+        assert_eq!(pool.queue_depth_hwm(), 1);
+        std::thread::sleep(Duration::from_millis(20));
+        release_tx.send(()).unwrap();
+        let wait = wait_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(
+            wait >= Duration::from_millis(20),
+            "queued task must report the admission wait it experienced, got {wait:?}"
+        );
     }
 
     #[test]
@@ -191,20 +234,18 @@ mod tests {
         let pool = Pool::new(1, 4);
         let (release_tx, release_rx) = mpsc::channel::<()>();
         let (started_tx, started_rx) = mpsc::channel::<()>();
-        assert!(pool.submit(Task {
-            deadline: far(),
-            run: Box::new(move || {
-                started_tx.send(()).unwrap();
-                release_rx.recv().unwrap();
-            }),
-        }));
+        assert!(pool.submit(task(move |_| {
+            started_tx.send(()).unwrap();
+            release_rx.recv().unwrap();
+        })));
         started_rx.recv().unwrap();
         // Queued behind the blocker with an already-expired deadline; its
         // reply channel must close without the closure ever running.
         let (tx, rx) = mpsc::channel::<()>();
         assert!(pool.submit(Task {
             deadline: Instant::now() - Duration::from_millis(1),
-            run: Box::new(move || tx.send(()).unwrap()),
+            submitted: Instant::now(),
+            run: Box::new(move |_| tx.send(()).unwrap()),
         }));
         release_tx.send(()).unwrap();
         assert_eq!(

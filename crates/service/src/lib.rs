@@ -16,6 +16,10 @@
 //!   (`deadline_exceeded`).
 //! * [`server`] — the wire protocol: one JSON request per line, one JSON
 //!   response per line; responses embed the optimizer's explain report.
+//!   Every `query` is traced (`trace_id` = `session:generation:seq`) and
+//!   can return its span events; `metrics` reports latency-histogram
+//!   quantiles per stage; `slowlog` returns the slow-query ring buffer.
+//! * [`slowlog`] — the bounded slow-query explain log.
 //! * [`json`] — the tiny JSON reader backing the protocol.
 //!
 //! ```no_run
@@ -35,9 +39,11 @@ pub mod admission;
 pub mod json;
 pub mod registry;
 pub mod server;
+pub mod slowlog;
 
 pub use registry::{Session, SessionRegistry, SessionSpec};
 pub use server::{Server, ServerConfig};
+pub use slowlog::{SlowEntry, SlowLog};
 
 /// Why a request was not answered with a result.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -12,8 +12,10 @@
 use crate::ServeError;
 use sqo_core::{PlanCache, PreparedOptimizer, SemanticOptimizer};
 use sqo_datalog::parser::{parse_program, Statement};
+use sqo_objdb::{ObjectDb, UniversityConfig};
 use sqo_obs as obs;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// How a session's base schema is constructed (kept so reloads can
@@ -33,6 +35,12 @@ pub struct Session {
     ic_text: Mutex<Option<String>>,
     prep: RwLock<Arc<PreparedOptimizer>>,
     cache: PlanCache,
+    /// Per-session request sequence, the tail of each trace id.
+    trace_seq: AtomicU64,
+    /// Optional bound object base. `ObjectDb` keeps interior caches in
+    /// `RefCell`s, so execution serializes on this mutex; optimization
+    /// (the expensive part) stays concurrent.
+    data: RwLock<Option<Arc<Mutex<ObjectDb>>>>,
 }
 
 impl Session {
@@ -77,6 +85,39 @@ impl Session {
     /// This session's plan cache.
     pub fn cache(&self) -> &PlanCache {
         &self.cache
+    }
+
+    /// The session's bound object base, when data was attached.
+    pub fn data(&self) -> Option<Arc<Mutex<ObjectDb>>> {
+        self.data.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Binds the deterministic built-in university object base (the
+    /// Figure 1 instance the benchmarks use) so `query` requests can
+    /// execute chosen plans and report plan costs. Only meaningful for
+    /// [`SessionSpec::University`] sessions, whose schema the generator
+    /// targets.
+    pub fn attach_university_data(&self) -> Result<(), ServeError> {
+        if !matches!(self.spec, SessionSpec::University) {
+            return Err(ServeError::BadRequest(
+                "\"data\":true requires a university session".into(),
+            ));
+        }
+        let built = UniversityConfig::default()
+            .build()
+            .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+        *self.data.write().unwrap_or_else(|e| e.into_inner()) =
+            Some(Arc::new(Mutex::new(built.db)));
+        Ok(())
+    }
+
+    /// The next deterministic trace id for this session:
+    /// `<session>:<generation>:<sequence>`. The sequence is process-wide
+    /// monotonic per session, so ids are unique and — given a serialized
+    /// request order, as in tests — fully predictable.
+    pub fn next_trace_id(&self) -> String {
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        format!("{}:{}:{}", self.name, self.prepared().generation(), seq)
     }
 
     /// Replaces the constraint/view text, rebuilds the prepared
@@ -126,6 +167,8 @@ impl SessionRegistry {
             ic_text: Mutex::new(ic_text.map(str::to_string)),
             prep: RwLock::new(Arc::new(prep)),
             cache: PlanCache::new(),
+            trace_seq: AtomicU64::new(0),
+            data: RwLock::new(None),
         });
         self.sessions
             .write()
@@ -184,6 +227,20 @@ mod tests {
         // Re-preparing under the same name keeps advancing generations.
         let g2 = reg.prepare("uni", SessionSpec::University, None).unwrap();
         assert_eq!(g2, 2);
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_per_session() {
+        let reg = SessionRegistry::new();
+        reg.prepare("t", SessionSpec::University, None).unwrap();
+        let s = reg.get("t").unwrap();
+        assert_eq!(s.next_trace_id(), "t:0:0");
+        assert_eq!(s.next_trace_id(), "t:0:1");
+        s.reload_ic("ic IC4: Age >= 30 <- faculty(X, N, Age, S, R, Ad).")
+            .unwrap();
+        // The generation component tracks reloads; the sequence keeps
+        // counting so ids never repeat.
+        assert_eq!(s.next_trace_id(), "t:1:2");
     }
 
     #[test]

@@ -10,27 +10,49 @@
 //! ```text
 //! {"op":"ping"}
 //! {"op":"query","session":"default","oql":"select ...","timeout_ms":250}
+//! {"op":"query","session":"default","oql":"...","trace":true,"execute":true}
 //! {"op":"prepare","session":"s","university":true,"ic":"ic IC4: ..."}
+//! {"op":"prepare","session":"s","university":true,"data":true}
 //! {"op":"prepare","session":"s","schema":"<ODL source>"}
 //! {"op":"reload_ic","session":"s","ic":"ic IC4: ..."}
 //! {"op":"metrics"}
+//! {"op":"slowlog"}
 //! {"op":"shutdown"}
 //! ```
 //!
-//! Responses are `{"ok":true,...}` or
+//! Every `query` gets a deterministic trace id (`session:generation:seq`)
+//! and is traced end to end: admission wait, plan-cache lookup, search,
+//! and (with `"execute":true` on a session with bound data) plan
+//! execution all appear as span events, returned when the request set
+//! `"trace":true` and recorded to the slow-query log when the service
+//! time exceeds the threshold. Responses are `{"ok":true,...}` or
 //! `{"ok":false,"error":{"kind":...,"message":...}}`; see
 //! `schemas/serve.schema.json` for the full envelope.
 
 use crate::admission::{Pool, Task};
 use crate::json::{self, Json};
 use crate::registry::{SessionRegistry, SessionSpec};
+use crate::slowlog::{SlowEntry, SlowLog};
 use crate::ServeError;
 use sqo_obs as obs;
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
+
+/// Histogram series pinned into every `metrics` reply (with zero samples
+/// until recorded), so consumers see a stable key set from the first
+/// request on.
+const PINNED_HISTS: [&str; 6] = [
+    "serve.request",
+    "serve.wait",
+    "cache.lookup",
+    "pipeline.optimize",
+    "step3.search",
+    "objdb.execute",
+];
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -43,6 +65,13 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Deadline applied when a request carries no `timeout_ms`.
     pub default_timeout_ms: u64,
+    /// Service-time threshold above which a query enters the slow log.
+    pub slow_ms: u64,
+    /// Slow-log ring-buffer capacity (newest entries kept).
+    pub slowlog_capacity: usize,
+    /// When set, every slow-log entry is also appended to this file as a
+    /// JSON line.
+    pub slowlog_path: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +81,9 @@ impl Default for ServerConfig {
             workers: 4,
             queue_capacity: 64,
             default_timeout_ms: 10_000,
+            slow_ms: 250,
+            slowlog_capacity: 128,
+            slowlog_path: None,
         }
     }
 }
@@ -64,6 +96,7 @@ struct Shared {
     workers: usize,
     queue_capacity: usize,
     default_timeout: Duration,
+    slowlog: Arc<SlowLog>,
 }
 
 /// A bound (but not yet running) server.
@@ -77,6 +110,14 @@ impl Server {
     pub fn bind(cfg: ServerConfig, registry: Arc<SessionRegistry>) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
+        let slowlog = SlowLog::new(
+            cfg.slowlog_capacity,
+            cfg.slow_ms,
+            cfg.slowlog_path.as_deref(),
+        )?;
+        for name in PINNED_HISTS {
+            obs::hist_touch(name);
+        }
         let shared = Arc::new(Shared {
             registry,
             pool: Pool::new(cfg.workers, cfg.queue_capacity),
@@ -85,6 +126,7 @@ impl Server {
             workers: cfg.workers.max(1),
             queue_capacity: cfg.queue_capacity.max(1),
             default_timeout: Duration::from_millis(cfg.default_timeout_ms.max(1)),
+            slowlog: Arc::new(slowlog),
         });
         Ok(Server { listener, shared })
     }
@@ -117,6 +159,10 @@ impl Server {
 }
 
 fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
+    // One small request line begets one small response line; letting
+    // Nagle hold either back just couples the protocol to the peer's
+    // delayed-ACK timer (tens of ms per round trip on loopback).
+    let _ = stream.set_nodelay(true);
     let reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     for line in reader.lines() {
@@ -132,6 +178,10 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
         // bumps are globally visible (metrics may be read elsewhere).
         obs::flush_local();
         if shared.stop.load(Ordering::Acquire) {
+            // Unblock the accept loop only now that the goodbye line is
+            // flushed: doing it inside the shutdown handler would race
+            // process exit against this thread's response write.
+            let _ = TcpStream::connect(shared.local_addr);
             break;
         }
     }
@@ -162,13 +212,14 @@ fn dispatch(shared: &Arc<Shared>, line: &str) -> Result<String, ServeError> {
     match op {
         "ping" => Ok(r#"{"ok":true,"op":"ping"}"#.to_string()),
         "metrics" => Ok(metrics_response(shared)),
+        "slowlog" => Ok(slowlog_response(shared)),
         "prepare" => prepare(shared, &req),
         "reload_ic" => reload_ic(shared, &req),
         "query" => query(shared, &req),
         "shutdown" => {
+            // The accept loop is unblocked by handle_conn after the
+            // response line is on the wire (see there for why).
             shared.stop.store(true, Ordering::Release);
-            // Unblock the accept loop with a throwaway connection.
-            let _ = TcpStream::connect(shared.local_addr);
             Ok(r#"{"ok":true,"op":"shutdown"}"#.to_string())
         }
         other => Err(ServeError::BadRequest(format!("unknown op {other:?}"))),
@@ -182,6 +233,31 @@ fn session_name(req: &Json) -> Result<&str, ServeError> {
             .as_str()
             .ok_or_else(|| ServeError::BadRequest("\"session\" must be a string".into())),
     }
+}
+
+/// Wire display name for a histogram series: request-level `serve.*`
+/// series keep their name; pipeline spans get a `stage/` prefix.
+fn hist_display_name(name: &str) -> String {
+    if name.starts_with("serve.") {
+        name.to_string()
+    } else {
+        format!("stage/{name}")
+    }
+}
+
+/// The `"hist"` section of the metrics reply: per-series quantile
+/// summaries keyed by display name, in sorted (deterministic) order.
+fn hist_section(snapshot: &obs::Snapshot) -> String {
+    let entries: BTreeMap<String, String> = snapshot
+        .hists
+        .iter()
+        .map(|(name, h)| (hist_display_name(name), json::compact(&h.summary_json())))
+        .collect();
+    let body: Vec<String> = entries
+        .iter()
+        .map(|(name, summary)| format!("{}:{summary}", obs::json_string(name)))
+        .collect();
+    format!("{{{}}}", body.join(","))
 }
 
 fn metrics_response(shared: &Arc<Shared>) -> String {
@@ -199,13 +275,26 @@ fn metrics_response(shared: &Arc<Shared>) -> String {
             )
         })
         .collect();
+    let snapshot = obs::snapshot();
     format!(
-        r#"{{"ok":true,"op":"metrics","workers":{},"queue_capacity":{},"queue_depth":{},"sessions":[{}],"stats":{}}}"#,
+        r#"{{"ok":true,"op":"metrics","workers":{},"queue_capacity":{},"queue_depth":{},"queue_depth_hwm":{},"sessions":[{}],"hist":{},"stats":{}}}"#,
         shared.workers,
         shared.queue_capacity,
         shared.pool.queue_depth(),
+        shared.pool.queue_depth_hwm(),
         sessions.join(","),
-        json::compact(&obs::snapshot_json())
+        hist_section(&snapshot),
+        json::compact(&snapshot.to_json())
+    )
+}
+
+fn slowlog_response(shared: &Arc<Shared>) -> String {
+    let entries = shared.slowlog.entries();
+    format!(
+        r#"{{"ok":true,"op":"slowlog","slow_threshold_ms":{},"count":{},"entries":[{}]}}"#,
+        shared.slowlog.threshold_ns() / 1_000_000,
+        entries.len(),
+        entries.join(",")
     )
 }
 
@@ -221,6 +310,13 @@ fn prepare(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
     };
     let ic = req.get("ic").and_then(Json::as_str);
     let generation = shared.registry.prepare(name, spec, ic)?;
+    if req.get("data").and_then(Json::as_bool) == Some(true) {
+        let session = shared
+            .registry
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownSession(name.to_string()))?;
+        session.attach_university_data()?;
+    }
     Ok(format!(
         r#"{{"ok":true,"op":"prepare","session":{},"generation":{generation}}}"#,
         obs::json_string(name)
@@ -244,6 +340,20 @@ fn reload_ic(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
     ))
 }
 
+/// What the worker sends back for an accepted, successful query.
+struct QueryAnswer {
+    report: String,
+    cache: &'static str,
+    generation: u64,
+    elapsed_us: u128,
+    trace_id: String,
+    /// Span events as a JSON array, when the request asked for them.
+    trace_json: Option<String>,
+    /// `(plan_index, plan_cost, answer_rows)` when execution ran; the
+    /// index/cost are `None` on contradiction (nothing to execute).
+    exec: Option<(Option<usize>, Option<f64>, usize)>,
+}
+
 fn query(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
     obs::add(obs::Counter::ServeRequests, 1);
     let name = session_name(req)?.to_string();
@@ -257,31 +367,38 @@ fn query(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
         .and_then(Json::as_u64)
         .map(Duration::from_millis)
         .unwrap_or(shared.default_timeout);
+    let want_trace = req.get("trace").and_then(Json::as_bool) == Some(true);
+    let want_execute = req.get("execute").and_then(Json::as_bool) == Some(true);
     let session = shared
         .registry
         .get(&name)
         .ok_or_else(|| ServeError::UnknownSession(name.clone()))?;
+    if want_execute && session.data().is_none() {
+        return Err(ServeError::BadRequest(
+            "\"execute\":true requires prepared data (prepare with \"data\":true)".into(),
+        ));
+    }
+    let trace_id = session.next_trace_id();
     let deadline = Instant::now() + timeout;
 
-    type Answer = Result<(String, &'static str, u64, u128), String>;
+    type Answer = Result<QueryAnswer, String>;
     let (tx, rx) = mpsc::sync_channel::<Answer>(1);
     let task_session = Arc::clone(&session);
+    let task_slowlog = Arc::clone(&shared.slowlog);
+    let task_trace_id = trace_id.clone();
     let admitted = shared.pool.submit(Task {
         deadline,
-        run: Box::new(move || {
-            let prep = task_session.prepared();
-            let started = Instant::now();
-            let answer = prep
-                .optimize_cached(task_session.cache(), &oql)
-                .map(|(report, outcome)| {
-                    (
-                        json::compact(&report.explain_json()),
-                        outcome.label(),
-                        prep.generation(),
-                        started.elapsed().as_micros(),
-                    )
-                })
-                .map_err(|e| e.to_string());
+        submitted: Instant::now(),
+        run: Box::new(move |wait| {
+            let answer = run_query(
+                &task_session,
+                &task_slowlog,
+                task_trace_id,
+                &oql,
+                wait,
+                want_trace,
+                want_execute,
+            );
             let _ = tx.send(answer);
         }),
     });
@@ -290,11 +407,28 @@ fn query(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
     }
     let remaining = deadline.saturating_duration_since(Instant::now());
     match rx.recv_timeout(remaining) {
-        Ok(Ok((report, cache, generation, elapsed_us))) => Ok(format!(
-            r#"{{"ok":true,"op":"query","session":{},"generation":{generation},"cache":{},"elapsed_us":{elapsed_us},"report":{report}}}"#,
-            obs::json_string(&name),
-            obs::json_string(cache)
-        )),
+        Ok(Ok(a)) => {
+            let mut extra = String::new();
+            if let Some((plan_index, plan_cost, answers)) = a.exec {
+                let idx = plan_index.map_or("null".to_string(), |i| i.to_string());
+                let cost = plan_cost.map_or("null".to_string(), |c| format!("{c:.1}"));
+                extra.push_str(&format!(
+                    r#","plan_index":{idx},"plan_cost":{cost},"answers":{answers}"#
+                ));
+            }
+            if let Some(trace) = &a.trace_json {
+                extra.push_str(&format!(r#","trace":{trace}"#));
+            }
+            Ok(format!(
+                r#"{{"ok":true,"op":"query","session":{},"generation":{},"cache":{},"elapsed_us":{},"trace_id":{}{extra},"report":{}}}"#,
+                obs::json_string(&name),
+                a.generation,
+                obs::json_string(a.cache),
+                a.elapsed_us,
+                obs::json_string(&a.trace_id),
+                a.report
+            ))
+        }
         Ok(Err(msg)) => Err(ServeError::Optimize(msg)),
         Err(_) => {
             // Timed out waiting, or the pool dropped the expired task.
@@ -302,4 +436,89 @@ fn query(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
             Err(ServeError::DeadlineExceeded)
         }
     }
+}
+
+/// Executes one admitted query on a worker thread: opens the trace,
+/// optimizes (and optionally executes) under it, records the request
+/// latency histogram, and files a slow-log entry past the threshold.
+fn run_query(
+    session: &crate::registry::Session,
+    slowlog: &SlowLog,
+    trace_id: String,
+    oql: &str,
+    wait: Duration,
+    want_trace: bool,
+    want_execute: bool,
+) -> Result<QueryAnswer, String> {
+    obs::trace_begin(trace_id.clone());
+    let wait_ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+    obs::trace_event("serve.admission_wait", 0, wait_ns);
+    let prep = session.prepared();
+    let started = Instant::now();
+    let result = prep.optimize_cached(session.cache(), oql);
+    let outcome = match result {
+        Ok((report, outcome)) => {
+            let mut exec = None;
+            let mut exec_err = None;
+            if want_execute {
+                if report.is_contradiction() {
+                    // Step 4 of the paper: a refuted query needs no
+                    // evaluation at all — zero answers, no plan.
+                    exec = Some((None, None, 0));
+                } else if let Some(db) = session.data() {
+                    let db = db.lock().unwrap_or_else(|e| e.into_inner());
+                    match report.best_plan(&db) {
+                        Some((idx, eq, costs)) => match sqo_objdb::execute(&db, &eq.datalog) {
+                            Ok((rows, _)) => {
+                                exec = Some((Some(idx), Some(costs[idx]), rows.len()));
+                            }
+                            Err(e) => exec_err = Some(e.to_string()),
+                        },
+                        None => exec_err = Some("no equivalent plan to execute".to_string()),
+                    }
+                }
+            }
+            match exec_err {
+                Some(e) => Err(e),
+                None => Ok((report, outcome, exec)),
+            }
+        }
+        Err(e) => Err(e.to_string()),
+    };
+    let elapsed = started.elapsed();
+    let elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+    obs::record_hist("serve.request", elapsed_ns);
+    let trace = obs::trace_end();
+    let (report, outcome, exec) = outcome?;
+    let explain = json::compact(&report.explain_json());
+    if slowlog.is_slow(elapsed_ns) {
+        let verdict = if report.is_contradiction() {
+            "contradiction"
+        } else {
+            "equivalents"
+        };
+        slowlog.record(&SlowEntry {
+            trace_id: &trace_id,
+            session: session.name(),
+            template_hash: report.datalog.canonical_template().hash,
+            verdict,
+            cache: outcome.label(),
+            plan_cost: exec.and_then(|(_, cost, _)| cost),
+            elapsed_ns,
+            trace: trace.as_ref(),
+            explain: &explain,
+        });
+    }
+    Ok(QueryAnswer {
+        report: explain,
+        cache: outcome.label(),
+        generation: prep.generation(),
+        elapsed_us: elapsed.as_micros(),
+        trace_id,
+        trace_json: match (&trace, want_trace) {
+            (Some(t), true) => Some(t.events_json()),
+            _ => None,
+        },
+        exec,
+    })
 }

@@ -32,6 +32,7 @@ fn start_server(workers: usize, queue: usize) -> SocketAddr {
             workers,
             queue_capacity: queue,
             default_timeout_ms: 10_000,
+            ..ServerConfig::default()
         },
         registry,
     )
@@ -246,6 +247,318 @@ fn protocol_errors_are_structured() {
     assert_eq!(kind(&resps[2]).as_deref(), Some("unknown_session"));
     assert_eq!(kind(&resps[3]).as_deref(), Some("bad_request"));
     assert_eq!(resps[4].get("ok"), Some(&Json::Bool(true)));
+}
+
+#[test]
+fn query_responses_carry_deterministic_trace_ids_and_events() {
+    let _g = lock();
+    let addr = start_server(1, 4);
+    let q = "select x.name from x in Person where x.age < 27";
+    let plain = query_line(q);
+    let traced = format!(
+        r#"{{"op":"query","oql":{},"trace":true}}"#,
+        obs::json_string(q)
+    );
+    let resps = roundtrip(addr, &[plain, traced]);
+    shutdown(addr);
+    // One worker, one connection: the sequence is fully deterministic.
+    assert_eq!(
+        resps[0].get("trace_id").and_then(Json::as_str),
+        Some("default:0:0")
+    );
+    assert_eq!(
+        resps[1].get("trace_id").and_then(Json::as_str),
+        Some("default:0:1")
+    );
+    assert!(resps[0].get("trace").is_none(), "trace only when requested");
+    let events = resps[1].get("trace").and_then(Json::as_arr).unwrap();
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert_eq!(names[0], "serve.admission_wait");
+    assert!(names.contains(&"cache.lookup"), "events: {names:?}");
+    assert!(names.contains(&"pipeline.optimize"), "events: {names:?}");
+    // Events carry durations and (for real spans) counter deltas.
+    for e in events {
+        assert!(e.get("dur_ns").and_then(Json::as_u64).is_some());
+        assert!(e.get("start_ns").and_then(Json::as_u64).is_some());
+        assert!(e.get("counters").is_some());
+    }
+}
+
+#[test]
+fn metrics_reports_hist_quantiles_queue_hwm_and_wait() {
+    let _g = lock();
+    let addr = start_server(2, 16);
+    let q = query_line("select x.name from x in Person where x.age < 28");
+    let resps = roundtrip(addr, &[q.clone(), q, r#"{"op":"metrics"}"#.to_string()]);
+    shutdown(addr);
+    let metrics = &resps[2];
+    assert!(metrics
+        .get("queue_depth_hwm")
+        .and_then(Json::as_u64)
+        .is_some());
+    let hist = metrics.get("hist").unwrap();
+    // Request-level series plus every pinned stage, quantiles and all.
+    let series = hist.get("serve.request").unwrap();
+    assert!(series.get("count").and_then(Json::as_u64).unwrap() >= 2);
+    for p in ["p50", "p90", "p99", "max"] {
+        assert!(
+            series.get(p).and_then(Json::as_u64).unwrap() > 0,
+            "serve.request {p} must be a positive sample"
+        );
+    }
+    for pinned in ["stage/cache.lookup", "stage/objdb.execute", "serve.wait"] {
+        assert!(hist.get(pinned).is_some(), "metrics hist must pin {pinned}");
+    }
+    assert!(
+        hist.get("stage/cache.lookup")
+            .and_then(|s| s.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 2
+    );
+    // The executor series is pinned at bind time even before any plan
+    // runs; histograms are process-global, so another test in this
+    // binary may already have fed it. Either way the summary is
+    // well-formed: empty ⇒ null quantiles (never a panic), else numbers.
+    let exec_series = hist.get("stage/objdb.execute").unwrap();
+    if exec_series.get("count").and_then(Json::as_u64) == Some(0) {
+        assert_eq!(exec_series.get("p99"), Some(&Json::Null));
+    } else {
+        assert!(exec_series.get("p99").and_then(Json::as_u64).is_some());
+    }
+    // Admission wait is accounted both as a counter and a histogram.
+    let counters = metrics
+        .get("stats")
+        .and_then(|s| s.get("counters"))
+        .unwrap();
+    assert!(counters
+        .get("serve.wait_ns")
+        .and_then(Json::as_u64)
+        .is_some());
+    assert!(
+        hist.get("serve.wait")
+            .and_then(|s| s.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 2
+    );
+}
+
+#[test]
+fn slow_queries_land_in_the_slowlog() {
+    let _g = lock();
+    let before = obs::snapshot();
+    let registry = Arc::new(SessionRegistry::new());
+    registry
+        .prepare("default", SessionSpec::University, Some(IC4))
+        .unwrap();
+    // Threshold 0: every request qualifies, making the test deterministic.
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_capacity: 4,
+            slow_ms: 0,
+            slowlog_capacity: 2,
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    std::thread::spawn(move || server.run().unwrap());
+    let resps = roundtrip(
+        addr,
+        &[
+            query_line("select x.name from x in Person where x.age < 21"),
+            query_line("select x.name from x in Person where x.age < 22"),
+            query_line("select x.name from x in Person where x.age < 23"),
+            r#"{"op":"slowlog"}"#.to_string(),
+        ],
+    );
+    shutdown(addr);
+    let slowlog = &resps[3];
+    assert_eq!(slowlog.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        slowlog.get("slow_threshold_ms").and_then(Json::as_u64),
+        Some(0)
+    );
+    // Ring of 2: the oldest of the three entries was evicted.
+    assert_eq!(slowlog.get("count").and_then(Json::as_u64), Some(2));
+    let entries = slowlog.get("entries").and_then(Json::as_arr).unwrap();
+    assert_eq!(entries.len(), 2);
+    assert_eq!(
+        entries[0].get("trace_id").and_then(Json::as_str),
+        Some("default:0:1")
+    );
+    for e in entries {
+        assert_eq!(e.get("verdict").and_then(Json::as_str), Some("equivalents"));
+        assert_eq!(e.get("cache").and_then(Json::as_str), Some("hit"));
+        assert!(e.get("template").and_then(Json::as_str).is_some());
+        assert!(e.get("elapsed_ns").and_then(Json::as_u64).is_some());
+        // Per-stage durations from the trace, and the full report.
+        assert!(e
+            .get("stages")
+            .and_then(|s| s.get("pipeline.optimize"))
+            .is_some());
+        assert!(e
+            .get("explain")
+            .and_then(|r| r.get("verdict"))
+            .and_then(Json::as_str)
+            .is_some());
+    }
+    let delta = obs::snapshot().since(&before);
+    assert_eq!(delta.counter(obs::Counter::ServeSlowQueries), 3);
+}
+
+#[test]
+fn execute_runs_the_chosen_plan_against_bound_data() {
+    let _g = lock();
+    let addr = start_server(2, 16);
+    let exec_line = |oql: &str| {
+        format!(
+            r#"{{"op":"query","session":"data","oql":{},"execute":true,"trace":true}}"#,
+            obs::json_string(oql)
+        )
+    };
+    let resps = roundtrip(
+        addr,
+        &[
+            // Executing without bound data is a structured error.
+            format!(
+                r#"{{"op":"query","oql":{},"execute":true}}"#,
+                obs::json_string("select s.name from s in Student")
+            ),
+            format!(
+                r#"{{"op":"prepare","session":"data","university":true,"data":true,"ic":{}}}"#,
+                obs::json_string(IC4)
+            ),
+            exec_line("select s.name from s in Student"),
+            exec_line("select f.name from f in Faculty where f.age < 25"),
+            r#"{"op":"metrics"}"#.to_string(),
+        ],
+    );
+    shutdown(addr);
+    assert_eq!(
+        resps[0]
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("bad_request")
+    );
+    assert_eq!(resps[1].get("ok"), Some(&Json::Bool(true)));
+    let executed = &resps[2];
+    assert_eq!(executed.get("ok"), Some(&Json::Bool(true)));
+    assert!(
+        executed.get("answers").and_then(Json::as_u64).unwrap() > 0,
+        "the generated university base has students: {executed:?}"
+    );
+    assert!(executed.get("plan_index").and_then(Json::as_u64).is_some());
+    assert!(executed.get("plan_cost").and_then(Json::as_f64).unwrap() > 0.0);
+    let names: Vec<&str> = executed
+        .get("trace")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(
+        names.contains(&"objdb.execute"),
+        "execution must appear in the trace: {names:?}"
+    );
+    // Contradiction: step 4 skips evaluation — zero answers, no plan.
+    let refuted = &resps[3];
+    assert_eq!(
+        refuted
+            .get("report")
+            .and_then(|r| r.get("verdict"))
+            .and_then(Json::as_str),
+        Some("contradiction")
+    );
+    assert_eq!(refuted.get("answers").and_then(Json::as_u64), Some(0));
+    assert_eq!(refuted.get("plan_index"), Some(&Json::Null));
+    assert_eq!(refuted.get("plan_cost"), Some(&Json::Null));
+    // Real executions feed the stage/objdb.execute quantiles.
+    let hist = resps[4].get("hist").unwrap();
+    assert!(
+        hist.get("stage/objdb.execute")
+            .and_then(|s| s.get("p50"))
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+}
+
+#[test]
+fn metrics_wire_keys_are_sorted_and_deterministic() {
+    let _g = lock();
+    let addr = start_server(1, 4);
+    let q = query_line("select x.name from x in Person where x.age < 26");
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut raw = |line: &str| {
+        writeln!(stream, "{line}").unwrap();
+        stream.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        resp
+    };
+    let _ = raw(&q);
+    let first = raw(r#"{"op":"metrics"}"#);
+    let second = raw(r#"{"op":"metrics"}"#);
+    shutdown(addr);
+    // Serialized key order (not post-parse order) must be sorted: scan
+    // the raw wire text for the counter and hist sections.
+    let key_positions = |text: &str, keys: &[&str]| -> Vec<usize> {
+        keys.iter()
+            .map(|k| {
+                text.find(&format!("\"{k}\""))
+                    .unwrap_or_else(|| panic!("{k} missing"))
+            })
+            .collect()
+    };
+    let counters = key_positions(
+        &first,
+        &[
+            "exec.scan",
+            "plan_cache.hits",
+            "serve.requests",
+            "unify.attempts",
+        ],
+    );
+    assert!(counters.windows(2).all(|w| w[0] < w[1]), "counters sorted");
+    let hists = key_positions(
+        &first,
+        &[
+            "serve.request",
+            "serve.wait",
+            "stage/cache.lookup",
+            "stage/objdb.execute",
+        ],
+    );
+    assert!(hists.windows(2).all(|w| w[0] < w[1]), "hist keys sorted");
+    // Two consecutive metrics snapshots expose the identical key sets in
+    // the identical order (values may differ).
+    let keys_of = |text: &str| -> Vec<String> {
+        let mut keys = Vec::new();
+        let bytes = text.as_bytes();
+        let mut i = 0;
+        while let Some(start) = text[i..].find('"').map(|p| i + p) {
+            let end = match text[start + 1..].find('"').map(|p| start + 1 + p) {
+                Some(e) => e,
+                None => break,
+            };
+            if bytes.get(end + 1) == Some(&b':') {
+                keys.push(text[start + 1..end].to_string());
+            }
+            i = end + 1;
+        }
+        keys
+    };
+    assert_eq!(keys_of(&first), keys_of(&second));
 }
 
 #[test]

@@ -15,6 +15,11 @@ which never overwrites the manifest, so this validates what a full
 4. `speedup/e3/indexed_rewrite` >= 10: the semantic rewrite must reach
    an indexed plan at least an order of magnitude faster than the
    original query's scan — the headline claim of the indexed engine.
+5. The closed-loop serving rows are present: `serve/p50` and `serve/p99`
+   (client-observed warm-cache latency at 1x, p50 <= p99) and
+   `serve/shed_rate_overload` (the 10x-overload shed fraction, which
+   must lie strictly inside (0, 1): zero would mean admission control
+   never engaged, one would mean no request was ever accepted).
 
 Usage: python3 scripts/check_bench_manifest.py [path/to/BENCH_pipeline.json]
 """
@@ -29,6 +34,12 @@ E3_ROWS = (
     "e3/indexed_rewrite_seed",
 )
 E3_MIN_SPEEDUP = 10.0
+
+SERVE_ROWS = (
+    "serve/p50",
+    "serve/p99",
+    "serve/shed_rate_overload",
+)
 
 
 def fail(msg: str) -> None:
@@ -68,9 +79,25 @@ def main() -> None:
             "the original query's scan"
         )
 
+    for row in SERVE_ROWS:
+        if row not in manifest:
+            fail(f"missing serving row {row!r} — run the full (non-quick) tables binary")
+    if manifest["serve/p50"] > manifest["serve/p99"]:
+        fail(
+            f"serve/p50 ({manifest['serve/p50']}) exceeds serve/p99 "
+            f"({manifest['serve/p99']}): quantiles are not monotone"
+        )
+    shed = manifest["serve/shed_rate_overload"]
+    if not 0.0 < shed < 1.0:
+        fail(
+            f"serve/shed_rate_overload = {shed} must lie strictly in (0, 1): "
+            "the 10x-overload phase must shed some but not all requests"
+        )
+
     print(
         f"check_bench_manifest: OK ({len(manifest)} rows; "
-        f"e3 indexed-rewrite speedup {speedup}x)"
+        f"e3 indexed-rewrite speedup {speedup}x; "
+        f"overload shed rate {shed})"
     )
 
 

@@ -8,6 +8,14 @@ schemas/serve.schema.json (and each embedded report against
 schemas/explain.schema.json), then checks the metrics reply: cache hits
 >= 1 and shed == 0. Exits nonzero on any failure or timeout.
 
+The telemetry surface is exercised too: metrics must report latency
+histogram quantiles for the request path and the pinned pipeline stages
+with deterministically sorted keys; a query with trace:true must return
+its deterministic trace id and ordered span events; and, because the
+server runs with --slow-ms 0, every request lands in the slow-query log,
+so the slowlog op must return well-formed entries and the --slowlog-path
+file must hold the same JSON lines.
+
 Stdlib only, mirroring check_explain_schema.py (whose validator it
 reuses).
 
@@ -49,8 +57,8 @@ def fail(msg):
     sys.exit(1)
 
 
-def request(addr, line, timeout=TIMEOUT_S):
-    """One request line -> one parsed response object."""
+def request_raw(addr, line, timeout=TIMEOUT_S):
+    """One request line -> the raw response line (undecoded JSON text)."""
     with socket.create_connection(addr, timeout=timeout) as s:
         s.sendall(line.encode() + b"\n")
         buf = b""
@@ -59,7 +67,12 @@ def request(addr, line, timeout=TIMEOUT_S):
             if not chunk:
                 break
             buf += chunk
-    return json.loads(buf.decode())
+    return buf.decode()
+
+
+def request(addr, line, timeout=TIMEOUT_S):
+    """One request line -> one parsed response object."""
+    return json.loads(request_raw(addr, line, timeout))
 
 
 def check(value, schema, root, what):
@@ -67,6 +80,86 @@ def check(value, schema, root, what):
     validate(value, schema, root, "$", errors)
     if errors:
         fail(f"{what} violates schema: " + "; ".join(errors[:5]))
+
+
+def telemetry_checks(addr, serve_schema, slowlog_path):
+    """Histogram quantiles, sorted metrics keys, traces, and the slowlog."""
+    # A traced query: deterministic trace id, ordered span events.
+    traced = request(addr, json.dumps(
+        {"op": "query", "trace": True,
+         "oql": "select x.name from x in Person where x.age < 24"}))
+    check(traced, serve_schema, serve_schema, "traced query response")
+    if not traced.get("ok"):
+        fail(f"traced query failed: {traced}")
+    tid = traced.get("trace_id", "")
+    parts = tid.split(":")
+    if len(parts) != 3 or parts[0] != "default" or not parts[2].isdigit():
+        fail(f"trace_id {tid!r} is not session:generation:seq")
+    events = traced.get("trace", [])
+    if not events:
+        fail("trace:true returned no span events")
+    names = [e["name"] for e in events]
+    if names[0] != "serve.admission_wait":
+        fail(f"first span event should be the admission wait: {names}")
+    for want in ("cache.lookup", "pipeline.optimize"):
+        if want not in names:
+            fail(f"span event {want!r} missing from trace: {names}")
+    if any(e["dur_ns"] < 0 or e["start_ns"] < 0 for e in events):
+        fail(f"span events carry negative timings: {events}")
+
+    # Metrics: histogram quantiles for the request path and the pinned
+    # stages, with deterministically sorted keys on the wire.
+    raw = request_raw(addr, json.dumps({"op": "metrics"}))
+    metrics = json.loads(raw)
+    check(metrics, serve_schema, serve_schema, "telemetry metrics response")
+    hist = metrics.get("hist", {})
+    for key in ("serve.request", "serve.wait",
+                "stage/cache.lookup", "stage/objdb.execute"):
+        if key not in hist:
+            fail(f"metrics hist lacks pinned series {key!r}: {sorted(hist)}")
+    req = hist["serve.request"]
+    if req["count"] < 1:
+        fail(f"serve.request histogram is empty: {req}")
+    for p in ("p50", "p90", "p99", "max"):
+        if not isinstance(req[p], (int, float)) or req[p] <= 0:
+            fail(f"serve.request {p} should be a positive sample: {req}")
+    if "queue_depth_hwm" not in metrics:
+        fail("metrics lacks queue_depth_hwm")
+
+    def assert_sorted(obj, what):
+        keys = list(obj)
+        if keys != sorted(keys):
+            fail(f"{what} keys are not sorted: {keys}")
+
+    ordered = json.loads(raw, object_pairs_hook=lambda p: dict(p))
+    # dict preserves insertion order, so these reflect the wire order.
+    assert_sorted(ordered["hist"], "metrics hist")
+    assert_sorted(ordered["stats"]["counters"], "metrics counters")
+    assert_sorted(ordered["stats"]["hists"], "metrics stats.hists")
+
+    # The slow-query log: --slow-ms 0 makes every request slow, so the
+    # ring buffer and the sink file must both have entries by now.
+    slowlog = request(addr, json.dumps({"op": "slowlog"}))
+    check(slowlog, serve_schema, serve_schema, "slowlog response")
+    if not slowlog.get("ok") or slowlog.get("count", 0) < 1:
+        fail(f"slowlog should hold entries at --slow-ms 0: {slowlog}")
+    entries = slowlog["entries"]
+    if len(entries) != slowlog["count"]:
+        fail(f"slowlog count {slowlog['count']} != entries {len(entries)}")
+    for e in entries[:5]:
+        if not e["stages"]:
+            fail(f"slowlog entry lacks per-stage durations: {e}")
+        if e["verdict"] not in ("contradiction", "equivalents"):
+            fail(f"slowlog entry verdict malformed: {e}")
+    with open(slowlog_path) as f:
+        lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    if not lines:
+        fail(f"slowlog sink {slowlog_path} is empty")
+    for ln in lines[-3:]:
+        entry = json.loads(ln)
+        if "trace_id" not in entry or "explain" not in entry:
+            fail(f"slowlog sink line malformed: {ln}")
+    return len(events), slowlog["count"]
 
 
 def fuzz_differential(sqo, addr, serve_schema, explain_schema, n_cases=10):
@@ -154,9 +247,13 @@ def main():
     with tempfile.NamedTemporaryFile("w", suffix=".dl", delete=False) as f:
         f.write(IC4)
         ic_path = f.name
+    slowlog_path = tempfile.mktemp(suffix=".slowlog.jsonl")
+    # --slow-ms 0: every request is "slow", so the slowlog paths (ring
+    # buffer, wire op, and file sink) are all exercised by the same load.
     proc = subprocess.Popen(
         [sqo, "serve", "--university", "--ic", ic_path,
-         "--addr", "127.0.0.1:0", "--workers", "4", "--queue", "64"],
+         "--addr", "127.0.0.1:0", "--workers", "4", "--queue", "64",
+         "--slow-ms", "0", "--slowlog-path", slowlog_path],
         stdout=subprocess.PIPE, text=True,
     )
     try:
@@ -226,15 +323,21 @@ def main():
         if counters.get("serve.requests", 0) < N_CLIENTS + 1:
             fail(f"serve.requests under-counts: {counters.get('serve.requests')}")
 
+        n_events, n_slow = telemetry_checks(addr, serve_schema, slowlog_path)
+
         n_fuzz = fuzz_differential(sqo, addr, serve_schema, explain_schema)
 
         bye = request(addr, json.dumps({"op": "shutdown"}))
         check(bye, serve_schema, serve_schema, "shutdown response")
         proc.wait(timeout=TIMEOUT_S)
         print(f"serve_smoke: OK ({N_CLIENTS} concurrent queries, "
-              f"{hits} warm hits, shed 0, {n_fuzz} fuzz cases wire==in-process)")
+              f"{hits} warm hits, shed 0, trace {n_events} events, "
+              f"slowlog {n_slow} entries, "
+              f"{n_fuzz} fuzz cases wire==in-process)")
     finally:
         os.unlink(ic_path)
+        if os.path.exists(slowlog_path):
+            os.unlink(slowlog_path)
         if proc.poll() is None:
             proc.kill()
             proc.wait()

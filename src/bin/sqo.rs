@@ -41,8 +41,11 @@ fn usage() -> ! {
         "usage: sqo (--schema FILE.odl | --university) [options] [OQL-QUERY]\n\
          \u{20}      sqo serve  (--schema FILE.odl | --university) [--ic FILE]...\n\
          \u{20}                 [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]\n\
+         \u{20}                 [--slow-ms N] [--slowlog-cap N] [--slowlog-path FILE]\n\
          \u{20}      sqo client [--addr HOST:PORT] (--oql QUERY [--session S] [--timeout-ms N]\n\
-         \u{20}                 | --metrics | --ping | --shutdown | --reload-ic FILE [--session S])\n\
+         \u{20}                 [--trace] [--execute]\n\
+         \u{20}                 | --metrics | --slowlog | --ping | --shutdown\n\
+         \u{20}                 | --reload-ic FILE [--session S])\n\
          \u{20}      sqo fuzz   [--seeds A..B] [--budget 60s] [--replay FILE|DIR] [--save DIR]\n\
          \u{20}                 [--emit-cases N --out DIR] [--dump-dir DIR]\n\
          \n\
@@ -117,6 +120,11 @@ fn serve_main(args: &[String]) -> ExitCode {
             "--timeout-ms" => {
                 cfg.default_timeout_ms = next("--timeout-ms").parse().unwrap_or_else(|_| usage())
             }
+            "--slow-ms" => cfg.slow_ms = next("--slow-ms").parse().unwrap_or_else(|_| usage()),
+            "--slowlog-cap" => {
+                cfg.slowlog_capacity = next("--slowlog-cap").parse().unwrap_or_else(|_| usage())
+            }
+            "--slowlog-path" => cfg.slowlog_path = Some(next("--slowlog-path")),
             _ => usage(),
         }
     }
@@ -178,6 +186,8 @@ fn client_main(args: &[String]) -> ExitCode {
     let mut timeout_ms: Option<u64> = None;
     let mut op: Option<&'static str> = None;
     let mut reload_file: Option<String> = None;
+    let mut trace = false;
+    let mut execute = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |flag: &str| {
@@ -197,6 +207,9 @@ fn client_main(args: &[String]) -> ExitCode {
                 timeout_ms = Some(next("--timeout-ms").parse().unwrap_or_else(|_| usage()))
             }
             "--metrics" => op = Some("metrics"),
+            "--slowlog" => op = Some("slowlog"),
+            "--trace" => trace = true,
+            "--execute" => execute = true,
             "--ping" => op = Some("ping"),
             "--shutdown" => op = Some("shutdown"),
             "--reload-ic" => {
@@ -216,6 +229,12 @@ fn client_main(args: &[String]) -> ExitCode {
     }
     if let Some(ms) = timeout_ms {
         fields.push(format!("\"timeout_ms\":{ms}"));
+    }
+    if trace {
+        fields.push("\"trace\":true".to_string());
+    }
+    if execute {
+        fields.push("\"execute\":true".to_string());
     }
     if let Some(f) = &reload_file {
         match std::fs::read_to_string(f) {

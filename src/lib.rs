@@ -53,6 +53,7 @@ pub use sqo_core::{
 pub use sqo_datalog as datalog;
 pub use sqo_fuzz as fuzz;
 pub use sqo_objdb as objdb;
+pub use sqo_obs as obs;
 pub use sqo_odl as odl;
 pub use sqo_oql as oql;
 pub use sqo_service as service;

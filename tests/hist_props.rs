@@ -1,0 +1,128 @@
+//! Property tests for the telemetry layer's streaming latency histogram:
+//! `merge` must behave like a commutative monoid (so the
+//! thread-local-then-merge discipline gives byte-identical results no
+//! matter how many threads recorded or in which order their cells were
+//! folded in), and `quantile` must never panic and always answer inside
+//! the recorded range.
+
+use proptest::prelude::*;
+use semantic_sqo::obs::Histogram;
+
+fn build(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+fn merged(parts: &[&Histogram]) -> Histogram {
+    let mut out = Histogram::new();
+    for p in parts {
+        out.merge(p);
+    }
+    out
+}
+
+// Samples spanning the full u64 range, including the overflow-prone
+// extremes the bucket math must survive.
+fn sample_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::MAX),
+        Just(u64::MAX - 1),
+        0u64..1_000,
+        1_000u64..10_000_000_000,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// merge is associative and commutative, with the sequential
+    /// single-histogram build as its reference — so any parenthesization
+    /// over any permutation of per-thread histograms yields the same
+    /// bytes.
+    #[test]
+    fn histogram_merge_is_a_commutative_monoid(
+        a in proptest::collection::vec(sample_strategy(), 0..40),
+        b in proptest::collection::vec(sample_strategy(), 0..40),
+        c in proptest::collection::vec(sample_strategy(), 0..40),
+    ) {
+        let (ha, hb, hc) = (build(&a), build(&b), build(&c));
+        let left = merged(&[&merged(&[&ha, &hb]), &hc]);
+        let right = merged(&[&ha, &merged(&[&hb, &hc])]);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &merged(&[&hc, &hb, &ha]));
+        // Reference: one histogram fed every sample directly.
+        let all: Vec<u64> =
+            a.iter().chain(b.iter()).chain(c.iter()).copied().collect();
+        prop_assert_eq!(&left, &build(&all));
+        // The empty histogram is the identity element.
+        prop_assert_eq!(&merged(&[&left, &Histogram::new()]), &left);
+    }
+
+    /// Merging per-thread histograms recorded on real OS threads equals
+    /// the sequential build, in every completion order.
+    #[test]
+    fn cross_thread_merge_equals_sequential(
+        samples in proptest::collection::vec(sample_strategy(), 1..120),
+        threads in 2usize..5,
+    ) {
+        let chunks: Vec<Vec<u64>> = (0..threads)
+            .map(|t| {
+                samples
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % threads == t)
+                    .map(|(_, &v)| v)
+                    .collect()
+            })
+            .collect();
+        let mut per_thread: Vec<Histogram> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|chunk| scope.spawn(|| build(chunk)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let sequential = build(&samples);
+        let forward: Vec<&Histogram> = per_thread.iter().collect();
+        prop_assert_eq!(&merged(&forward), &sequential);
+        per_thread.reverse();
+        let reversed: Vec<&Histogram> = per_thread.iter().collect();
+        prop_assert_eq!(&merged(&reversed), &sequential);
+    }
+
+    /// quantile never panics, answers None exactly on the empty
+    /// histogram, and always lands within [min, max] of what was
+    /// recorded (half-octave bucketing cannot escape the range because
+    /// the estimate is clamped to the observed extremes).
+    #[test]
+    fn quantiles_stay_inside_the_recorded_range(
+        samples in proptest::collection::vec(sample_strategy(), 0..80),
+        p_mille in 0u64..1001,
+    ) {
+        let h = build(&samples);
+        let q = h.quantile(p_mille as f64 / 1000.0);
+        if samples.is_empty() {
+            prop_assert_eq!(q, None);
+        } else {
+            let v = q.expect("non-empty histogram answers every quantile");
+            let lo = *samples.iter().min().unwrap();
+            let hi = *samples.iter().max().unwrap();
+            prop_assert!(v >= lo && v <= hi, "q={} outside [{}, {}]", v, lo, hi);
+        }
+    }
+}
+
+#[test]
+fn single_sample_quantiles_are_exact_at_extremes() {
+    for v in [0, 1, 2, 3, 1_000_003, u64::MAX - 1, u64::MAX] {
+        let h = build(&[v]);
+        for p in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(p), Some(v), "single sample {v} at p={p}");
+        }
+    }
+}
