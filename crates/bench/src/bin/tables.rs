@@ -74,7 +74,7 @@ fn main() {
         "{:>6} {:>10} {:>14} {:>16}",
         "ICs", "residues", "equivalents", "time (ms)"
     );
-    for n in [0usize, 2, 4, 8, 12] {
+    for n in [0usize, 2, 4, 8, 12, 32, 64] {
         let (mut opt, q) = optimizer_with_n_ics(n);
         let residues = opt.residue_count();
         let (report, ms) = time_ms(|| opt.optimize(q).unwrap());
@@ -245,8 +245,20 @@ fn bench_pipeline(quick: bool) {
     let reps = if quick { 7 } else { 21 };
     let mut bench: BTreeMap<String, f64> = BTreeMap::new();
     let current = SearchConfig::default();
+    // The pre-optimization baseline: the exhaustive level-BFS engine with
+    // string canonical-key dedup, run sequentially. `strategy` is pinned
+    // because the config default is now the best-first engine.
     let baseline = SearchConfig {
+        strategy: search::Strategy::Bfs,
         dedup: DedupMode::CanonicalKey,
+        ..Default::default()
+    };
+    // The pre-PR *default* engine (parallel BFS with fingerprint dedup):
+    // unlike the historical `*_seed` medians merged from the manifest,
+    // this path is still compiled in behind `--search=bfs`, so the wide-IC
+    // seed rows below are re-measured on every full run.
+    let seed_cfg = SearchConfig {
+        strategy: search::Strategy::Bfs,
         ..Default::default()
     };
 
@@ -276,11 +288,25 @@ fn bench_pipeline(quick: bool) {
             parse_constraint(&format!("ic: Age > {} <- faculty{}(S, F, Age).", 30 + i, i)).unwrap()
         })
         .collect();
-    // f2: Step-3 search at the largest configured IC count.
+    // f2: Step-3 search at the historically largest configured IC count.
     let (mut opt, oql) = optimizer_with_n_ics(12);
     let parsed = sqo_oql::parse_oql(oql).unwrap();
     let q = opt.translate(&parsed).unwrap().query;
     let ctx = opt.compile();
+    // f2 wide-IC: the 32- and 64-IC scenarios the best-first engine's
+    // analysis cache and exactness prefilter are built for.
+    let (mut opt32, oql32) = optimizer_with_n_ics(32);
+    let q32 = opt32
+        .translate(&sqo_oql::parse_oql(oql32).unwrap())
+        .unwrap()
+        .query;
+    let ctx32 = opt32.compile();
+    let (mut opt64, oql64) = optimizer_with_n_ics(64);
+    let q64 = opt64
+        .translate(&sqo_oql::parse_oql(oql64).unwrap())
+        .unwrap()
+        .query;
+    let ctx64 = opt64.compile();
     // The variant-dedup kernel the search's seen-set runs on: structural
     // canonical_hash fingerprints vs. the baseline rendered canonical_key
     // strings, over the equivalence class Step 3 just produced.
@@ -424,6 +450,29 @@ fn bench_pipeline(quick: bool) {
                 std::hint::black_box(search::optimize_sequential(&q, ctx, &baseline));
             }),
         );
+        for (label, wq, wctx) in [("32", &q32, ctx32), ("64", &q64, ctx64)] {
+            record(
+                &mut bench,
+                &format!("f2/step3_sqo_vs_applicable_ics/{label}"),
+                median_ns(reps, || {
+                    std::hint::black_box(search::optimize(wq, wctx, &current));
+                }),
+            );
+            record(
+                &mut bench,
+                &format!("f2/step3_sqo_vs_applicable_ics/{label}_baseline"),
+                median_ns(reps, || {
+                    std::hint::black_box(search::optimize_sequential(wq, wctx, &baseline));
+                }),
+            );
+            record(
+                &mut bench,
+                &format!("f2/step3_sqo_vs_applicable_ics/{label}_seed"),
+                median_ns(reps, || {
+                    std::hint::black_box(search::optimize(wq, wctx, &seed_cfg));
+                }),
+            );
+        }
         record(
             &mut bench,
             "e1/canonical_dedup/hash",

@@ -372,6 +372,12 @@ impl SemanticOptimizer {
         self.search = cfg;
     }
 
+    /// Select the Step 3 search strategy (`--search=bfs|best-first`),
+    /// leaving every other heuristic untouched.
+    pub fn set_search_strategy(&mut self, strategy: search::Strategy) {
+        self.search.strategy = strategy;
+    }
+
     /// Tune semantic compilation (IC derivation).
     pub fn set_compile_options(&mut self, opts: CompileOptions) {
         self.compile_options = opts;

@@ -1,9 +1,47 @@
 //! Clauses: rules, integrity constraints and queries.
 
-use crate::atom::{Atom, Comparison, Literal, PredSym};
-use crate::term::{Term, Var};
+use crate::atom::{Atom, CmpOp, Comparison, Literal, PredSym};
+use crate::term::{Const, Term, Var, R64};
 use std::collections::BTreeSet;
 use std::fmt;
+
+/// One token of a query's canonical form (see [`Query::canonical_form`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum CanonTok {
+    Blank,
+    V(usize),
+    Pos(u32),
+    Neg(u32),
+    Op(CmpOp),
+    CInt(i64),
+    CReal(R64),
+    CStr(u32),
+    CBool(bool),
+    COid(u64),
+}
+
+/// The canonical token sequence of a query: rename- and body-order-
+/// invariant, and exactly the data [`Query::canonical_hash`] digests, so
+/// equal forms always have equal hashes. Built by
+/// [`Query::canonical_form`]; the Step-3 subsumption index compares these
+/// to confirm duplicates exactly inside a contested hash bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalForm {
+    proj: Vec<CanonTok>,
+    body: Vec<Vec<CanonTok>>,
+}
+
+impl CanonicalForm {
+    /// The 64-bit digest of this form ([`Query::canonical_hash`]).
+    pub fn hash64(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.proj.hash(&mut h);
+        self.body.hash(&mut h);
+        h.finish()
+    }
+}
 
 /// A Datalog rule (or view definition) `head :- body`.
 ///
@@ -398,104 +436,95 @@ impl Query {
         format!("({})<-{}", parts.join(","), body.join("&"))
     }
 
-    /// A structural fingerprint of the same canonical form that
-    /// [`Query::canonical_key`] renders: body literals are sorted by a
-    /// rename-independent shape, variables are renamed by first
-    /// occurrence, and the renamed literals are sorted again — but the
-    /// result is hashed as tokens instead of being formatted into a
-    /// string. Alpha-equivalent queries (equal up to variable renaming
-    /// and body reordering) hash identically; distinct queries collide
-    /// with ~2⁻⁶⁴ probability. The Step-3 search dedups on this.
+    /// A structural fingerprint of the query's canonical token form
+    /// ([`Query::canonical_form`]). Alpha-equivalent queries (equal up
+    /// to variable renaming and body reordering) hash identically;
+    /// distinct queries collide with ~2⁻⁶⁴ probability. The Step-3
+    /// search dedups on this.
     pub fn canonical_hash(&self) -> u64 {
-        use crate::atom::CmpOp;
-        use crate::term::{Const, R64};
-        use std::collections::hash_map::DefaultHasher;
-        use std::collections::HashMap;
-        use std::hash::{Hash, Hasher};
+        self.canonical_form().hash64()
+    }
 
-        // Symbol ids are process-stable, so sorting by id is a fixed
-        // total order just like the string order canonical_key uses;
-        // only tie-breaking among duplicate shapes can differ, and the
-        // final re-sort of renamed literals absorbs that the same way.
-        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-        enum Tok {
-            Blank,
-            V(usize),
-            Pos(u32),
-            Neg(u32),
-            Op(CmpOp),
-            CInt(i64),
-            CReal(R64),
-            CStr(u32),
-            CBool(bool),
-            COid(u64),
-        }
+    /// The exact canonical token sequence that [`Query::canonical_hash`]
+    /// digests: body literals are sorted by a rename-independent shape,
+    /// variables are renamed by first occurrence, and the renamed
+    /// literals are sorted again.
+    ///
+    /// Note this is *not* the same tie-break order as
+    /// [`Query::canonical_key`]: the key sorts shapes as strings (where
+    /// `"_<616"` orders before `"c2(…)"`, so ambiguous duplicate-shape
+    /// comparisons drive the variable renaming), while the token form
+    /// sorts atoms before comparisons, letting the atoms pin the
+    /// renaming so duplicate-shape comparison permutations canonicalize
+    /// identically. Exact-equality duplicate detection must therefore
+    /// compare canonical forms, not canonical keys, to agree with the
+    /// fingerprint's equivalence.
+    pub fn canonical_form(&self) -> CanonicalForm {
+        use std::collections::HashMap;
+
         let const_tok = |c: &Const| match c {
-            Const::Int(v) => Tok::CInt(*v),
-            Const::Real(r) => Tok::CReal(*r),
-            Const::Str(s) => Tok::CStr(s.id()),
-            Const::Bool(b) => Tok::CBool(*b),
-            Const::Oid(o) => Tok::COid(*o),
+            Const::Int(v) => CanonTok::CInt(*v),
+            Const::Real(r) => CanonTok::CReal(*r),
+            Const::Str(s) => CanonTok::CStr(s.id()),
+            Const::Bool(b) => CanonTok::CBool(*b),
+            Const::Oid(o) => CanonTok::COid(*o),
         };
         let blank = |t: &Term| match t {
-            Term::Var(_) => Tok::Blank,
+            Term::Var(_) => CanonTok::Blank,
             Term::Const(c) => const_tok(c),
         };
-        let shape = |l: &Literal| -> Vec<Tok> {
+        let shape = |l: &Literal| -> Vec<CanonTok> {
             match l {
                 Literal::Pos(a) => {
-                    let mut v = vec![Tok::Pos(a.pred.0.id())];
+                    let mut v = vec![CanonTok::Pos(a.pred.0.id())];
                     v.extend(a.args.iter().map(blank));
                     v
                 }
                 Literal::Neg(a) => {
-                    let mut v = vec![Tok::Neg(a.pred.0.id())];
+                    let mut v = vec![CanonTok::Neg(a.pred.0.id())];
                     v.extend(a.args.iter().map(blank));
                     v
                 }
                 Literal::Cmp(c) => {
                     let c = c.canonical();
-                    vec![Tok::Op(c.op), blank(&c.lhs), blank(&c.rhs)]
+                    vec![CanonTok::Op(c.op), blank(&c.lhs), blank(&c.rhs)]
                 }
             }
         };
         let mut ordered: Vec<&Literal> = self.body.iter().collect();
         ordered.sort_by_cached_key(|l| shape(l));
         let mut map: HashMap<Var, usize> = HashMap::new();
-        let mut rt = |t: &Term| -> Tok {
+        let mut rt = |t: &Term| -> CanonTok {
             match t {
                 Term::Var(v) => {
                     let n = map.len();
-                    Tok::V(*map.entry(*v).or_insert(n))
+                    CanonTok::V(*map.entry(*v).or_insert(n))
                 }
                 Term::Const(c) => const_tok(c),
             }
         };
-        let proj: Vec<Tok> = self.projection.iter().map(&mut rt).collect();
-        let mut body: Vec<Vec<Tok>> = Vec::with_capacity(ordered.len());
+        let proj: Vec<CanonTok> = self.projection.iter().map(&mut rt).collect();
+        let mut body: Vec<Vec<CanonTok>> = Vec::with_capacity(ordered.len());
         for l in ordered {
             body.push(match l {
                 Literal::Pos(a) => {
-                    let mut v = vec![Tok::Pos(a.pred.0.id())];
+                    let mut v = vec![CanonTok::Pos(a.pred.0.id())];
                     v.extend(a.args.iter().map(&mut rt));
                     v
                 }
                 Literal::Neg(a) => {
-                    let mut v = vec![Tok::Neg(a.pred.0.id())];
+                    let mut v = vec![CanonTok::Neg(a.pred.0.id())];
                     v.extend(a.args.iter().map(&mut rt));
                     v
                 }
                 Literal::Cmp(c) => {
                     let c = c.canonical();
-                    vec![Tok::Op(c.op), rt(&c.lhs), rt(&c.rhs)]
+                    vec![CanonTok::Op(c.op), rt(&c.lhs), rt(&c.rhs)]
                 }
             });
         }
         body.sort();
-        let mut h = DefaultHasher::new();
-        proj.hash(&mut h);
-        body.hash(&mut h);
-        h.finish()
+        CanonicalForm { proj, body }
     }
 
     /// The parameter-normalized variant of [`Query::canonical_hash`]:

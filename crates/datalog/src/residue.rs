@@ -105,6 +105,44 @@ impl Residue {
     pub fn provenance_id(&self) -> String {
         format!("r{}@{}", self.id, self.anchor.pred)
     }
+
+    /// Whether a matching substitution can ever bind `v`: only variables
+    /// occurring in the anchor or in a positive/negative `rest` literal
+    /// are bound by body matching (comparison literals are checked, never
+    /// matched, so they bind nothing).
+    fn bindable(&self, v: &crate::term::Var) -> bool {
+        self.anchor.vars().any(|w| w == v)
+            || self.rest.iter().any(|l| match l {
+                Literal::Pos(a) | Literal::Neg(a) => a.vars().any(|w| w == v),
+                Literal::Cmp(_) => false,
+            })
+    }
+
+    /// Exactness prefilter: `true` when applying this residue can never
+    /// contribute a candidate or a contradiction to *any* query, so the
+    /// application can be skipped wholesale (the OBDA notion of an
+    /// exactly-covered assertion — the residue head carries no
+    /// information the query's own atoms could absorb).
+    ///
+    /// The classification is purely syntactic, so skipping is provably
+    /// equivalent to running the per-application checks:
+    ///
+    /// * A comparison head with a variable no body literal can bind keeps
+    ///   that variable foreign under every matching substitution, so the
+    ///   foreign-variable check discards every instantiation.
+    /// * A negated-atom head none of whose variables are bindable is
+    ///   never anchored to the query, so the anchoring check discards
+    ///   every instantiation (a ground negated head included).
+    ///
+    /// Denial heads (contradiction signals), atom heads, and every other
+    /// comparison head are kept.
+    pub fn exact_skippable(&self) -> bool {
+        match &self.head {
+            ConstraintHead::None | ConstraintHead::Atom(_) => false,
+            ConstraintHead::Cmp(c) => c.vars().any(|v| !self.bindable(v)),
+            ConstraintHead::NegAtom(a) => a.vars().all(|v| !self.bindable(v)),
+        }
+    }
 }
 
 impl std::fmt::Display for Residue {

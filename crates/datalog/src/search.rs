@@ -3,16 +3,29 @@
 //! The paper (Section 4.1) notes that Step 3 is exponential in the number
 //! of integrity constraints applicable to a query and that heuristics must
 //! guide the transformation process so "only promising transformations are
-//! generated". This module implements the bounded breadth-first search
-//! over query variants, deduplicated by a canonical form, with the
-//! heuristic knobs exposed in [`SearchConfig`].
+//! generated". This module implements two engines over query variants,
+//! selected by [`Strategy`], with the heuristic knobs exposed in
+//! [`SearchConfig`]:
+//!
+//! * **`Bfs`** — the original bounded level-BFS, deduplicated by a
+//!   canonical form. Kept intact as the ablation baseline.
+//! * **`BestFirst`** (default) — a cost-ordered priority frontier with a
+//!   per-search [`AnalysisCache`] (structure-level memoization of
+//!   residue matching), a compile-time exactness prefilter, and an exact
+//!   [`SubsumptionIndex`] in place of the hash-fingerprint seen-set.
+//!   Under the default [`CostModel::DepthUniform`] it expands nodes in
+//!   exactly the BFS order and produces byte-identical outcomes while
+//!   doing a fraction of the per-node work.
 
 use crate::atom::Literal;
 use crate::clause::Query;
 use crate::fxhash::FxHashSet;
-use crate::transform::{analyse, apply, Analysis, Op, TransformContext};
+use crate::subsume::SubsumptionIndex;
+use crate::transform::{
+    analyse, analyse_cached, apply, Analysis, AnalysisCache, Op, TransformContext,
+};
 use sqo_obs as obs;
-use std::collections::HashSet;
+use std::collections::{BinaryHeap, HashSet};
 
 /// When join introduction (`AddAtom`) is explored.
 ///
@@ -74,6 +87,68 @@ impl Backend {
     }
 }
 
+/// Which search engine explores the variant space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// The original exhaustive level-BFS. Kept byte-for-byte as the
+    /// ablation baseline (`--search=bfs`).
+    Bfs,
+    /// Cost-driven best-first search: priority frontier, per-search
+    /// analysis cache, exactness prefilter, exact subsumption index.
+    /// Byte-identical outcomes to [`Strategy::Bfs`] under the default
+    /// [`CostModel::DepthUniform`].
+    #[default]
+    BestFirst,
+}
+
+impl Strategy {
+    /// Every strategy, for exhaustive differential sweeps.
+    pub fn all() -> [Strategy; 2] {
+        [Strategy::Bfs, Strategy::BestFirst]
+    }
+
+    /// Stable lowercase label (CLI flag value, logs, repro dumps).
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Bfs => "bfs",
+            Strategy::BestFirst => "best-first",
+        }
+    }
+
+    /// Parse a CLI/wire label (`"bfs"` / `"best-first"`).
+    pub fn parse(s: &str) -> Option<Strategy> {
+        match s {
+            "bfs" => Some(Strategy::Bfs),
+            "best-first" | "best_first" | "bestfirst" => Some(Strategy::BestFirst),
+            _ => None,
+        }
+    }
+}
+
+/// How the best-first engine orders its priority frontier.
+#[derive(Clone, Default)]
+pub enum CostModel {
+    /// Cost = derivation depth: the frontier pops in exact BFS FIFO
+    /// order, so the engine's speedups are output-identical work
+    /// reductions (analysis caching, exactness skips). The default.
+    #[default]
+    DepthUniform,
+    /// An external per-query cost estimate (e.g. the object-store's
+    /// index-aware plan cost): cheapest-looking variants are analysed
+    /// first, which matters once `frontier_slice`/`cost_cutoff` bound
+    /// the explored region.
+    Estimator(std::sync::Arc<dyn Fn(&Query) -> f64 + Send + Sync>),
+}
+
+impl std::fmt::Debug for CostModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CostModel::DepthUniform => f.write_str("DepthUniform"),
+            CostModel::Estimator(_) => f.write_str("Estimator(..)"),
+        }
+    }
+}
+
 /// Heuristic configuration for the equivalent-query search.
 #[derive(Debug, Clone)]
 pub struct SearchConfig {
@@ -95,8 +170,23 @@ pub struct SearchConfig {
     pub enable_remove_cmp: bool,
     /// Enable atom/group removal (`RemoveAtoms`).
     pub enable_remove_atoms: bool,
-    /// Variant deduplication strategy.
+    /// Variant deduplication strategy (the [`Strategy::Bfs`] engine
+    /// only; the best-first engine always dedups through the exact
+    /// [`SubsumptionIndex`]).
     pub dedup: DedupMode,
+    /// Which engine explores the variant space.
+    pub strategy: Strategy,
+    /// Frontier ordering for the best-first engine.
+    pub cost_model: CostModel,
+    /// Maximum nodes the best-first engine pops per round. `None`
+    /// (default) drains the whole frontier each round, preserving level
+    /// batching for the parallel fanout; `Some(k)` analyses only the
+    /// top-K cheapest nodes per round.
+    pub frontier_slice: Option<usize>,
+    /// Admissible early-termination bound for the best-first engine:
+    /// frontier nodes whose cost exceeds this skip analysis and pass
+    /// through as (already-proven) equivalents. `None` disables it.
+    pub cost_cutoff: Option<f64>,
 }
 
 impl Default for SearchConfig {
@@ -111,6 +201,10 @@ impl Default for SearchConfig {
             enable_remove_cmp: true,
             enable_remove_atoms: true,
             dedup: DedupMode::default(),
+            strategy: Strategy::default(),
+            cost_model: CostModel::default(),
+            frontier_slice: None,
+            cost_cutoff: None,
         }
     }
 }
@@ -317,14 +411,20 @@ impl Outcome {
 /// short-circuiting — stays sequential and ordered, so the outcome is
 /// byte-identical to [`optimize_sequential`].
 pub fn optimize(q: &Query, ctx: &TransformContext, cfg: &SearchConfig) -> Outcome {
-    optimize_with(q, ctx, cfg, analyse_level)
+    match cfg.strategy {
+        Strategy::Bfs => optimize_with(q, ctx, cfg, analyse_level),
+        Strategy::BestFirst => best_first(q, ctx, cfg, Backend::Parallel),
+    }
 }
 
 /// Single-threaded variant of [`optimize`]. Produces the identical
 /// outcome (same variants, same order, same provenance); exists so the
 /// equivalence can be asserted in tests and measured in benchmarks.
 pub fn optimize_sequential(q: &Query, ctx: &TransformContext, cfg: &SearchConfig) -> Outcome {
-    optimize_with(q, ctx, cfg, analyse_level_sequential)
+    match cfg.strategy {
+        Strategy::Bfs => optimize_with(q, ctx, cfg, analyse_level_sequential),
+        Strategy::BestFirst => best_first(q, ctx, cfg, Backend::Sequential),
+    }
 }
 
 /// Run the search through an explicitly selected [`Backend`].
@@ -508,6 +608,245 @@ fn optimize_with(
         frontier = next_level;
     }
 
+    Outcome::Equivalents(variants)
+}
+
+/// A frontier entry in the best-first heap. Ordering is inverted so the
+/// default max-heap pops the *lowest* cost first; ties break on the
+/// discovery sequence number so equal-cost nodes pop in FIFO order.
+/// Under [`CostModel::DepthUniform`] (cost = plan depth) this makes the
+/// pop order exactly the BFS level order, which is what makes the
+/// best-first engine byte-identical to the legacy BFS by construction.
+struct FrontierNode {
+    cost: f64,
+    seq: u64,
+    node: Variant,
+}
+
+impl PartialEq for FrontierNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+
+impl Eq for FrontierNode {}
+
+impl PartialOrd for FrontierNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FrontierNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want min-cost / min-seq.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+fn analyse_batch_sequential(
+    nodes: &[Variant],
+    ctx: &TransformContext,
+    cache: &AnalysisCache,
+) -> Vec<Analysis> {
+    nodes
+        .iter()
+        .map(|n| analyse_cached(&n.query, ctx, cache))
+        .collect()
+}
+
+#[cfg(feature = "parallel")]
+fn analyse_batch_parallel(
+    nodes: &[Variant],
+    ctx: &TransformContext,
+    cache: &AnalysisCache,
+) -> Vec<Analysis> {
+    let workers = worker_budget().min(nodes.len());
+    if workers <= 1 {
+        return analyse_batch_sequential(nodes, ctx, cache);
+    }
+    let chunk = nodes.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = nodes
+            .chunks(chunk)
+            .map(|c| {
+                s.spawn(move || {
+                    let out = analyse_batch_sequential(c, ctx, cache);
+                    // Flush inside the closure: scope/join completion does
+                    // not wait for the worker's TLS destructors to run.
+                    obs::flush_local();
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("search worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(not(feature = "parallel"))]
+fn analyse_batch_parallel(
+    nodes: &[Variant],
+    ctx: &TransformContext,
+    cache: &AnalysisCache,
+) -> Vec<Analysis> {
+    analyse_batch_sequential(nodes, ctx, cache)
+}
+
+/// The cost-driven best-first engine. Structure per round:
+///
+/// 1. Pop the cheapest `frontier_slice` nodes off the heap (all of them
+///    when the slice is `None`, which batches a whole BFS level under
+///    [`CostModel::DepthUniform`] and keeps the parallel fanout).
+/// 2. Nodes whose cost exceeds `cost_cutoff` skip analysis entirely and
+///    pass straight through as variants — sound, because every frontier
+///    node is an already-proven equivalent; the cutoff only stops us
+///    *expanding* them further.
+/// 3. Analyse the batch through the per-search [`AnalysisCache`]
+///    (structural memoization + exactness prefilter) and merge children
+///    through the [`SubsumptionIndex`] (canonical-hash-bucketed, exact
+///    on collision — no false dedup from a 64-bit fingerprint).
+///
+/// Under the default config (DepthUniform, no slice, no cutoff) the pop
+/// order, budget accounting, candidate filtering, and dedup decisions
+/// are all identical to [`optimize_with`], so the outcome — and the
+/// downstream `explain_json` — is byte-identical to the legacy BFS.
+/// Pinned by `best_first_matches_bfs_*` tests here and the
+/// cross-strategy sweep in the fuzz crate.
+fn best_first(q: &Query, ctx: &TransformContext, cfg: &SearchConfig, backend: Backend) -> Outcome {
+    let _span = obs::span!("step3.search");
+    let cache = AnalysisCache::new();
+    let analyse_batch = |nodes: &[Variant]| -> Vec<Analysis> {
+        match backend {
+            Backend::Parallel => analyse_batch_parallel(nodes, ctx, &cache),
+            Backend::Sequential => analyse_batch_sequential(nodes, ctx, &cache),
+        }
+    };
+    let cost_of = |node: &Variant| -> f64 {
+        match &cfg.cost_model {
+            CostModel::DepthUniform => node.steps.len() as f64,
+            CostModel::Estimator(f) => f(&node.query),
+        }
+    };
+
+    let mut variants: Vec<Variant> = Vec::new();
+    let mut index = SubsumptionIndex::new();
+    let mut expansions = 0usize;
+    let mut seq = 0u64;
+    let mut frontier_peak = 0usize;
+
+    let root = Variant {
+        query: q.clone(),
+        steps: Vec::new(),
+    };
+    index.insert(q);
+    let mut heap: BinaryHeap<FrontierNode> = BinaryHeap::new();
+    heap.push(FrontierNode {
+        cost: cost_of(&root),
+        seq,
+        node: root,
+    });
+    seq += 1;
+    frontier_peak = frontier_peak.max(heap.len());
+
+    while !heap.is_empty() {
+        let take = cfg
+            .frontier_slice
+            .unwrap_or(usize::MAX)
+            .min(heap.len())
+            .max(1);
+        let mut batch: Vec<Variant> = Vec::with_capacity(take);
+        let mut above_cutoff: Vec<Variant> = Vec::new();
+        for _ in 0..take {
+            let entry = heap.pop().expect("heap non-empty for 0..take");
+            match cfg.cost_cutoff {
+                Some(cutoff) if entry.cost > cutoff => above_cutoff.push(entry.node),
+                _ => batch.push(entry.node),
+            }
+        }
+        // Nodes beyond the expansion budget pass through unexpanded, in
+        // pop (cost, seq) order, mirroring the legacy FIFO passthrough.
+        let analysed = cfg
+            .max_expansions
+            .saturating_sub(expansions)
+            .min(batch.len());
+        expansions += analysed;
+        obs::bump(obs::Counter::SearchLevels);
+        obs::add(obs::Counter::SearchNodesExpanded, analysed as u64);
+        let analyses = analyse_batch(&batch[..analysed]);
+        let mut results = analyses.into_iter();
+        for (i, node) in batch.into_iter().enumerate() {
+            if i >= analysed {
+                variants.push(node);
+                continue;
+            }
+            match results.next().expect("one analysis per analysed node") {
+                Analysis::Contradiction { ic_name, note } => {
+                    return Outcome::Contradiction {
+                        ic_name,
+                        note,
+                        steps: node.steps,
+                    };
+                }
+                Analysis::Candidates(mut cands) => {
+                    let depth = node.steps.len();
+                    if depth < cfg.max_depth {
+                        cands.sort_by_key(|c| SearchConfig::priority(&c.op));
+                        for cand in cands {
+                            if !cfg.enabled(&cand.op, ctx) {
+                                continue;
+                            }
+                            // The index never shrinks, so once the variant
+                            // budget is exhausted no child can ever be
+                            // admitted — skip building and canonicalizing it.
+                            if index.len() > cfg.max_variants {
+                                obs::bump(obs::Counter::SearchNodesPruned);
+                                continue;
+                            }
+                            let next = apply(&node.query, &cand.op);
+                            if !next.is_safe() {
+                                continue;
+                            }
+                            if !index.insert(&next) {
+                                obs::bump(obs::Counter::SearchDedupHits);
+                                obs::bump(obs::Counter::SearchNodesPruned);
+                                obs::bump(obs::Counter::SearchSubsumedPruned);
+                                continue;
+                            }
+                            if index.len() > cfg.max_variants {
+                                obs::bump(obs::Counter::SearchNodesPruned);
+                                continue;
+                            }
+                            let mut steps = node.steps.clone();
+                            steps.push(Step {
+                                op: cand.op,
+                                ic_name: cand.ic_name,
+                                residue: cand.residue,
+                                note: cand.note,
+                            });
+                            let child = Variant { query: next, steps };
+                            heap.push(FrontierNode {
+                                cost: cost_of(&child),
+                                seq,
+                                node: child,
+                            });
+                            seq += 1;
+                        }
+                    }
+                    variants.push(node);
+                }
+            }
+        }
+        variants.append(&mut above_cutoff);
+        frontier_peak = frontier_peak.max(heap.len());
+    }
+
+    obs::add(obs::Counter::SearchFrontierPeak, frontier_peak as u64);
     Outcome::Equivalents(variants)
 }
 
@@ -701,7 +1040,13 @@ mod tests {
     fn assert_outcomes_identical(q: &Query, ctx: &TransformContext, cfg: &SearchConfig) {
         let par = optimize(q, ctx, cfg);
         let seq = optimize_sequential(q, ctx, cfg);
-        match (&par, &seq) {
+        assert_same_outcome(&par, &seq);
+    }
+
+    /// Assert two outcomes are identical: same kind, same variants in
+    /// the same order, same steps, same provenance.
+    fn assert_same_outcome(par: &Outcome, seq: &Outcome) {
+        match (par, seq) {
             (
                 Outcome::Contradiction {
                     ic_name: n1,
@@ -737,6 +1082,236 @@ mod tests {
             }
             _ => panic!("outcome kinds differ: {par:?} vs {seq:?}"),
         }
+    }
+
+    /// Run the same search under both strategies (and both backends for
+    /// the best-first side) and assert identical outcomes. This is the
+    /// unit-level pin behind the "best-first is byte-identical to BFS by
+    /// default" guarantee; the fuzz crate pins the rendered
+    /// `explain_json` across strategies on top of this.
+    fn assert_strategies_identical(q: &Query, ctx: &TransformContext, cfg: &SearchConfig) {
+        let bfs = SearchConfig {
+            strategy: Strategy::Bfs,
+            ..cfg.clone()
+        };
+        let best = SearchConfig {
+            strategy: Strategy::BestFirst,
+            ..cfg.clone()
+        };
+        let baseline = optimize_sequential(q, ctx, &bfs);
+        assert_same_outcome(&optimize(q, ctx, &bfs), &baseline);
+        assert_same_outcome(&optimize(q, ctx, &best), &baseline);
+        assert_same_outcome(&optimize_sequential(q, ctx, &best), &baseline);
+    }
+
+    #[test]
+    fn best_first_matches_bfs_on_scope_reduction() {
+        let q = Query::new(
+            "q",
+            vec![v("Name")],
+            vec![
+                Literal::pos("person", vec![v("X"), v("Name"), v("Age")]),
+                Literal::cmp(v("Age"), CmpOp::Lt, Term::int(30)),
+            ],
+        );
+        assert_strategies_identical(&q, &scope_ctx(), &SearchConfig::default());
+    }
+
+    #[test]
+    fn best_first_matches_bfs_on_view_fold() {
+        let view = Rule::new(
+            Atom::new("asr", vec![v("X"), v("W")]),
+            vec![
+                Literal::pos("takes", vec![v("X"), v("Y")]),
+                Literal::pos("is_section_of", vec![v("Y"), v("Z")]),
+                Literal::pos("has_sections", vec![v("Z"), v("V")]),
+                Literal::pos("has_ta", vec![v("V"), v("W")]),
+            ],
+        );
+        let ctx = TransformContext::new(ResidueSet::compile(vec![]), vec![view], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("W")],
+            vec![
+                Literal::pos("student", vec![v("X"), v("Name")]),
+                Literal::pos("takes", vec![v("X"), v("Y")]),
+                Literal::pos("is_section_of", vec![v("Y"), v("Z")]),
+                Literal::pos("has_sections", vec![v("Z"), v("V")]),
+                Literal::pos("has_ta", vec![v("V"), v("W")]),
+                Literal::cmp(v("Name"), CmpOp::Eq, Term::str("james")),
+            ],
+        );
+        assert_strategies_identical(&q, &ctx, &SearchConfig::default());
+    }
+
+    #[test]
+    fn best_first_matches_bfs_on_contradiction() {
+        let ic = Constraint::named(
+            "IC1",
+            ConstraintHead::Cmp(Comparison::new(v("S"), CmpOp::Gt, Term::int(40000))),
+            vec![Literal::pos("faculty", vec![v("O"), v("S")])],
+        );
+        let ctx = TransformContext::new(ResidueSet::compile(vec![ic]), vec![], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("O")],
+            vec![
+                Literal::pos("faculty", vec![v("O"), v("Sal")]),
+                Literal::cmp(v("Sal"), CmpOp::Lt, Term::int(20000)),
+            ],
+        );
+        assert_strategies_identical(&q, &ctx, &SearchConfig::default());
+    }
+
+    #[test]
+    fn best_first_matches_bfs_under_tight_budgets() {
+        let mut ics = Vec::new();
+        for i in 0..8 {
+            ics.push(Constraint::named(
+                format!("R{i}"),
+                ConstraintHead::Cmp(Comparison::new(v("A"), CmpOp::Gt, Term::int(i))),
+                vec![Literal::pos("p", vec![v("X"), v("A")])],
+            ));
+        }
+        let ctx = TransformContext::new(ResidueSet::compile(ics), vec![], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("X")],
+            vec![Literal::pos("p", vec![v("X"), v("A")])],
+        );
+        for (max_variants, max_expansions) in [(5, 3), (64, 96), (2, 1), (16, 7)] {
+            let cfg = SearchConfig {
+                max_variants,
+                max_expansions,
+                ..Default::default()
+            };
+            assert_strategies_identical(&q, &ctx, &cfg);
+        }
+    }
+
+    #[test]
+    fn best_first_counters_fire() {
+        // R0 and R1 restrict independent attributes, so the depth-2
+        // variant {A>3, B>7} is reached in both application orders — the
+        // second arrival hits the subsumption index. F0's head mentions
+        // C, which no body literal can bind: the exactness prefilter
+        // must skip it.
+        let ics = vec![
+            Constraint::named(
+                "R0",
+                ConstraintHead::Cmp(Comparison::new(v("A"), CmpOp::Gt, Term::int(3))),
+                vec![Literal::pos("p", vec![v("X"), v("A"), v("B")])],
+            ),
+            Constraint::named(
+                "R1",
+                ConstraintHead::Cmp(Comparison::new(v("B"), CmpOp::Gt, Term::int(7))),
+                vec![Literal::pos("p", vec![v("X"), v("A"), v("B")])],
+            ),
+            Constraint::named(
+                "F0",
+                ConstraintHead::Cmp(Comparison::new(v("C"), CmpOp::Gt, Term::int(5))),
+                vec![Literal::pos("p", vec![v("X"), v("A"), v("B")])],
+            ),
+        ];
+        let ctx = TransformContext::new(ResidueSet::compile(ics), vec![], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("X")],
+            vec![Literal::pos("p", vec![v("X"), v("A"), v("B")])],
+        );
+        let before = obs::snapshot();
+        let out = optimize(&q, &ctx, &SearchConfig::default());
+        let after = obs::snapshot();
+        assert!(out.variants().len() >= 2);
+        // Counters are process-global, so compare before/after deltas:
+        // concurrent tests can only inflate them, never hide our bumps.
+        let delta = |name: &str| after.counters[name] - before.counters[name];
+        assert!(delta("search.subsumed_pruned") >= 1, "subsumption prune");
+        assert!(delta("search.exact_skipped") >= 1, "exactness skip");
+        assert!(delta("search.frontier_peak") >= 1, "frontier peak");
+    }
+
+    #[test]
+    fn cost_cutoff_passes_variants_through_unexpanded() {
+        // With a cutoff below depth 1, the engine analyses only the root;
+        // depth-1 children pass through as (already proven) equivalents.
+        // That is exactly what BFS produces at max_depth = 1 when no
+        // contradiction hides at depth 1 — same variants, same order.
+        let q = Query::new(
+            "q",
+            vec![v("Name")],
+            vec![
+                Literal::pos("person", vec![v("X"), v("Name"), v("Age")]),
+                Literal::cmp(v("Age"), CmpOp::Lt, Term::int(30)),
+            ],
+        );
+        let ctx = scope_ctx();
+        let cut = optimize(
+            &q,
+            &ctx,
+            &SearchConfig {
+                cost_cutoff: Some(0.5),
+                ..Default::default()
+            },
+        );
+        let bfs = optimize(
+            &q,
+            &ctx,
+            &SearchConfig {
+                strategy: Strategy::Bfs,
+                max_depth: 1,
+                ..Default::default()
+            },
+        );
+        assert_same_outcome(&cut, &bfs);
+    }
+
+    #[test]
+    fn estimator_model_with_slice_explores_same_variant_set() {
+        // A non-uniform cost model plus a single-node frontier slice pops
+        // in cost order, so the variant *order* may legitimately differ
+        // from BFS — but with no budget pressure the explored *set* of
+        // distinct queries must be identical.
+        let mut ics = Vec::new();
+        for i in 0..4 {
+            ics.push(Constraint::named(
+                format!("R{i}"),
+                ConstraintHead::Cmp(Comparison::new(v("A"), CmpOp::Gt, Term::int(i))),
+                vec![Literal::pos("p", vec![v("X"), v("A")])],
+            ));
+        }
+        let ctx = TransformContext::new(ResidueSet::compile(ics), vec![], BTreeMap::new());
+        let q = Query::new(
+            "q",
+            vec![v("X")],
+            vec![Literal::pos("p", vec![v("X"), v("A")])],
+        );
+        let best = optimize(
+            &q,
+            &ctx,
+            &SearchConfig {
+                cost_model: CostModel::Estimator(std::sync::Arc::new(|q: &Query| {
+                    q.body.len() as f64
+                })),
+                frontier_slice: Some(1),
+                ..Default::default()
+            },
+        );
+        let bfs = optimize(
+            &q,
+            &ctx,
+            &SearchConfig {
+                strategy: Strategy::Bfs,
+                ..Default::default()
+            },
+        );
+        let keys = |o: &Outcome| -> std::collections::BTreeSet<String> {
+            o.variants()
+                .iter()
+                .map(|va| va.query.canonical_key())
+                .collect()
+        };
+        assert_eq!(keys(&best), keys(&bfs));
     }
 
     #[test]

@@ -55,6 +55,11 @@ pub struct ConstraintSet {
     diseqs: Vec<(usize, usize)>,
     /// Set when an assertion is immediately inconsistent (e.g. `"a" < 3`).
     poisoned: bool,
+    /// Memo of [`ConstraintSet::check`] for the current assertions
+    /// (cleared by `assert_cmp`). Lets repeated checks — and the
+    /// incremental probe inside [`ConstraintSet::sat_with`] — skip
+    /// recomputation on an unchanged set.
+    checked: std::cell::Cell<Option<Sat>>,
 }
 
 impl ConstraintSet {
@@ -103,13 +108,186 @@ impl ConstraintSet {
             CmpOp::Gt => self.edges.push((r, l, Strict::Strict)),
             CmpOp::Ge => self.edges.push((r, l, Strict::NonStrict)),
         }
+        self.checked.set(None);
         self.check()
+    }
+
+    /// Interval fast path for the dominant query shape: no equalities, no
+    /// disequalities, and every order edge touching a constant (var–const
+    /// bounds and ground const–const assertions). In that fragment the
+    /// closure the general algorithm computes collapses to pairwise
+    /// lower-bound × upper-bound checks per variable — every cycle through
+    /// a variable alternates const→var→const, so the only derivable
+    /// const–const relations are exactly those pairs — making this
+    /// decision-for-decision identical to the general path, just without
+    /// the union-find, hash maps, or Floyd–Warshall. Returns `None` when
+    /// the constraint set (or the extra probe edge) falls outside the
+    /// fragment.
+    fn bounds_sat(&self, extra: Option<(&Term, &Term, Strict)>) -> Option<Sat> {
+        if !self.eqs.is_empty() || !self.diseqs.is_empty() {
+            return None;
+        }
+        // Allocation-free on purpose: this runs twice per residue
+        // candidate, and edge counts are query-sized (a handful), so
+        // O(E²) pair scans beat building per-variable bound lists.
+        let edge = |k: usize| -> (&Term, &Term, Strict) {
+            if k < self.edges.len() {
+                let (a, b, s) = self.edges[k];
+                (&self.nodes[a], &self.nodes[b], s)
+            } else {
+                extra.expect("index past own edges only with an extra edge")
+            }
+        };
+        let ordered = |lo: &Const, hi: &Const, s: Strict| -> bool {
+            let op = if s == Strict::Strict {
+                CmpOp::Lt
+            } else {
+                CmpOp::Le
+            };
+            matches!(lo.order(hi), Some(ord) if op.test(ord))
+        };
+        let total = self.edges.len() + usize::from(extra.is_some());
+        for k in 0..total {
+            match edge(k) {
+                (Term::Const(ca), Term::Const(cb), s) if !ordered(ca, cb, s) => {
+                    return Some(Sat::Unsatisfiable);
+                }
+                (Term::Var(_), Term::Var(_), _) => return None,
+                _ => {}
+            }
+        }
+        for k1 in 0..total {
+            let (Term::Const(lo), Term::Var(v1), s1) = edge(k1) else {
+                continue;
+            };
+            for k2 in 0..total {
+                let (Term::Var(v2), Term::Const(hi), s2) = edge(k2) else {
+                    continue;
+                };
+                if v1 == v2 && !ordered(lo, hi, s1.max(s2)) {
+                    return Some(Sat::Unsatisfiable);
+                }
+            }
+        }
+        Some(Sat::Satisfiable)
+    }
+
+    /// Satisfiability of `self ∧ c` without mutating or cloning `self`.
+    /// Decision-identical to `self.clone().assert_cmp(c)`.
+    pub fn sat_with(&self, c: &Comparison) -> Sat {
+        if self.poisoned {
+            return Sat::Unsatisfiable;
+        }
+        if let (Term::Const(a), Term::Const(b)) = (&c.lhs, &c.rhs) {
+            let order_op = !matches!(c.op, CmpOp::Eq | CmpOp::Ne);
+            if order_op && a.order(b).is_none() {
+                return Sat::Unsatisfiable;
+            }
+        }
+        let extra = match c.op {
+            CmpOp::Lt => Some((&c.lhs, &c.rhs, Strict::Strict)),
+            CmpOp::Le => Some((&c.lhs, &c.rhs, Strict::NonStrict)),
+            CmpOp::Gt => Some((&c.rhs, &c.lhs, Strict::Strict)),
+            CmpOp::Ge => Some((&c.rhs, &c.lhs, Strict::NonStrict)),
+            CmpOp::Eq | CmpOp::Ne => None,
+        };
+        if let Some(edge) = extra {
+            if self.checked.get() == Some(Sat::Satisfiable) {
+                if let Some(sat) = self.bounds_sat_incremental(edge) {
+                    return sat;
+                }
+            }
+            if let Some(sat) = self.bounds_sat(Some(edge)) {
+                return sat;
+            }
+        }
+        let mut probe = self.clone();
+        probe.assert_cmp(c)
+    }
+
+    /// Incremental form of [`ConstraintSet::bounds_sat`] for a set
+    /// already known satisfiable: only const–const triples *through the
+    /// extra edge* can newly violate the real order, so one scan over
+    /// the existing edges (pairing the extra bound against the same
+    /// variable's opposite bounds) decides. Bails out (`None`) on any
+    /// var–var edge — there, violations can route around the extra
+    /// edge's variable — or outside the fragment.
+    fn bounds_sat_incremental(&self, extra: (&Term, &Term, Strict)) -> Option<Sat> {
+        if !self.eqs.is_empty() || !self.diseqs.is_empty() {
+            return None;
+        }
+        let ordered = |lo: &Const, hi: &Const, s: Strict| -> bool {
+            let op = if s == Strict::Strict {
+                CmpOp::Lt
+            } else {
+                CmpOp::Le
+            };
+            matches!(lo.order(hi), Some(ord) if op.test(ord))
+        };
+        match extra {
+            (Term::Const(ca), Term::Const(cb), s) => {
+                // A ground extra edge composes with the (already
+                // consistent) rest only transitively; its own validity
+                // decides.
+                if self.edges.iter().any(|&(a, b, _)| {
+                    matches!(self.nodes[a], Term::Var(_)) && matches!(self.nodes[b], Term::Var(_))
+                }) {
+                    return None;
+                }
+                Some(if ordered(ca, cb, s) {
+                    Sat::Satisfiable
+                } else {
+                    Sat::Unsatisfiable
+                })
+            }
+            (Term::Const(lo), Term::Var(v), s1) => {
+                for &(a, b, s2) in &self.edges {
+                    match (&self.nodes[a], &self.nodes[b]) {
+                        (Term::Var(_), Term::Var(_)) => return None,
+                        (Term::Var(v2), Term::Const(hi))
+                            if v2 == v && !ordered(lo, hi, s1.max(s2)) =>
+                        {
+                            return Some(Sat::Unsatisfiable);
+                        }
+                        _ => {}
+                    }
+                }
+                Some(Sat::Satisfiable)
+            }
+            (Term::Var(v), Term::Const(hi), s1) => {
+                for &(a, b, s2) in &self.edges {
+                    match (&self.nodes[a], &self.nodes[b]) {
+                        (Term::Var(_), Term::Var(_)) => return None,
+                        (Term::Const(lo), Term::Var(v2))
+                            if v2 == v && !ordered(lo, hi, s1.max(s2)) =>
+                        {
+                            return Some(Sat::Unsatisfiable);
+                        }
+                        _ => {}
+                    }
+                }
+                Some(Sat::Satisfiable)
+            }
+            (Term::Var(_), Term::Var(_), _) => None,
+        }
     }
 
     /// Check satisfiability of the currently asserted constraints.
     pub fn check(&self) -> Sat {
+        if let Some(s) = self.checked.get() {
+            return s;
+        }
+        let s = self.check_uncached();
+        self.checked.set(Some(s));
+        s
+    }
+
+    fn check_uncached(&self) -> Sat {
         if self.poisoned {
             return Sat::Unsatisfiable;
+        }
+        if let Some(sat) = self.bounds_sat(None) {
+            return sat;
         }
         let n = self.nodes.len();
         let mut uf = UnionFind::new(n);
@@ -249,8 +427,7 @@ impl ConstraintSet {
                 }
             }
         }
-        let mut probe = self.clone();
-        probe.assert_cmp(&c.negate()) == Sat::Unsatisfiable
+        self.sat_with(&c.negate()) == Sat::Unsatisfiable
     }
 
     /// Whether the two terms are entailed equal.
@@ -464,5 +641,78 @@ mod tests {
         assert!(!s.implies(&cmp(v("X"), CmpOp::Lt, v("Y"))));
         assert!(s.implies(&cmp(v("X"), CmpOp::Eq, v("X"))));
         assert!(s.implies(&cmp(v("X"), CmpOp::Le, v("X"))));
+    }
+
+    /// The interval fast path must decide exactly like the general
+    /// union-find/closure path: enumerate small bound-only constraint
+    /// sets and compare `check()`/`sat_with()` (which take the fast
+    /// path) against a set with a redundant variable–variable tautology
+    /// appended (which forces the general path without changing the
+    /// decision).
+    #[test]
+    fn bounds_fast_path_matches_general_path() {
+        let ops = [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let consts = [0i64, 5, 10];
+        let mut cases = 0usize;
+        for &op1 in &ops {
+            for &c1 in &consts {
+                for &op2 in &ops {
+                    for &c2 in &consts {
+                        for &op3 in &ops {
+                            for &c3 in &consts {
+                                let cmps = [
+                                    cmp(v("X"), op1, i(c1)),
+                                    cmp(v("X"), op2, i(c2)),
+                                    cmp(v("Y"), op3, i(c3)),
+                                ];
+                                let fast = ConstraintSet::from_comparisons(&cmps);
+                                assert!(fast.bounds_sat(None).is_some());
+                                let mut general = ConstraintSet::from_comparisons(&cmps);
+                                // `Z ≤ W` touches no constant, so the fast
+                                // path refuses and the general closure runs.
+                                general.assert_cmp(&cmp(v("Z"), CmpOp::Le, v("W")));
+                                assert!(general.bounds_sat(None).is_none());
+                                assert_eq!(fast.check(), general.check(), "{cmps:?}");
+                                for &op in &ops {
+                                    for &k in &consts {
+                                        let probe = cmp(v("X"), op, i(k));
+                                        assert_eq!(
+                                            fast.sat_with(&probe),
+                                            {
+                                                let mut g = general.clone();
+                                                g.assert_cmp(&probe)
+                                            },
+                                            "{cmps:?} + {probe:?}"
+                                        );
+                                        assert_eq!(
+                                            fast.implies(&probe),
+                                            general.implies(&probe),
+                                            "{cmps:?} => {probe:?}"
+                                        );
+                                    }
+                                }
+                                cases += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(cases, 1728);
+    }
+
+    #[test]
+    fn ground_const_edges_in_fast_path() {
+        // Asserted const–const order edges are validated directly.
+        let s = ConstraintSet::from_comparisons(&[cmp(i(3), CmpOp::Lt, i(4))]);
+        assert_eq!(s.check(), Sat::Satisfiable);
+        let s = ConstraintSet::from_comparisons(&[cmp(i(4), CmpOp::Lt, i(3))]);
+        assert_eq!(s.check(), Sat::Unsatisfiable);
+        // Incomparable constant types refuse order outright.
+        let s = ConstraintSet::from_comparisons(&[
+            cmp(v("X"), CmpOp::Ge, Term::str("a")),
+            cmp(v("X"), CmpOp::Le, i(3)),
+        ]);
+        assert_eq!(s.check(), Sat::Unsatisfiable);
     }
 }

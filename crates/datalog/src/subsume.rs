@@ -14,7 +14,9 @@
 //!   derived cases such as matching `Age < 25` in a query against a
 //!   residue's `Age < 30`.
 
-use crate::atom::{Atom, Literal};
+use crate::atom::{Atom, Comparison, Literal};
+use crate::clause::Query;
+use crate::fxhash::FxHashMap;
 use crate::solver::ConstraintSet;
 use crate::subst::Subst;
 use crate::unify::match_atoms;
@@ -110,6 +112,155 @@ pub fn match_body_onto(pattern: &[Literal], target: &MatchTarget<'_>, seed: &Sub
         }
     }
     results
+}
+
+/// One complete match of a pattern's *database* literals, with the
+/// pattern's comparison literals instantiated under θ but not yet
+/// checked against any solver.
+///
+/// Produced by [`match_db_staged`]; a caller holding a query-specific
+/// [`ConstraintSet`] accepts the match iff every deferred comparison is
+/// implied. Filtering staged matches this way yields exactly the
+/// substitution sequence [`match_body_onto`] returns against the same
+/// atoms, because comparison steps never bind variables: the database
+/// DFS is identical, and equal substitutions pass or fail the deferred
+/// checks identically, so dedup-before-filter equals filter-before-dedup.
+#[derive(Debug, Clone)]
+pub struct StagedMatch {
+    /// The substitution at the database-literal leaf.
+    pub theta: Subst,
+    /// The pattern's comparison literals instantiated under `theta`, in
+    /// pattern order. Empty when the pattern has no comparisons.
+    pub deferred: Vec<Comparison>,
+}
+
+impl StagedMatch {
+    /// Whether every deferred comparison is implied by `solver`.
+    #[inline]
+    pub fn deferred_implied(&self, solver: &ConstraintSet) -> bool {
+        self.deferred.iter().all(|c| solver.implies(c))
+    }
+}
+
+/// [`match_body_onto`] with the solver-dependent half deferred: match
+/// only the database literals of `pattern` onto `pos`/`neg`, returning
+/// each surviving substitution with its instantiated comparisons.
+///
+/// A residue variable that stays unbound inside one of the pattern's
+/// comparisons fails the match conservatively here (that check depends
+/// only on θ, never on the target's solver), mirroring
+/// [`match_body_onto`].
+pub fn match_db_staged(
+    pattern: &[Literal],
+    pos: &[&Atom],
+    neg: &[&Atom],
+    seed: &Subst,
+) -> Vec<StagedMatch> {
+    obs::bump(obs::Counter::SubsumeChecks);
+    let mut db: Vec<&Literal> = Vec::new();
+    let mut cmps: Vec<&Comparison> = Vec::new();
+    for l in pattern {
+        match l {
+            Literal::Cmp(c) => cmps.push(c),
+            _ => db.push(l),
+        }
+    }
+
+    let mut results: Vec<StagedMatch> = Vec::new();
+    let mut stack: Vec<(usize, Subst)> = vec![(0, seed.clone())];
+    'leaves: while let Some((i, s)) = stack.pop() {
+        if i == db.len() {
+            if results.iter().any(|m| m.theta == s) {
+                continue;
+            }
+            let mut deferred = Vec::with_capacity(cmps.len());
+            for c in &cmps {
+                let inst = s.apply_cmp(c);
+                let unbound_residue_var = [&inst.lhs, &inst.rhs].into_iter().any(|t| {
+                    t.as_var()
+                        .is_some_and(|v| s.lookup(v).is_none() && c.vars().any(|w| w == v))
+                });
+                if unbound_residue_var {
+                    continue 'leaves;
+                }
+                deferred.push(inst);
+            }
+            results.push(StagedMatch { theta: s, deferred });
+            continue;
+        }
+        match db[i] {
+            Literal::Pos(pat) => {
+                for cand in pos {
+                    let mut s2 = s.clone();
+                    if match_atoms(pat, cand, &mut s2) {
+                        stack.push((i + 1, s2));
+                    }
+                }
+            }
+            Literal::Neg(pat) => {
+                for cand in neg {
+                    let mut s2 = s.clone();
+                    if match_atoms(pat, cand, &mut s2) {
+                        stack.push((i + 1, s2));
+                    }
+                }
+            }
+            Literal::Cmp(_) => unreachable!("comparisons were split off above"),
+        }
+    }
+    results
+}
+
+/// A canonical-hash-bucketed duplicate/subsumption index over query
+/// variants.
+///
+/// The level-BFS engine dedups candidates with a flat `HashSet` of
+/// [`Query::canonical_hash`] fingerprints, accepting a (vanishingly
+/// small but nonzero) risk that a hash collision silently drops a
+/// genuinely novel variant. The best-first engine instead buckets by
+/// the canonical hash and, when a bucket already has occupants,
+/// confirms with the exact canonical token form
+/// ([`Query::canonical_form`] — the very sequence the hash digests) —
+/// so a true duplicate is recognized exactly, and a hash collision
+/// costs one token-sequence compare instead of a lost variant. The
+/// rendered [`Query::canonical_key`] is deliberately *not* used here:
+/// its string-sorted tie-break order renames variables differently on
+/// duplicate-shape comparison literals and can split alpha-equivalent
+/// queries the fingerprint (correctly) merges.
+#[derive(Debug, Default)]
+pub struct SubsumptionIndex {
+    buckets: FxHashMap<u64, Vec<crate::clause::CanonicalForm>>,
+    len: usize,
+}
+
+impl SubsumptionIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `q`'s canonical form; `true` iff it was not already
+    /// present.
+    pub fn insert(&mut self, q: &Query) -> bool {
+        let form = q.canonical_form();
+        let bucket = self.buckets.entry(form.hash64()).or_default();
+        if bucket.contains(&form) {
+            return false;
+        }
+        bucket.push(form);
+        self.len += 1;
+        true
+    }
+
+    /// Number of distinct canonical forms inserted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 /// Classical θ-subsumption between clause bodies: does θ exist with

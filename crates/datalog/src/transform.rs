@@ -23,15 +23,16 @@
 use crate::atom::{Atom, Comparison, Literal, PredSym};
 use crate::chase::{group_removal_sound, ChaseBudget, ChaseContext};
 use crate::clause::{ConstraintHead, Query, Rule};
-use crate::fxhash::FxHashSet;
+use crate::fxhash::{FxHashMap, FxHashSet, FxHasher};
 use crate::residue::{standardize_residue_apart, ResidueSet};
 use crate::solver::{ConstraintSet, Sat};
 use crate::subst::Subst;
-use crate::subsume::{match_body_onto, MatchTarget};
+use crate::subsume::{match_body_onto, match_db_staged, MatchTarget};
 use crate::term::{Term, Var};
 use crate::unify::match_atoms;
 use sqo_obs as obs;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// An atomic semantic transformation of a query.
 #[derive(Debug, Clone, PartialEq)]
@@ -291,8 +292,7 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
                         if has_foreign_var(&c, &qvars) {
                             continue;
                         }
-                        let mut probe = solver.clone();
-                        if probe.assert_cmp(&c) == Sat::Unsatisfiable {
+                        if solver.sat_with(&c) == Sat::Unsatisfiable {
                             return Analysis::Contradiction {
                                 ic_name: provenance,
                                 note: format!(
@@ -397,6 +397,21 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
         }
     }
 
+    tail_candidates(q, ctx, &solver, &mut candidates);
+
+    Analysis::Candidates(candidates)
+}
+
+/// The solver-dependent tail of the analysis, shared by [`analyse`] and
+/// [`analyse_cached`]: comparison removal, chase-validated atom removal,
+/// and view folds. These phases only *add* candidates — none of them can
+/// surface a contradiction — so the helper has no early return.
+fn tail_candidates(
+    q: &Query,
+    ctx: &TransformContext,
+    solver: &ConstraintSet,
+    candidates: &mut Vec<Candidate>,
+) {
     // Comparison removal: a comparison implied by the rest of the body.
     for (i, l) in q.body.iter().enumerate() {
         let Literal::Cmp(c) = l else { continue };
@@ -411,7 +426,7 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
         let rest_solver = query_solver(&rest_query, &ctx.functional);
         if rest_solver.implies(c) {
             push_candidate(
-                &mut candidates,
+                candidates,
                 Candidate {
                     note: format!("`{c}` is implied by the rest of the query"),
                     op: Op::RemoveCmp(*c),
@@ -465,11 +480,11 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
             std::slice::from_ref(a),
             &proj_vars,
             &ctx.chase,
-            &solver,
+            solver,
             ctx.budget.clone(),
         ) {
             push_candidate(
-                &mut candidates,
+                candidates,
                 Candidate {
                     note: format!("join elimination: `{a}` is implied by the rest of the query"),
                     op: Op::RemoveAtoms(vec![a.clone()]),
@@ -482,10 +497,400 @@ pub fn analyse(q: &Query, ctx: &TransformContext) -> Analysis {
 
     // View folds (access support relations).
     for view in &ctx.views {
-        for cand in fold_view_candidates(q, view, &solver, ctx, &proj_vars) {
-            push_candidate(&mut candidates, cand);
+        for cand in fold_view_candidates(q, view, solver, ctx, &proj_vars) {
+            push_candidate(candidates, cand);
         }
     }
+}
+
+/// Structural identity of a query for the residue-application phase:
+/// its positive atoms in body order, negative atoms in body order, and
+/// variable set. Two queries with the same structure differ only in
+/// their comparison literals, which residue application consumes solely
+/// through the per-query [`ConstraintSet`] — so everything *except* the
+/// solver-dependent checks can be computed once per structure and
+/// replayed across sibling variants.
+#[derive(Debug, PartialEq, Eq, Hash)]
+struct StructKey {
+    pos: Vec<Atom>,
+    neg: Vec<Atom>,
+    qvars: BTreeSet<Var>,
+}
+
+impl StructKey {
+    fn of(q: &Query, qvars: &BTreeSet<Var>) -> (StructKey, u64) {
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for l in &q.body {
+            match l {
+                Literal::Pos(a) => pos.push(a.clone()),
+                Literal::Neg(a) => neg.push(a.clone()),
+                Literal::Cmp(_) => {}
+            }
+        }
+        let key = StructKey {
+            pos,
+            neg,
+            qvars: qvars.clone(),
+        };
+        use std::hash::{Hash, Hasher};
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        let hash = h.finish();
+        (key, hash)
+    }
+}
+
+/// What to do with one matched residue-head instantiation, precomputed
+/// at structure-cache build time. Solver-independent checks (foreign
+/// comparison variables, negated-head anchoring, head freshening, note
+/// rendering) are resolved here; solver-dependent checks replay per
+/// query in [`analyse_cached`].
+#[derive(Debug)]
+enum HeadAction {
+    /// Denial head: the match alone proves a contradiction.
+    Denial { note: String },
+    /// Structurally discarded head (foreign comparison variable or
+    /// unanchored negated head): counts as an application, adds nothing.
+    Discard,
+    /// Comparison head to test and attach against the node's solver.
+    Cmp {
+        c: Comparison,
+        contra_note: String,
+        note: String,
+    },
+    /// Atom head (join introduction); `raw` is the pre-freshening
+    /// instantiation the subsumption check runs against.
+    Atom {
+        raw: Atom,
+        freshened: Atom,
+        note: String,
+    },
+    /// Negated-atom head (scope reduction); `raw` drives the
+    /// negation-dedup check, `freshened` the clash check and the op.
+    NegAtom {
+        raw: Atom,
+        freshened: Atom,
+        contra_note: String,
+        note: String,
+    },
+}
+
+/// One staged match of a residue against a structure: the deferred
+/// (instantiated) body comparisons that gate it per query, and the
+/// precomputed head action.
+#[derive(Debug)]
+struct ThetaEntry {
+    deferred: Vec<Comparison>,
+    action: HeadAction,
+}
+
+/// All staged matches of one residue application (anchor body position ×
+/// residue), with shared provenance.
+#[derive(Debug)]
+struct AppEntry {
+    ic_name: Option<String>,
+    residue_id: String,
+    matches: Vec<ThetaEntry>,
+}
+
+/// The cached residue-application phase for one query structure.
+#[derive(Debug)]
+struct StructEntry {
+    apps: Vec<AppEntry>,
+}
+
+/// A per-search memo of the residue-application phase, keyed by query
+/// structure. [`analyse_cached`] consults it so sibling variants that
+/// share positive/negative atoms — differing only in comparison
+/// literals, the overwhelmingly common case under restriction-heavy IC
+/// sets — pay for residue matching once instead of once per node.
+///
+/// Thread-safe and deterministic: the mutex guards only the bucket map
+/// (fetching/inserting entry slots), and each entry is built exactly
+/// once inside its own `OnceLock` *outside* the lock — so parallel and
+/// sequential searches bump build-time counters identically, and
+/// concurrent builders of different structures don't serialize.
+#[derive(Debug, Default)]
+pub struct AnalysisCache {
+    #[allow(clippy::type_complexity)]
+    map: Mutex<FxHashMap<u64, Vec<(StructKey, Arc<OnceLock<StructEntry>>)>>>,
+}
+
+impl AnalysisCache {
+    /// An empty cache, scoped to one search (one query + context).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch or create the entry slot for a structure. The build itself
+    /// happens in the caller via `get_or_init`, outside the map lock.
+    fn slot(&self, key: StructKey, hash: u64) -> Arc<OnceLock<StructEntry>> {
+        let mut map = self.map.lock().expect("analysis cache poisoned");
+        let bucket = map.entry(hash).or_default();
+        if let Some((_, slot)) = bucket.iter().find(|(k, _)| *k == key) {
+            return Arc::clone(slot);
+        }
+        let slot = Arc::new(OnceLock::new());
+        bucket.push((key, Arc::clone(&slot)));
+        slot
+    }
+}
+
+/// Build the cached residue-application phase for one structure. Runs
+/// the same enumeration as the residue loop of [`analyse`] minus the
+/// solver-dependent checks; build-time counters (exactness skips,
+/// prefilter hits/misses, subsumption stagings, unification attempts)
+/// are bumped here exactly once per structure.
+fn build_struct_entry(q: &Query, qvars: &BTreeSet<Var>, ctx: &TransformContext) -> StructEntry {
+    let mut pos_refs: Vec<&Atom> = Vec::new();
+    let mut neg_refs: Vec<&Atom> = Vec::new();
+    let mut pos_sigs: FxHashSet<(PredSym, usize)> = FxHashSet::default();
+    let mut neg_sigs: FxHashSet<(PredSym, usize)> = FxHashSet::default();
+    for l in &q.body {
+        match l {
+            Literal::Pos(a) => {
+                pos_refs.push(a);
+                pos_sigs.insert((a.pred, a.args.len()));
+            }
+            Literal::Neg(a) => {
+                neg_refs.push(a);
+                neg_sigs.insert((a.pred, a.args.len()));
+            }
+            Literal::Cmp(_) => {}
+        }
+    }
+    let rest_can_match = |rest: &[Literal]| {
+        rest.iter().all(|l| match l {
+            Literal::Pos(a) => pos_sigs.contains(&(a.pred, a.args.len())),
+            Literal::Neg(a) => neg_sigs.contains(&(a.pred, a.args.len())),
+            Literal::Cmp(_) => true,
+        })
+    };
+
+    let mut apps: Vec<AppEntry> = Vec::new();
+    for anchor_target in &pos_refs {
+        for residue in ctx.residues.residues_for(&anchor_target.pred) {
+            // Exactness prefilter: applications that provably cannot
+            // contribute for *any* query are dropped wholesale (see
+            // [`crate::residue::Residue::exact_skippable`]).
+            if residue.exact_skippable() {
+                obs::bump(obs::Counter::SearchExactSkipped);
+                continue;
+            }
+            if residue.anchor.args.len() != anchor_target.args.len()
+                || !rest_can_match(&residue.rest)
+            {
+                obs::bump(obs::Counter::PrefilterMisses);
+                continue;
+            }
+            obs::bump(obs::Counter::PrefilterHits);
+            let residue = standardize_residue_apart(residue, qvars);
+            let mut seed = Subst::new();
+            if !match_atoms(&residue.anchor, anchor_target, &mut seed) {
+                continue;
+            }
+            let staged = match_db_staged(&residue.rest, &pos_refs, &neg_refs, &seed);
+            if staged.is_empty() {
+                continue;
+            }
+            let mut matches: Vec<ThetaEntry> = Vec::with_capacity(staged.len());
+            for m in staged {
+                let action = match m.theta.apply_head(&residue.head) {
+                    ConstraintHead::None => HeadAction::Denial {
+                        note: format!(
+                            "denial constraint{} fully matches the query",
+                            name_suffix(&residue.ic_name)
+                        ),
+                    },
+                    ConstraintHead::Cmp(c) => {
+                        if has_foreign_var(&c, qvars) {
+                            HeadAction::Discard
+                        } else {
+                            HeadAction::Cmp {
+                                contra_note: format!(
+                                    "residue head `{c}`{} contradicts the query",
+                                    name_suffix(&residue.ic_name)
+                                ),
+                                note: format!("restriction `{c}` attached by residue"),
+                                c,
+                            }
+                        }
+                    }
+                    ConstraintHead::Atom(a) => {
+                        let freshened = freshen_foreign_vars(&a, qvars);
+                        HeadAction::Atom {
+                            note: format!("join introduction: `{freshened}` implied by the query"),
+                            raw: a,
+                            freshened,
+                        }
+                    }
+                    ConstraintHead::NegAtom(a) => {
+                        if !a.vars().any(|v| qvars.contains(v)) {
+                            HeadAction::Discard
+                        } else {
+                            let freshened = freshen_foreign_vars(&a, qvars);
+                            HeadAction::NegAtom {
+                                contra_note: format!(
+                                    "residue head `not {freshened}`{} contradicts a required atom",
+                                    name_suffix(&residue.ic_name)
+                                ),
+                                note: format!(
+                                    "scope reduction: answers cannot lie in `{}`",
+                                    freshened.pred
+                                ),
+                                raw: a,
+                                freshened,
+                            }
+                        }
+                    }
+                };
+                matches.push(ThetaEntry {
+                    deferred: m.deferred,
+                    action,
+                });
+            }
+            apps.push(AppEntry {
+                ic_name: residue.ic_name.clone(),
+                residue_id: residue.provenance_id(),
+                matches,
+            });
+        }
+    }
+    StructEntry { apps }
+}
+
+/// [`analyse`] with the residue-application phase served from `cache`.
+///
+/// Produces the identical [`Analysis`] for every query: the cached
+/// enumeration replays staged matches in the exact order the uncached
+/// loop visits them, and contradiction short-circuit points are
+/// identical. One check is reordered — the implied/contained test runs
+/// *before* the contradiction probe — which cannot change the outcome:
+/// a comparison already contained in the query asserts nothing new, and
+/// an implied one (`unsat(solver ∧ ¬c)`) cannot make a solver the
+/// closure found satisfiable turn unsatisfiable, because both
+/// judgements compose through the same complete order/constant closure.
+/// Only observability counters differ from [`analyse`]: structure-level
+/// work (prefilter, unification, subsumption staging) is counted once
+/// per structure instead of once per node.
+pub fn analyse_cached(q: &Query, ctx: &TransformContext, cache: &AnalysisCache) -> Analysis {
+    let solver = query_solver(q, &ctx.functional);
+    if solver.check() == Sat::Unsatisfiable {
+        return Analysis::Contradiction {
+            ic_name: None,
+            note: "the query's own comparison literals are inconsistent".into(),
+        };
+    }
+    let qvars = q.vars();
+    let (key, hash) = StructKey::of(q, &qvars);
+    let slot = cache.slot(key, hash);
+    let entry = slot.get_or_init(|| build_struct_entry(q, &qvars, ctx));
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for app in &entry.apps {
+        for m in &app.matches {
+            if !m.deferred.iter().all(|c| solver.implies(c)) {
+                continue;
+            }
+            obs::bump(obs::Counter::ResiduesApplied);
+            match &m.action {
+                HeadAction::Denial { note } => {
+                    return Analysis::Contradiction {
+                        ic_name: app.ic_name.clone(),
+                        note: note.clone(),
+                    };
+                }
+                HeadAction::Discard => {}
+                HeadAction::Cmp {
+                    c,
+                    contra_note,
+                    note,
+                } => {
+                    if solver.implies(c) || q.contains(&Literal::Cmp(*c)) {
+                        continue;
+                    }
+                    if solver.sat_with(c) == Sat::Unsatisfiable {
+                        return Analysis::Contradiction {
+                            ic_name: app.ic_name.clone(),
+                            note: contra_note.clone(),
+                        };
+                    }
+                    push_candidate(
+                        &mut candidates,
+                        Candidate {
+                            note: note.clone(),
+                            op: Op::AddCmp(*c),
+                            ic_name: app.ic_name.clone(),
+                            residue: Some(app.residue_id.clone()),
+                        },
+                    );
+                }
+                HeadAction::Atom {
+                    raw,
+                    freshened,
+                    note,
+                } => {
+                    if atom_subsumed_in_query(raw, q, &qvars, &solver) {
+                        continue;
+                    }
+                    push_candidate(
+                        &mut candidates,
+                        Candidate {
+                            note: note.clone(),
+                            op: Op::AddAtom(freshened.clone()),
+                            ic_name: app.ic_name.clone(),
+                            residue: Some(app.residue_id.clone()),
+                        },
+                    );
+                }
+                HeadAction::NegAtom {
+                    raw,
+                    freshened,
+                    contra_note,
+                    note,
+                } => {
+                    let local_ok = |b: &Atom, cand: &Atom| {
+                        b.pred == cand.pred
+                            && b.args.len() == cand.args.len()
+                            && b.args.iter().zip(&cand.args).all(|(x, y)| {
+                                x == y || (term_occurs_once(x, q) && !var_in(y, &qvars))
+                            })
+                    };
+                    if q.body
+                        .iter()
+                        .any(|l| matches!(l, Literal::Neg(b) if local_ok(b, raw)))
+                    {
+                        continue;
+                    }
+                    let clash = q.positive_atoms().any(|b| {
+                        b.pred == freshened.pred
+                            && b.args.len() == freshened.args.len()
+                            && b.args.iter().zip(&freshened.args).all(|(x, y)| {
+                                x == y || !var_in(y, &qvars) || solver.entails_equal(x, y)
+                            })
+                    });
+                    if clash {
+                        return Analysis::Contradiction {
+                            ic_name: app.ic_name.clone(),
+                            note: contra_note.clone(),
+                        };
+                    }
+                    push_candidate(
+                        &mut candidates,
+                        Candidate {
+                            note: note.clone(),
+                            op: Op::AddNegAtom(freshened.clone()),
+                            ic_name: app.ic_name.clone(),
+                            residue: Some(app.residue_id.clone()),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    tail_candidates(q, ctx, &solver, &mut candidates);
 
     Analysis::Candidates(candidates)
 }

@@ -28,6 +28,7 @@ pub mod shrink;
 pub mod spec;
 
 use oracle::{CaseStatus, Mismatch};
+use sqo_datalog::search::Strategy;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
@@ -49,17 +50,25 @@ pub enum SeedOutcome {
     Skipped(String),
 }
 
-/// Generate, run, and (on mismatch) shrink one seed.
+/// Generate, run, and (on mismatch) shrink one seed under the default
+/// Step-3 search strategy.
 pub fn run_seed(seed: u64) -> SeedOutcome {
+    run_seed_with(seed, Strategy::default())
+}
+
+/// Generate, run, and (on mismatch) shrink one seed with an explicit
+/// Step-3 search strategy, so the whole oracle can be swept under both
+/// the best-first engine and the BFS ablation baseline.
+pub fn run_seed_with(seed: u64, strategy: Strategy) -> SeedOutcome {
     let spec = gen::generate_case(seed);
-    match oracle::run_inputs(&spec.inputs()) {
+    match oracle::run_inputs_with(&spec.inputs(), strategy) {
         Err(e) => SeedOutcome::Skipped(e),
         Ok(CaseStatus::Pass(info)) => SeedOutcome::Pass(info),
         Ok(CaseStatus::Mismatch(_)) => {
-            let small = shrink::shrink(&spec);
+            let small = shrink::shrink_with(&spec, strategy);
             // Re-run the minimized case to report its (possibly clearer)
             // mismatch rather than the original's.
-            let mismatch = match oracle::run_inputs(&small.inputs()) {
+            let mismatch = match oracle::run_inputs_with(&small.inputs(), strategy) {
                 Ok(CaseStatus::Mismatch(m)) => m,
                 // Shrinking never keeps a non-failing candidate, so this
                 // arm only guards against oracle nondeterminism.
@@ -120,15 +129,20 @@ fn replay_paths(path: &Path) -> Result<Vec<PathBuf>, String> {
     }
 }
 
-/// Replay every `.repro` file at `path` (a file or a directory). Returns
-/// the number of files whose observed status did not match their
-/// expectation.
+/// [`replay_path_with`] under the default Step-3 search strategy.
 pub fn replay_path(path: &Path) -> Result<usize, String> {
+    replay_path_with(path, Strategy::default())
+}
+
+/// Replay every `.repro` file at `path` (a file or a directory) under an
+/// explicit Step-3 search strategy. Returns the number of files whose
+/// observed status did not match their expectation.
+pub fn replay_path_with(path: &Path, strategy: Strategy) -> Result<usize, String> {
     let mut failures = 0usize;
     for p in replay_paths(path)? {
         let text = std::fs::read_to_string(&p).map_err(|e| format!("read {}: {e}", p.display()))?;
         let case = repro::parse(&text).map_err(|e| format!("{}: {e}", p.display()))?;
-        let report = repro::replay(&case);
+        let report = repro::replay_with(&case, strategy);
         let tag = if report.ok { "ok" } else { "FAIL" };
         println!(
             "replay {} [{tag}] expected {}, observed: {}",
@@ -189,6 +203,7 @@ pub fn cli_main(args: &[String]) -> i32 {
     let mut emit: Option<usize> = None;
     let mut out_dir = PathBuf::from("fuzz-out");
     let mut dump_dir = PathBuf::from("fuzz-failures");
+    let mut strategy = Strategy::default();
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -222,10 +237,26 @@ pub fn cli_main(args: &[String]) -> i32 {
             "--dump-dir" => val("--dump-dir").map(|v| {
                 dump_dir = PathBuf::from(v);
             }),
+            "--search" => val("--search").and_then(|v| {
+                strategy = Strategy::parse(&v)
+                    .ok_or_else(|| format!("bad --search `{v}` (bfs|best-first)"))?;
+                Ok(())
+            }),
+            s if s.starts_with("--search=") => {
+                let v = &s["--search=".len()..];
+                match Strategy::parse(v) {
+                    Some(st) => {
+                        strategy = st;
+                        Ok(())
+                    }
+                    None => Err(format!("bad --search `{v}` (bfs|best-first)")),
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: sqo-fuzz [--seeds A..B] [--budget 60s] [--replay FILE|DIR]\n\
-                     \x20               [--save DIR] [--emit-cases N --out DIR] [--dump-dir DIR]"
+                     \x20               [--save DIR] [--emit-cases N --out DIR] [--dump-dir DIR]\n\
+                     \x20               [--search bfs|best-first]"
                 );
                 return 0;
             }
@@ -238,7 +269,7 @@ pub fn cli_main(args: &[String]) -> i32 {
     }
 
     if let Some(path) = replay {
-        return match replay_path(&path) {
+        return match replay_path_with(&path, strategy) {
             Ok(0) => {
                 println!("replay: all cases matched their expectations");
                 0
@@ -264,7 +295,7 @@ pub fn cli_main(args: &[String]) -> i32 {
         for seed in lo..hi {
             let spec = gen::generate_case(seed);
             let inputs = spec.inputs();
-            let expect = match oracle::run_inputs(&inputs) {
+            let expect = match oracle::run_inputs_with(&inputs, strategy) {
                 Err(_) => continue, // invalid case: nothing worth pinning
                 Ok(CaseStatus::Pass(_)) => repro::Expect::Pass,
                 Ok(CaseStatus::Mismatch(_)) => repro::Expect::Mismatch,
@@ -309,7 +340,7 @@ pub fn cli_main(args: &[String]) -> i32 {
             }
         }
         ran += 1;
-        match run_seed(seed) {
+        match run_seed_with(seed, strategy) {
             SeedOutcome::Pass(info) => {
                 passed += 1;
                 variants += info.variants;
@@ -340,8 +371,10 @@ pub fn cli_main(args: &[String]) -> i32 {
         }
     }
     println!(
-        "fuzz: {ran} seeds — {passed} passed ({variants} equivalents checked, {contradictions} \
-         validated contradictions), {skipped} skipped, {mismatches} mismatches in {:.1}s",
+        "fuzz[{}]: {ran} seeds — {passed} passed ({variants} equivalents checked, \
+         {contradictions} validated contradictions), {skipped} skipped, {mismatches} mismatches \
+         in {:.1}s",
+        strategy.label(),
         start.elapsed().as_secs_f64()
     );
     if mismatches > 0 {

@@ -17,6 +17,7 @@
 //! so the driver can skip them; the generator should make these rare.
 
 use sqo_core::{Backend, CacheOutcome, OptimizationReport, PlanCache, SemanticOptimizer, Verdict};
+use sqo_datalog::search::Strategy;
 use sqo_datalog::term::Const;
 use sqo_datalog::Query;
 use sqo_objdb::{execute, execute_with, ExecOptions, ObjectDb};
@@ -200,8 +201,16 @@ fn check_report(
     }
 }
 
-/// Run one rendered case through every differential check.
+/// Run one rendered case through every differential check under the
+/// default Step-3 search strategy.
 pub fn run_inputs(inputs: &CaseInputs) -> Result<CaseStatus, String> {
+    run_inputs_with(inputs, Strategy::default())
+}
+
+/// Run one rendered case through every differential check with an
+/// explicit Step-3 search strategy (`--search=bfs|best-first`), so the
+/// whole answer-set oracle can be replayed under either engine.
+pub fn run_inputs_with(inputs: &CaseInputs, strategy: Strategy) -> Result<CaseStatus, String> {
     // Store population (IC-consistent by construction).
     let schema = Schema::parse(&inputs.odl).map_err(|e| format!("schema: {e}"))?;
     let data = inputs
@@ -212,6 +221,7 @@ pub fn run_inputs(inputs: &CaseInputs) -> Result<CaseStatus, String> {
 
     // Baseline: the original query, translated but untouched by Step 3.
     let mut opt = build_optimizer(inputs)?;
+    opt.set_search_strategy(strategy);
     let query: SelectQuery = sqo_oql::parse_oql(&inputs.oql).map_err(|e| format!("oql: {e}"))?;
     let translation = opt
         .translate(&query)
@@ -246,7 +256,11 @@ pub fn run_inputs(inputs: &CaseInputs) -> Result<CaseStatus, String> {
     }
 
     // Warm plan-cache path: miss, then hit, on the very same query.
-    let prepared = build_optimizer(inputs)?.prepare();
+    let prepared = {
+        let mut o = build_optimizer(inputs)?;
+        o.set_search_strategy(strategy);
+        o.prepare()
+    };
     let cache = PlanCache::new();
     let (_, first) = prepared
         .optimize_query_cached(&cache, &query)

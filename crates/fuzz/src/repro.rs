@@ -35,7 +35,7 @@
 //! deliberately inconsistent fixtures proving the oracle detects unsound
 //! rewrites.
 
-use crate::oracle::{run_inputs, CaseStatus};
+use crate::oracle::{run_inputs_with, CaseStatus};
 use crate::spec::CaseInputs;
 use sqo_objdb::GenericConfig;
 use std::collections::{BTreeMap, BTreeSet};
@@ -271,10 +271,15 @@ pub struct ReplayReport {
     pub detail: String,
 }
 
-/// Replay a parsed repro case through the oracle and compare against its
-/// expectation.
+/// [`replay_with`] under the default Step-3 search strategy.
 pub fn replay(case: &ReproCase) -> ReplayReport {
-    match run_inputs(&case.inputs) {
+    replay_with(case, sqo_datalog::search::Strategy::default())
+}
+
+/// Replay a parsed repro case through the oracle under an explicit
+/// Step-3 search strategy and compare against its expectation.
+pub fn replay_with(case: &ReproCase, strategy: sqo_datalog::search::Strategy) -> ReplayReport {
+    match run_inputs_with(&case.inputs, strategy) {
         Err(e) => ReplayReport {
             expected: case.expect,
             observed: None,

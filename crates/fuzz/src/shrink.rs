@@ -6,15 +6,23 @@
 //! until a whole round makes no progress, bounded by a total oracle
 //! budget so shrinking can never run away.
 
-use crate::oracle::{run_inputs, CaseStatus};
+use crate::oracle::{run_inputs_with, CaseStatus};
 use crate::spec::CaseSpec;
+use sqo_datalog::search::Strategy;
 
 /// Hard cap on oracle invocations during one shrink.
 const MAX_ORACLE_RUNS: usize = 200;
 
-/// Shrink `spec` while the oracle keeps reporting a mismatch. Returns the
-/// smallest mismatching spec found (possibly `spec` unchanged).
+/// [`shrink_with`] under the default Step-3 search strategy.
 pub fn shrink(spec: &CaseSpec) -> CaseSpec {
+    shrink_with(spec, Strategy::default())
+}
+
+/// Shrink `spec` while the oracle keeps reporting a mismatch *under the
+/// same strategy that found it* (a failure specific to one engine must
+/// not vanish mid-shrink). Returns the smallest mismatching spec found
+/// (possibly `spec` unchanged).
+pub fn shrink_with(spec: &CaseSpec, strategy: Strategy) -> CaseSpec {
     let mut best = spec.clone();
     let mut runs = 0usize;
 
@@ -23,7 +31,10 @@ pub fn shrink(spec: &CaseSpec) -> CaseSpec {
             return false;
         }
         *runs += 1;
-        matches!(run_inputs(&candidate.inputs()), Ok(CaseStatus::Mismatch(_)))
+        matches!(
+            run_inputs_with(&candidate.inputs(), strategy),
+            Ok(CaseStatus::Mismatch(_))
+        )
     };
 
     loop {

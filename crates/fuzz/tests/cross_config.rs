@@ -1,10 +1,14 @@
 //! Full-pipeline determinism over the fuzz corpus's first 50 seeds: for
 //! every generated case, the parallel and sequential Step-3 backends must
 //! produce **byte-identical** `explain_json()` reports (span timings
-//! cleared — they are the only nondeterministic field). Together with
-//! `obs_equivalence.rs` (which runs at the Datalog level under both
-//! `--features parallel` and `--no-default-features` in CI), this pins
-//! the guarantee that explain output never depends on the backend or the
+//! cleared — they are the only nondeterministic field), and the
+//! best-first search engine must produce a report byte-identical to the
+//! exhaustive-BFS engine (counters additionally cleared — pruning
+//! telemetry like `search.subsumed_pruned` legitimately exists only on
+//! the best-first side). Together with `obs_equivalence.rs` (which runs
+//! at the Datalog level under both `--features parallel` and
+//! `--no-default-features` in CI), this pins the guarantee that explain
+//! output never depends on the backend, the search strategy, or the
 //! build configuration.
 //!
 //! Everything runs inside ONE test function: per-report counter deltas
@@ -12,6 +16,7 @@
 //! concurrently running tests in the same binary would pollute them.
 
 use sqo_core::Backend;
+use sqo_datalog::search::Strategy;
 use sqo_fuzz::gen::generate_case;
 use sqo_fuzz::oracle::run_inputs;
 use sqo_fuzz::spec::CaseInputs;
@@ -26,7 +31,7 @@ fn build(inputs: &CaseInputs) -> sqo_core::SemanticOptimizer {
 }
 
 #[test]
-fn first_50_seeds_explain_json_backend_invariant() {
+fn first_50_seeds_explain_json_backend_and_strategy_invariant() {
     let mut checked = 0usize;
     for seed in 0u64..50 {
         let spec = generate_case(seed);
@@ -50,6 +55,11 @@ fn first_50_seeds_explain_json_backend_invariant() {
             .optimize_query_backend(&query, Backend::Sequential)
             .expect("sequential optimize");
 
+        // The same query under the pre-best-first exhaustive-BFS engine.
+        let mut opt = build(&inputs);
+        opt.set_search_strategy(Strategy::Bfs);
+        let mut bfs = opt.optimize_query(&query).expect("bfs optimize");
+
         // Span and histogram wall-clock timings are the legitimately
         // nondeterministic fields; everything else must match bytewise.
         par.stats.spans = BTreeMap::new();
@@ -61,6 +71,22 @@ fn first_50_seeds_explain_json_backend_invariant() {
         assert_eq!(
             par_json, seq_json,
             "seed {seed}: explain_json differs between backends for `{}`",
+            inputs.oql
+        );
+
+        // Strategy invariance: the BFS report must match the best-first
+        // one byte-for-byte once counters are also cleared (dedup/prune
+        // accounting differs by construction — the best-first engine
+        // skips work BFS performs — but verdicts, variants, plans, and
+        // every other field may not).
+        bfs.stats.spans = BTreeMap::new();
+        bfs.stats.hists = BTreeMap::new();
+        bfs.stats.counters = BTreeMap::new();
+        par.stats.counters = BTreeMap::new();
+        assert_eq!(
+            par.explain_json(),
+            bfs.explain_json(),
+            "seed {seed}: explain_json differs between best-first and bfs for `{}`",
             inputs.oql
         );
         checked += 1;

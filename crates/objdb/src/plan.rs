@@ -109,9 +109,25 @@ pub fn estimate_cost(db: &ObjectDb, q: &Query) -> f64 {
     estimate_cost_memo(db, q, &mut DistinctMemo::new())
 }
 
+/// Adapt the store's index-aware plan cost into a best-first search
+/// [`CostModel`](sqo_datalog::search::CostModel): the frontier then pops
+/// the cheapest-looking variant first. Takes ownership of a store
+/// snapshot — [`ObjectDb`] is not `Sync`, so the mutex both serializes
+/// estimates and guards the store's interior caches — and shares one
+/// [`DistinctMemo`] across every estimate the search makes, so column
+/// statistics are computed once per search rather than once per variant.
+pub fn search_cost_model(db: ObjectDb) -> sqo_datalog::search::CostModel {
+    let state = std::sync::Mutex::new((db, DistinctMemo::new()));
+    sqo_datalog::search::CostModel::Estimator(std::sync::Arc::new(move |q: &Query| {
+        let mut state = state.lock().expect("cost state poisoned");
+        let (db, memo) = &mut *state;
+        estimate_cost_memo(db, q, memo)
+    }))
+}
+
 /// [`estimate_cost`] with a caller-owned distinct memo, so one
 /// [`choose_best`] reuses column statistics across all candidates.
-fn estimate_cost_memo(db: &ObjectDb, q: &Query, memo: &mut DistinctMemo) -> f64 {
+pub fn estimate_cost_memo(db: &ObjectDb, q: &Query, memo: &mut DistinctMemo) -> f64 {
     let q = rewrite_for_extents(db, q);
     let ranges = collect_ranges(&q.body);
     let mut bound: HashSet<Var> = HashSet::new();
@@ -353,6 +369,57 @@ mod tests {
         let (best, costs) = choose_best(&d, &[q1, q2]);
         assert_eq!(costs.len(), 2);
         assert!(best < 2);
+    }
+
+    #[test]
+    fn search_cost_model_drives_best_first_frontier() {
+        use sqo_datalog::parser::parse_constraint;
+        use sqo_datalog::residue::ResidueSet;
+        use sqo_datalog::search::{optimize, Outcome, SearchConfig};
+        use sqo_datalog::transform::TransformContext;
+        use std::collections::{BTreeMap, BTreeSet};
+
+        let db = db_with_path();
+        let q = parse_query("Q(N) <- student(X, N, A, Sid, Ad), A < 30").unwrap();
+
+        // The adapter must agree with the unmemoized estimate. The store
+        // construction is deterministic, so a second instance carries
+        // identical statistics.
+        let model = search_cost_model(db_with_path());
+        let sqo_datalog::search::CostModel::Estimator(est) = &model else {
+            panic!("adapter returns an estimator");
+        };
+        assert_eq!(est(&q), estimate_cost(&db, &q));
+        // Memoized second call: same statistics, same answer.
+        assert_eq!(est(&q), estimate_cost(&db, &q));
+
+        // Plugged into the search, a cost-ordered single-node frontier
+        // must still explore exactly the variant set BFS order explores.
+        let ics: Vec<_> = [
+            "ic A1: A >= 16 <- student(X, N, A, Sid, Ad).",
+            "ic A2: A >= 17 <- ta(X, N, A, Sid, Eid, Ad).",
+        ]
+        .iter()
+        .map(|s| parse_constraint(s).unwrap())
+        .collect();
+        let ctx = TransformContext::new(ResidueSet::compile(ics), vec![], BTreeMap::new());
+        let costed = optimize(
+            &q,
+            &ctx,
+            &SearchConfig {
+                cost_model: model,
+                frontier_slice: Some(1),
+                ..Default::default()
+            },
+        );
+        let default = optimize(&q, &ctx, &SearchConfig::default());
+        let keys = |o: &Outcome| -> BTreeSet<String> {
+            o.variants()
+                .iter()
+                .map(|va| va.query.canonical_key())
+                .collect()
+        };
+        assert_eq!(keys(&costed), keys(&default));
     }
 
     #[test]

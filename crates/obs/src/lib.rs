@@ -151,10 +151,18 @@ pub enum Counter {
     ExecScans,
     /// Path-expression chains fused into index-nested-loop walks.
     ExecChainsFused,
+    /// Candidate variants eliminated by the subsumption index before
+    /// analysis/costing (best-first Step-3 search).
+    SearchSubsumedPruned,
+    /// Residue applications skipped by the exactness prefilter: the
+    /// residue head provably cannot change the answer set of any query.
+    SearchExactSkipped,
+    /// Peak size of the best-first priority frontier, summed per search.
+    SearchFrontierPeak,
 }
 
 /// Number of distinct counters.
-pub const N_COUNTERS: usize = 32;
+pub const N_COUNTERS: usize = 35;
 
 const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "odl.classes_parsed",
@@ -189,6 +197,9 @@ const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "exec.range_probe",
     "exec.scan",
     "exec.chain_fused",
+    "search.subsumed_pruned",
+    "search.exact_skipped",
+    "search.frontier_peak",
 ];
 
 impl Counter {
@@ -237,6 +248,9 @@ const ALL_COUNTERS: [Counter; N_COUNTERS] = [
     Counter::ExecRangeProbes,
     Counter::ExecScans,
     Counter::ExecChainsFused,
+    Counter::SearchSubsumedPruned,
+    Counter::SearchExactSkipped,
+    Counter::SearchFrontierPeak,
 ];
 
 /// Global merged totals. Thread-local cells flush here on thread exit and on

@@ -11,6 +11,7 @@
 //! {"op":"ping"}
 //! {"op":"query","session":"default","oql":"select ...","timeout_ms":250}
 //! {"op":"query","session":"default","oql":"...","trace":true,"execute":true}
+//! {"op":"query","session":"default","oql":"...","search":"bfs"}
 //! {"op":"prepare","session":"s","university":true,"ic":"ic IC4: ..."}
 //! {"op":"prepare","session":"s","university":true,"data":true}
 //! {"op":"prepare","session":"s","schema":"<ODL source>"}
@@ -34,6 +35,7 @@ use crate::json::{self, Json};
 use crate::registry::{SessionRegistry, SessionSpec};
 use crate::slowlog::{SlowEntry, SlowLog};
 use crate::ServeError;
+use sqo_datalog::search;
 use sqo_obs as obs;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
@@ -369,6 +371,19 @@ fn query(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
         .unwrap_or(shared.default_timeout);
     let want_trace = req.get("trace").and_then(Json::as_bool) == Some(true);
     let want_execute = req.get("execute").and_then(Json::as_bool) == Some(true);
+    let strategy = match req.get("search") {
+        None => None,
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| ServeError::BadRequest("\"search\" must be a string".into()))?;
+            Some(search::Strategy::parse(s).ok_or_else(|| {
+                ServeError::BadRequest(format!(
+                    "unknown \"search\" strategy {s:?} (expected \"bfs\" or \"best-first\")"
+                ))
+            })?)
+        }
+    };
     let session = shared
         .registry
         .get(&name)
@@ -398,6 +413,7 @@ fn query(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
                 wait,
                 want_trace,
                 want_execute,
+                strategy,
             );
             let _ = tx.send(answer);
         }),
@@ -441,6 +457,7 @@ fn query(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
 /// Executes one admitted query on a worker thread: opens the trace,
 /// optimizes (and optionally executes) under it, records the request
 /// latency histogram, and files a slow-log entry past the threshold.
+#[allow(clippy::too_many_arguments)]
 fn run_query(
     session: &crate::registry::Session,
     slowlog: &SlowLog,
@@ -449,13 +466,21 @@ fn run_query(
     wait: Duration,
     want_trace: bool,
     want_execute: bool,
+    strategy: Option<search::Strategy>,
 ) -> Result<QueryAnswer, String> {
     obs::trace_begin(trace_id.clone());
     let wait_ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
     obs::trace_event("serve.admission_wait", 0, wait_ns);
     let prep = session.prepared();
     let started = Instant::now();
-    let result = prep.optimize_cached(session.cache(), oql);
+    // A per-request strategy override skips the plan cache both ways:
+    // cached outcomes were computed under the session default.
+    let result = match strategy {
+        Some(s) if s != prep.strategy() => prep
+            .optimize_with_strategy(oql, s)
+            .map(|r| (r, sqo_core::CacheOutcome::Bypass)),
+        _ => prep.optimize_cached(session.cache(), oql),
+    };
     let outcome = match result {
         Ok((report, outcome)) => {
             let mut exec = None;

@@ -20,6 +20,11 @@ which never overwrites the manifest, so this validates what a full
    `serve/shed_rate_overload` (the 10x-overload shed fraction, which
    must lie strictly inside (0, 1): zero would mean admission control
    never engaged, one would mean no request was ever accepted).
+6. The Step-3 best-first search beats the exhaustive-BFS baseline by the
+   floors the PR claims: `speedup/f2/step3_sqo_vs_applicable_ics/32`
+   >= 5 (wide-IC scenario) and `.../12` >= 2, each with its
+   `_baseline` (BFS, sequential, canonical-key dedup) and `_seed`
+   (pre-best-first default engine) rows present.
 
 Usage: python3 scripts/check_bench_manifest.py [path/to/BENCH_pipeline.json]
 """
@@ -39,6 +44,12 @@ SERVE_ROWS = (
     "serve/p50",
     "serve/p99",
     "serve/shed_rate_overload",
+)
+
+# Step-3 search: (row, minimum speedup over the exhaustive-BFS baseline).
+STEP3_GATES = (
+    ("f2/step3_sqo_vs_applicable_ics/32", 5.0),
+    ("f2/step3_sqo_vs_applicable_ics/12", 2.0),
 )
 
 
@@ -94,8 +105,29 @@ def main() -> None:
             "the 10x-overload phase must shed some but not all requests"
         )
 
+    step3_speedups = {}
+    for row, floor in STEP3_GATES:
+        for suffix in ("", "_baseline", "_seed"):
+            if row + suffix not in manifest:
+                fail(
+                    f"missing Step-3 row {row + suffix!r} — run the full "
+                    "(non-quick) tables binary"
+                )
+        speedup_row = manifest.get(f"speedup/{row}")
+        if speedup_row is None:
+            fail(f"missing derived row 'speedup/{row}'")
+        if speedup_row < floor:
+            fail(
+                f"speedup/{row} = {speedup_row} < {floor}: best-first Step-3 "
+                "search no longer clears its floor over the exhaustive-BFS "
+                "baseline"
+            )
+        step3_speedups[row.rsplit('/', 1)[-1]] = speedup_row
+
     print(
         f"check_bench_manifest: OK ({len(manifest)} rows; "
+        f"step3 best-first speedup "
+        f"{'/'.join(f'{k}ics:{v:.2f}x' for k, v in step3_speedups.items())}; "
         f"e3 indexed-rewrite speedup {speedup}x; "
         f"overload shed rate {shed})"
     )
