@@ -56,19 +56,26 @@ pub fn run_seed(seed: u64) -> SeedOutcome {
     run_seed_with(seed, Strategy::default())
 }
 
+/// Every `RECOVERY_SAMPLE`th seed also saves its populated store to
+/// disk, recovers it through the snapshot + WAL path, and requires the
+/// recovered store to reproduce every answer set — a durability
+/// differential riding the same oracle.
+pub const RECOVERY_SAMPLE: u64 = 4;
+
 /// Generate, run, and (on mismatch) shrink one seed with an explicit
 /// Step-3 search strategy, so the whole oracle can be swept under both
 /// the best-first engine and the BFS ablation baseline.
 pub fn run_seed_with(seed: u64, strategy: Strategy) -> SeedOutcome {
     let spec = gen::generate_case(seed);
-    match oracle::run_inputs_with(&spec.inputs(), strategy) {
+    let recovery = seed.is_multiple_of(RECOVERY_SAMPLE);
+    match oracle::run_inputs_full(&spec.inputs(), strategy, recovery) {
         Err(e) => SeedOutcome::Skipped(e),
         Ok(CaseStatus::Pass(info)) => SeedOutcome::Pass(info),
         Ok(CaseStatus::Mismatch(_)) => {
-            let small = shrink::shrink_with(&spec, strategy);
+            let small = shrink::shrink_full(&spec, strategy, recovery);
             // Re-run the minimized case to report its (possibly clearer)
             // mismatch rather than the original's.
-            let mismatch = match oracle::run_inputs_with(&small.inputs(), strategy) {
+            let mismatch = match oracle::run_inputs_full(&small.inputs(), strategy, recovery) {
                 Ok(CaseStatus::Mismatch(m)) => m,
                 // Shrinking never keeps a non-failing candidate, so this
                 // arm only guards against oracle nondeterminism.

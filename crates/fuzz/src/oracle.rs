@@ -201,6 +201,83 @@ fn check_report(
     }
 }
 
+/// Durability round-trip: save the populated store into a fresh on-disk
+/// directory, recover it through the snapshot + WAL path, and require
+/// the recovered store to return the baseline answer set for the
+/// original query and every emitted equivalent. Any divergence —
+/// including an evaluation error that did not occur on the live store —
+/// is a recovery mismatch, not a skip.
+fn check_recovery(
+    inputs: &CaseInputs,
+    db: &ObjectDb,
+    report: &OptimizationReport,
+    baseline_query: &Query,
+    baseline: &[Vec<Const>],
+) -> Result<Option<Mismatch>, String> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "sqo-fuzz-recover-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let outcome = (|| {
+        if let Err(e) = db.save_to(&dir, 4) {
+            return Ok(Some(Mismatch {
+                path: "recovery".to_string(),
+                detail: format!("saving the store failed: {e}"),
+            }));
+        }
+        let schema = Schema::parse(&inputs.odl).map_err(|e| format!("schema: {e}"))?;
+        let recovered = match ObjectDb::open(schema, &dir, 4) {
+            Ok(db) => db,
+            Err(e) => {
+                return Ok(Some(Mismatch {
+                    path: "recovery".to_string(),
+                    detail: format!("recovering the saved store failed: {e}"),
+                }))
+            }
+        };
+        let mut queries: Vec<(String, &Query)> = vec![("baseline".to_string(), baseline_query)];
+        if let Verdict::Equivalents(eqs) = &report.verdict {
+            for (i, eq) in eqs.iter().enumerate() {
+                queries.push((format!("equivalent #{i}"), &eq.datalog));
+            }
+        }
+        for (label, q) in queries {
+            let rows = match answers(&recovered, q) {
+                Ok(rows) => rows,
+                Err(EvalFailure::Mismatch(mut m)) => {
+                    m.path = "recovery".to_string();
+                    return Ok(Some(*m));
+                }
+                // The live store evaluated this query fine, so an error
+                // here means recovery corrupted the data.
+                Err(EvalFailure::Invalid(e)) => {
+                    return Ok(Some(Mismatch {
+                        path: "recovery".to_string(),
+                        detail: format!("{label} failed to evaluate on the recovered store: {e}"),
+                    }))
+                }
+            };
+            if rows != baseline {
+                return Ok(Some(Mismatch {
+                    path: "recovery".to_string(),
+                    detail: format!(
+                        "{label} [{q}] returned {} rows on the recovered store vs {} on the \
+                         live store",
+                        rows.len(),
+                        baseline.len()
+                    ),
+                }));
+            }
+        }
+        Ok(None)
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome
+}
+
 /// Run one rendered case through every differential check under the
 /// default Step-3 search strategy.
 pub fn run_inputs(inputs: &CaseInputs) -> Result<CaseStatus, String> {
@@ -211,6 +288,18 @@ pub fn run_inputs(inputs: &CaseInputs) -> Result<CaseStatus, String> {
 /// explicit Step-3 search strategy (`--search=bfs|best-first`), so the
 /// whole answer-set oracle can be replayed under either engine.
 pub fn run_inputs_with(inputs: &CaseInputs, strategy: Strategy) -> Result<CaseStatus, String> {
+    run_inputs_full(inputs, strategy, false)
+}
+
+/// [`run_inputs_with`] plus, when `recovery` is set, a durability
+/// round-trip (save → recover → re-answer). The driver samples which seeds pay
+/// for the save + recover; shrink and replay keep the flag so recovery
+/// mismatches stay reproducible end to end.
+pub fn run_inputs_full(
+    inputs: &CaseInputs,
+    strategy: Strategy,
+    recovery: bool,
+) -> Result<CaseStatus, String> {
     // Store population (IC-consistent by construction).
     let schema = Schema::parse(&inputs.odl).map_err(|e| format!("schema: {e}"))?;
     let data = inputs
@@ -307,6 +396,13 @@ pub fn run_inputs_with(inputs: &CaseInputs, strategy: Strategy) -> Result<CaseSt
             if m.path == "contradiction" {
                 m.path = "sibling".to_string();
             }
+            return Ok(CaseStatus::Mismatch(m));
+        }
+    }
+
+    // Sampled durability round-trip: save, recover, re-check everything.
+    if recovery {
+        if let Some(m) = check_recovery(inputs, db, &report_par, &translation.query, &baseline)? {
             return Ok(CaseStatus::Mismatch(m));
         }
     }

@@ -35,7 +35,7 @@
 //! deliberately inconsistent fixtures proving the oracle detects unsound
 //! rewrites.
 
-use crate::oracle::{run_inputs_with, CaseStatus};
+use crate::oracle::{run_inputs_full, CaseStatus};
 use crate::spec::CaseInputs;
 use sqo_objdb::GenericConfig;
 use std::collections::{BTreeMap, BTreeSet};
@@ -277,9 +277,11 @@ pub fn replay(case: &ReproCase) -> ReplayReport {
 }
 
 /// Replay a parsed repro case through the oracle under an explicit
-/// Step-3 search strategy and compare against its expectation.
+/// Step-3 search strategy and compare against its expectation. Replays
+/// always run the durability round-trip, so recovery mismatches (found
+/// on sampled seeds) reproduce from their `.repro` files.
 pub fn replay_with(case: &ReproCase, strategy: sqo_datalog::search::Strategy) -> ReplayReport {
-    match run_inputs_with(&case.inputs, strategy) {
+    match run_inputs_full(&case.inputs, strategy, true) {
         Err(e) => ReplayReport {
             expected: case.expect,
             observed: None,

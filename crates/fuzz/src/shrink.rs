@@ -6,7 +6,7 @@
 //! until a whole round makes no progress, bounded by a total oracle
 //! budget so shrinking can never run away.
 
-use crate::oracle::{run_inputs_with, CaseStatus};
+use crate::oracle::{run_inputs_full, CaseStatus};
 use crate::spec::CaseSpec;
 use sqo_datalog::search::Strategy;
 
@@ -18,11 +18,17 @@ pub fn shrink(spec: &CaseSpec) -> CaseSpec {
     shrink_with(spec, Strategy::default())
 }
 
-/// Shrink `spec` while the oracle keeps reporting a mismatch *under the
-/// same strategy that found it* (a failure specific to one engine must
-/// not vanish mid-shrink). Returns the smallest mismatching spec found
-/// (possibly `spec` unchanged).
+/// [`shrink_full`] without the durability round-trip.
 pub fn shrink_with(spec: &CaseSpec, strategy: Strategy) -> CaseSpec {
+    shrink_full(spec, strategy, false)
+}
+
+/// Shrink `spec` while the oracle keeps reporting a mismatch *under the
+/// same strategy (and recovery flag) that found it* — a failure specific
+/// to one engine, or to the save/recover path, must not vanish
+/// mid-shrink. Returns the smallest mismatching spec found (possibly
+/// `spec` unchanged).
+pub fn shrink_full(spec: &CaseSpec, strategy: Strategy, recovery: bool) -> CaseSpec {
     let mut best = spec.clone();
     let mut runs = 0usize;
 
@@ -32,7 +38,7 @@ pub fn shrink_with(spec: &CaseSpec, strategy: Strategy) -> CaseSpec {
         }
         *runs += 1;
         matches!(
-            run_inputs_with(&candidate.inputs(), strategy),
+            run_inputs_full(&candidate.inputs(), strategy, recovery),
             Ok(CaseStatus::Mismatch(_))
         )
     };

@@ -59,6 +59,8 @@ pub enum ObjDbError {
     },
     /// Wrapped Datalog error (evaluation).
     Datalog(sqo_datalog::DatalogError),
+    /// Wrapped durable-store error (WAL append, snapshot, recovery).
+    Store(sqo_store::StoreError),
     /// The query uses a feature the executor cannot ground (e.g. a
     /// method call with non-constant arguments).
     Unsupported {
@@ -90,6 +92,7 @@ impl fmt::Display for ObjDbError {
             ObjDbError::Method { name, detail } => write!(f, "method `{name}`: {detail}"),
             ObjDbError::BadAsrPath { detail } => write!(f, "bad ASR path: {detail}"),
             ObjDbError::Datalog(e) => e.fmt(f),
+            ObjDbError::Store(e) => e.fmt(f),
             ObjDbError::Unsupported { feature } => write!(f, "unsupported: {feature}"),
         }
     }
@@ -100,6 +103,12 @@ impl std::error::Error for ObjDbError {}
 impl From<sqo_datalog::DatalogError> for ObjDbError {
     fn from(e: sqo_datalog::DatalogError) -> Self {
         ObjDbError::Datalog(e)
+    }
+}
+
+impl From<sqo_store::StoreError> for ObjDbError {
+    fn from(e: sqo_store::StoreError) -> Self {
+        ObjDbError::Store(e)
     }
 }
 

@@ -211,20 +211,7 @@ impl UniversityConfig {
             }
         }
 
-        // The paper's method: taxes_withheld(rate) = salary * rate —
-        // monotone in salary (IC2) and positive.
-        db.register_method(
-            "Employee",
-            "taxes_withheld",
-            Box::new(|db, oid, args| {
-                let salary = db
-                    .attr(oid, "salary")
-                    .and_then(Value::as_f64)
-                    .unwrap_or(0.0);
-                let rate = args.first().and_then(Value::as_f64).unwrap_or(0.0);
-                Ok(Value::Real(salary * rate))
-            }),
-        )?;
+        register_university_methods(&mut db)?;
 
         Ok(UniversityData {
             db,
@@ -236,6 +223,28 @@ impl UniversityConfig {
             sections,
         })
     }
+}
+
+/// Register the university schema's method implementations on `db`.
+///
+/// Methods are Rust closures and are not persisted by the durable
+/// store, so a database recovered with `ObjectDb::open` needs them
+/// re-registered before method-bearing queries execute. The paper's
+/// method: `taxes_withheld(rate) = salary * rate` — monotone in salary
+/// (IC2) and positive.
+pub fn register_university_methods(db: &mut ObjectDb) -> Result<()> {
+    db.register_method(
+        "Employee",
+        "taxes_withheld",
+        Box::new(|db, oid, args| {
+            let salary = db
+                .attr(oid, "salary")
+                .and_then(Value::as_f64)
+                .unwrap_or(0.0);
+            let rate = args.first().and_then(Value::as_f64).unwrap_or(0.0);
+            Ok(Value::Real(salary * rate))
+        }),
+    )
 }
 
 /// Population knobs for an *arbitrary* schema — the IC-aware generator

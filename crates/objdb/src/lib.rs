@@ -25,7 +25,9 @@ pub mod value;
 
 pub use error::{ObjDbError, Result};
 pub use exec::{execute, execute_with, CostReport, ExecOptions};
-pub use generate::{GenericConfig, GenericData, UniversityConfig, UniversityData};
+pub use generate::{
+    register_university_methods, GenericConfig, GenericData, UniversityConfig, UniversityData,
+};
 pub use plan::{choose_best, estimate_cost, estimate_cost_memo, search_cost_model, DistinctMemo};
 pub use store::{AsrDef, MethodFn, Object, ObjectDb};
 pub use value::{Oid, Value};

@@ -11,16 +11,31 @@
 //!
 //! [`ObjectDb::edb`] exposes the whole store in the Datalog
 //! representation of Step 1, so translated queries run directly against
-//! it; a per-store cache keeps repeated query evaluation cheap.
+//! it; a generation-tagged, `Arc`-shared cache keeps repeated query
+//! evaluation cheap while letting callers pin a consistent snapshot
+//! with [`ObjectDb::edb_pinned`] — writers that arrive later bump the
+//! generation and rebuild lazily without disturbing pinned readers.
+//!
+//! When a durable [`ShardedStore`] is attached (via [`ObjectDb::open`]
+//! or [`ObjectDb::from_store`]), every mutation is mirrored into the
+//! store as one or more *shard-local* operations before the in-memory
+//! maps change, so the WAL always leads the materialized state and
+//! recovery replays to exactly the acknowledged prefix. Compound
+//! mutations are expanded here: a `link` becomes two `Link` ops (the
+//! relation and its inverse), a `delete` becomes one `Unlink` per
+//! severed pair plus a `RemoveObject`.
 
 use crate::error::{ObjDbError, Result};
 use crate::value::{Oid, Value};
 use sqo_datalog::program::EdbDatabase;
 use sqo_datalog::{Atom, Const, Literal, PredSym, Rule, Term};
 use sqo_odl::{BaseType, Member, Schema, Type};
+use sqo_store::{PersistReport, ShardedStore, StoreOp, StoreView};
 use sqo_translate::{translate_schema, ArgType, Catalog, RelKind};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::Path;
+use std::sync::Arc;
 
 /// A stored object (or structure instance).
 #[derive(Debug, Clone)]
@@ -40,6 +55,12 @@ pub type MethodFn = Box<dyn Fn(&ObjectDb, Oid, &[Value]) -> Result<Value> + Send
 pub struct AsrDef {
     /// The view predicate name.
     pub name: String,
+    /// The class the path starts at, as given to `define_asr` (kept so
+    /// the definition can be re-played from a durable store).
+    pub src_class: String,
+    /// The relationship *member* names along the path, as given to
+    /// `define_asr`.
+    pub src_path: Vec<String>,
     /// The relationship predicates along the path, in order.
     pub path: Vec<String>,
     /// The view definition rule `asr(X0, Xn) ← r1(X0, X1), …`.
@@ -60,10 +81,24 @@ pub struct ObjectDb {
     methods: HashMap<String, MethodFn>,
     asrs: Vec<AsrDef>,
     next_oid: u64,
-    /// Cached Datalog representation (invalidated on mutation).
-    edb_cache: RefCell<Option<EdbDatabase>>,
-    /// Method/argument combinations already materialized into the cache.
-    materialized_methods: RefCell<HashSet<(String, Vec<Const>)>>,
+    /// Local cache epoch: bumped on every mutation. When a store is
+    /// attached this moves in lockstep with store writes but remains a
+    /// purely local counter (method registration also bumps it).
+    generation: u64,
+    /// Attached durable store; `None` for a purely in-memory database.
+    store: Option<Arc<ShardedStore>>,
+    /// Cached Datalog representation, tagged with the generation it was
+    /// built at. Stale entries are replaced lazily; pinned `Arc` clones
+    /// handed out earlier stay valid and unchanged.
+    edb_cache: RefCell<Option<EdbCacheEntry>>,
+}
+
+/// One generation's cached EDB plus the method/argument combinations
+/// already materialized into it.
+struct EdbCacheEntry {
+    generation: u64,
+    edb: Arc<EdbDatabase>,
+    methods: HashSet<(String, Vec<Const>)>,
 }
 
 impl std::fmt::Debug for ObjectDb {
@@ -90,9 +125,147 @@ impl ObjectDb {
             methods: HashMap::new(),
             asrs: Vec::new(),
             next_oid: 1,
+            generation: 0,
+            store: None,
             edb_cache: RefCell::new(None),
-            materialized_methods: RefCell::new(HashSet::new()),
         }
+    }
+
+    /// Open (or create) a durable database at `dir`: recovers the store
+    /// (latest snapshot plus WAL tail) and attaches it so subsequent
+    /// mutations are logged. Registered methods are *not* persisted —
+    /// re-register them after opening.
+    pub fn open(schema: Schema, dir: &Path, n_shards: usize) -> Result<ObjectDb> {
+        let store = Arc::new(ShardedStore::open(dir, n_shards)?);
+        Self::from_store(schema, store)
+    }
+
+    /// Build a database from an already-opened store, replaying its
+    /// current view into the in-memory representation, then attach it.
+    pub fn from_store(schema: Schema, store: Arc<ShardedStore>) -> Result<ObjectDb> {
+        let mut db = ObjectDb::new(schema);
+        let view = store.view();
+        db.load_view(&view)?;
+        db.next_oid = view.next_oid().max(1);
+        db.generation = view.generation();
+        db.store = Some(store);
+        Ok(db)
+    }
+
+    /// Dump the current logical state into a fresh store at `dir` and
+    /// write a snapshot. The target directory must not already hold
+    /// store state. The receiver keeps (or keeps lacking) its own
+    /// attachment; use [`ObjectDb::open`] on `dir` to work against the
+    /// copy.
+    pub fn save_to(&self, dir: &Path, n_shards: usize) -> Result<PersistReport> {
+        let store = ShardedStore::open(dir, n_shards)?;
+        if store.object_count() != 0 {
+            return Err(ObjDbError::Store(sqo_store::StoreError::Invalid {
+                detail: format!("save_to target {} is not empty", dir.display()),
+            }));
+        }
+        let mut oids: Vec<&Oid> = self.objects.keys().collect();
+        oids.sort_unstable();
+        for oid in oids {
+            let obj = &self.objects[oid];
+            store.apply(&StoreOp::PutObject {
+                oid: oid.0,
+                class: obj.class.clone(),
+                attrs: obj
+                    .attrs
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_store()))
+                    .collect(),
+            })?;
+        }
+        let mut preds: Vec<&String> = self.links.keys().collect();
+        preds.sort_unstable();
+        for pred in preds {
+            for (f, t) in &self.links[pred] {
+                store.apply(&StoreOp::Link {
+                    pred: pred.clone(),
+                    from: f.0,
+                    to: t.0,
+                })?;
+            }
+        }
+        for def in &self.asrs {
+            store.apply(&StoreOp::DefineAsr {
+                name: def.name.clone(),
+                class: def.src_class.clone(),
+                path: def.src_path.clone(),
+            })?;
+        }
+        store.bump_next_oid(self.next_oid);
+        Ok(store.persist()?)
+    }
+
+    /// Replay a pinned store view into the (empty) in-memory maps.
+    fn load_view(&mut self, view: &StoreView) -> Result<()> {
+        // Objects in OID order: OIDs allocate monotonically in creation
+        // order, so this reproduces every extent's original order.
+        for (oid, obj) in view.objects_sorted() {
+            self.restore_object(Oid(oid), &obj.class, &obj.attrs)?;
+        }
+        // Links ordered by their global sequence stamps: per-predicate
+        // insertion order comes back exactly.
+        for (pred, pairs) in view.links_by_pred() {
+            for (f, t) in pairs {
+                self.restore_link(&pred, Oid(f), Oid(t));
+            }
+        }
+        for asr in view.asrs() {
+            let path: Vec<&str> = asr.path.iter().map(String::as_str).collect();
+            self.define_asr_inner(&asr.name, &asr.class, &path)?;
+        }
+        Ok(())
+    }
+
+    /// Reinstate one stored object (no type checks: the data was
+    /// validated when originally written).
+    fn restore_object(
+        &mut self,
+        oid: Oid,
+        class: &str,
+        attrs: &BTreeMap<String, sqo_store::StoreValue>,
+    ) -> Result<()> {
+        let attrs: BTreeMap<String, Value> = attrs
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::from_store(v)))
+            .collect();
+        if self.schema.class(class).is_some() {
+            for c in self.schema.chain(class) {
+                let name = c.name.clone();
+                self.extents.entry(name).or_default().push(oid);
+            }
+        } else if self.schema.structure(class).is_some() {
+            self.extents.entry(class.to_string()).or_default().push(oid);
+        } else {
+            return Err(ObjDbError::UnknownClass {
+                name: class.to_string(),
+            });
+        }
+        self.objects.insert(
+            oid,
+            Object {
+                class: class.to_string(),
+                attrs,
+            },
+        );
+        Ok(())
+    }
+
+    /// Reinstate one stored link pair (inverses are stored as their own
+    /// pairs, so no inverse maintenance here).
+    fn restore_link(&mut self, pred: &str, from: Oid, to: Oid) {
+        self.links
+            .entry(pred.to_string())
+            .or_default()
+            .push((from, to));
+        self.link_sets
+            .entry(pred.to_string())
+            .or_default()
+            .insert((from, to));
     }
 
     /// The schema.
@@ -115,9 +288,48 @@ impl ObjectDb {
         self.asrs.iter().map(|a| a.rule.clone()).collect()
     }
 
-    fn invalidate(&mut self) {
-        self.edb_cache.replace(None);
-        self.materialized_methods.borrow_mut().clear();
+    /// The local cache epoch. Bumped by every mutation; EDB snapshots
+    /// pinned at an older generation remain valid but are no longer
+    /// served for fresh reads.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The attached durable store, if any.
+    pub fn store(&self) -> Option<&Arc<ShardedStore>> {
+        self.store.as_ref()
+    }
+
+    /// The attached store's generation (0 for an in-memory database).
+    pub fn store_generation(&self) -> u64 {
+        self.store.as_ref().map(|s| s.generation()).unwrap_or(0)
+    }
+
+    /// Force a snapshot of the attached store and truncate its WALs.
+    /// `Ok(None)` for an in-memory database.
+    pub fn persist(&self) -> Result<Option<PersistReport>> {
+        match &self.store {
+            Some(store) => Ok(Some(store.persist()?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Bump the cache epoch without logging a store operation (used for
+    /// changes that do not touch durable state, e.g. method
+    /// registration).
+    fn touch(&mut self) {
+        self.generation += 1;
+    }
+
+    /// Mirror one shard-local operation into the attached store (if
+    /// any), then bump the cache epoch. Called *before* the in-memory
+    /// mutation so a failed append leaves memory untouched.
+    fn log(&mut self, op: &StoreOp) -> Result<()> {
+        if let Some(store) = &self.store {
+            store.apply(op)?;
+        }
+        self.touch();
+        Ok(())
     }
 
     fn alloc_oid(&mut self) -> Oid {
@@ -179,6 +391,14 @@ impl ObjectDb {
             final_attrs.insert(name.clone(), value);
         }
         let oid = self.alloc_oid();
+        self.log(&StoreOp::PutObject {
+            oid: oid.0,
+            class: class.to_string(),
+            attrs: final_attrs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_store()))
+                .collect(),
+        })?;
         self.objects.insert(
             oid,
             Object {
@@ -191,7 +411,6 @@ impl ObjectDb {
             let name = c.name.clone();
             self.extents.entry(name).or_default().push(oid);
         }
-        self.invalidate();
         Ok(oid)
     }
 
@@ -217,6 +436,14 @@ impl ObjectDb {
             final_attrs.insert(name.clone(), value);
         }
         let oid = self.alloc_oid();
+        self.log(&StoreOp::PutObject {
+            oid: oid.0,
+            class: strct.to_string(),
+            attrs: final_attrs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_store()))
+                .collect(),
+        })?;
         self.objects.insert(
             oid,
             Object {
@@ -225,7 +452,6 @@ impl ObjectDb {
             },
         );
         self.extents.entry(strct.to_string()).or_default().push(oid);
-        self.invalidate();
         Ok(oid)
     }
 
@@ -282,12 +508,16 @@ impl ObjectDb {
                 detail: "not declared".into(),
             })?;
         let v = self.check_type(&class, attr, &ty, v)?;
+        self.log(&StoreOp::SetAttr {
+            oid: oid.0,
+            attr: attr.to_string(),
+            value: v.to_store(),
+        })?;
         self.objects
             .get_mut(&oid)
             .expect("checked above")
             .attrs
             .insert(attr.to_string(), v);
-        self.invalidate();
         Ok(())
     }
 
@@ -408,13 +638,24 @@ impl ObjectDb {
                 }
             }
         }
+        self.log(&StoreOp::Link {
+            pred: pred.clone(),
+            from: from.0,
+            to: to.0,
+        })?;
+        if let Some(inv) = &inv_pred {
+            self.log(&StoreOp::Link {
+                pred: inv.clone(),
+                from: to.0,
+                to: from.0,
+            })?;
+        }
         self.links.entry(pred.clone()).or_default().push((from, to));
         self.link_sets.entry(pred).or_default().insert((from, to));
         if let Some(inv) = inv_pred {
             self.links.entry(inv.clone()).or_default().push((to, from));
             self.link_sets.entry(inv).or_default().insert((to, from));
         }
-        self.invalidate();
         Ok(())
     }
 
@@ -451,9 +692,24 @@ impl ObjectDb {
         let (_, _, _, pred, inv_pred) = self.resolve_rel(&from_class, rel)?;
         let existed = self
             .link_sets
-            .get_mut(&pred)
-            .is_some_and(|s| s.remove(&(from, to)));
+            .get(&pred)
+            .is_some_and(|s| s.contains(&(from, to)));
         if existed {
+            self.log(&StoreOp::Unlink {
+                pred: pred.clone(),
+                from: from.0,
+                to: to.0,
+            })?;
+            if let Some(inv) = &inv_pred {
+                self.log(&StoreOp::Unlink {
+                    pred: inv.clone(),
+                    from: to.0,
+                    to: from.0,
+                })?;
+            }
+            if let Some(s) = self.link_sets.get_mut(&pred) {
+                s.remove(&(from, to));
+            }
             if let Some(v) = self.links.get_mut(&pred) {
                 v.retain(|p| *p != (from, to));
             }
@@ -465,7 +721,6 @@ impl ObjectDb {
                     v.retain(|p| *p != (to, from));
                 }
             }
-            self.invalidate();
         }
         Ok(existed)
     }
@@ -479,6 +734,24 @@ impl ObjectDb {
         if !self.objects.contains_key(&oid) {
             return Err(ObjDbError::UnknownObject { oid: oid.0 });
         }
+        // Expand into shard-local store ops: one Unlink per severed
+        // pair (inverse pairs are their own entries), then the removal.
+        let mut severed: Vec<(String, Oid, Oid)> = Vec::new();
+        for (pred, pairs) in &self.links {
+            for (f, t) in pairs {
+                if *f == oid || *t == oid {
+                    severed.push((pred.clone(), *f, *t));
+                }
+            }
+        }
+        for (pred, f, t) in &severed {
+            self.log(&StoreOp::Unlink {
+                pred: pred.clone(),
+                from: f.0,
+                to: t.0,
+            })?;
+        }
+        self.log(&StoreOp::RemoveObject { oid: oid.0 })?;
         for v in self.extents.values_mut() {
             v.retain(|o| *o != oid);
         }
@@ -489,7 +762,6 @@ impl ObjectDb {
             }
         }
         self.objects.remove(&oid);
-        self.invalidate();
         Ok(())
     }
 
@@ -503,7 +775,9 @@ impl ObjectDb {
                 detail: "not declared in the schema".into(),
             })?;
         self.methods.insert(decl.pred.name().to_string(), f);
-        self.invalidate();
+        // Methods are closures, not durable state: bump the cache epoch
+        // without logging a store op.
+        self.touch();
         Ok(())
     }
 
@@ -519,6 +793,18 @@ impl ObjectDb {
     /// Define (and materialize) an access support relation over a path of
     /// relationship names starting at `class`. Returns the view predicate.
     pub fn define_asr(&mut self, name: &str, class: &str, path: &[&str]) -> Result<PredSym> {
+        let pred = self.define_asr_inner(name, class, path)?;
+        self.log(&StoreOp::DefineAsr {
+            name: pred.name().to_string(),
+            class: class.to_string(),
+            path: path.iter().map(|s| s.to_string()).collect(),
+        })?;
+        Ok(pred)
+    }
+
+    /// `define_asr` minus the durable logging (shared with store
+    /// recovery, which replays recorded definitions).
+    fn define_asr_inner(&mut self, name: &str, class: &str, path: &[&str]) -> Result<PredSym> {
         if path.is_empty() {
             return Err(ObjDbError::BadAsrPath {
                 detail: "empty path".into(),
@@ -547,10 +833,11 @@ impl ObjectDb {
         let pred = self.catalog.register_view(name, 2);
         self.asrs.push(AsrDef {
             name: pred.name().to_string(),
+            src_class: class.to_string(),
+            src_path: path.iter().map(|s| s.to_string()).collect(),
             path: preds,
             rule,
         });
-        self.invalidate();
         Ok(pred)
     }
 
@@ -608,13 +895,53 @@ impl ObjectDb {
     /// relations are materialized lazily per (method, arguments) combo by
     /// [`ensure_method_facts`](Self::ensure_method_facts).
     pub fn edb(&self) -> std::cell::Ref<'_, EdbDatabase> {
-        {
-            let mut cache = self.edb_cache.borrow_mut();
-            if cache.is_none() {
-                *cache = Some(self.build_edb());
-            }
+        self.refresh_edb();
+        std::cell::Ref::map(self.edb_cache.borrow(), |o| {
+            o.as_ref().expect("just built").edb.as_ref()
+        })
+    }
+
+    /// Rebuild the cached EDB if it is missing or was built at an older
+    /// generation. Pinned `Arc` clones of a stale entry stay untouched.
+    fn refresh_edb(&self) {
+        let mut cache = self.edb_cache.borrow_mut();
+        let fresh = cache
+            .as_ref()
+            .is_some_and(|e| e.generation == self.generation);
+        if !fresh {
+            *cache = Some(EdbCacheEntry {
+                generation: self.generation,
+                edb: Arc::new(self.build_edb()),
+                methods: HashSet::new(),
+            });
         }
-        std::cell::Ref::map(self.edb_cache.borrow(), |o| o.as_ref().expect("just built"))
+    }
+
+    /// A consistent EDB snapshot pinned at the current generation.
+    ///
+    /// The returned `Arc` stays valid and *unchanged* while later
+    /// writers advance the database: mutations bump the generation and
+    /// rebuild the cache entry rather than touching shared state, and
+    /// late method materialization copies-on-write. Long-running
+    /// evaluations (or service sessions) should pin once and evaluate
+    /// against the pin.
+    pub fn edb_pinned(&self) -> Arc<EdbDatabase> {
+        self.refresh_edb();
+        self.edb_cache
+            .borrow()
+            .as_ref()
+            .expect("just built")
+            .edb
+            .clone()
+    }
+
+    /// Build a fresh (uncached) EDB from a pinned store view, so an EDB
+    /// build can run against a consistent generation while writers keep
+    /// advancing the attached store.
+    pub fn edb_for_view(&self, view: &StoreView) -> Result<EdbDatabase> {
+        let mut tmp = ObjectDb::new(self.schema.clone());
+        tmp.load_view(view)?;
+        Ok(tmp.build_edb())
     }
 
     fn build_edb(&self) -> EdbDatabase {
@@ -713,7 +1040,16 @@ impl ObjectDb {
     /// of invocations performed (0 when already materialized).
     pub fn ensure_method_facts(&self, pred: &str, args: &[Const]) -> Result<u64> {
         let key = (pred.to_string(), args.to_vec());
-        if self.materialized_methods.borrow().contains(&key) {
+        // Bring the cache entry up to the current generation first; the
+        // materialized-methods set lives with the entry, so stale
+        // entries never short-circuit.
+        self.refresh_edb();
+        if self
+            .edb_cache
+            .borrow()
+            .as_ref()
+            .is_some_and(|e| e.methods.contains(&key))
+        {
             return Ok(0);
         }
         let decl = self
@@ -731,8 +1067,6 @@ impl ObjectDb {
         };
         let class = class.clone();
         let values: Vec<Value> = args.iter().map(Value::from_const).collect();
-        // Materialize before borrowing the cache mutably.
-        self.edb();
         let receivers: Vec<Oid> = self.extent(&class).to_vec();
         let mut calls = 0u64;
         let mut facts: Vec<Vec<Const>> = Vec::with_capacity(receivers.len());
@@ -746,12 +1080,15 @@ impl ObjectDb {
         }
         {
             let mut cache = self.edb_cache.borrow_mut();
-            let db = cache.as_mut().expect("cache built above");
+            let entry = cache.as_mut().expect("cache built above");
+            // Copy-on-write: if a pinned snapshot holds this Arc, the
+            // clone keeps the pin isolated from the new facts.
+            let db = Arc::make_mut(&mut entry.edb);
             for t in facts {
                 db.insert(PredSym::new(pred), t).map_err(ObjDbError::from)?;
             }
+            entry.methods.insert(key);
         }
-        self.materialized_methods.borrow_mut().insert(key);
         Ok(calls)
     }
 }

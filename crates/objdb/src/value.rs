@@ -81,6 +81,30 @@ impl fmt::Display for Value {
     }
 }
 
+impl Value {
+    /// Convert to the durable store's value representation.
+    pub fn to_store(&self) -> sqo_store::StoreValue {
+        match self {
+            Value::Int(v) => sqo_store::StoreValue::Int(*v),
+            Value::Real(v) => sqo_store::StoreValue::Real(*v),
+            Value::Str(s) => sqo_store::StoreValue::Str(s.clone()),
+            Value::Bool(b) => sqo_store::StoreValue::Bool(*b),
+            Value::Obj(o) => sqo_store::StoreValue::Obj(o.0),
+        }
+    }
+
+    /// Convert from the durable store's value representation.
+    pub fn from_store(v: &sqo_store::StoreValue) -> Value {
+        match v {
+            sqo_store::StoreValue::Int(i) => Value::Int(*i),
+            sqo_store::StoreValue::Real(r) => Value::Real(*r),
+            sqo_store::StoreValue::Str(s) => Value::Str(s.clone()),
+            sqo_store::StoreValue::Bool(b) => Value::Bool(*b),
+            sqo_store::StoreValue::Obj(o) => Value::Obj(Oid(*o)),
+        }
+    }
+}
+
 impl From<i64> for Value {
     fn from(v: i64) -> Self {
         Value::Int(v)

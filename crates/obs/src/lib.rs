@@ -159,10 +159,20 @@ pub enum Counter {
     SearchExactSkipped,
     /// Peak size of the best-first priority frontier, summed per search.
     SearchFrontierPeak,
+    /// Records appended to the object-store write-ahead log.
+    StoreWalAppends,
+    /// Bytes written by the most recent store snapshot (cumulative across
+    /// snapshots; per-snapshot sizes are visible in the `persist` response).
+    StoreSnapshotBytes,
+    /// Total nanoseconds spent recovering stores (snapshot load + WAL
+    /// tail replay).
+    StoreRecoverNs,
+    /// Total nanoseconds spent waiting to acquire store shard locks.
+    StoreShardLockWaitNs,
 }
 
 /// Number of distinct counters.
-pub const N_COUNTERS: usize = 35;
+pub const N_COUNTERS: usize = 39;
 
 const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "odl.classes_parsed",
@@ -200,6 +210,10 @@ const COUNTER_NAMES: [&str; N_COUNTERS] = [
     "search.subsumed_pruned",
     "search.exact_skipped",
     "search.frontier_peak",
+    "store.wal_appends",
+    "store.snapshot_bytes",
+    "store.recover_ns",
+    "store.shard_lock_wait",
 ];
 
 impl Counter {
@@ -251,6 +265,10 @@ const ALL_COUNTERS: [Counter; N_COUNTERS] = [
     Counter::SearchSubsumedPruned,
     Counter::SearchExactSkipped,
     Counter::SearchFrontierPeak,
+    Counter::StoreWalAppends,
+    Counter::StoreSnapshotBytes,
+    Counter::StoreRecoverNs,
+    Counter::StoreShardLockWaitNs,
 ];
 
 /// Global merged totals. Thread-local cells flush here on thread exit and on

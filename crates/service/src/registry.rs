@@ -92,6 +92,14 @@ impl Session {
         self.data.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
+    /// Binds an object base to this session so `query` requests can
+    /// execute chosen plans, and `create`/`link`/`persist` requests can
+    /// mutate durable state. The database may be in-memory or opened
+    /// from a store directory (see `ObjectDb::open`).
+    pub fn attach_db(&self, db: ObjectDb) {
+        *self.data.write().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(Mutex::new(db)));
+    }
+
     /// Binds the deterministic built-in university object base (the
     /// Figure 1 instance the benchmarks use) so `query` requests can
     /// execute chosen plans and report plan costs. Only meaningful for
@@ -106,8 +114,7 @@ impl Session {
         let built = UniversityConfig::default()
             .build()
             .map_err(|e| ServeError::BadRequest(e.to_string()))?;
-        *self.data.write().unwrap_or_else(|e| e.into_inner()) =
-            Some(Arc::new(Mutex::new(built.db)));
+        self.attach_db(built.db);
         Ok(())
     }
 

@@ -16,10 +16,18 @@
 //! {"op":"prepare","session":"s","university":true,"data":true}
 //! {"op":"prepare","session":"s","schema":"<ODL source>"}
 //! {"op":"reload_ic","session":"s","ic":"ic IC4: ..."}
+//! {"op":"create","session":"s","class":"Person","attrs":{"name":"x","age":30}}
+//! {"op":"link","session":"s","from":3,"rel":"takes","to":9}
+//! {"op":"persist","session":"s"}
 //! {"op":"metrics"}
 //! {"op":"slowlog"}
 //! {"op":"shutdown"}
 //! ```
+//!
+//! `create` and `link` mutate the session's bound object base; when the
+//! base was opened from a store directory (`sqo serve --store-path`)
+//! the mutation is WAL-logged before it is acknowledged, and `persist`
+//! forces a compact snapshot so the next recovery replays a short tail.
 //!
 //! Every `query` gets a deterministic trace id (`session:generation:seq`)
 //! and is traced end to end: admission wait, plan-cache lookup, search,
@@ -47,13 +55,14 @@ use std::time::{Duration, Instant};
 /// Histogram series pinned into every `metrics` reply (with zero samples
 /// until recorded), so consumers see a stable key set from the first
 /// request on.
-const PINNED_HISTS: [&str; 6] = [
+const PINNED_HISTS: [&str; 7] = [
     "serve.request",
     "serve.wait",
     "cache.lookup",
     "pipeline.optimize",
     "step3.search",
     "objdb.execute",
+    "store.recover",
 ];
 
 /// Server tunables.
@@ -217,6 +226,9 @@ fn dispatch(shared: &Arc<Shared>, line: &str) -> Result<String, ServeError> {
         "slowlog" => Ok(slowlog_response(shared)),
         "prepare" => prepare(shared, &req),
         "reload_ic" => reload_ic(shared, &req),
+        "create" => create(shared, &req),
+        "link" => link(shared, &req),
+        "persist" => persist(shared, &req),
         "query" => query(shared, &req),
         "shutdown" => {
             // The accept loop is unblocked by handle_conn after the
@@ -269,11 +281,20 @@ fn metrics_response(shared: &Arc<Shared>) -> String {
         .into_iter()
         .filter_map(|name| shared.registry.get(&name))
         .map(|s| {
+            let store_generation = s
+                .data()
+                .map(|db| {
+                    db.lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .store_generation()
+                })
+                .unwrap_or(0);
             format!(
-                r#"{{"name":{},"generation":{},"cached_templates":{}}}"#,
+                r#"{{"name":{},"generation":{},"cached_templates":{},"store_generation":{}}}"#,
                 obs::json_string(s.name()),
                 s.prepared().generation(),
-                s.cache().len()
+                s.cache().len(),
+                store_generation
             )
         })
         .collect();
@@ -339,6 +360,137 @@ fn reload_ic(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
     Ok(format!(
         r#"{{"ok":true,"op":"reload_ic","session":{},"generation":{generation}}}"#,
         obs::json_string(name)
+    ))
+}
+
+/// Resolve the session named in `req` and its bound object base, or a
+/// `bad_request` explaining that the write op needs attached data.
+fn session_with_data(
+    shared: &Arc<Shared>,
+    req: &Json,
+    op: &str,
+) -> Result<
+    (
+        Arc<crate::registry::Session>,
+        Arc<std::sync::Mutex<sqo_objdb::ObjectDb>>,
+    ),
+    ServeError,
+> {
+    let name = session_name(req)?;
+    let session = shared
+        .registry
+        .get(name)
+        .ok_or_else(|| ServeError::UnknownSession(name.to_string()))?;
+    let db = session.data().ok_or_else(|| {
+        ServeError::BadRequest(format!(
+            "\"{op}\" requires bound data (prepare with \"data\":true or serve with --store-path)"
+        ))
+    })?;
+    Ok((session, db))
+}
+
+/// Convert a scalar JSON attribute value to an object-base value.
+/// Whole numbers become `Int` (the executor coerces to `Real` where
+/// the schema declares a float); OIDs must be sent as `{"oid":N}`.
+fn json_to_value(v: &Json) -> Result<sqo_objdb::Value, ServeError> {
+    use sqo_objdb::{Oid, Value};
+    Ok(match v {
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Str(s) => Value::Str(s.clone()),
+        Json::Num(n) if n.fract() == 0.0 => Value::Int(*n as i64),
+        Json::Num(n) => Value::Real(*n),
+        Json::Obj(m) => match m.get("oid").and_then(Json::as_u64) {
+            Some(oid) if m.len() == 1 => Value::Obj(Oid(oid)),
+            _ => {
+                return Err(ServeError::BadRequest(
+                    "object attribute values must be {\"oid\":N}".into(),
+                ))
+            }
+        },
+        other => {
+            return Err(ServeError::BadRequest(format!(
+                "unsupported attribute value {other:?}"
+            )))
+        }
+    })
+}
+
+/// `create`: instantiate a class object with the given attributes on
+/// the session's bound object base. Acknowledged only after the write
+/// is WAL-logged (when the base is store-backed).
+fn create(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
+    let (session, db) = session_with_data(shared, req, "create")?;
+    let class = req
+        .get("class")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing \"class\"".into()))?;
+    let mut attrs: Vec<(String, sqo_objdb::Value)> = Vec::new();
+    if let Some(obj) = req.get("attrs") {
+        let Json::Obj(m) = obj else {
+            return Err(ServeError::BadRequest("\"attrs\" must be an object".into()));
+        };
+        for (k, v) in m {
+            attrs.push((k.clone(), json_to_value(v)?));
+        }
+    }
+    let mut db = db.lock().unwrap_or_else(|e| e.into_inner());
+    let borrowed: Vec<(&str, sqo_objdb::Value)> =
+        attrs.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    let oid = db
+        .create(class, borrowed)
+        .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    Ok(format!(
+        r#"{{"ok":true,"op":"create","session":{},"oid":{},"store_generation":{}}}"#,
+        obs::json_string(session.name()),
+        oid.0,
+        db.store_generation()
+    ))
+}
+
+/// `link`: connect two objects through a relationship on the session's
+/// bound object base.
+fn link(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
+    let (session, db) = session_with_data(shared, req, "link")?;
+    let rel = req
+        .get("rel")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ServeError::BadRequest("missing \"rel\"".into()))?;
+    let from = req
+        .get("from")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ServeError::BadRequest("missing \"from\"".into()))?;
+    let to = req
+        .get("to")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ServeError::BadRequest("missing \"to\"".into()))?;
+    let mut db = db.lock().unwrap_or_else(|e| e.into_inner());
+    db.link(sqo_objdb::Oid(from), rel, sqo_objdb::Oid(to))
+        .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    Ok(format!(
+        r#"{{"ok":true,"op":"link","session":{},"store_generation":{}}}"#,
+        obs::json_string(session.name()),
+        db.store_generation()
+    ))
+}
+
+/// `persist`: force a compact snapshot of the session's durable store
+/// and truncate its WALs.
+fn persist(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
+    let (session, db) = session_with_data(shared, req, "persist")?;
+    let db = db.lock().unwrap_or_else(|e| e.into_inner());
+    let report = db
+        .persist()
+        .map_err(|e| ServeError::BadRequest(e.to_string()))?
+        .ok_or_else(|| {
+            ServeError::BadRequest(
+                "\"persist\" requires a durable store (serve with --store-path)".into(),
+            )
+        })?;
+    Ok(format!(
+        r#"{{"ok":true,"op":"persist","session":{},"snapshot_bytes":{},"store_generation":{}}}"#,
+        obs::json_string(session.name()),
+        report.snapshot_bytes,
+        report.generation
     ))
 }
 

@@ -593,3 +593,150 @@ fn prepare_over_the_wire_creates_sessions() {
         .collect();
     assert_eq!(names, vec!["default", "second"]);
 }
+
+/// Starts a server whose default session is bound to a durable store
+/// opened (or recovered) from `dir`.
+fn start_store_server(dir: &std::path::Path) -> SocketAddr {
+    let registry = Arc::new(SessionRegistry::new());
+    registry
+        .prepare("default", SessionSpec::University, Some(IC4))
+        .unwrap();
+    let mut db = sqo_objdb::ObjectDb::open(sqo_odl::fixtures::university_schema(), dir, 4).unwrap();
+    sqo_objdb::register_university_methods(&mut db).unwrap();
+    registry.get("default").unwrap().attach_db(db);
+    let server = Server::bind(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            ..ServerConfig::default()
+        },
+        registry,
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    std::thread::spawn(move || server.run().unwrap());
+    addr
+}
+
+#[test]
+fn store_backed_writes_persist_across_server_restarts() {
+    let _g = lock();
+    let dir = std::env::temp_dir().join(format!("sqo_serve_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Session 1: write over the wire, snapshot, keep writing (WAL tail).
+    let addr = start_store_server(&dir);
+    let resps = roundtrip(
+        addr,
+        &[
+            r#"{"op":"create","class":"Faculty","attrs":{"name":"wired","age":44,"salary":90000}}"#
+                .to_string(),
+            r#"{"op":"create","class":"Student","attrs":{"name":"pupil","age":22}}"#.to_string(),
+            r#"{"op":"create","class":"Section","attrs":{"number":"s1"}}"#.to_string(),
+            r#"{"op":"persist"}"#.to_string(),
+            r#"{"op":"create","class":"Student","attrs":{"name":"tail","age":25}}"#.to_string(),
+            r#"{"op":"query","oql":"select x.name from x in Student","execute":true}"#.to_string(),
+            r#"{"op":"metrics"}"#.to_string(),
+        ],
+    );
+    shutdown(addr);
+    for (i, r) in resps.iter().enumerate() {
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "request {i}: {r:?}");
+    }
+    let student_oid = resps[1].get("oid").and_then(Json::as_u64).unwrap();
+    let section_oid = resps[2].get("oid").and_then(Json::as_u64).unwrap();
+    assert!(
+        resps[3]
+            .get("snapshot_bytes")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+    let answers_before = resps[5].get("answers").and_then(Json::as_u64).unwrap();
+    assert_eq!(answers_before, 2);
+    let sessions = resps[6].get("sessions").and_then(Json::as_arr).unwrap();
+    assert!(
+        sessions[0]
+            .get("store_generation")
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+
+    // Session 2: recover from the same directory — snapshot plus WAL
+    // tail — and verify the same answers come back, then link against
+    // recovered OIDs.
+    let addr = start_store_server(&dir);
+    let resps = roundtrip(
+        addr,
+        &[
+            r#"{"op":"query","oql":"select x.name from x in Student","execute":true}"#.to_string(),
+            format!(r#"{{"op":"link","from":{student_oid},"rel":"takes","to":{section_oid}}}"#),
+            r#"{"op":"create","class":"Person","attrs":{"name":"late"}}"#.to_string(),
+        ],
+    );
+    shutdown(addr);
+    assert_eq!(resps[0].get("answers").and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        resps[1].get("ok"),
+        Some(&Json::Bool(true)),
+        "{:?}",
+        resps[1]
+    );
+    // Fresh OIDs allocate past everything recovered.
+    let late = resps[2].get("oid").and_then(Json::as_u64).unwrap();
+    assert!(late > section_oid);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn write_ops_without_data_or_store_are_clean_errors() {
+    let _g = lock();
+    let addr = start_server(1, 4);
+    let resps = roundtrip(
+        addr,
+        &[
+            r#"{"op":"create","class":"Person"}"#.to_string(),
+            r#"{"op":"persist"}"#.to_string(),
+            // In-memory data attached via prepare: create works,
+            // persist still needs a durable store.
+            r#"{"op":"prepare","session":"mem","university":true,"data":true}"#.to_string(),
+            r#"{"op":"create","session":"mem","class":"Person","attrs":{"name":"m"}}"#.to_string(),
+            r#"{"op":"persist","session":"mem"}"#.to_string(),
+        ],
+    );
+    shutdown(addr);
+    for i in [0, 1] {
+        assert_eq!(
+            resps[i].get("ok"),
+            Some(&Json::Bool(false)),
+            "{:?}",
+            resps[i]
+        );
+        assert_eq!(
+            resps[i]
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("bad_request")
+        );
+    }
+    assert_eq!(
+        resps[3].get("ok"),
+        Some(&Json::Bool(true)),
+        "{:?}",
+        resps[3]
+    );
+    assert_eq!(
+        resps[3].get("store_generation").and_then(Json::as_u64),
+        Some(0)
+    );
+    assert_eq!(
+        resps[4].get("ok"),
+        Some(&Json::Bool(false)),
+        "{:?}",
+        resps[4]
+    );
+}

@@ -1,0 +1,53 @@
+//! Error types for the durable store.
+
+use std::fmt;
+
+/// Errors produced by the store: I/O failures, on-disk corruption, and
+/// invalid logical operations.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// On-disk data failed validation (bad magic, checksum mismatch,
+    /// truncated field, unknown tag). Recovery never panics on corrupt
+    /// input — it surfaces this error (snapshots) or drops the torn
+    /// tail (WAL records).
+    Corrupt {
+        /// Human-readable description of what failed to parse.
+        detail: String,
+    },
+    /// A logical operation could not be applied to the current state
+    /// (e.g. `SetAttr` on an OID the store has never seen).
+    Invalid {
+        /// Human-readable description of the rejected operation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::Corrupt { detail } => write!(f, "corrupt store data: {detail}"),
+            StoreError::Invalid { detail } => write!(f, "invalid store operation: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, StoreError>;

@@ -1,0 +1,286 @@
+//! Logical store operations and their wire encoding.
+//!
+//! Every mutation of the store is expressed as a [`StoreOp`] — the unit
+//! that is appended to the write-ahead log and applied to the in-memory
+//! shard state. Ops are deliberately *shard-local*: each one touches the
+//! state of exactly one shard (the shard owning `oid` / `from`), so a
+//! per-shard WAL replayed in order reconstructs that shard exactly.
+//! Compound mutations (linking an inverse pair, deleting an object and
+//! severing its links) are expanded by the caller into several
+//! shard-local ops.
+
+use crate::codec::{Reader, Writer};
+use crate::error::{Result, StoreError};
+
+/// A stored attribute value. Mirrors the object layer's value model
+/// (`sqo-objdb`'s `Value`) without depending on it, keeping this crate
+/// at the bottom of the dependency stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreValue {
+    /// 64-bit integer.
+    Int(i64),
+    /// IEEE-754 double.
+    Real(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Reference to another object by OID.
+    Obj(u64),
+}
+
+/// A shard-local logical mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreOp {
+    /// Insert (or overwrite) an object with its full attribute map.
+    PutObject {
+        /// Object identifier (assigned by the caller).
+        oid: u64,
+        /// Most specific class or structure name.
+        class: String,
+        /// Attribute name/value pairs.
+        attrs: Vec<(String, StoreValue)>,
+    },
+    /// Overwrite a single attribute of an existing object.
+    SetAttr {
+        /// Target object.
+        oid: u64,
+        /// Attribute name.
+        attr: String,
+        /// New value.
+        value: StoreValue,
+    },
+    /// Append one directed relationship pair to a predicate. Inverse
+    /// maintenance is the caller's job (it emits a second `Link`).
+    Link {
+        /// Relationship predicate name.
+        pred: String,
+        /// Source OID (the sharding key).
+        from: u64,
+        /// Target OID.
+        to: u64,
+    },
+    /// Remove one directed relationship pair.
+    Unlink {
+        /// Relationship predicate name.
+        pred: String,
+        /// Source OID (the sharding key).
+        from: u64,
+        /// Target OID.
+        to: u64,
+    },
+    /// Remove an object. Links must already have been severed by
+    /// explicit [`StoreOp::Unlink`] ops.
+    RemoveObject {
+        /// Target object.
+        oid: u64,
+    },
+    /// Record an access-support-relation definition (original
+    /// definition-site arguments, so the object layer can re-register
+    /// the view on recovery).
+    DefineAsr {
+        /// View name as passed at the definition site.
+        name: String,
+        /// Root class of the path.
+        class: String,
+        /// Relationship member names along the path.
+        path: Vec<String>,
+    },
+}
+
+const TAG_PUT_OBJECT: u8 = 1;
+const TAG_SET_ATTR: u8 = 2;
+const TAG_LINK: u8 = 3;
+const TAG_UNLINK: u8 = 4;
+const TAG_REMOVE_OBJECT: u8 = 5;
+const TAG_DEFINE_ASR: u8 = 6;
+
+impl StoreOp {
+    /// The OID whose hash selects the owning shard. Store-global ops
+    /// (ASR definitions) return `None` and live on shard 0.
+    pub fn shard_key(&self) -> Option<u64> {
+        match self {
+            StoreOp::PutObject { oid, .. }
+            | StoreOp::SetAttr { oid, .. }
+            | StoreOp::RemoveObject { oid } => Some(*oid),
+            StoreOp::Link { from, .. } | StoreOp::Unlink { from, .. } => Some(*from),
+            StoreOp::DefineAsr { .. } => None,
+        }
+    }
+
+    /// Serialize to the on-disk byte form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        match self {
+            StoreOp::PutObject { oid, class, attrs } => {
+                w.u8(TAG_PUT_OBJECT);
+                w.u64(*oid);
+                w.str(class);
+                w.u32(attrs.len() as u32);
+                for (name, value) in attrs {
+                    w.str(name);
+                    w.value(value);
+                }
+            }
+            StoreOp::SetAttr { oid, attr, value } => {
+                w.u8(TAG_SET_ATTR);
+                w.u64(*oid);
+                w.str(attr);
+                w.value(value);
+            }
+            StoreOp::Link { pred, from, to } => {
+                w.u8(TAG_LINK);
+                w.str(pred);
+                w.u64(*from);
+                w.u64(*to);
+            }
+            StoreOp::Unlink { pred, from, to } => {
+                w.u8(TAG_UNLINK);
+                w.str(pred);
+                w.u64(*from);
+                w.u64(*to);
+            }
+            StoreOp::RemoveObject { oid } => {
+                w.u8(TAG_REMOVE_OBJECT);
+                w.u64(*oid);
+            }
+            StoreOp::DefineAsr { name, class, path } => {
+                w.u8(TAG_DEFINE_ASR);
+                w.str(name);
+                w.str(class);
+                w.u32(path.len() as u32);
+                for p in path {
+                    w.str(p);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserialize from the on-disk byte form.
+    pub fn decode(bytes: &[u8]) -> Result<StoreOp> {
+        let mut r = Reader::new(bytes);
+        let op = match r.u8("op tag")? {
+            TAG_PUT_OBJECT => {
+                let oid = r.u64("put oid")?;
+                let class = r.str("put class")?;
+                let n = r.u32("put attr count")?;
+                let mut attrs = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let name = r.str("put attr name")?;
+                    let value = r.value("put attr value")?;
+                    attrs.push((name, value));
+                }
+                StoreOp::PutObject { oid, class, attrs }
+            }
+            TAG_SET_ATTR => StoreOp::SetAttr {
+                oid: r.u64("set oid")?,
+                attr: r.str("set attr")?,
+                value: r.value("set value")?,
+            },
+            TAG_LINK => StoreOp::Link {
+                pred: r.str("link pred")?,
+                from: r.u64("link from")?,
+                to: r.u64("link to")?,
+            },
+            TAG_UNLINK => StoreOp::Unlink {
+                pred: r.str("unlink pred")?,
+                from: r.u64("unlink from")?,
+                to: r.u64("unlink to")?,
+            },
+            TAG_REMOVE_OBJECT => StoreOp::RemoveObject {
+                oid: r.u64("remove oid")?,
+            },
+            TAG_DEFINE_ASR => {
+                let name = r.str("asr name")?;
+                let class = r.str("asr class")?;
+                let n = r.u32("asr path count")?;
+                let mut path = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    path.push(r.str("asr path segment")?);
+                }
+                StoreOp::DefineAsr { name, class, path }
+            }
+            tag => {
+                return Err(StoreError::Corrupt {
+                    detail: format!("unknown op tag {tag}"),
+                })
+            }
+        };
+        if !r.is_empty() {
+            return Err(StoreError::Corrupt {
+                detail: "trailing bytes after op".into(),
+            });
+        }
+        Ok(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<StoreOp> {
+        vec![
+            StoreOp::PutObject {
+                oid: 7,
+                class: "Faculty".into(),
+                attrs: vec![
+                    ("name".into(), StoreValue::Str("smith".into())),
+                    ("age".into(), StoreValue::Int(50)),
+                    ("salary".into(), StoreValue::Real(90000.0)),
+                    ("tenured".into(), StoreValue::Bool(true)),
+                    ("address".into(), StoreValue::Obj(8)),
+                ],
+            },
+            StoreOp::SetAttr {
+                oid: 7,
+                attr: "age".into(),
+                value: StoreValue::Int(51),
+            },
+            StoreOp::Link {
+                pred: "takes".into(),
+                from: 1,
+                to: 2,
+            },
+            StoreOp::Unlink {
+                pred: "takes".into(),
+                from: 1,
+                to: 2,
+            },
+            StoreOp::RemoveObject { oid: 7 },
+            StoreOp::DefineAsr {
+                name: "asr1".into(),
+                class: "Student".into(),
+                path: vec!["takes".into(), "is_section_of".into()],
+            },
+        ]
+    }
+
+    #[test]
+    fn op_encode_decode_round_trip() {
+        for op in samples() {
+            let bytes = op.encode();
+            assert_eq!(StoreOp::decode(&bytes).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(StoreOp::decode(&[]).is_err());
+        assert!(StoreOp::decode(&[99]).is_err());
+        let mut bytes = samples()[0].encode();
+        bytes.push(0); // trailing byte
+        assert!(StoreOp::decode(&bytes).is_err());
+        bytes.truncate(bytes.len().saturating_sub(4));
+        assert!(StoreOp::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn shard_keys() {
+        let ops = samples();
+        assert_eq!(ops[0].shard_key(), Some(7));
+        assert_eq!(ops[2].shard_key(), Some(1));
+        assert_eq!(ops[5].shard_key(), None);
+    }
+}

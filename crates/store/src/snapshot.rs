@@ -1,0 +1,319 @@
+//! Versioned binary snapshots: a compact, checksummed serialization of
+//! the whole store, written atomically (temp file + rename).
+//!
+//! File layout (version 1):
+//!
+//! ```text
+//! magic    "SQOS"                          4 bytes
+//! version  u32                             format version (= 1)
+//! gen      u64                             store generation at the cut
+//! next_oid u64                             OID allocator watermark
+//! n_shards u32                             shard sections that follow
+//! shard*   objects, then link predicates   see below
+//! n_asrs   u32 + ASR records
+//! crc      u32                             CRC-32 over everything above
+//! ```
+//!
+//! Each shard section is `gen: u64`, `n_objects: u32` followed by
+//! `(oid, class, n_attrs, (name, value)*)` entries sorted by OID, then
+//! `n_preds: u32` followed by `(pred, n_links, (seq, from, to)*)`
+//! entries with predicates sorted by name. Sorting makes the bytes a
+//! deterministic function of the logical state.
+//!
+//! Readers validate the magic, version, and trailing checksum before
+//! trusting a single field; any mismatch is a
+//! [`StoreError::Corrupt`] with a description, never a panic.
+
+use crate::codec::{crc32, Reader, Writer};
+use crate::error::{Result, StoreError};
+use crate::store::{AsrRecord, LinkEntry, ShardData, StoredObject};
+use std::collections::HashMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"SQOS";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A decoded snapshot: the full logical state at one generation.
+#[derive(Debug, Default)]
+pub struct SnapshotData {
+    /// Store generation at the snapshot cut.
+    pub generation: u64,
+    /// OID allocator watermark.
+    pub next_oid: u64,
+    /// Per-shard state (the reader redistributes by OID hash, so the
+    /// shard count on disk need not match the shard count in memory).
+    pub shards: Vec<ShardData>,
+    /// Access-support-relation definitions.
+    pub asrs: Vec<AsrRecord>,
+}
+
+/// Serialize a snapshot and atomically replace `path` (write to a
+/// sibling temp file, fsync, rename). Returns the bytes written.
+pub fn write_snapshot(path: &Path, data: &SnapshotData) -> Result<u64> {
+    let mut w = Writer::new();
+    w.u8(SNAPSHOT_MAGIC[0]);
+    w.u8(SNAPSHOT_MAGIC[1]);
+    w.u8(SNAPSHOT_MAGIC[2]);
+    w.u8(SNAPSHOT_MAGIC[3]);
+    w.u32(SNAPSHOT_VERSION);
+    w.u64(data.generation);
+    w.u64(data.next_oid);
+    w.u32(data.shards.len() as u32);
+    for shard in &data.shards {
+        w.u64(shard.generation);
+        let mut oids: Vec<&u64> = shard.objects.keys().collect();
+        oids.sort_unstable();
+        w.u32(oids.len() as u32);
+        for oid in oids {
+            let obj = &shard.objects[oid];
+            w.u64(*oid);
+            w.str(&obj.class);
+            w.u32(obj.attrs.len() as u32);
+            for (name, value) in &obj.attrs {
+                w.str(name);
+                w.value(value);
+            }
+        }
+        let mut preds: Vec<&String> = shard.links.keys().collect();
+        preds.sort_unstable();
+        w.u32(preds.len() as u32);
+        for pred in preds {
+            let entries = &shard.links[pred];
+            w.str(pred);
+            w.u32(entries.len() as u32);
+            for e in entries {
+                w.u64(e.seq);
+                w.u64(e.from);
+                w.u64(e.to);
+            }
+        }
+    }
+    w.u32(data.asrs.len() as u32);
+    for asr in &data.asrs {
+        w.str(&asr.name);
+        w.str(&asr.class);
+        w.u32(asr.path.len() as u32);
+        for p in &asr.path {
+            w.str(p);
+        }
+    }
+    let mut bytes = w.into_bytes();
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Read and validate a snapshot. `Ok(None)` when no snapshot exists
+/// yet; [`StoreError::Corrupt`] when the file fails magic, version, or
+/// checksum validation.
+pub fn read_snapshot(path: &Path) -> Result<Option<SnapshotData>> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < 4 + 4 + 8 + 8 + 4 + 4 + 4 {
+        return Err(StoreError::Corrupt {
+            detail: format!("snapshot too short ({} bytes)", bytes.len()),
+        });
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != stored_crc {
+        return Err(StoreError::Corrupt {
+            detail: format!(
+                "snapshot checksum mismatch (stored {stored_crc:#010x}, computed {:#010x})",
+                crc32(body)
+            ),
+        });
+    }
+    let mut r = Reader::new(body);
+    let magic = [
+        r.u8("magic")?,
+        r.u8("magic")?,
+        r.u8("magic")?,
+        r.u8("magic")?,
+    ];
+    if magic != SNAPSHOT_MAGIC {
+        return Err(StoreError::Corrupt {
+            detail: format!("bad snapshot magic {magic:?}"),
+        });
+    }
+    let version = r.u32("version")?;
+    if version != SNAPSHOT_VERSION {
+        return Err(StoreError::Corrupt {
+            detail: format!(
+                "unsupported snapshot version {version} (supported: {SNAPSHOT_VERSION})"
+            ),
+        });
+    }
+    let mut data = SnapshotData {
+        generation: r.u64("generation")?,
+        next_oid: r.u64("next_oid")?,
+        ..SnapshotData::default()
+    };
+    let n_shards = r.u32("shard count")?;
+    for _ in 0..n_shards {
+        let mut shard = ShardData {
+            generation: r.u64("shard generation")?,
+            ..ShardData::default()
+        };
+        let n_objects = r.u32("object count")?;
+        for _ in 0..n_objects {
+            let oid = r.u64("oid")?;
+            let class = r.str("class")?;
+            let n_attrs = r.u32("attr count")?;
+            let mut obj = StoredObject {
+                class,
+                attrs: Default::default(),
+            };
+            for _ in 0..n_attrs {
+                let name = r.str("attr name")?;
+                let value = r.value("attr value")?;
+                obj.attrs.insert(name, value);
+            }
+            shard.objects.insert(oid, obj);
+        }
+        let n_preds = r.u32("pred count")?;
+        let mut links: HashMap<String, Vec<LinkEntry>> = HashMap::new();
+        for _ in 0..n_preds {
+            let pred = r.str("pred")?;
+            let n_links = r.u32("link count")?;
+            let mut entries = Vec::with_capacity(n_links as usize);
+            for _ in 0..n_links {
+                entries.push(LinkEntry {
+                    seq: r.u64("link seq")?,
+                    from: r.u64("link from")?,
+                    to: r.u64("link to")?,
+                });
+            }
+            links.insert(pred, entries);
+        }
+        shard.links = links;
+        data.shards.push(shard);
+    }
+    let n_asrs = r.u32("asr count")?;
+    for _ in 0..n_asrs {
+        let name = r.str("asr name")?;
+        let class = r.str("asr class")?;
+        let n_path = r.u32("asr path count")?;
+        let mut path = Vec::with_capacity(n_path as usize);
+        for _ in 0..n_path {
+            path.push(r.str("asr path segment")?);
+        }
+        data.asrs.push(AsrRecord { name, class, path });
+    }
+    Ok(Some(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_dir;
+    use crate::StoreValue;
+
+    fn sample() -> SnapshotData {
+        let mut shard = ShardData {
+            generation: 3,
+            ..ShardData::default()
+        };
+        shard.objects.insert(
+            1,
+            StoredObject {
+                class: "Person".into(),
+                attrs: [("age".to_string(), StoreValue::Int(30))]
+                    .into_iter()
+                    .collect(),
+            },
+        );
+        shard.links.insert(
+            "takes".into(),
+            vec![LinkEntry {
+                seq: 2,
+                from: 1,
+                to: 9,
+            }],
+        );
+        SnapshotData {
+            generation: 3,
+            next_oid: 10,
+            shards: vec![shard, ShardData::default()],
+            asrs: vec![AsrRecord {
+                name: "asr1".into(),
+                class: "Student".into(),
+                path: vec!["takes".into()],
+            }],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let dir = test_dir("snap_round_trip");
+        let path = dir.join("snapshot.bin");
+        let bytes = write_snapshot(&path, &sample()).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        let back = read_snapshot(&path).unwrap().unwrap();
+        assert_eq!(back.generation, 3);
+        assert_eq!(back.next_oid, 10);
+        assert_eq!(back.shards.len(), 2);
+        assert_eq!(back.shards[0].objects[&1].class, "Person");
+        assert_eq!(back.shards[0].links["takes"][0].to, 9);
+        assert_eq!(back.asrs[0].name, "asr1");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_snapshot_is_none() {
+        let dir = test_dir("snap_missing");
+        assert!(read_snapshot(&dir.join("snapshot.bin")).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected_cleanly() {
+        let dir = test_dir("snap_flip");
+        let path = dir.join("snapshot.bin");
+        write_snapshot(&path, &sample()).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        // Flip one byte at a time across the whole file: the reader
+        // must reject every variant with Corrupt — no panic, no
+        // silently-wrong data.
+        for i in 0..good.len() {
+            let mut bad = good.clone();
+            bad[i] ^= 0x01;
+            std::fs::write(&path, &bad).unwrap();
+            match read_snapshot(&path) {
+                Err(StoreError::Corrupt { .. }) => {}
+                other => panic!("flip at byte {i}: expected Corrupt, got {other:?}"),
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_snapshot_is_rejected() {
+        let dir = test_dir("snap_trunc");
+        let path = dir.join("snapshot.bin");
+        write_snapshot(&path, &sample()).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        for cut in [0, 1, 10, good.len() / 2, good.len() - 1] {
+            std::fs::write(&path, &good[..cut]).unwrap();
+            assert!(
+                matches!(read_snapshot(&path), Err(StoreError::Corrupt { .. })),
+                "cut={cut}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -25,6 +25,10 @@ which never overwrites the manifest, so this validates what a full
    >= 5 (wide-IC scenario) and `.../12` >= 2, each with its
    `_baseline` (BFS, sequential, canonical-key dedup) and `_seed`
    (pre-best-first default engine) rows present.
+7. The durable-store recovery row `store/recover_1m_objects` is present
+   (refresh with `tables --store-recovery`) and under its 10 s budget:
+   a cold open of a million-object store must load the snapshot and
+   replay the WAL tail without an order-of-magnitude regression.
 
 Usage: python3 scripts/check_bench_manifest.py [path/to/BENCH_pipeline.json]
 """
@@ -45,6 +49,14 @@ SERVE_ROWS = (
     "serve/p99",
     "serve/shed_rate_overload",
 )
+
+# Durable-store recovery: the million-object cold open (snapshot load +
+# WAL-tail replay) must be present and inside a generous wall-clock
+# budget — recovery measured at ~0.7 s; the 10 s ceiling catches
+# order-of-magnitude regressions (e.g. per-record fsync or quadratic
+# replay), not machine noise.
+STORE_ROW = "store/recover_1m_objects"
+STORE_MAX_RECOVER_NS = 10e9
 
 # Step-3 search: (row, minimum speedup over the exhaustive-BFS baseline).
 STEP3_GATES = (
@@ -105,6 +117,18 @@ def main() -> None:
             "the 10x-overload phase must shed some but not all requests"
         )
 
+    recover = manifest.get(STORE_ROW)
+    if recover is None:
+        fail(f"missing store row {STORE_ROW!r} — run the full tables binary "
+             "or `tables --store-recovery`")
+    if recover > STORE_MAX_RECOVER_NS:
+        fail(
+            f"{STORE_ROW} = {recover:.0f} ns exceeds "
+            f"{STORE_MAX_RECOVER_NS:.0f} ns: cold recovery of a million-object "
+            "store (snapshot load + WAL-tail replay) has regressed past the "
+            "budget"
+        )
+
     step3_speedups = {}
     for row, floor in STEP3_GATES:
         for suffix in ("", "_baseline", "_seed"):
@@ -129,7 +153,8 @@ def main() -> None:
         f"step3 best-first speedup "
         f"{'/'.join(f'{k}ics:{v:.2f}x' for k, v in step3_speedups.items())}; "
         f"e3 indexed-rewrite speedup {speedup}x; "
-        f"overload shed rate {shed})"
+        f"overload shed rate {shed}; "
+        f"1m-object recovery {recover / 1e6:.0f} ms)"
     )
 
 

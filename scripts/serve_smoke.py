@@ -25,6 +25,12 @@ twice (cold miss, then warm cache hit/rebind), and both wire reports must
 agree verdict-for-verdict and rewrite-for-rewrite with a cold in-process
 `sqo --schema ... --ic ... --explain` run of the same case.
 
+A third phase smoke-tests durable-store crash recovery: a server started
+with --store-path takes writes over the wire (create/link), persists a
+snapshot, keeps writing so the WAL holds a tail, is killed with SIGKILL,
+and is restarted from the same directory — the recovered server must
+return the same executed answer count.
+
 Usage: python3 scripts/serve_smoke.py [path/to/sqo]
 """
 
@@ -237,6 +243,95 @@ def fuzz_differential(sqo, addr, serve_schema, explain_schema, n_cases=10):
         shutil.rmtree(outdir, ignore_errors=True)
 
 
+def recovery_phase(sqo, serve_schema):
+    """Durable-store crash recovery over the wire.
+
+    Starts a second server with --store-path on a fresh directory, writes
+    objects and a relationship over the wire, forces a snapshot with
+    persist, keeps writing so the WAL holds a tail past the snapshot,
+    then SIGKILLs the process (no shutdown handshake) and restarts from
+    the same directory: the recovered server must return the same answer
+    count for the same executed query.
+    """
+    store_dir = tempfile.mkdtemp(prefix="sqo_smoke_store_")
+    q_students = json.dumps(
+        {"op": "query", "oql": "select x.name from x in Student",
+         "execute": True})
+
+    def start():
+        p = subprocess.Popen(
+            [sqo, "serve", "--university", "--addr", "127.0.0.1:0",
+             "--workers", "2", "--queue", "16", "--store-path", store_dir],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
+        line = p.stdout.readline()
+        if not line:
+            fail("recovery: server did not announce a listening address")
+        host, port = json.loads(line)["listening"].rsplit(":", 1)
+        return p, (host, int(port))
+
+    proc = None
+    try:
+        proc, addr = start()
+        oids = []
+        for w in (
+            {"op": "create", "class": "Student",
+             "attrs": {"name": "ada", "age": 21}},
+            {"op": "create", "class": "Student",
+             "attrs": {"name": "bob", "age": 23}},
+            {"op": "create", "class": "Section", "attrs": {"number": "s1"}},
+        ):
+            resp = request(addr, json.dumps(w))
+            check(resp, serve_schema, serve_schema, "recovery create")
+            if not resp.get("ok") or "oid" not in resp:
+                fail(f"recovery: create failed: {resp}")
+            oids.append(resp["oid"])
+        link = request(addr, json.dumps(
+            {"op": "link", "from": oids[0], "rel": "takes", "to": oids[2]}))
+        check(link, serve_schema, serve_schema, "recovery link")
+        if not link.get("ok"):
+            fail(f"recovery: link failed: {link}")
+        persist = request(addr, json.dumps({"op": "persist"}))
+        check(persist, serve_schema, serve_schema, "recovery persist")
+        if not persist.get("ok") or persist.get("snapshot_bytes", 0) <= 0:
+            fail(f"recovery: persist should write a snapshot: {persist}")
+        # A write after the snapshot: recovery must replay the WAL tail,
+        # not just load the snapshot.
+        tail = request(addr, json.dumps(
+            {"op": "create", "class": "Student",
+             "attrs": {"name": "tail", "age": 25}}))
+        if not tail.get("ok"):
+            fail(f"recovery: post-snapshot create failed: {tail}")
+        before = request(addr, q_students)
+        check(before, serve_schema, serve_schema, "recovery pre-kill query")
+        if not before.get("ok") or before.get("answers") != 3:
+            fail(f"recovery: expected 3 students before the kill: {before}")
+
+        # Crash hard: SIGKILL, no shutdown handshake, no final sync.
+        proc.kill()
+        proc.wait(timeout=TIMEOUT_S)
+
+        proc, addr = start()
+        after = request(addr, q_students)
+        check(after, serve_schema, serve_schema, "recovery post-kill query")
+        if not after.get("ok") or after.get("answers") != before["answers"]:
+            fail(f"recovery: answers diverged across the crash: "
+                 f"{before.get('answers')} before vs {after} after")
+        metrics = request(addr, json.dumps({"op": "metrics"}))
+        check(metrics, serve_schema, serve_schema, "recovery metrics")
+        gens = [s["store_generation"] for s in metrics.get("sessions", [])]
+        if not any(g > 0 for g in gens):
+            fail(f"recovery: recovered store generation should be > 0: {gens}")
+        bye = request(addr, json.dumps({"op": "shutdown"}))
+        check(bye, serve_schema, serve_schema, "recovery shutdown")
+        proc.wait(timeout=TIMEOUT_S)
+        return after["answers"]
+    finally:
+        if proc is not None and proc.poll() is None:
+            proc.kill()
+            proc.wait()
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+
 def main():
     sqo = sys.argv[1] if len(sys.argv) > 1 else os.path.join(REPO, "target", "release", "sqo")
     if not os.path.exists(sqo):
@@ -330,10 +425,14 @@ def main():
         bye = request(addr, json.dumps({"op": "shutdown"}))
         check(bye, serve_schema, serve_schema, "shutdown response")
         proc.wait(timeout=TIMEOUT_S)
+
+        n_recovered = recovery_phase(sqo, serve_schema)
+
         print(f"serve_smoke: OK ({N_CLIENTS} concurrent queries, "
               f"{hits} warm hits, shed 0, trace {n_events} events, "
               f"slowlog {n_slow} entries, "
-              f"{n_fuzz} fuzz cases wire==in-process)")
+              f"{n_fuzz} fuzz cases wire==in-process, "
+              f"{n_recovered} answers across a kill -9 recovery)")
     finally:
         os.unlink(ic_path)
         if os.path.exists(slowlog_path):

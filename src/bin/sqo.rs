@@ -44,10 +44,11 @@ fn usage() -> ! {
          \u{20}      sqo serve  (--schema FILE.odl | --university) [--ic FILE]...\n\
          \u{20}                 [--addr HOST:PORT] [--workers N] [--queue N] [--timeout-ms N]\n\
          \u{20}                 [--slow-ms N] [--slowlog-cap N] [--slowlog-path FILE]\n\
+         \u{20}                 [--store-path DIR] [--store-shards N]\n\
          \u{20}      sqo client [--addr HOST:PORT] (--oql QUERY [--session S] [--timeout-ms N]\n\
          \u{20}                 [--trace] [--execute] [--search bfs|best-first]\n\
-         \u{20}                 | --metrics | --slowlog | --ping | --shutdown\n\
-         \u{20}                 | --reload-ic FILE [--session S])\n\
+         \u{20}                 | --metrics | --slowlog | --ping | --shutdown | --persist\n\
+         \u{20}                 | --json REQUEST | --reload-ic FILE [--session S])\n\
          \u{20}      sqo fuzz   [--seeds A..B] [--budget 60s] [--replay FILE|DIR] [--save DIR]\n\
          \u{20}                 [--emit-cases N --out DIR] [--dump-dir DIR]\n\
          \u{20}                 [--search bfs|best-first]\n\
@@ -116,6 +117,8 @@ fn serve_main(args: &[String]) -> ExitCode {
     let mut schema: Option<String> = None;
     let mut university = false;
     let mut ic_files: Vec<String> = Vec::new();
+    let mut store_path: Option<String> = None;
+    let mut store_shards: usize = 8;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |flag: &str| {
@@ -139,6 +142,10 @@ fn serve_main(args: &[String]) -> ExitCode {
                 cfg.slowlog_capacity = next("--slowlog-cap").parse().unwrap_or_else(|_| usage())
             }
             "--slowlog-path" => cfg.slowlog_path = Some(next("--slowlog-path")),
+            "--store-path" => store_path = Some(next("--store-path")),
+            "--store-shards" => {
+                store_shards = next("--store-shards").parse().unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
     }
@@ -168,9 +175,61 @@ fn serve_main(args: &[String]) -> ExitCode {
     }
     let registry = Arc::new(SessionRegistry::new());
     let ic = (!ic_text.is_empty()).then_some(ic_text.as_str());
-    if let Err(e) = registry.prepare("default", spec, ic) {
+    if let Err(e) = registry.prepare("default", spec.clone(), ic) {
         eprintln!("sqo serve: {e}");
         return ExitCode::FAILURE;
+    }
+    if let Some(path) = &store_path {
+        // Open (or create) the durable store, recover its state, and
+        // bind it to the default session so writes are WAL-logged and
+        // queries execute against the recovered base.
+        let odl_schema = match &spec {
+            SessionSpec::University => semantic_sqo::odl::fixtures::university_schema(),
+            SessionSpec::Odl(src) => {
+                match semantic_sqo::odl::parse_odl(src)
+                    .and_then(semantic_sqo::odl::Schema::from_decls)
+                {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("sqo serve: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+        };
+        let mut db = match semantic_sqo::objdb::ObjectDb::open(
+            odl_schema,
+            std::path::Path::new(path),
+            store_shards,
+        ) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("sqo serve: cannot open store {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if matches!(spec, SessionSpec::University) {
+            // Method closures are not persisted; re-register them.
+            if let Err(e) = semantic_sqo::objdb::register_university_methods(&mut db) {
+                eprintln!("sqo serve: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let report = db
+            .store()
+            .map(|s| s.recover_report().clone())
+            .unwrap_or_default();
+        eprintln!(
+            "sqo serve: store {path}: {} objects, generation {}, snapshot={}, wal_records={}",
+            db.object_count(),
+            db.store_generation(),
+            report.had_snapshot,
+            report.wal_records_replayed
+        );
+        match registry.get("default") {
+            Some(session) => session.attach_db(db),
+            None => unreachable!("default session prepared above"),
+        }
     }
     let server = match Server::bind(cfg, registry) {
         Ok(s) => s,
@@ -203,6 +262,7 @@ fn client_main(args: &[String]) -> ExitCode {
     let mut trace = false;
     let mut execute = false;
     let mut search: Option<String> = None;
+    let mut raw: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut next = |flag: &str| {
@@ -240,6 +300,8 @@ fn client_main(args: &[String]) -> ExitCode {
                 search = Some(s.to_string());
             }
             "--ping" => op = Some("ping"),
+            "--persist" => op = Some("persist"),
+            "--json" => raw = Some(next("--json")),
             "--shutdown" => op = Some("shutdown"),
             "--reload-ic" => {
                 reload_file = Some(next("--reload-ic"));
@@ -248,7 +310,12 @@ fn client_main(args: &[String]) -> ExitCode {
             _ => usage(),
         }
     }
-    let Some(op) = op else { usage() };
+    // A raw request line (e.g. the create/link write ops, whose attrs
+    // object has no flag syntax) is sent verbatim.
+    if raw.is_none() && op.is_none() {
+        usage()
+    };
+    let op = op.unwrap_or("query");
     let mut fields = vec![format!("\"op\":{}", sqo_obs::json_string(op))];
     if let Some(s) = &session {
         fields.push(format!("\"session\":{}", sqo_obs::json_string(s)));
@@ -277,7 +344,10 @@ fn client_main(args: &[String]) -> ExitCode {
             }
         }
     }
-    let request = format!("{{{}}}", fields.join(","));
+    let request = match raw {
+        Some(line) => line,
+        None => format!("{{{}}}", fields.join(",")),
+    };
     let response = (|| -> std::io::Result<String> {
         let mut stream = TcpStream::connect(&addr)?;
         stream.write_all(request.as_bytes())?;
