@@ -18,12 +18,13 @@
 //!
 //! When a durable [`ShardedStore`] is attached (via [`ObjectDb::open`]
 //! or [`ObjectDb::from_store`]), every mutation is mirrored into the
-//! store as one or more *shard-local* operations before the in-memory
-//! maps change, so the WAL always leads the materialized state and
-//! recovery replays to exactly the acknowledged prefix. Compound
-//! mutations are expanded here: a `link` becomes two `Link` ops (the
-//! relation and its inverse), a `delete` becomes one `Unlink` per
-//! severed pair plus a `RemoveObject`.
+//! store before the in-memory maps change, so the WAL always leads the
+//! materialized state and recovery replays to exactly the acknowledged
+//! prefix. Compound mutations commit as a single atomic
+//! [`StoreOp::Batch`] (one WAL frame): a `link` batches the relation
+//! with its inverse, a `delete` batches one `Unlink` per severed pair
+//! with the `RemoveObject` — so a crash can never persist a forward
+//! link whose inverse is missing, or a half-severed object.
 
 use crate::error::{ObjDbError, Result};
 use crate::value::{Oid, Value};
@@ -327,6 +328,25 @@ impl ObjectDb {
     fn log(&mut self, op: &StoreOp) -> Result<()> {
         if let Some(store) = &self.store {
             store.apply(op)?;
+        }
+        self.touch();
+        Ok(())
+    }
+
+    /// Mirror a compound mutation into the attached store as a single
+    /// atomic [`StoreOp::Batch`] — one WAL frame, so a crash persists
+    /// either every component or none. Bumps the cache epoch once.
+    fn log_batch(&mut self, ops: Vec<StoreOp>) -> Result<()> {
+        if let Some(store) = &self.store {
+            match ops.len() {
+                0 => {}
+                1 => {
+                    store.apply(&ops[0])?;
+                }
+                _ => {
+                    store.apply(&StoreOp::Batch { ops })?;
+                }
+            }
         }
         self.touch();
         Ok(())
@@ -638,18 +658,19 @@ impl ObjectDb {
                 }
             }
         }
-        self.log(&StoreOp::Link {
+        let mut ops = vec![StoreOp::Link {
             pred: pred.clone(),
             from: from.0,
             to: to.0,
-        })?;
+        }];
         if let Some(inv) = &inv_pred {
-            self.log(&StoreOp::Link {
+            ops.push(StoreOp::Link {
                 pred: inv.clone(),
                 from: to.0,
                 to: from.0,
-            })?;
+            });
         }
+        self.log_batch(ops)?;
         self.links.entry(pred.clone()).or_default().push((from, to));
         self.link_sets.entry(pred).or_default().insert((from, to));
         if let Some(inv) = inv_pred {
@@ -695,18 +716,19 @@ impl ObjectDb {
             .get(&pred)
             .is_some_and(|s| s.contains(&(from, to)));
         if existed {
-            self.log(&StoreOp::Unlink {
+            let mut ops = vec![StoreOp::Unlink {
                 pred: pred.clone(),
                 from: from.0,
                 to: to.0,
-            })?;
+            }];
             if let Some(inv) = &inv_pred {
-                self.log(&StoreOp::Unlink {
+                ops.push(StoreOp::Unlink {
                     pred: inv.clone(),
                     from: to.0,
                     to: from.0,
-                })?;
+                });
             }
+            self.log_batch(ops)?;
             if let Some(s) = self.link_sets.get_mut(&pred) {
                 s.remove(&(from, to));
             }
@@ -734,8 +756,9 @@ impl ObjectDb {
         if !self.objects.contains_key(&oid) {
             return Err(ObjDbError::UnknownObject { oid: oid.0 });
         }
-        // Expand into shard-local store ops: one Unlink per severed
-        // pair (inverse pairs are their own entries), then the removal.
+        // Expand into shard-local store ops — one Unlink per severed
+        // pair (inverse pairs are their own entries), then the removal
+        // — committed as one atomic batch frame.
         let mut severed: Vec<(String, Oid, Oid)> = Vec::new();
         for (pred, pairs) in &self.links {
             for (f, t) in pairs {
@@ -744,14 +767,16 @@ impl ObjectDb {
                 }
             }
         }
-        for (pred, f, t) in &severed {
-            self.log(&StoreOp::Unlink {
+        let mut ops: Vec<StoreOp> = severed
+            .iter()
+            .map(|(pred, f, t)| StoreOp::Unlink {
                 pred: pred.clone(),
                 from: f.0,
                 to: t.0,
-            })?;
-        }
-        self.log(&StoreOp::RemoveObject { oid: oid.0 })?;
+            })
+            .collect();
+        ops.push(StoreOp::RemoveObject { oid: oid.0 });
+        self.log_batch(ops)?;
         for v in self.extents.values_mut() {
             v.retain(|o| *o != oid);
         }

@@ -325,6 +325,48 @@ fn delete_is_durable() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Compound mutations are crash-atomic: a `link` (relation + inverse)
+/// and a `delete` (unlink sweep + removal) each commit as exactly ONE
+/// WAL frame, so no crash point can persist a forward link whose
+/// inverse is missing, or a half-severed object.
+#[test]
+fn link_and_delete_commit_as_single_wal_frames() {
+    let dir = test_dir("compound_atomic");
+    let (s, sec) = {
+        let mut db = ObjectDb::open(university_schema(), &dir, 4).unwrap();
+        let s = db.create("Student", vec![]).unwrap();
+        let sec = db.create("Section", vec![]).unwrap();
+        (s, sec)
+    };
+    let frames = |dir: &PathBuf| {
+        let db = ObjectDb::open(university_schema(), dir, 4).unwrap();
+        db.store().unwrap().recover_report().wal_records_replayed
+    };
+    let base = frames(&dir);
+    {
+        let mut db = ObjectDb::open(university_schema(), &dir, 4).unwrap();
+        db.link(s, "takes", sec).unwrap();
+    }
+    assert_eq!(frames(&dir), base + 1, "link + inverse must be one frame");
+    {
+        let db = ObjectDb::open(university_schema(), &dir, 4).unwrap();
+        assert_eq!(db.linked(sec, "taken_by").unwrap(), vec![s]);
+    }
+    {
+        let mut db = ObjectDb::open(university_schema(), &dir, 4).unwrap();
+        db.delete(s).unwrap();
+    }
+    assert_eq!(
+        frames(&dir),
+        base + 2,
+        "delete's unlinks + removal must be one frame"
+    );
+    let back = ObjectDb::open(university_schema(), &dir, 4).unwrap();
+    assert!(back.get(s).is_none());
+    assert!(back.linked(sec, "taken_by").unwrap().is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Re-opening with a different shard count re-distributes cleanly.
 #[test]
 fn reshard_on_reopen_preserves_answers() {

@@ -390,14 +390,21 @@ fn session_with_data(
 }
 
 /// Convert a scalar JSON attribute value to an object-base value.
-/// Whole numbers become `Int` (the executor coerces to `Real` where
-/// the schema declares a float); OIDs must be sent as `{"oid":N}`.
+/// Whole numbers within `i64` range become `Int` (the object layer
+/// coerces to `Real` where the schema declares a float); whole numbers
+/// beyond `i64` range stay `Real` rather than silently saturating;
+/// OIDs must be sent as `{"oid":N}`.
 fn json_to_value(v: &Json) -> Result<sqo_objdb::Value, ServeError> {
     use sqo_objdb::{Oid, Value};
+    // Exact f64 bounds of i64: -2^63 is representable, 2^63 is the
+    // first whole value that is not (as i64::MAX rounds up to it).
+    const I64_MIN_F: f64 = i64::MIN as f64;
     Ok(match v {
         Json::Bool(b) => Value::Bool(*b),
         Json::Str(s) => Value::Str(s.clone()),
-        Json::Num(n) if n.fract() == 0.0 => Value::Int(*n as i64),
+        Json::Num(n) if n.fract() == 0.0 && *n >= I64_MIN_F && *n < -I64_MIN_F => {
+            Value::Int(*n as i64)
+        }
         Json::Num(n) => Value::Real(*n),
         Json::Obj(m) => match m.get("oid").and_then(Json::as_u64) {
             Some(oid) if m.len() == 1 => Value::Obj(Oid(oid)),

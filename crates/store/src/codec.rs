@@ -83,6 +83,10 @@ impl Writer {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
     pub fn value(&mut self, v: &StoreValue) {
         match v {
             StoreValue::Int(i) => {
@@ -142,6 +146,10 @@ impl<'a> Reader<'a> {
 
     pub fn u8(&mut self, what: &str) -> Result<u8> {
         Ok(self.take(1, what)?[0])
+    }
+
+    pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8]> {
+        self.take(n, what)
     }
 
     pub fn u32(&mut self, what: &str) -> Result<u32> {

@@ -17,9 +17,12 @@
 //!   lockable `RwLock<Arc<ShardData>>`, so concurrent writers touching
 //!   different shards never contend.
 //! * **Durability** ([`wal`], [`snapshot`]) — every mutation is a
-//!   shard-local [`StoreOp`] appended to the owning shard's
-//!   write-ahead log (length-prefixed, CRC-32-checksummed records)
-//!   *before* the in-memory state changes; [`ShardedStore::persist`]
+//!   [`StoreOp`] validated against the owning shard and then appended
+//!   to that shard's write-ahead log (length-prefixed,
+//!   CRC-32-checksummed records) *before* the in-memory state changes;
+//!   compound mutations commit as a single atomic [`StoreOp::Batch`]
+//!   frame, so a crash persists all of one or none of it;
+//!   [`ShardedStore::persist`]
 //!   folds the state into a compact versioned binary snapshot and
 //!   truncates the logs. Recovery = load the latest snapshot + replay
 //!   the WAL tails in generation order; torn or corrupt tail records

@@ -2,12 +2,13 @@
 //!
 //! Every mutation of the store is expressed as a [`StoreOp`] — the unit
 //! that is appended to the write-ahead log and applied to the in-memory
-//! shard state. Ops are deliberately *shard-local*: each one touches the
-//! state of exactly one shard (the shard owning `oid` / `from`), so a
-//! per-shard WAL replayed in order reconstructs that shard exactly.
-//! Compound mutations (linking an inverse pair, deleting an object and
-//! severing its links) are expanded by the caller into several
-//! shard-local ops.
+//! shard state. Simple ops are deliberately *shard-local*: each one
+//! touches the state of exactly one shard (the shard owning `oid` /
+//! `from`), so a per-shard WAL replayed in order reconstructs that
+//! shard exactly. Compound mutations (linking an inverse pair, deleting
+//! an object and severing its links) are expressed as a single
+//! [`StoreOp::Batch`] of shard-local components — one WAL frame, so a
+//! crash can never persist half of a compound mutation.
 
 use crate::codec::{Reader, Writer};
 use crate::error::{Result, StoreError};
@@ -86,6 +87,16 @@ pub enum StoreOp {
         /// Relationship member names along the path.
         path: Vec<String>,
     },
+    /// A compound mutation: shard-local component ops that commit
+    /// atomically as **one** WAL frame. A crash either persists the
+    /// whole batch or none of it — never a forward link without its
+    /// inverse, never an unlink sweep without its object removal.
+    /// Components may span shards; nesting and store-global ops
+    /// (`DefineAsr`) are rejected.
+    Batch {
+        /// The component ops, applied in order.
+        ops: Vec<StoreOp>,
+    },
 }
 
 const TAG_PUT_OBJECT: u8 = 1;
@@ -94,10 +105,13 @@ const TAG_LINK: u8 = 3;
 const TAG_UNLINK: u8 = 4;
 const TAG_REMOVE_OBJECT: u8 = 5;
 const TAG_DEFINE_ASR: u8 = 6;
+const TAG_BATCH: u8 = 7;
 
 impl StoreOp {
     /// The OID whose hash selects the owning shard. Store-global ops
-    /// (ASR definitions) return `None` and live on shard 0.
+    /// (ASR definitions) return `None` and live on shard 0; a batch
+    /// reports its first component's key (it is *logged* on that shard
+    /// but applied to every shard its components touch).
     pub fn shard_key(&self) -> Option<u64> {
         match self {
             StoreOp::PutObject { oid, .. }
@@ -105,6 +119,7 @@ impl StoreOp {
             | StoreOp::RemoveObject { oid } => Some(*oid),
             StoreOp::Link { from, .. } | StoreOp::Unlink { from, .. } => Some(*from),
             StoreOp::DefineAsr { .. } => None,
+            StoreOp::Batch { ops } => ops.first().and_then(StoreOp::shard_key),
         }
     }
 
@@ -151,6 +166,15 @@ impl StoreOp {
                 w.u32(path.len() as u32);
                 for p in path {
                     w.str(p);
+                }
+            }
+            StoreOp::Batch { ops } => {
+                w.u8(TAG_BATCH);
+                w.u32(ops.len() as u32);
+                for op in ops {
+                    let bytes = op.encode();
+                    w.u32(bytes.len() as u32);
+                    w.bytes(&bytes);
                 }
             }
         }
@@ -200,6 +224,21 @@ impl StoreOp {
                     path.push(r.str("asr path segment")?);
                 }
                 StoreOp::DefineAsr { name, class, path }
+            }
+            TAG_BATCH => {
+                let n = r.u32("batch op count")?;
+                let mut ops = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let len = r.u32("batch op length")? as usize;
+                    let op = StoreOp::decode(r.bytes(len, "batch op bytes")?)?;
+                    if matches!(op, StoreOp::Batch { .. } | StoreOp::DefineAsr { .. }) {
+                        return Err(StoreError::Corrupt {
+                            detail: "batch component must be a shard-local op".into(),
+                        });
+                    }
+                    ops.push(op);
+                }
+                StoreOp::Batch { ops }
             }
             tag => {
                 return Err(StoreError::Corrupt {
@@ -254,6 +293,20 @@ mod tests {
                 class: "Student".into(),
                 path: vec!["takes".into(), "is_section_of".into()],
             },
+            StoreOp::Batch {
+                ops: vec![
+                    StoreOp::Link {
+                        pred: "takes".into(),
+                        from: 1,
+                        to: 2,
+                    },
+                    StoreOp::Link {
+                        pred: "taken_by".into(),
+                        from: 2,
+                        to: 1,
+                    },
+                ],
+            },
         ]
     }
 
@@ -282,5 +335,23 @@ mod tests {
         assert_eq!(ops[0].shard_key(), Some(7));
         assert_eq!(ops[2].shard_key(), Some(1));
         assert_eq!(ops[5].shard_key(), None);
+        // A batch reports its first component's key (the WAL it logs to).
+        assert_eq!(ops[6].shard_key(), Some(1));
+    }
+
+    #[test]
+    fn batch_decode_rejects_non_local_components() {
+        let nested = StoreOp::Batch {
+            ops: vec![StoreOp::Batch { ops: vec![] }],
+        };
+        assert!(StoreOp::decode(&nested.encode()).is_err());
+        let global = StoreOp::Batch {
+            ops: vec![StoreOp::DefineAsr {
+                name: "v".into(),
+                class: "C".into(),
+                path: vec![],
+            }],
+        };
+        assert!(StoreOp::decode(&global.encode()).is_err());
     }
 }

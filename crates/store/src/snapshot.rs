@@ -51,7 +51,8 @@ pub struct SnapshotData {
 }
 
 /// Serialize a snapshot and atomically replace `path` (write to a
-/// sibling temp file, fsync, rename). Returns the bytes written.
+/// sibling temp file, fsync, rename, fsync the parent directory so the
+/// replacement is durable). Returns the bytes written.
 pub fn write_snapshot(path: &Path, data: &SnapshotData) -> Result<u64> {
     let mut w = Writer::new();
     w.u8(SNAPSHOT_MAGIC[0]);
@@ -111,6 +112,14 @@ pub fn write_snapshot(path: &Path, data: &SnapshotData) -> Result<u64> {
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
+    // Fsync the parent directory so the rename itself is durable before
+    // the caller truncates any WAL: without this, power loss could
+    // surface the old snapshot alongside already-emptied logs, losing
+    // acknowledged writes.
+    #[cfg(unix)]
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        std::fs::File::open(parent)?.sync_all()?;
+    }
     Ok(bytes.len() as u64)
 }
 

@@ -220,6 +220,13 @@ impl ShardedStore {
             }
             records.sort_by_key(|(gen, _)| *gen);
             report.wal_records_replayed = records.len();
+            let replay_one =
+                |shard_data: &mut Vec<ShardData>, op: &StoreOp, gen: u64| -> Result<()> {
+                    let idx = shard_index(op.shard_key().expect("shard-local op"), n_shards);
+                    apply_to_shard(&mut shard_data[idx], op, gen)?;
+                    shard_data[idx].generation = shard_data[idx].generation.max(gen);
+                    Ok(())
+                };
             for (gen, op) in records {
                 match &op {
                     StoreOp::DefineAsr { name, class, path } => asrs.push(AsrRecord {
@@ -227,11 +234,19 @@ impl ShardedStore {
                         class: class.clone(),
                         path: path.clone(),
                     }),
-                    _ => {
-                        let idx = shard_index(op.shard_key().expect("shard-local op"), n_shards);
-                        apply_to_shard(&mut shard_data[idx], &op, gen)?;
-                        shard_data[idx].generation = gen;
+                    // A batch frame carries its base generation; its
+                    // components were assigned base..base+n.
+                    StoreOp::Batch { ops } => {
+                        for (i, comp) in ops.iter().enumerate() {
+                            let g = gen + i as u64;
+                            replay_one(&mut shard_data, comp, g)?;
+                            if let StoreOp::PutObject { oid, .. } = comp {
+                                next_oid = next_oid.max(oid + 1);
+                            }
+                            generation = generation.max(g);
+                        }
                     }
+                    _ => replay_one(&mut shard_data, &op, gen)?,
                 }
                 if let StoreOp::PutObject { oid, .. } = &op {
                     next_oid = next_oid.max(oid + 1);
@@ -309,10 +324,15 @@ impl ShardedStore {
         self.next_oid.fetch_max(next, Ordering::SeqCst);
     }
 
-    /// Apply one mutation: append it to the owning shard's WAL, then
-    /// mutate that shard copy-on-write. Returns the generation assigned
-    /// to the mutation. Only the owning shard is locked.
+    /// Apply one mutation: validate it against the owning shard, append
+    /// it to that shard's WAL, then mutate the shard copy-on-write.
+    /// Returns the generation assigned to the mutation (the last
+    /// component's for a [`StoreOp::Batch`]). Only the owning shard is
+    /// locked (a batch locks every shard its components touch).
     pub fn apply(&self, op: &StoreOp) -> Result<u64> {
+        if let StoreOp::Batch { ops } = op {
+            return self.apply_batch(op, ops);
+        }
         let idx = op.shard_key().map(|k| shard_index(k, self.shards.len()));
         let shard = &self.shards[idx.unwrap_or(0)];
         let wait = Instant::now();
@@ -321,6 +341,15 @@ impl ShardedStore {
             Counter::StoreShardLockWaitNs,
             wait.elapsed().as_nanos() as u64,
         );
+        // Validate against the locked shard *before* the WAL append: an
+        // op that cannot apply must never be durably logged, or every
+        // future recovery would replay the same failure and the store
+        // could no longer open.
+        if !matches!(op, StoreOp::DefineAsr { .. }) {
+            precheck_ops(std::slice::from_ref(op), |oid| {
+                data.objects.contains_key(&oid)
+            })?;
+        }
         let gen = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
         if let Some(wal) = shard.wal.lock().expect("wal lock").as_mut() {
             wal.append(gen, &op.encode())?;
@@ -345,6 +374,70 @@ impl ShardedStore {
         Ok(gen)
     }
 
+    /// Apply a compound mutation atomically: the whole batch is framed
+    /// as **one** WAL record (on the first component's shard) and
+    /// applied under the write locks of every shard it touches, so a
+    /// crash persists either the whole batch or none of it — never a
+    /// forward link without its inverse.
+    fn apply_batch(&self, batch: &StoreOp, ops: &[StoreOp]) -> Result<u64> {
+        let n_shards = self.shards.len();
+        if ops.is_empty() {
+            return Err(StoreError::Invalid {
+                detail: "empty batch".into(),
+            });
+        }
+        let mut indices = Vec::with_capacity(ops.len());
+        for op in ops {
+            match op.shard_key() {
+                Some(k) if !matches!(op, StoreOp::Batch { .. }) => {
+                    indices.push(shard_index(k, n_shards));
+                }
+                _ => {
+                    return Err(StoreError::Invalid {
+                        detail: "batch component must be a shard-local op".into(),
+                    })
+                }
+            }
+        }
+        // Lock involved shards in ascending index order — the same
+        // order `persist` uses — so batches and snapshots never
+        // deadlock against each other.
+        let mut locked: Vec<usize> = indices.clone();
+        locked.sort_unstable();
+        locked.dedup();
+        let wait = Instant::now();
+        let mut guards: BTreeMap<usize, std::sync::RwLockWriteGuard<'_, Arc<ShardData>>> = locked
+            .iter()
+            .map(|&i| (i, self.shards[i].data.write().expect("shard lock")))
+            .collect();
+        add(
+            Counter::StoreShardLockWaitNs,
+            wait.elapsed().as_nanos() as u64,
+        );
+        // Validate the whole batch before anything reaches a WAL
+        // (sequencing within the batch honored via an overlay).
+        precheck_ops(ops, |oid| {
+            guards[&shard_index(oid, n_shards)].objects.contains_key(&oid)
+        })?;
+        // One generation per component; the frame is stamped with the
+        // base so recovery can re-derive each component's generation.
+        let base = self.generation.fetch_add(ops.len() as u64, Ordering::SeqCst) + 1;
+        if let Some(wal) = self.shards[indices[0]].wal.lock().expect("wal lock").as_mut() {
+            wal.append(base, &batch.encode())?;
+        }
+        for (i, op) in ops.iter().enumerate() {
+            let gen = base + i as u64;
+            let guard = guards.get_mut(&indices[i]).expect("shard locked above");
+            let state = Arc::make_mut(&mut *guard);
+            apply_to_shard(state, op, gen)?;
+            state.generation = gen;
+            if let StoreOp::PutObject { oid, .. } = op {
+                self.bump_next_oid(oid + 1);
+            }
+        }
+        Ok(base + ops.len() as u64 - 1)
+    }
+
     /// Pin a read view. Cheap: clones one `Arc` per shard under brief
     /// read locks. The view stays valid at its generation for as long
     /// as it lives; writers proceed copy-on-write.
@@ -360,11 +453,16 @@ impl ShardedStore {
             wait.elapsed().as_nanos() as u64,
         );
         let shards: Vec<Arc<ShardData>> = guards.iter().map(|g| Arc::clone(g)).collect();
+        // Capture the OID watermark and ASR set while the shard guards
+        // are still held: no writer can be mid-apply, so the view is a
+        // consistent cut of shard state, allocator, and definitions.
+        let next_oid = self.next_oid.load(Ordering::SeqCst);
+        let view_asrs = self.asrs.lock().expect("asr lock").clone();
         drop(guards);
         StoreView {
             generation: shards.iter().map(|s| s.generation).max().unwrap_or(0),
-            next_oid: self.next_oid.load(Ordering::SeqCst),
-            asrs: self.asrs.lock().expect("asr lock").clone(),
+            next_oid,
+            asrs: view_asrs,
             shards,
         }
     }
@@ -441,6 +539,47 @@ impl ShardedStore {
     }
 }
 
+/// Validate shard-local ops against current object existence *before*
+/// anything reaches a WAL, mirroring exactly the failure modes of
+/// [`apply_to_shard`]. Within a sequence the overlay honors ordering: a
+/// `PutObject` earlier in a batch satisfies a later `SetAttr`, a
+/// `RemoveObject` invalidates later references.
+fn precheck_ops(ops: &[StoreOp], exists: impl Fn(u64) -> bool) -> Result<()> {
+    let mut overlay: HashMap<u64, bool> = HashMap::new();
+    let alive = |oid: u64, overlay: &HashMap<u64, bool>| {
+        overlay.get(&oid).copied().unwrap_or_else(|| exists(oid))
+    };
+    for op in ops {
+        match op {
+            StoreOp::PutObject { oid, .. } => {
+                overlay.insert(*oid, true);
+            }
+            StoreOp::SetAttr { oid, .. } => {
+                if !alive(*oid, &overlay) {
+                    return Err(StoreError::Invalid {
+                        detail: format!("SetAttr on unknown OID {oid}"),
+                    });
+                }
+            }
+            StoreOp::RemoveObject { oid } => {
+                if !alive(*oid, &overlay) {
+                    return Err(StoreError::Invalid {
+                        detail: format!("RemoveObject on unknown OID {oid}"),
+                    });
+                }
+                overlay.insert(*oid, false);
+            }
+            StoreOp::Link { .. } | StoreOp::Unlink { .. } => {}
+            StoreOp::DefineAsr { .. } | StoreOp::Batch { .. } => {
+                return Err(StoreError::Invalid {
+                    detail: "precheck expects shard-local ops".into(),
+                })
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Apply a shard-local op to a shard's state. `gen` stamps new link
 /// entries so cross-shard insertion order is reconstructible.
 fn apply_to_shard(state: &mut ShardData, op: &StoreOp, gen: u64) -> Result<()> {
@@ -487,9 +626,9 @@ fn apply_to_shard(state: &mut ShardData, op: &StoreOp, gen: u64) -> Result<()> {
                     detail: format!("RemoveObject on unknown OID {oid}"),
                 })?;
         }
-        StoreOp::DefineAsr { .. } => {
+        StoreOp::DefineAsr { .. } | StoreOp::Batch { .. } => {
             return Err(StoreError::Invalid {
-                detail: "DefineAsr is store-global, not shard-local".into(),
+                detail: "op is not shard-local".into(),
             })
         }
     }
@@ -844,5 +983,153 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, StoreError::Invalid { .. }));
+    }
+
+    #[test]
+    fn invalid_op_is_never_durably_logged() {
+        let dir = test_dir("store_invalid_not_logged");
+        {
+            let store = ShardedStore::open(&dir, 2).unwrap();
+            store.apply(&put(1, "Person", 1)).unwrap();
+            let err = store
+                .apply(&StoreOp::SetAttr {
+                    oid: 42,
+                    attr: "age".into(),
+                    value: StoreValue::Int(1),
+                })
+                .unwrap_err();
+            assert!(matches!(err, StoreError::Invalid { .. }));
+            let err = store.apply(&StoreOp::RemoveObject { oid: 42 }).unwrap_err();
+            assert!(matches!(err, StoreError::Invalid { .. }));
+        }
+        // The rejected ops never reached a WAL: recovery replays only
+        // the valid record and the store opens cleanly — an invalid op
+        // must not make a durable store unrecoverable.
+        let store = ShardedStore::open(&dir, 2).unwrap();
+        assert_eq!(store.recover_report().wal_records_replayed, 1);
+        assert_eq!(store.view().object_count(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn knows_both_ways() -> StoreOp {
+        StoreOp::Batch {
+            ops: vec![
+                StoreOp::Link {
+                    pred: "knows".into(),
+                    from: 1,
+                    to: 2,
+                },
+                StoreOp::Link {
+                    pred: "known_by".into(),
+                    from: 2,
+                    to: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn batch_is_one_frame_and_recovers_atomically() {
+        let dir = test_dir("store_batch");
+        {
+            let store = ShardedStore::open(&dir, 4).unwrap();
+            store.apply(&put(1, "Person", 1)).unwrap();
+            store.apply(&put(2, "Person", 2)).unwrap();
+            // Two components get generations 3 and 4; apply returns the last.
+            assert_eq!(store.apply(&knows_both_ways()).unwrap(), 4);
+            assert_eq!(store.generation(), 4);
+        }
+        let store = ShardedStore::open(&dir, 4).unwrap();
+        // Two puts plus ONE batch frame.
+        assert_eq!(store.recover_report().wal_records_replayed, 3);
+        assert_eq!(store.generation(), 4);
+        let view = store.view();
+        assert_eq!(view.links_by_pred()["knows"], vec![(1, 2)]);
+        assert_eq!(view.links_by_pred()["known_by"], vec![(2, 1)]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_batch_drops_whole_compound_mutation() {
+        let dir = test_dir("store_batch_torn");
+        {
+            let store = ShardedStore::open(&dir, 1).unwrap();
+            store.apply(&put(1, "Person", 1)).unwrap();
+            store.apply(&put(2, "Person", 2)).unwrap();
+            store.apply(&knows_both_ways()).unwrap();
+        }
+        // Tear the tail mid-batch-frame: the whole compound mutation
+        // vanishes — never a forward link without its inverse.
+        let wal = wal_path(&dir, 0);
+        let len = std::fs::metadata(&wal).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .unwrap()
+            .set_len(len - 3)
+            .unwrap();
+        let store = ShardedStore::open(&dir, 1).unwrap();
+        let view = store.view();
+        assert_eq!(view.object_count(), 2);
+        assert!(view.links_by_pred().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn batch_validates_before_logging() {
+        let dir = test_dir("store_batch_invalid");
+        {
+            let store = ShardedStore::open(&dir, 2).unwrap();
+            store.apply(&put(1, "Person", 1)).unwrap();
+            // A batch with one invalid component is rejected whole,
+            // before anything reaches a WAL.
+            let err = store
+                .apply(&StoreOp::Batch {
+                    ops: vec![
+                        StoreOp::Link {
+                            pred: "knows".into(),
+                            from: 1,
+                            to: 2,
+                        },
+                        StoreOp::SetAttr {
+                            oid: 99,
+                            attr: "age".into(),
+                            value: StoreValue::Int(1),
+                        },
+                    ],
+                })
+                .unwrap_err();
+            assert!(matches!(err, StoreError::Invalid { .. }));
+            assert!(store.view().links_by_pred().is_empty());
+            // Sequencing within a batch: an earlier put satisfies a
+            // later set on the same (new) OID.
+            store
+                .apply(&StoreOp::Batch {
+                    ops: vec![
+                        put(7, "Person", 7),
+                        StoreOp::SetAttr {
+                            oid: 7,
+                            attr: "age".into(),
+                            value: StoreValue::Int(8),
+                        },
+                    ],
+                })
+                .unwrap();
+            // Empty and nested batches are invalid.
+            assert!(store.apply(&StoreOp::Batch { ops: vec![] }).is_err());
+            assert!(store
+                .apply(&StoreOp::Batch {
+                    ops: vec![StoreOp::Batch {
+                        ops: vec![put(9, "Person", 9)]
+                    }],
+                })
+                .is_err());
+        }
+        let store = ShardedStore::open(&dir, 2).unwrap();
+        let view = store.view();
+        assert_eq!(view.object_count(), 2);
+        assert_eq!(view.object(7).unwrap().attrs["age"], StoreValue::Int(8));
+        assert!(view.links_by_pred().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
