@@ -20,9 +20,18 @@
 //!   the shed rate and the p99 of the *accepted* requests, which bounded
 //!   admission keeps flat instead of letting queueing delay grow without
 //!   bound.
+//!
+//! Both shapes run under either connection multiplexer
+//! ([`LoadConfig::with_mode`]): the `serve/p50_threaded` /
+//! `serve/p99_threaded` manifest rows are the warm phase replayed on
+//! the thread-per-connection ablation. [`LoadConfig::pipelined`] makes
+//! each client write a whole window of requests before reading, which
+//! exercises the event loop's drain-all-complete-frames batching; it
+//! widens the queue to fit every window so batching is measured
+//! without shedding.
 
 use sqo_obs as obs;
-use sqo_service::{Server, ServerConfig, SessionRegistry, SessionSpec};
+use sqo_service::{ServeMode, Server, ServerConfig, SessionRegistry, SessionSpec};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -44,6 +53,14 @@ pub struct LoadConfig {
     /// Execute the chosen plan against the bound university base (makes
     /// each request do real evaluation work instead of pure optimization).
     pub execute: bool,
+    /// Connection multiplexing strategy of the server under load (the
+    /// event loop, or the thread-per-connection ablation).
+    pub mode: ServeMode,
+    /// Requests each client writes back-to-back before reading any
+    /// response (1 = strict request/response lock-step). Latency is
+    /// measured per response from the batch write, so pipelined numbers
+    /// include the wait behind the client's own earlier requests.
+    pub pipeline_depth: usize,
 }
 
 impl LoadConfig {
@@ -56,7 +73,26 @@ impl LoadConfig {
             clients: workers,
             requests_per_client,
             execute: false,
+            mode: ServeMode::EventLoop,
+            pipeline_depth: 1,
         }
+    }
+
+    /// The same phase against the other connection multiplexer (used
+    /// for the `serve/p50_threaded` / `serve/p99_threaded` ablation
+    /// rows).
+    pub fn with_mode(mut self, mode: ServeMode) -> LoadConfig {
+        self.mode = mode;
+        self
+    }
+
+    /// The same phase with each client pipelining `depth` requests per
+    /// window. The queue is widened so a full window from every client
+    /// still fits: pipelining measures batching, not shedding.
+    pub fn pipelined(mut self, depth: usize) -> LoadConfig {
+        self.pipeline_depth = depth.max(1);
+        self.queue_capacity = self.queue_capacity.max(self.clients * self.pipeline_depth);
+        self
     }
 
     /// The overload phase: ten clients for every slot the server has
@@ -73,6 +109,8 @@ impl LoadConfig {
             clients: 10 * (workers + queue_capacity),
             requests_per_client,
             execute: true,
+            mode: ServeMode::EventLoop,
+            pipeline_depth: 1,
         }
     }
 }
@@ -153,6 +191,7 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
             workers: cfg.workers,
             queue_capacity: cfg.queue_capacity,
             default_timeout_ms: 60_000,
+            mode: cfg.mode,
             ..ServerConfig::default()
         },
         registry,
@@ -212,28 +251,40 @@ fn client_loop(addr: SocketAddr, client: usize, cfg: &LoadConfig) -> LoadReport 
     } else {
         ""
     };
-    for i in 0..cfg.requests_per_client {
+    let depth = cfg.pipeline_depth.max(1);
+    let mut i = 0;
+    while i < cfg.requests_per_client {
+        let window = depth.min(cfg.requests_per_client - i);
         // Distinct constants, one canonical template: cache hits after
         // the first sighting, like a parameterized production workload.
-        let age = 20 + (client * 7 + i) % 15;
-        let line = format!(
-            r#"{{"op":"query","oql":"select x.name from x in Person where x.age < {age}"{exec}}}"#
-        );
-        let t0 = std::time::Instant::now();
-        writeln!(stream, "{line}").expect("client write");
-        stream.flush().expect("client flush");
-        let mut resp = String::new();
-        reader.read_line(&mut resp).expect("client read");
-        let elapsed_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        report.sent += 1;
-        if resp.contains(r#""ok":true"#) || resp.contains(r#""ok": true"#) {
-            report.ok += 1;
-            report.hist.record(elapsed_ns);
-        } else if resp.contains("overloaded") {
-            report.shed += 1;
-        } else {
-            report.other_errors += 1;
+        // The whole window goes out in one write, so a depth > 1 client
+        // exercises the server's drain-all-complete-frames batching.
+        let mut batch = String::new();
+        for j in 0..window {
+            let age = 20 + (client * 7 + i + j) % 15;
+            batch.push_str(&format!(
+                r#"{{"op":"query","oql":"select x.name from x in Person where x.age < {age}"{exec}}}"#
+            ));
+            batch.push('\n');
         }
+        let t0 = std::time::Instant::now();
+        stream.write_all(batch.as_bytes()).expect("client write");
+        stream.flush().expect("client flush");
+        for _ in 0..window {
+            let mut resp = String::new();
+            reader.read_line(&mut resp).expect("client read");
+            let elapsed_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            report.sent += 1;
+            if resp.contains(r#""ok":true"#) || resp.contains(r#""ok": true"#) {
+                report.ok += 1;
+                report.hist.record(elapsed_ns);
+            } else if resp.contains("overloaded") {
+                report.shed += 1;
+            } else {
+                report.other_errors += 1;
+            }
+        }
+        i += window;
     }
     report
 }
@@ -263,6 +314,27 @@ mod tests {
         let p50 = report.p50_ns().expect("quantiles exist");
         let p99 = report.p99_ns().expect("quantiles exist");
         assert!(p50 > 0 && p99 >= p50);
+    }
+
+    #[test]
+    fn threaded_ablation_answers_everything() {
+        let report = run(&LoadConfig::warm(2, 10).with_mode(ServeMode::Threaded));
+        assert_eq!(report.sent, 20);
+        assert_eq!(report.ok, 20);
+        assert_eq!(report.shed + report.other_errors, 0);
+    }
+
+    #[test]
+    fn pipelined_windows_never_shed_and_answer_in_full() {
+        let report = run(&LoadConfig::warm(2, 24).pipelined(8));
+        assert_eq!(report.sent, 48);
+        assert_eq!(report.ok, 48);
+        assert_eq!(
+            report.shed, 0,
+            "pipelined() widens the queue to fit every window"
+        );
+        assert_eq!(report.other_errors, 0);
+        assert_eq!(report.hist.count(), 48);
     }
 
     #[test]

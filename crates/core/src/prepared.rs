@@ -92,13 +92,25 @@ struct CacheEntry {
 /// A bounded, invalidation-aware cache of Step-3 search outcomes keyed
 /// by [`Query::canonical_template`] fingerprints.
 ///
-/// Thread-safe; share one per prepared schema. [`PlanCache::invalidate`]
-/// bumps the generation and drops every entry — call it whenever the
-/// constraint set changes (the service does this on IC reload).
+/// Thread-safe; share one per prepared schema. Entries live in
+/// `shard_count()` independently locked shards selected by template
+/// hash, so concurrent warm lookups of *different* templates never
+/// contend on a common mutex (the serving event loop's workers hit this
+/// path on every cached query). The observable behaviour is that of the
+/// former single-map cache: `len()` sums the shards, and the
+/// `plan_cache.*` counters are bumped exactly as before, so per-shard
+/// stats always sum to the old global totals.
+///
+/// [`PlanCache::invalidate`] bumps the generation and drops every entry
+/// in every shard — call it whenever the constraint set changes (the
+/// service does this on IC reload).
 pub struct PlanCache {
-    entries: Mutex<HashMap<u64, CacheEntry>>,
+    shards: Box<[Mutex<HashMap<u64, CacheEntry>>]>,
+    /// `shards.len() - 1`; shard count is always a power of two.
+    shard_mask: u64,
     generation: AtomicU64,
-    capacity: usize,
+    /// Per-shard entry budget (total capacity / shard count).
+    shard_capacity: usize,
 }
 
 impl Default for PlanCache {
@@ -107,20 +119,57 @@ impl Default for PlanCache {
     }
 }
 
+/// Default shard count: enough that a worker pool in the tens never
+/// queues on one lock, small enough that `len()`/`invalidate()` stay
+/// cheap.
+const DEFAULT_SHARDS: usize = 16;
+
 impl PlanCache {
-    /// A cache holding up to 4096 templates.
+    /// A cache holding up to 4096 templates across 16 shards.
     pub fn new() -> Self {
         PlanCache::with_capacity(4096)
     }
 
-    /// A cache holding up to `capacity` templates; when full, an
-    /// arbitrary entry is evicted per insertion.
+    /// A cache holding up to `capacity` templates; when a shard is full,
+    /// an arbitrary entry of that shard is evicted per insertion.
     pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (rounded up to a power of
+    /// two) splitting `capacity` evenly.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, 1 << 16).next_power_of_two();
+        let capacity = capacity.max(1);
         PlanCache {
-            entries: Mutex::new(HashMap::new()),
+            shards: (0..shards)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            shard_mask: (shards - 1) as u64,
             generation: AtomicU64::new(0),
-            capacity: capacity.max(1),
+            shard_capacity: capacity.div_ceil(shards).max(1),
         }
+    }
+
+    /// The shard holding `hash`. Template hashes are already avalanched,
+    /// but fold the high half in so shard choice never depends on low
+    /// bits alone.
+    fn shard(&self, hash: u64) -> &Mutex<HashMap<u64, CacheEntry>> {
+        &self.shards[((hash ^ (hash >> 32)) & self.shard_mask) as usize]
+    }
+
+    /// Number of independently locked shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Entries per shard, in shard order. Sums to [`PlanCache::len`].
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().map(|e| e.len()).unwrap_or(0))
+            .collect()
     }
 
     /// The current invalidation generation.
@@ -128,9 +177,9 @@ impl PlanCache {
         self.generation.load(Ordering::Acquire)
     }
 
-    /// Number of cached templates.
+    /// Number of cached templates (summed over shards).
     pub fn len(&self) -> usize {
-        self.entries.lock().map(|e| e.len()).unwrap_or(0)
+        self.shard_lens().iter().sum()
     }
 
     /// Whether the cache is empty.
@@ -141,12 +190,15 @@ impl PlanCache {
     /// Drop every cached plan and bump the generation, so plans computed
     /// under the previous constraint set can never be served again.
     /// Bumps [`obs::Counter::PlanCacheInvalidations`] once per dropped
-    /// entry.
+    /// entry (summed over shards, so the total matches the old
+    /// single-map behaviour exactly).
     pub fn invalidate(&self) {
         self.generation.fetch_add(1, Ordering::AcqRel);
-        if let Ok(mut entries) = self.entries.lock() {
-            obs::add(obs::Counter::PlanCacheInvalidations, entries.len() as u64);
-            entries.clear();
+        for shard in self.shards.iter() {
+            if let Ok(mut entries) = shard.lock() {
+                obs::add(obs::Counter::PlanCacheInvalidations, entries.len() as u64);
+                entries.clear();
+            }
         }
     }
 }
@@ -370,7 +422,7 @@ impl PreparedOptimizer {
         cache: &PlanCache,
         template: &CanonicalTemplate,
     ) -> std::result::Result<Outcome, bool> {
-        let entries = cache.entries.lock().map_err(|_| false)?;
+        let entries = cache.shard(template.hash).lock().map_err(|_| false)?;
         let Some(entry) = entries.get(&template.hash) else {
             return Err(false);
         };
@@ -414,8 +466,8 @@ impl PreparedOptimizer {
             repr_var_order: template.var_order.clone(),
             outcome: outcome.clone(),
         };
-        if let Ok(mut entries) = cache.entries.lock() {
-            if entries.len() >= cache.capacity && !entries.contains_key(&template.hash) {
+        if let Ok(mut entries) = cache.shard(template.hash).lock() {
+            if entries.len() >= cache.shard_capacity && !entries.contains_key(&template.hash) {
                 if let Some(&k) = entries.keys().next() {
                     entries.remove(&k);
                 }

@@ -145,6 +145,75 @@ fn generation_mismatch_is_never_served() {
 }
 
 #[test]
+fn shard_stats_sum_to_the_global_counters() {
+    let _g = lock();
+    let prep = prepared_university();
+    let cache = PlanCache::new();
+    assert!(cache.shard_count() >= 1);
+    assert!(
+        cache.shard_count().is_power_of_two(),
+        "masked shard selection requires a power of two"
+    );
+    let queries = [
+        "select x.name from x in Person where x.age < 28",
+        "select x.name from x in Student where x.age < 28",
+        "select x.age from x in Person where x.age < 28",
+        "select x.name from x in Person",
+        "select x.name from x in Person where x.age > 28",
+        "select x.name from x in Student where x.age > 28",
+    ];
+    let before = obs::snapshot();
+    for q in queries {
+        let (_r, d) = prep.optimize_cached(&cache, q).unwrap();
+        assert_eq!(d, CacheOutcome::Miss, "{q} should be a distinct template");
+    }
+    // Per-shard lengths are the sharded view of the same population.
+    assert_eq!(cache.shard_lens().iter().sum::<usize>(), cache.len());
+    assert_eq!(cache.len(), queries.len());
+    // Invalidation counts each dropped entry once, summed over shards —
+    // identical to the old single-map total.
+    cache.invalidate();
+    let delta = obs::snapshot().since(&before);
+    assert_eq!(
+        delta.counter(obs::Counter::PlanCacheInvalidations),
+        queries.len() as u64
+    );
+    assert_eq!(
+        delta.counter(obs::Counter::PlanCacheMisses),
+        queries.len() as u64
+    );
+    assert!(cache.is_empty());
+    assert!(cache.shard_lens().iter().all(|&l| l == 0));
+}
+
+#[test]
+fn shard_capacity_bounds_the_population() {
+    let _g = lock();
+    let prep = prepared_university();
+    // Four shards, one template each: eight distinct templates must
+    // evict down to at most four entries, never grow past the budget.
+    let cache = PlanCache::with_shards(4, 4);
+    assert_eq!(cache.shard_count(), 4);
+    for class in ["Person", "Student"] {
+        for (proj, pred) in [
+            ("x.name", "x.age < 28"),
+            ("x.age", "x.age < 28"),
+            ("x.name", "x.age > 28 and x.age < 90"),
+            ("x.age", "x.age > 28 and x.age < 90"),
+        ] {
+            let q = format!("select {proj} from x in {class} where {pred}");
+            prep.optimize_cached(&cache, &q).unwrap();
+        }
+    }
+    assert!(
+        cache.len() <= 4,
+        "population {} exceeds the 4-entry budget",
+        cache.len()
+    );
+    assert!(cache.shard_lens().iter().all(|&l| l <= 1));
+}
+
+#[test]
 fn distinct_templates_do_not_collide() {
     let _g = lock();
     let prep = prepared_university();

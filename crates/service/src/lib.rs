@@ -36,13 +36,18 @@
 //! ```
 
 pub mod admission;
+#[cfg(unix)]
+mod event_loop;
+pub mod framing;
 pub mod json;
+#[cfg(unix)]
+pub mod poll;
 pub mod registry;
 pub mod server;
 pub mod slowlog;
 
 pub use registry::{Session, SessionRegistry, SessionSpec};
-pub use server::{Server, ServerConfig};
+pub use server::{ServeMode, Server, ServerConfig};
 pub use slowlog::{SlowEntry, SlowLog};
 
 /// Why a request was not answered with a result.

@@ -65,6 +65,38 @@ const PINNED_HISTS: [&str; 7] = [
     "store.recover",
 ];
 
+/// How the server multiplexes connections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// One OS thread per connection, blocking reads (the PR-3 design,
+    /// kept as the ablation baseline).
+    Threaded,
+    /// A single readiness-driven event loop over non-blocking sockets;
+    /// connections are per-loop state machines and only CPU-bound query
+    /// work runs on the worker pool. Falls back to [`ServeMode::Threaded`]
+    /// on non-Unix targets.
+    EventLoop,
+}
+
+impl ServeMode {
+    /// Parses the `--serve-mode` flag value.
+    pub fn parse(s: &str) -> Option<ServeMode> {
+        match s {
+            "threaded" => Some(ServeMode::Threaded),
+            "event-loop" => Some(ServeMode::EventLoop),
+            _ => None,
+        }
+    }
+
+    /// The wire label reported under `"serve_mode"` in `metrics`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeMode::Threaded => "threaded",
+            ServeMode::EventLoop => "event-loop",
+        }
+    }
+}
+
 /// Server tunables.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -83,6 +115,12 @@ pub struct ServerConfig {
     /// When set, every slow-log entry is also appended to this file as a
     /// JSON line.
     pub slowlog_path: Option<String>,
+    /// Connection multiplexing strategy.
+    pub mode: ServeMode,
+    /// Largest accepted request line in bytes (event-loop mode only);
+    /// a longer line is answered with `bad_request` and the connection
+    /// is closed, bounding per-connection memory.
+    pub max_frame_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -95,25 +133,29 @@ impl Default for ServerConfig {
             slow_ms: 250,
             slowlog_capacity: 128,
             slowlog_path: None,
+            mode: ServeMode::EventLoop,
+            max_frame_bytes: 1 << 20,
         }
     }
 }
 
-struct Shared {
-    registry: Arc<SessionRegistry>,
-    pool: Pool,
-    stop: AtomicBool,
-    local_addr: SocketAddr,
-    workers: usize,
-    queue_capacity: usize,
-    default_timeout: Duration,
-    slowlog: Arc<SlowLog>,
+pub(crate) struct Shared {
+    pub(crate) registry: Arc<SessionRegistry>,
+    pub(crate) pool: Pool,
+    pub(crate) stop: AtomicBool,
+    pub(crate) local_addr: SocketAddr,
+    pub(crate) workers: usize,
+    pub(crate) queue_capacity: usize,
+    pub(crate) default_timeout: Duration,
+    pub(crate) slowlog: Arc<SlowLog>,
+    pub(crate) mode: ServeMode,
+    pub(crate) max_frame_bytes: usize,
 }
 
 /// A bound (but not yet running) server.
 pub struct Server {
-    listener: TcpListener,
-    shared: Arc<Shared>,
+    pub(crate) listener: TcpListener,
+    pub(crate) shared: Arc<Shared>,
 }
 
 impl Server {
@@ -138,6 +180,8 @@ impl Server {
             queue_capacity: cfg.queue_capacity.max(1),
             default_timeout: Duration::from_millis(cfg.default_timeout_ms.max(1)),
             slowlog: Arc::new(slowlog),
+            mode: effective_mode(cfg.mode),
+            max_frame_bytes: cfg.max_frame_bytes.max(1024),
         });
         Ok(Server { listener, shared })
     }
@@ -147,10 +191,22 @@ impl Server {
         self.shared.local_addr
     }
 
-    /// Accept loop. Returns after a `shutdown` request. Each connection
-    /// is served by its own thread; the bounded resource is the query
-    /// queue, not the connection count.
+    /// Serves until a `shutdown` request, multiplexing connections
+    /// according to the configured [`ServeMode`].
     pub fn run(self) -> std::io::Result<()> {
+        match self.shared.mode {
+            ServeMode::Threaded => self.run_threaded(),
+            #[cfg(unix)]
+            ServeMode::EventLoop => crate::event_loop::run(self.listener, self.shared),
+            #[cfg(not(unix))]
+            ServeMode::EventLoop => unreachable!("effective_mode folds to Threaded off Unix"),
+        }
+    }
+
+    /// Accept loop of the threaded ablation mode. Each connection is
+    /// served by its own thread; the bounded resource is the query
+    /// queue, not the connection count.
+    fn run_threaded(self) -> std::io::Result<()> {
         for stream in self.listener.incoming() {
             if self.shared.stop.load(Ordering::Acquire) {
                 break;
@@ -166,6 +222,16 @@ impl Server {
             });
         }
         Ok(())
+    }
+}
+
+/// Folds the requested mode to what the target can actually run: the
+/// readiness loop needs a Unix poller, elsewhere `threaded` serves.
+fn effective_mode(requested: ServeMode) -> ServeMode {
+    if cfg!(unix) {
+        requested
+    } else {
+        ServeMode::Threaded
     }
 }
 
@@ -199,7 +265,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) -> std::io::Result<()> {
     Ok(())
 }
 
-fn error_response(e: &ServeError) -> String {
+pub(crate) fn error_response(e: &ServeError) -> String {
     format!(
         r#"{{"ok":false,"error":{{"kind":{},"message":{}}}}}"#,
         obs::json_string(e.kind()),
@@ -207,36 +273,59 @@ fn error_response(e: &ServeError) -> String {
     )
 }
 
-fn handle_line(shared: &Arc<Shared>, line: &str) -> String {
-    match dispatch(shared, line) {
-        Ok(resp) => resp,
-        Err(e) => error_response(&e),
+/// What a request line routed to: both serving modes share this so the
+/// wire bytes per request are identical regardless of transport.
+pub(crate) enum Routed {
+    /// Fully handled inline (control ops and every error path).
+    Done(String),
+    /// An admitted-shape `query`: the caller decides how to wait on the
+    /// worker pool (blocking channel in threaded mode, completion queue
+    /// in the event loop).
+    Query(Box<QueryJob>),
+    /// `shutdown`: the stop flag is already set; write this response,
+    /// then stop serving.
+    Shutdown(String),
+}
+
+pub(crate) fn route(shared: &Arc<Shared>, line: &str) -> Routed {
+    match route_inner(shared, line) {
+        Ok(routed) => routed,
+        Err(e) => Routed::Done(error_response(&e)),
     }
 }
 
-fn dispatch(shared: &Arc<Shared>, line: &str) -> Result<String, ServeError> {
+fn route_inner(shared: &Arc<Shared>, line: &str) -> Result<Routed, ServeError> {
     let req = json::parse(line).map_err(ServeError::BadRequest)?;
     let op = req
         .get("op")
         .and_then(Json::as_str)
         .ok_or_else(|| ServeError::BadRequest("missing \"op\"".into()))?;
     match op {
-        "ping" => Ok(r#"{"ok":true,"op":"ping"}"#.to_string()),
-        "metrics" => Ok(metrics_response(shared)),
-        "slowlog" => Ok(slowlog_response(shared)),
-        "prepare" => prepare(shared, &req),
-        "reload_ic" => reload_ic(shared, &req),
-        "create" => create(shared, &req),
-        "link" => link(shared, &req),
-        "persist" => persist(shared, &req),
-        "query" => query(shared, &req),
+        "ping" => Ok(Routed::Done(r#"{"ok":true,"op":"ping"}"#.to_string())),
+        "metrics" => Ok(Routed::Done(metrics_response(shared))),
+        "slowlog" => Ok(Routed::Done(slowlog_response(shared))),
+        "prepare" => prepare(shared, &req).map(Routed::Done),
+        "reload_ic" => reload_ic(shared, &req).map(Routed::Done),
+        "create" => create(shared, &req).map(Routed::Done),
+        "link" => link(shared, &req).map(Routed::Done),
+        "persist" => persist(shared, &req).map(Routed::Done),
+        "query" => Ok(Routed::Query(Box::new(parse_query(shared, &req)?))),
         "shutdown" => {
-            // The accept loop is unblocked by handle_conn after the
-            // response line is on the wire (see there for why).
+            // The transport unblocks/exits only after the response line
+            // is on the wire (see the per-mode loops for why).
             shared.stop.store(true, Ordering::Release);
-            Ok(r#"{"ok":true,"op":"shutdown"}"#.to_string())
+            Ok(Routed::Shutdown(
+                r#"{"ok":true,"op":"shutdown"}"#.to_string(),
+            ))
         }
         other => Err(ServeError::BadRequest(format!("unknown op {other:?}"))),
+    }
+}
+
+pub(crate) fn handle_line(shared: &Arc<Shared>, line: &str) -> String {
+    match route(shared, line) {
+        Routed::Done(resp) | Routed::Shutdown(resp) => resp,
+        Routed::Query(job) => run_query_sync(shared, *job),
     }
 }
 
@@ -290,17 +379,19 @@ fn metrics_response(shared: &Arc<Shared>) -> String {
                 })
                 .unwrap_or(0);
             format!(
-                r#"{{"name":{},"generation":{},"cached_templates":{},"store_generation":{}}}"#,
+                r#"{{"name":{},"generation":{},"cached_templates":{},"cache_shards":{},"store_generation":{}}}"#,
                 obs::json_string(s.name()),
                 s.prepared().generation(),
                 s.cache().len(),
+                s.cache().shard_count(),
                 store_generation
             )
         })
         .collect();
     let snapshot = obs::snapshot();
     format!(
-        r#"{{"ok":true,"op":"metrics","workers":{},"queue_capacity":{},"queue_depth":{},"queue_depth_hwm":{},"sessions":[{}],"hist":{},"stats":{}}}"#,
+        r#"{{"ok":true,"op":"metrics","serve_mode":{},"workers":{},"queue_capacity":{},"queue_depth":{},"queue_depth_hwm":{},"sessions":[{}],"hist":{},"stats":{}}}"#,
+        obs::json_string(shared.mode.label()),
         shared.workers,
         shared.queue_capacity,
         shared.pool.queue_depth(),
@@ -502,7 +593,7 @@ fn persist(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
 }
 
 /// What the worker sends back for an accepted, successful query.
-struct QueryAnswer {
+pub(crate) struct QueryAnswer {
     report: String,
     cache: &'static str,
     generation: u64,
@@ -515,7 +606,22 @@ struct QueryAnswer {
     exec: Option<(Option<usize>, Option<f64>, usize)>,
 }
 
-fn query(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
+/// A validated `query` request, admitted-shape but not yet submitted.
+pub(crate) struct QueryJob {
+    pub(crate) name: String,
+    pub(crate) oql: String,
+    pub(crate) deadline: Instant,
+    pub(crate) want_trace: bool,
+    pub(crate) want_execute: bool,
+    pub(crate) strategy: Option<search::Strategy>,
+    pub(crate) session: Arc<crate::registry::Session>,
+    pub(crate) trace_id: String,
+}
+
+/// Validates a `query` request into a [`QueryJob`]. Counts the request
+/// (`serve.requests`) whether or not validation succeeds, exactly as
+/// the seed thread-per-connection path did.
+fn parse_query(shared: &Arc<Shared>, req: &Json) -> Result<QueryJob, ServeError> {
     obs::add(obs::Counter::ServeRequests, 1);
     let name = session_name(req)?.to_string();
     let oql = req
@@ -553,64 +659,100 @@ fn query(shared: &Arc<Shared>, req: &Json) -> Result<String, ServeError> {
         ));
     }
     let trace_id = session.next_trace_id();
-    let deadline = Instant::now() + timeout;
+    Ok(QueryJob {
+        name,
+        oql,
+        deadline: Instant::now() + timeout,
+        want_trace,
+        want_execute,
+        strategy,
+        session,
+        trace_id,
+    })
+}
 
-    type Answer = Result<QueryAnswer, String>;
-    let (tx, rx) = mpsc::sync_channel::<Answer>(1);
-    let task_session = Arc::clone(&session);
-    let task_slowlog = Arc::clone(&shared.slowlog);
-    let task_trace_id = trace_id.clone();
-    let admitted = shared.pool.submit(Task {
+/// Submits the job to the worker pool; `finish` runs on the worker with
+/// the final response line (success or `optimize_error`). Returns
+/// `false` when the queue shed the request — `finish` never runs then.
+pub(crate) fn submit_job(
+    shared: &Arc<Shared>,
+    job: QueryJob,
+    finish: Box<dyn FnOnce(String) + Send>,
+) -> bool {
+    let slowlog = Arc::clone(&shared.slowlog);
+    let deadline = job.deadline;
+    shared.pool.submit(Task {
         deadline,
         submitted: Instant::now(),
         run: Box::new(move |wait| {
             let answer = run_query(
-                &task_session,
-                &task_slowlog,
-                task_trace_id,
-                &oql,
+                &job.session,
+                &slowlog,
+                job.trace_id,
+                &job.oql,
                 wait,
-                want_trace,
-                want_execute,
-                strategy,
+                job.want_trace,
+                job.want_execute,
+                job.strategy,
             );
-            let _ = tx.send(answer);
+            let resp = match answer {
+                Ok(a) => format_query_ok(&job.name, &a),
+                Err(msg) => error_response(&ServeError::Optimize(msg)),
+            };
+            finish(resp);
         }),
-    });
+    })
+}
+
+/// Threaded-mode query path: submit, then block the connection thread
+/// until the response or the deadline, whichever comes first.
+fn run_query_sync(shared: &Arc<Shared>, job: QueryJob) -> String {
+    let deadline = job.deadline;
+    let (tx, rx) = mpsc::sync_channel::<String>(1);
+    let admitted = submit_job(
+        shared,
+        job,
+        Box::new(move |resp| {
+            let _ = tx.send(resp);
+        }),
+    );
     if !admitted {
-        return Err(ServeError::Overloaded);
+        return error_response(&ServeError::Overloaded);
     }
     let remaining = deadline.saturating_duration_since(Instant::now());
     match rx.recv_timeout(remaining) {
-        Ok(Ok(a)) => {
-            let mut extra = String::new();
-            if let Some((plan_index, plan_cost, answers)) = a.exec {
-                let idx = plan_index.map_or("null".to_string(), |i| i.to_string());
-                let cost = plan_cost.map_or("null".to_string(), |c| format!("{c:.1}"));
-                extra.push_str(&format!(
-                    r#","plan_index":{idx},"plan_cost":{cost},"answers":{answers}"#
-                ));
-            }
-            if let Some(trace) = &a.trace_json {
-                extra.push_str(&format!(r#","trace":{trace}"#));
-            }
-            Ok(format!(
-                r#"{{"ok":true,"op":"query","session":{},"generation":{},"cache":{},"elapsed_us":{},"trace_id":{}{extra},"report":{}}}"#,
-                obs::json_string(&name),
-                a.generation,
-                obs::json_string(a.cache),
-                a.elapsed_us,
-                obs::json_string(&a.trace_id),
-                a.report
-            ))
-        }
-        Ok(Err(msg)) => Err(ServeError::Optimize(msg)),
+        Ok(resp) => resp,
         Err(_) => {
             // Timed out waiting, or the pool dropped the expired task.
             obs::add(obs::Counter::ServeDeadlineExceeded, 1);
-            Err(ServeError::DeadlineExceeded)
+            error_response(&ServeError::DeadlineExceeded)
         }
     }
+}
+
+/// The success envelope for a completed query, shared by both serving
+/// modes so transports cannot drift apart on the wire.
+pub(crate) fn format_query_ok(name: &str, a: &QueryAnswer) -> String {
+    let mut extra = String::new();
+    if let Some((plan_index, plan_cost, answers)) = a.exec {
+        let idx = plan_index.map_or("null".to_string(), |i| i.to_string());
+        let cost = plan_cost.map_or("null".to_string(), |c| format!("{c:.1}"));
+        extra.push_str(&format!(
+            r#","plan_index":{idx},"plan_cost":{cost},"answers":{answers}"#
+        ));
+    }
+    if let Some(trace) = &a.trace_json {
+        extra.push_str(&format!(r#","trace":{trace}"#));
+    }
+    format!(
+        r#"{{"ok":true,"op":"query","session":{},"generation":{},"cache":{},"elapsed_us":{},"trace_id":{}{extra},"report":{}}}"#,
+        obs::json_string(name),
+        a.generation,
+        obs::json_string(a.cache),
+        a.elapsed_us,
+        obs::json_string(&a.trace_id),
+        a.report
+    )
 }
 
 /// Executes one admitted query on a worker thread: opens the trace,

@@ -1,0 +1,127 @@
+//! Property tests for the incremental JSON-lines framer: the transport's
+//! byte-chunking must be invisible. Any split of a request stream —
+//! boundaries mid-line, mid-UTF-8-sequence, mid-escape, or on empty
+//! chunks — reassembles to exactly the frame sequence of whole-stream
+//! delivery.
+
+use proptest::prelude::*;
+use sqo_service::framing::LineFramer;
+
+/// Line fragments chosen to make interesting boundaries likely: ASCII
+/// JSON punctuation, multi-byte UTF-8 (2- and 3-byte sequences), and
+/// escape-looking text.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        3 => Just("{\"op\":\"ping\"}".to_string()),
+        3 => Just("x.age < 30".to_string()),
+        2 => Just("é".to_string()),
+        2 => Just("✓".to_string()),
+        2 => Just("\\\"escaped\\\"".to_string()),
+        1 => Just("{}".to_string()),
+        1 => Just(" ".to_string()),
+    ]
+}
+
+fn line() -> impl Strategy<Value = String> {
+    prop::collection::vec(fragment(), 1..5).prop_map(|parts| parts.concat())
+}
+
+fn drain(f: &mut LineFramer) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    while let Some(frame) = f.next_frame() {
+        out.push(frame);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// Chunked delivery yields the same frames as one-shot delivery,
+    /// for arbitrary chunk sizes (including empty and byte-at-a-time).
+    #[test]
+    fn chunking_is_invisible(
+        lines in prop::collection::vec(line(), 1..8),
+        sizes in prop::collection::vec(0usize..9, 1..32),
+    ) {
+        // Zero-length chunks are a valid (and tested) delivery, but an
+        // all-zero schedule would never advance the stream.
+        let mut sizes = sizes;
+        if sizes.iter().all(|&s| s == 0) {
+            sizes.push(1);
+        }
+        let mut stream = Vec::new();
+        for l in &lines {
+            stream.extend_from_slice(l.as_bytes());
+            stream.push(b'\n');
+        }
+
+        let mut whole = LineFramer::new(1 << 20);
+        whole.push(&stream).unwrap();
+        let expected = drain(&mut whole);
+        prop_assert_eq!(expected.len(), lines.len());
+
+        let mut chunked = LineFramer::new(1 << 20);
+        let mut got = Vec::new();
+        let mut pos = 0;
+        let mut i = 0;
+        while pos < stream.len() {
+            let take = sizes[i % sizes.len()].min(stream.len() - pos);
+            i += 1;
+            chunked.push(&stream[pos..pos + take]).unwrap();
+            pos += take;
+            // Drain eagerly, as the event loop does per wake-up: frames
+            // must come out identical no matter when they are drained.
+            got.extend(drain(&mut chunked));
+        }
+        got.extend(drain(&mut chunked));
+        prop_assert_eq!(got, expected);
+        prop_assert_eq!(chunked.buffered(), 0);
+    }
+
+    /// A stream cut at every single byte boundary (the exhaustive
+    /// two-chunk case, including mid-UTF-8) reassembles losslessly.
+    #[test]
+    fn every_two_chunk_split_reassembles(lines in prop::collection::vec(line(), 1..4)) {
+        let mut stream = Vec::new();
+        for l in &lines {
+            stream.extend_from_slice(l.as_bytes());
+            stream.push(b'\n');
+        }
+        let mut whole = LineFramer::new(1 << 20);
+        whole.push(&stream).unwrap();
+        let expected = drain(&mut whole);
+
+        for cut in 0..=stream.len() {
+            let mut f = LineFramer::new(1 << 20);
+            f.push(&stream[..cut]).unwrap();
+            let mut got = drain(&mut f);
+            f.push(&stream[cut..]).unwrap();
+            got.extend(drain(&mut f));
+            prop_assert_eq!(&got, &expected, "cut at byte {}", cut);
+        }
+    }
+
+    /// The tail-length accounting (which enforces the per-line memory
+    /// bound) is chunking-independent too.
+    #[test]
+    fn oversize_detection_is_chunking_independent(
+        line in line(),
+        sizes in prop::collection::vec(1usize..5, 1..16),
+    ) {
+        let limit = 16;
+        let fits = line.len() <= limit;
+        let mut f = LineFramer::new(limit);
+        let bytes = line.as_bytes();
+        let mut pos = 0;
+        let mut i = 0;
+        let mut failed = false;
+        while pos < bytes.len() && !failed {
+            let take = sizes[i % sizes.len()].min(bytes.len() - pos);
+            i += 1;
+            failed = f.push(&bytes[pos..pos + take]).is_err();
+            pos += take;
+        }
+        prop_assert_eq!(!failed, fits, "line of {} bytes vs limit {}", line.len(), limit);
+    }
+}

@@ -417,12 +417,22 @@ impl ShardedStore {
         // Validate the whole batch before anything reaches a WAL
         // (sequencing within the batch honored via an overlay).
         precheck_ops(ops, |oid| {
-            guards[&shard_index(oid, n_shards)].objects.contains_key(&oid)
+            guards[&shard_index(oid, n_shards)]
+                .objects
+                .contains_key(&oid)
         })?;
         // One generation per component; the frame is stamped with the
         // base so recovery can re-derive each component's generation.
-        let base = self.generation.fetch_add(ops.len() as u64, Ordering::SeqCst) + 1;
-        if let Some(wal) = self.shards[indices[0]].wal.lock().expect("wal lock").as_mut() {
+        let base = self
+            .generation
+            .fetch_add(ops.len() as u64, Ordering::SeqCst)
+            + 1;
+        if let Some(wal) = self.shards[indices[0]]
+            .wal
+            .lock()
+            .expect("wal lock")
+            .as_mut()
+        {
             wal.append(base, &batch.encode())?;
         }
         for (i, op) in ops.iter().enumerate() {

@@ -15,11 +15,17 @@ which never overwrites the manifest, so this validates what a full
 4. `speedup/e3/indexed_rewrite` >= 10: the semantic rewrite must reach
    an indexed plan at least an order of magnitude faster than the
    original query's scan — the headline claim of the indexed engine.
-5. The closed-loop serving rows are present: `serve/p50` and `serve/p99`
-   (client-observed warm-cache latency at 1x, p50 <= p99) and
+5. The closed-loop serving rows are present: `serve/p50` / `serve/p99`
+   (client-observed warm-cache latency at 1x under the event loop),
+   `serve/p50_threaded` / `serve/p99_threaded` (the same phase on the
+   thread-per-connection ablation), `serve/p50_pipelined` /
+   `serve/p99_pipelined` (8-deep client pipelining), and
    `serve/shed_rate_overload` (the 10x-overload shed fraction, which
    must lie strictly inside (0, 1): zero would mean admission control
-   never engaged, one would mean no request was ever accepted).
+   never engaged, one would mean no request was ever accepted). Each
+   p50 must not exceed its p99, and the event-loop p99 must not exceed
+   the threaded p99 — the event loop has to at least match the
+   multiplexer it replaced (refresh with `tables --serve`).
 6. The Step-3 best-first search beats the exhaustive-BFS baseline by the
    floors the PR claims: `speedup/f2/step3_sqo_vs_applicable_ics/32`
    >= 5 (wide-IC scenario) and `.../12` >= 2, each with its
@@ -47,7 +53,17 @@ E3_MIN_SPEEDUP = 10.0
 SERVE_ROWS = (
     "serve/p50",
     "serve/p99",
+    "serve/p50_threaded",
+    "serve/p99_threaded",
+    "serve/p50_pipelined",
+    "serve/p99_pipelined",
     "serve/shed_rate_overload",
+)
+# Warm quantile pairs that must be monotone (p50 <= p99).
+SERVE_QUANTILE_PAIRS = (
+    ("serve/p50", "serve/p99"),
+    ("serve/p50_threaded", "serve/p99_threaded"),
+    ("serve/p50_pipelined", "serve/p99_pipelined"),
 )
 
 # Durable-store recovery: the million-object cold open (snapshot load +
@@ -104,11 +120,20 @@ def main() -> None:
 
     for row in SERVE_ROWS:
         if row not in manifest:
-            fail(f"missing serving row {row!r} — run the full (non-quick) tables binary")
-    if manifest["serve/p50"] > manifest["serve/p99"]:
+            fail(f"missing serving row {row!r} — run the full (non-quick) "
+                 "tables binary or `tables --serve`")
+    for p50_row, p99_row in SERVE_QUANTILE_PAIRS:
+        if manifest[p50_row] > manifest[p99_row]:
+            fail(
+                f"{p50_row} ({manifest[p50_row]}) exceeds {p99_row} "
+                f"({manifest[p99_row]}): quantiles are not monotone"
+            )
+    if manifest["serve/p99"] > manifest["serve/p99_threaded"]:
         fail(
-            f"serve/p50 ({manifest['serve/p50']}) exceeds serve/p99 "
-            f"({manifest['serve/p99']}): quantiles are not monotone"
+            f"serve/p99 ({manifest['serve/p99']}) exceeds serve/p99_threaded "
+            f"({manifest['serve/p99_threaded']}): the event loop's warm tail "
+            "latency has regressed past the thread-per-connection ablation "
+            "it replaced"
         )
     shed = manifest["serve/shed_rate_overload"]
     if not 0.0 < shed < 1.0:
@@ -153,6 +178,8 @@ def main() -> None:
         f"step3 best-first speedup "
         f"{'/'.join(f'{k}ics:{v:.2f}x' for k, v in step3_speedups.items())}; "
         f"e3 indexed-rewrite speedup {speedup}x; "
+        f"serve p99 {manifest['serve/p99'] / 1e6:.2f} ms event-loop vs "
+        f"{manifest['serve/p99_threaded'] / 1e6:.2f} ms threaded; "
         f"overload shed rate {shed}; "
         f"1m-object recovery {recover / 1e6:.0f} ms)"
     )

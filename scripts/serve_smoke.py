@@ -25,11 +25,21 @@ twice (cold miss, then warm cache hit/rebind), and both wire reports must
 agree verdict-for-verdict and rewrite-for-rewrite with a cold in-process
 `sqo --schema ... --ic ... --explain` run of the same case.
 
-A third phase smoke-tests durable-store crash recovery: a server started
-with --store-path takes writes over the wire (create/link), persists a
-snapshot, keeps writing so the WAL holds a tail, is killed with SIGKILL,
-and is restarted from the same directory — the recovered server must
-return the same executed answer count.
+A third phase checks pipelining: a warm family of requests is sent as
+one TCP segment on a single connection, and the responses must come
+back one per request, in request order, identical (modulo volatile
+fields) to the same requests sent one at a time.
+
+A fourth phase smoke-tests durable-store crash recovery: a server
+started with --store-path takes writes over the wire (create/link),
+persists a snapshot, keeps writing so the WAL holds a tail, is killed
+with SIGKILL, and is restarted from the same directory — the recovered
+server must return the same executed answer count.
+
+Every phase runs twice: once under the default event-loop connection
+multiplexer and once under the thread-per-connection ablation
+(--serve-mode threaded), so the two serving paths stay behaviorally
+interchangeable.
 
 Usage: python3 scripts/serve_smoke.py [path/to/sqo]
 """
@@ -243,7 +253,51 @@ def fuzz_differential(sqo, addr, serve_schema, explain_schema, n_cases=10):
         shutil.rmtree(outdir, ignore_errors=True)
 
 
-def recovery_phase(sqo, serve_schema):
+def scrub(value):
+    """Recursively drop the volatile fields (timings, trace ids, span
+    stats) so two responses to the same request can be compared."""
+    if isinstance(value, dict):
+        return {k: scrub(v) for k, v in value.items()
+                if k not in ("elapsed_us", "trace_id", "stats")}
+    if isinstance(value, list):
+        return [scrub(v) for v in value]
+    return value
+
+
+def pipelined_phase(addr, serve_schema):
+    """N requests in one TCP segment -> N in-order responses, identical
+    (modulo volatile fields) to one-at-a-time delivery.
+
+    The request family is warmed first so both deliveries run fully
+    warm and must report the same cache labels.
+    """
+    lines = [json.dumps(
+        {"op": "query",
+         "oql": f"select x.name from x in Person where x.age < {21 + i}"})
+        for i in range(8)]
+    lines.insert(4, json.dumps({"op": "ping"}))
+
+    for ln in lines:  # warm every template
+        request(addr, ln)
+    sequential = [request(addr, ln) for ln in lines]
+
+    with socket.create_connection(addr, timeout=TIMEOUT_S) as s:
+        s.sendall(("\n".join(lines) + "\n").encode())
+        f = s.makefile("rb")
+        piped = [json.loads(f.readline()) for _ in lines]
+
+    for i, (seq, pipe) in enumerate(zip(sequential, piped)):
+        check(pipe, serve_schema, serve_schema, f"pipelined response {i}")
+        if not pipe.get("ok"):
+            fail(f"pipelined request {i} failed: {pipe}")
+        if scrub(seq) != scrub(pipe):
+            fail(f"pipelined response {i} diverged from one-at-a-time:\n"
+                 f"  sequential: {json.dumps(scrub(seq))}\n"
+                 f"  pipelined:  {json.dumps(scrub(pipe))}")
+    return len(lines)
+
+
+def recovery_phase(sqo, serve_schema, mode):
     """Durable-store crash recovery over the wire.
 
     Starts a second server with --store-path on a fresh directory, writes
@@ -261,7 +315,8 @@ def recovery_phase(sqo, serve_schema):
     def start():
         p = subprocess.Popen(
             [sqo, "serve", "--university", "--addr", "127.0.0.1:0",
-             "--workers", "2", "--queue", "16", "--store-path", store_dir],
+             "--workers", "2", "--queue", "16", "--store-path", store_dir,
+             "--serve-mode", mode],
             stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)
         line = p.stdout.readline()
         if not line:
@@ -332,13 +387,7 @@ def recovery_phase(sqo, serve_schema):
         shutil.rmtree(store_dir, ignore_errors=True)
 
 
-def main():
-    sqo = sys.argv[1] if len(sys.argv) > 1 else os.path.join(REPO, "target", "release", "sqo")
-    if not os.path.exists(sqo):
-        fail(f"binary not found: {sqo} (build with `cargo build --release`)")
-    serve_schema = load_schema("serve.schema.json")
-    explain_schema = load_schema("explain.schema.json")
-
+def run_mode(sqo, serve_schema, explain_schema, mode):
     with tempfile.NamedTemporaryFile("w", suffix=".dl", delete=False) as f:
         f.write(IC4)
         ic_path = f.name
@@ -348,7 +397,8 @@ def main():
     proc = subprocess.Popen(
         [sqo, "serve", "--university", "--ic", ic_path,
          "--addr", "127.0.0.1:0", "--workers", "4", "--queue", "64",
-         "--slow-ms", "0", "--slowlog-path", slowlog_path],
+         "--slow-ms", "0", "--slowlog-path", slowlog_path,
+         "--serve-mode", mode],
         stdout=subprocess.PIPE, text=True,
     )
     try:
@@ -409,6 +459,9 @@ def main():
 
         metrics = request(addr, json.dumps({"op": "metrics"}))
         check(metrics, serve_schema, serve_schema, "metrics response")
+        if metrics.get("serve_mode") != mode:
+            fail(f"metrics serve_mode {metrics.get('serve_mode')!r} != "
+                 f"requested {mode!r}")
         counters = metrics["stats"]["counters"]
         if counters.get("plan_cache.hits", 0) < 1 or hits < 1:
             fail(f"expected cache hits >= 1 (wire: {hits}, counter: "
@@ -420,17 +473,20 @@ def main():
 
         n_events, n_slow = telemetry_checks(addr, serve_schema, slowlog_path)
 
+        n_piped = pipelined_phase(addr, serve_schema)
+
         n_fuzz = fuzz_differential(sqo, addr, serve_schema, explain_schema)
 
         bye = request(addr, json.dumps({"op": "shutdown"}))
         check(bye, serve_schema, serve_schema, "shutdown response")
         proc.wait(timeout=TIMEOUT_S)
 
-        n_recovered = recovery_phase(sqo, serve_schema)
+        n_recovered = recovery_phase(sqo, serve_schema, mode)
 
-        print(f"serve_smoke: OK ({N_CLIENTS} concurrent queries, "
+        print(f"serve_smoke: [{mode}] OK ({N_CLIENTS} concurrent queries, "
               f"{hits} warm hits, shed 0, trace {n_events} events, "
               f"slowlog {n_slow} entries, "
+              f"{n_piped} pipelined == one-at-a-time, "
               f"{n_fuzz} fuzz cases wire==in-process, "
               f"{n_recovered} answers across a kill -9 recovery)")
     finally:
@@ -440,6 +496,18 @@ def main():
         if proc.poll() is None:
             proc.kill()
             proc.wait()
+
+
+def main():
+    sqo = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        REPO, "target", "release", "sqo")
+    if not os.path.exists(sqo):
+        fail(f"binary not found: {sqo} (build with `cargo build --release`)")
+    serve_schema = load_schema("serve.schema.json")
+    explain_schema = load_schema("explain.schema.json")
+    for mode in ("event-loop", "threaded"):
+        run_mode(sqo, serve_schema, explain_schema, mode)
+    print("serve_smoke: OK (all phases under both --serve-modes)")
 
 
 if __name__ == "__main__":
